@@ -1,0 +1,62 @@
+// Ablation: the shared runtime-stack lock vs Fig. 3's thread scaling.
+//
+// The paper explains the growing Copy/zero-copy gap at higher thread counts
+// by all threads sharing "the same runtime stack, including components such
+// as the OpenMP host and offloading runtimes, ROCr, and the driver"
+// (§V-A.2). In the model that is the CPU-side runtime lock serializing
+// packet and copy submission. This ablation shrinks those CPU-side costs
+// toward zero: the 8-thread ratio should collapse toward the 1-thread
+// ratio, demonstrating the mechanism carries the effect.
+
+#include "common.hpp"
+#include "zc/workloads/qmcpack.hpp"
+
+int main(int argc, char** argv) {
+  using namespace zc;
+  using omp::RuntimeConfig;
+
+  const bench::Args args = bench::Args::parse(argc, argv);
+  bench::print_banner(
+      "Ablation — runtime-lock contention vs Fig. 3 thread scaling",
+      "Bertolli et al., SC'24, §V-A.2 mechanism", args);
+  const int steps = args.steps_or(100, 30, 600);
+
+  auto ratio = [&](int threads, double lock_cost_scale) {
+    workloads::QmcpackParams params;
+    params.size = 2;
+    params.threads = threads;
+    params.steps = steps;
+    const workloads::Program program = workloads::make_qmcpack(params);
+    apu::CostParams costs = apu::mi300a_costs();
+    costs.kernel_dispatch_cpu = costs.kernel_dispatch_cpu * lock_cost_scale;
+    costs.copy_setup = costs.copy_setup * lock_cost_scale;
+    workloads::RunOptions copy_opts{.config = RuntimeConfig::LegacyCopy,
+                                    .seed = args.seed};
+    copy_opts.costs = costs;
+    workloads::RunOptions zc_opts{.config = RuntimeConfig::ImplicitZeroCopy,
+                                  .seed = args.seed};
+    zc_opts.costs = costs;
+    const auto copy = workloads::run_program(program, copy_opts).wall_time;
+    const auto zc = workloads::run_program(program, zc_opts).wall_time;
+    return copy / zc;
+  };
+
+  stats::TextTable table{{"CPU-side submit cost", "ratio @1 thread",
+                          "ratio @8 threads", "8T/1T growth"}};
+  for (const double scale : {1.0, 0.5, 0.1, 0.01}) {
+    const double r1 = ratio(1, scale);
+    const double r8 = ratio(8, scale);
+    table.add_row({stats::TextTable::num(100.0 * scale, 0) + "%",
+                   stats::TextTable::num(r1), stats::TextTable::num(r8),
+                   stats::TextTable::num(r8 / r1)});
+  }
+  table.print(std::cout);
+  args.maybe_write_csv("abl_runtime_lock", table);
+
+  std::cout << "\nExpected shape: at 100% the 8-thread ratio clearly exceeds "
+               "the 1-thread ratio\n(Fig. 3); as the serialized CPU-side "
+               "submission costs shrink, the growth factor\ncollapses toward "
+               "1 — the contention on the shared runtime stack carries the\n"
+               "thread-scaling effect, exactly as §V-A.2 argues.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: SDMA copy-engine count vs Legacy Copy's multi-thread latency
+// hiding on the QMCPack proxy. The paper observes that QMCPack's data-
+// streaming optimization hides copies behind other threads' kernels; that
+// hiding needs engine capacity. With one engine Copy degrades; beyond two
+// the returns flatten (the runtime lock and driver become the bottleneck).
+
+#include "common.hpp"
+#include "zc/workloads/qmcpack.hpp"
+
+int main(int argc, char** argv) {
+  using namespace zc;
+  using omp::RuntimeConfig;
+
+  const bench::Args args = bench::Args::parse(argc, argv);
+  bench::print_banner(
+      "Ablation — SDMA engine count vs Copy-config latency hiding",
+      "Bertolli et al., SC'24, §V-A.3 mechanism", args);
+  const int steps = args.steps_or(150, 40, 1000);
+
+  workloads::QmcpackParams params;
+  params.size = 8;
+  params.threads = 8;
+  params.steps = steps;
+  // A copy-heavy variant (large per-walker states, e.g. many determinants):
+  // this is the regime where streaming actually leans on the engines.
+  params.walker_buf_base = 128 << 10;
+  const workloads::Program program = workloads::make_qmcpack(params);
+
+  // Zero-copy baseline does not use the engines in steady state.
+  const workloads::RunResult zc = workloads::run_program(
+      program, {.config = RuntimeConfig::ImplicitZeroCopy, .seed = args.seed});
+
+  stats::TextTable table{
+      {"SDMA engines", "Copy wall", "ratio Copy/zero-copy"}};
+  for (const int engines : {1, 2, 4, 8}) {
+    apu::Topology topo{};
+    topo.sdma_engines = engines;
+    workloads::RunOptions opts{.config = RuntimeConfig::LegacyCopy,
+                               .seed = args.seed};
+    opts.topology = topo;
+    const workloads::RunResult copy = workloads::run_program(program, opts);
+    table.add_row({std::to_string(engines), copy.wall_time.to_string(),
+                   stats::TextTable::num(copy.wall_time / zc.wall_time, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nzero-copy wall (engine-independent): " << zc.wall_time.to_string()
+            << "\nExpected shape: the Copy penalty shrinks as engines are "
+               "added, then flattens —\ncopies stop being the bottleneck but "
+               "the runtime calls themselves remain.\n";
+  return 0;
+}

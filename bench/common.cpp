@@ -1,0 +1,66 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace zc::bench {
+
+Args Args::parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      args.quick = true;
+    } else if (a == "--full") {
+      args.full = true;
+    } else if (a.rfind("--reps=", 0) == 0) {
+      args.reps = std::atoi(a.c_str() + 7);
+    } else if (a.rfind("--steps=", 0) == 0) {
+      args.steps = std::atoi(a.c_str() + 8);
+    } else if (a.rfind("--seed=", 0) == 0) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(a.c_str() + 7));
+    } else if (a.rfind("--csv=", 0) == 0) {
+      args.csv = a.substr(6);
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "options: --quick | --full | --reps=N | --steps=N | "
+                   "--seed=N | --csv=PREFIX\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option '" << a << "' (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+void print_banner(const std::string& title, const std::string& paper_ref,
+                  const Args& args) {
+  std::cout << "== " << title << " ==\n";
+  std::cout << "reproduces: " << paper_ref << '\n';
+  std::cout << "fidelity: "
+            << (args.full ? "full" : (args.quick ? "quick" : "default"))
+            << " (seed " << args.seed << ")\n\n";
+}
+
+void Args::maybe_write_csv(const std::string& name,
+                           const stats::TextTable& table) const {
+  if (csv.empty()) {
+    return;
+  }
+  const std::string path = csv + name + ".csv";
+  std::ofstream out{path};
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return;
+  }
+  table.print_csv(out);
+  std::cout << "[csv] wrote " << path << '\n';
+}
+
+sim::JitterParams measurement_jitter() {
+  return sim::JitterParams{
+      .sigma = 0.015, .outlier_prob = 2e-7, .outlier_factor = 2000.0};
+}
+
+}  // namespace zc::bench

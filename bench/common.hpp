@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "zc/core/config.hpp"
+#include "zc/stats/repetition.hpp"
+#include "zc/stats/table.hpp"
+#include "zc/workloads/runner.hpp"
+
+namespace zc::bench {
+
+/// Shared command-line knobs for the reproduction harness binaries.
+///
+///   --quick        scale workloads down (~10x faster, coarser ratios)
+///   --full         paper fidelity (full step counts / repetitions)
+///   --reps=N       override repetition count
+///   --steps=N      override QMCPack MC step count
+///   --seed=N       base RNG seed
+///   --csv=PREFIX   additionally write results as PREFIX<name>.csv
+struct Args {
+  bool quick = false;
+  bool full = false;
+  int reps = -1;
+  int steps = -1;
+  std::uint64_t seed = 1;
+  std::string csv;
+
+  static Args parse(int argc, char** argv);
+
+  /// Write `table` to "<csv><name>.csv" when --csv was given.
+  void maybe_write_csv(const std::string& name,
+                       const stats::TextTable& table) const;
+
+  [[nodiscard]] int reps_or(int normal, int quick_value) const {
+    if (reps > 0) {
+      return reps;
+    }
+    return quick ? quick_value : normal;
+  }
+  [[nodiscard]] int steps_or(int normal, int quick_value,
+                             int full_value) const {
+    if (steps > 0) {
+      return steps;
+    }
+    if (full) {
+      return full_value;
+    }
+    return quick ? quick_value : normal;
+  }
+  /// Generic three-level scale helper.
+  [[nodiscard]] int level(int normal, int quick_value, int full_value) const {
+    if (full) {
+      return full_value;
+    }
+    return quick ? quick_value : normal;
+  }
+};
+
+/// The three zero-copy configurations in the paper's reporting order.
+inline constexpr std::array<omp::RuntimeConfig, 3> kZeroCopyConfigs{
+    omp::RuntimeConfig::ImplicitZeroCopy,
+    omp::RuntimeConfig::UnifiedSharedMemory,
+    omp::RuntimeConfig::EagerMaps,
+};
+
+/// Print the standard experiment banner.
+void print_banner(const std::string& title, const std::string& paper_ref,
+                  const Args& args);
+
+/// Jitter defaults matching the paper's measurement methodology: a small
+/// log-normal term plus rare large outliers (OS interference on syscalls).
+[[nodiscard]] sim::JitterParams measurement_jitter();
+
+}  // namespace zc::bench

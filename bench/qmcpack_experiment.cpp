@@ -1,0 +1,50 @@
+#include "qmcpack_experiment.hpp"
+
+namespace zc::bench {
+
+const stats::RepeatedRuns& QmcSweep::measure(int size, int threads,
+                                             omp::RuntimeConfig config) {
+  const Key key{size, threads, config};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  workloads::QmcpackParams params;
+  params.size = size;
+  params.threads = threads;
+  params.steps = steps_;
+  const workloads::Program program = workloads::make_qmcpack(params);
+  workloads::RunOptions options;
+  options.config = config;
+  options.jitter = jitter_;
+  // Decorrelate the seed streams of different cells.
+  options.seed = seed_ + 7919ULL * static_cast<std::uint64_t>(size) +
+                 104729ULL * static_cast<std::uint64_t>(threads) +
+                 1299709ULL * static_cast<std::uint64_t>(config);
+  auto [pos, inserted] =
+      cache_.emplace(key, workloads::repeat_program(program, options, reps_));
+  (void)inserted;
+  return pos->second;
+}
+
+double QmcSweep::ratio(int size, int threads, omp::RuntimeConfig config) {
+  const auto& copy = measure(size, threads, omp::RuntimeConfig::LegacyCopy);
+  const auto& other = measure(size, threads, config);
+  return stats::ratio_of_medians(copy, other);
+}
+
+double QmcSweep::cov(int size, int threads, omp::RuntimeConfig config) {
+  return measure(size, threads, config).cov();
+}
+
+double QmcSweep::max_cov(omp::RuntimeConfig config) const {
+  double worst = 0.0;
+  for (const auto& [key, runs] : cache_) {
+    if (std::get<2>(key) == config) {
+      worst = std::max(worst, runs.summary().cov());
+    }
+  }
+  return worst;
+}
+
+}  // namespace zc::bench

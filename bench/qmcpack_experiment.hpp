@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common.hpp"
+#include "zc/workloads/qmcpack.hpp"
+
+namespace zc::bench {
+
+/// Cached sweep over the QMCPack NiO proxy: (size, threads, config) ->
+/// repeated wall-time measurements. Shared by the Fig. 3 and Fig. 4
+/// harnesses and the supporting analyses.
+class QmcSweep {
+ public:
+  QmcSweep(int steps, int reps, sim::JitterParams jitter, std::uint64_t seed)
+      : steps_{steps}, reps_{reps}, jitter_{jitter}, seed_{seed} {}
+
+  /// Median wall times over `reps` runs, computed on demand and cached.
+  const stats::RepeatedRuns& measure(int size, int threads,
+                                     omp::RuntimeConfig config);
+
+  /// The paper's ratio: median(Copy) / median(config).
+  double ratio(int size, int threads, omp::RuntimeConfig config);
+
+  /// Coefficient of variation for one cell.
+  double cov(int size, int threads, omp::RuntimeConfig config);
+
+  /// Worst CoV for a config across all cells measured so far.
+  double max_cov(omp::RuntimeConfig config) const;
+
+  [[nodiscard]] int steps() const { return steps_; }
+  [[nodiscard]] int reps() const { return reps_; }
+
+ private:
+  using Key = std::tuple<int, int, omp::RuntimeConfig>;
+
+  int steps_;
+  int reps_;
+  sim::JitterParams jitter_;
+  std::uint64_t seed_;
+  std::map<Key, stats::RepeatedRuns> cache_;
+};
+
+}  // namespace zc::bench

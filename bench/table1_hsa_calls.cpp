@@ -1,0 +1,84 @@
+// Table I reproduction: HSA API call statistics for Legacy Copy and
+// Implicit Zero-Copy on the QMCPack NiO proxy, problem size S2, with 1 and
+// 8 OpenMP host threads. Reports call counts and the Copy/Implicit-Z-C
+// latency ratio for the calls the paper lists.
+
+#include "common.hpp"
+#include "zc/trace/compare.hpp"
+#include "zc/workloads/qmcpack.hpp"
+
+namespace {
+
+using zc::trace::HsaCall;
+
+const char* paper_use(HsaCall c) {
+  switch (c) {
+    case HsaCall::SignalWaitScacquire:
+      return "Kernel Completion";
+    case HsaCall::MemoryPoolAllocate:
+      return "Allocate device memory";
+    case HsaCall::MemoryAsyncCopy:
+      return "Memory copy";
+    case HsaCall::SignalAsyncHandler:
+      return "Memory copy";
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zc;
+  using omp::RuntimeConfig;
+
+  const bench::Args args = bench::Args::parse(argc, argv);
+  bench::print_banner(
+      "Table I — HSA call statistics, QMCPack NiO S2, 1 and 8 threads",
+      "Bertolli et al., SC'24, Table I", args);
+
+  // Full fidelity by default: the table reports absolute call counts.
+  const int steps = args.steps_or(3000, 300, 3000);
+  std::cout << "MC steps per run: " << steps << '\n';
+
+  for (const int threads : {1, 8}) {
+    workloads::QmcpackParams params;
+    params.size = 2;
+    params.threads = threads;
+    params.steps = steps;
+    const workloads::Program program = workloads::make_qmcpack(params);
+
+    const workloads::RunResult copy = workloads::run_program(
+        program, {.config = RuntimeConfig::LegacyCopy, .seed = args.seed});
+    const workloads::RunResult zc = workloads::run_program(
+        program, {.config = RuntimeConfig::ImplicitZeroCopy, .seed = args.seed});
+
+    std::cout << "\n--- " << threads << " OpenMP thread"
+              << (threads > 1 ? "s" : "") << " ---\n";
+    stats::TextTable table{{"ROCr/HSA Call", "Used for", "Copy #Calls",
+                            "Implicit Z-C #Calls", "Copy/* Latency Ratio"}};
+    for (const trace::CallComparison& row : trace::compare_calls(
+             copy.stats, zc.stats, trace::table_one_calls())) {
+      std::string ratio = "N/A";
+      if (row.ratio_defined()) {
+        const double r = row.latency_ratio();
+        ratio = r >= 10000.0 ? stats::TextTable::num(r, 0)
+                             : stats::TextTable::num(r, 2);
+      }
+      table.add_row({to_string(row.call), paper_use(row.call),
+                     stats::TextTable::count(row.baseline_calls),
+                     stats::TextTable::count(row.other_calls), ratio});
+    }
+    table.print(std::cout);
+    args.maybe_write_csv("table1_" + std::to_string(threads) + "threads", table);
+    std::cout << "total wall time: Copy " << copy.wall_time.to_string()
+              << ", Implicit Z-C " << zc.wall_time.to_string() << " (ratio "
+              << stats::TextTable::num(copy.wall_time / zc.wall_time) << ")\n";
+  }
+
+  std::cout << "\nExpected shape (paper, S2): Copy performs ~3x the waits, "
+               "~1000x the pool\nallocations, and ~100,000x the async copies "
+               "of Implicit Zero-Copy;\nzero-copy's few allocations/copies "
+               "all come from image load and per-thread init.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// The portability story of §IV-C: one binary, three deployments.
+//
+// An application optimized for discrete GPUs (careful maps, ahead-of-time
+// transfer) is deployed, unchanged, on:
+//   1. a discrete-GPU node                      -> Legacy Copy over PCIe
+//   2. a discrete-GPU node with OMPX_APU_MAPS=1 -> Implicit Zero-Copy*
+//   3. an MI300A APU (XNACK on)                 -> Implicit Zero-Copy,
+//                                                  selected automatically
+// (*) the opt-in of the paper's footnote 1, for unified-memory-capable
+// discrete GPUs.
+//
+// The same OpenMP program — no source changes — gets the zero-copy fast
+// path wherever the runtime detects it is safe.
+
+#include <cstdio>
+
+#include "zc/core/cost.hpp"
+#include "zc/core/host_array.hpp"
+#include "zc/core/offload_stack.hpp"
+
+using namespace zc;
+
+namespace {
+
+struct Deployment {
+  const char* label;
+  apu::MachineKind kind;
+  bool xnack;
+  bool apu_maps;
+};
+
+sim::Duration run_app(const Deployment& d) {
+  apu::Machine::Config mc;
+  mc.kind = d.kind;
+  mc.costs = d.kind == apu::MachineKind::ApuMi300a ? apu::mi300a_costs()
+                                                   : apu::discrete_gpu_costs();
+  mc.env.hsa_xnack = d.xnack;
+  mc.env.ompx_apu_maps = d.apu_maps;
+
+  omp::OffloadStack stack{std::move(mc), omp::ProgramBinary{"portable-app"}};
+  std::printf("  %-44s -> %s\n", d.label, to_string(stack.omp().config()));
+
+  stack.sched().run_single([&stack] {
+    omp::OffloadRuntime& rt = stack.omp();
+    constexpr std::size_t n = 16u << 20;  // 128 MB working set
+    omp::HostArray<double> field{rt, n, "field"};
+    field.first_touch();
+
+    // Ahead-of-time transfer (the discrete-GPU optimization), then a
+    // compute phase with small per-step update maps.
+    const std::vector<omp::MapEntry> data_region{field.tofrom()};
+    rt.target_data_begin(data_region);
+    omp::HostArray<double> update{rt, 1024, "update"};
+    update.first_touch();
+    for (int step = 0; step < 200; ++step) {
+      rt.target(omp::TargetRegion{
+          .name = "relax",
+          .maps = {omp::MapEntry::always_to(update.addr(), update.bytes())},
+          .uses = {omp::BufferUse{field.addr(), field.bytes(),
+                                  hsa::Access::ReadWrite}},
+          .compute =
+              omp::stream_kernel_cost(stack.machine(), n * sizeof(double)),
+          .body = {},
+      });
+    }
+    rt.target_data_end(data_region);
+    update.release();
+    field.release();
+  });
+  return stack.sched().horizon().since_start();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("One binary, three deployments (no source changes):\n\n");
+  const Deployment deployments[] = {
+      {"discrete GPU, XNACK off (classic)", apu::MachineKind::DiscreteGpu,
+       false, false},
+      {"discrete GPU, XNACK on + OMPX_APU_MAPS=1", apu::MachineKind::DiscreteGpu,
+       true, true},
+      {"MI300A APU, XNACK on (automatic)", apu::MachineKind::ApuMi300a, true,
+       false},
+  };
+  sim::Duration walls[3];
+  int i = 0;
+  for (const Deployment& d : deployments) {
+    walls[i++] = run_app(d);
+  }
+  std::printf("\n  %-44s %s\n", "discrete GPU (Copy over PCIe):",
+              walls[0].to_string().c_str());
+  std::printf("  %-44s %s\n", "discrete GPU (opt-in zero-copy):",
+              walls[1].to_string().c_str());
+  std::printf("  %-44s %s\n", "MI300A APU (automatic zero-copy):",
+              walls[2].to_string().c_str());
+  std::printf(
+      "\nThe maps tuned for the discrete GPU cost nothing on the APU — the\n"
+      "paper's conclusion: data-transfer optimizations do not have to be\n"
+      "removed when porting to MI300A.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Run the QMCPack NiO proxy once with chosen parameters and print a full
+// breakdown: wall time, HSA call statistics, overhead ledger, kernel
+// summary. The CLI mirrors how the paper's experiments were launched.
+//
+//   qmcpack_nio [--size=N] [--threads=N] [--steps=N] [--config=NAME]
+//               [--ktrace=FILE]
+//   config names: copy | usm | zerocopy | eager
+//   --ktrace writes a LIBOMPTARGET_KERNEL_TRACE-style per-launch CSV
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "zc/stats/table.hpp"
+#include "zc/workloads/qmcpack.hpp"
+
+using namespace zc;
+using omp::RuntimeConfig;
+
+namespace {
+
+RuntimeConfig parse_config(const std::string& name) {
+  if (name == "copy") {
+    return RuntimeConfig::LegacyCopy;
+  }
+  if (name == "usm") {
+    return RuntimeConfig::UnifiedSharedMemory;
+  }
+  if (name == "zerocopy" || name == "zc") {
+    return RuntimeConfig::ImplicitZeroCopy;
+  }
+  if (name == "eager") {
+    return RuntimeConfig::EagerMaps;
+  }
+  std::cerr << "unknown config '" << name
+            << "' (expected copy|usm|zerocopy|eager)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::QmcpackParams params;
+  RuntimeConfig config = RuntimeConfig::ImplicitZeroCopy;
+  std::string ktrace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--ktrace=", 0) == 0) {
+      ktrace_path = a.substr(9);
+    } else if (a.rfind("--size=", 0) == 0) {
+      params.size = std::atoi(a.c_str() + 7);
+    } else if (a.rfind("--threads=", 0) == 0) {
+      params.threads = std::atoi(a.c_str() + 10);
+    } else if (a.rfind("--steps=", 0) == 0) {
+      params.steps = std::atoi(a.c_str() + 8);
+    } else if (a.rfind("--config=", 0) == 0) {
+      config = parse_config(a.substr(9));
+    } else {
+      std::cerr << "usage: qmcpack_nio [--size=N] [--threads=N] [--steps=N] "
+                   "[--config=copy|usm|zerocopy|eager] [--ktrace=FILE]\n";
+      return 2;
+    }
+  }
+
+  std::printf("QMCPack NiO proxy: S%d, %d host thread(s), %d MC steps, %s\n\n",
+              params.size, params.threads, params.steps, to_string(config));
+
+  const workloads::RunResult r = workloads::run_program(
+      workloads::make_qmcpack(params),
+      {.config = config, .keep_kernel_records = !ktrace_path.empty()});
+
+  std::printf("wall time      : %s\n", r.wall_time.to_string().c_str());
+  std::printf("checksum       : %.6f\n", r.checksum);
+  std::printf("kernel launches: %llu (GPU time %s, fault stalls %s)\n",
+              static_cast<unsigned long long>(r.kernels.launches),
+              r.kernels.total_time.to_string().c_str(),
+              r.kernels.total_fault_stall.to_string().c_str());
+  std::printf("page faults    : %llu\n",
+              static_cast<unsigned long long>(r.kernels.total_page_faults));
+  std::printf("MM overhead    : %s (alloc %s, copy %s, prefault %s)\n",
+              r.ledger.mm().to_string().c_str(),
+              r.ledger.mm_alloc().to_string().c_str(),
+              r.ledger.mm_copy().to_string().c_str(),
+              r.ledger.mm_prefault().to_string().c_str());
+  std::printf("MI overhead    : %s\n\n", r.ledger.mi().to_string().c_str());
+
+  std::printf("HSA call statistics (rocprof-style):\n");
+  r.stats.write_csv(std::cout);
+
+  if (!ktrace_path.empty()) {
+    std::ofstream out{ktrace_path};
+    out << "name,thread,start_us,dur_us,compute_us,fault_us,tlb_us,faults\n";
+    for (const auto& rec : r.kernel_records) {
+      out << rec.name << ',' << rec.host_thread << ','
+          << rec.start.since_start().us() << ',' << rec.duration().us() << ','
+          << rec.compute.us() << ',' << rec.fault_stall.us() << ','
+          << rec.tlb_stall.us() << ',' << rec.page_faults << '\n';
+    }
+    std::printf("\nwrote kernel trace: %s (%zu launches)\n",
+                ktrace_path.c_str(), r.kernel_records.size());
+  }
+  return 0;
+}

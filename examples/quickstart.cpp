@@ -1,0 +1,121 @@
+// Quickstart: the paper's Fig. 2 program — `a[i] += b[i] * alpha` with a
+// declare-target global — run under all four runtime configurations.
+//
+// Demonstrates the core public API:
+//   * OffloadStack / OffloadRuntime construction and configuration selection
+//   * HostArray allocation and host initialization
+//   * map clauses (tofrom/to/always,to) and declare-target globals
+//   * a functional target-region body with argument translation
+//   * per-configuration telemetry (wall time, HSA call counts, overheads)
+
+#include <cstdio>
+
+#include "zc/core/cost.hpp"
+#include "zc/core/host_array.hpp"
+#include "zc/core/offload_stack.hpp"
+
+using namespace zc;
+using omp::RuntimeConfig;
+
+namespace {
+
+struct Outcome {
+  sim::Duration wall;
+  double a0 = 0.0;
+  double checksum = 0.0;
+  std::uint64_t copies = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t faults = 0;
+};
+
+Outcome run_fig2(RuntimeConfig config, std::size_t n) {
+  // The "binary": built with `#pragma omp declare target(alpha)`; the
+  // requires-USM flag is set when we ask for the USM configuration.
+  omp::ProgramBinary binary;
+  binary.name = "fig2-quickstart";
+  binary.globals.push_back(omp::GlobalVar{"alpha", sizeof(double)});
+
+  omp::OffloadStack stack{omp::OffloadStack::machine_config_for(config),
+                          omp::OffloadStack::program_for(config, binary)};
+
+  Outcome out;
+  stack.sched().run_single([&] {
+    omp::OffloadRuntime& rt = stack.omp();
+
+    // double* a = new double[N]; double* b = new double[N];
+    omp::HostArray<double> a{rt, n, "a"};
+    omp::HostArray<double> b{rt, n, "b"};
+
+    // FileInput(N, a, b, &alpha): host initialization.
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<double>(i);
+      b[i] = 1.0 / static_cast<double>(i + 1);
+    }
+    a.first_touch();
+    b.first_touch();
+    const mem::VirtAddr alpha = rt.global_host_addr("alpha");
+    *stack.memory().space().translate_as<double>(alpha) = 2.0;
+
+    // #pragma omp target teams loop map(tofrom: a[:N]) map(to: b[:N])
+    //                              map(always, to: alpha)
+    const mem::VirtAddr av = a.addr();
+    const mem::VirtAddr bv = b.addr();
+    omp::TargetRegion region{
+        .name = "fig2_saxpy",
+        .maps = {a.tofrom(), b.to(),
+                 omp::MapEntry::always_to(alpha, sizeof(double))},
+        .compute = omp::stream_kernel_cost(stack.machine(),
+                                           3 * n * sizeof(double)),
+        .body =
+            [av, bv, alpha, n](hsa::KernelContext& ctx,
+                               const omp::ArgTranslator& tr) {
+              double* ad = ctx.ptr<double>(tr.device(av));
+              const double* bd = ctx.ptr<double>(tr.device(bv));
+              const double al = *ctx.ptr<double>(tr.device(alpha));
+              for (std::size_t i = 0; i < n; ++i) {
+                ad[i] += bd[i] * al;
+              }
+            },
+    };
+    rt.target(region);
+
+    out.a0 = a[0];
+    for (std::size_t i = 0; i < n; ++i) {
+      out.checksum += a[i];
+    }
+    a.release();
+    b.release();
+  });
+
+  out.wall = stack.sched().horizon().since_start();
+  out.copies = stack.hsa().stats().count(trace::HsaCall::MemoryAsyncCopy);
+  out.allocs = stack.hsa().stats().count(trace::HsaCall::MemoryPoolAllocate);
+  out.faults = stack.hsa().kernel_trace().summary().total_page_faults;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t n = 8u << 20;  // 8M doubles = 64 MB per array
+
+  std::printf("Fig. 2 program (a[i] += b[i] * alpha, N = %zu) on MI300A\n\n", n);
+  std::printf("%-22s %12s %14s %8s %8s %8s\n", "configuration", "wall",
+              "checksum", "copies", "allocs", "faults");
+  for (const RuntimeConfig config :
+       {RuntimeConfig::LegacyCopy, RuntimeConfig::UnifiedSharedMemory,
+        RuntimeConfig::ImplicitZeroCopy, RuntimeConfig::EagerMaps}) {
+    const Outcome out = run_fig2(config, n);
+    std::printf("%-22s %12s %14.2f %8llu %8llu %8llu\n", to_string(config),
+                out.wall.to_string().c_str(), out.checksum,
+                static_cast<unsigned long long>(out.copies),
+                static_cast<unsigned long long>(out.allocs),
+                static_cast<unsigned long long>(out.faults));
+  }
+  std::printf(
+      "\nAll four configurations compute identical results (OpenMP data-\n"
+      "environment semantics); they differ only in how maps are realized:\n"
+      "Copy allocates and transfers, the zero-copy configurations share the\n"
+      "one HBM storage (faulting or prefaulting the GPU page table).\n");
+  return 0;
+}

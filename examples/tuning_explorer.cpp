@@ -1,0 +1,107 @@
+// Tuning explorer: which configuration wins for *your* application shape?
+//
+// The paper's lessons (§VI) reduce to two axes:
+//   * how much data management the application does per unit of kernel time
+//     (folding memory copies favours zero-copy), and
+//   * whether mapped buffers are fresh each time or reused (fresh buffers
+//     fault/prefault again and again; reused buffers fault once).
+//
+// This example sweeps a synthetic application over both axes and prints the
+// winning configuration per cell — a practical map of the paper's findings.
+
+#include <cstdio>
+
+#include "zc/core/cost.hpp"
+#include "zc/core/host_array.hpp"
+#include "zc/core/offload_stack.hpp"
+
+using namespace zc;
+using omp::RuntimeConfig;
+
+namespace {
+
+/// A synthetic app: per iteration, map `mapped_mb` of host data and run a
+/// kernel of duration `kernel`. `fresh_buffers` selects whether every
+/// iteration maps a newly allocated buffer (457.spC-style stack arrays) or
+/// re-maps the same one (403.stencil-style persistent grid).
+sim::Duration run_shape(RuntimeConfig config, int iterations, int mapped_mb,
+                        sim::Duration kernel, bool fresh_buffers) {
+  omp::OffloadStack stack{omp::OffloadStack::machine_config_for(config),
+                          omp::OffloadStack::program_for(config, {})};
+  stack.sched().run_single([&] {
+    omp::OffloadRuntime& rt = stack.omp();
+    const std::uint64_t bytes = static_cast<std::uint64_t>(mapped_mb) << 20;
+    mem::VirtAddr reused{};
+    if (!fresh_buffers) {
+      reused = rt.host_alloc(bytes, "shape-buf");
+      rt.host_first_touch(mem::AddrRange{reused, bytes});
+    }
+    for (int it = 0; it < iterations; ++it) {
+      mem::VirtAddr buf = reused;
+      if (fresh_buffers) {
+        buf = rt.host_alloc(bytes, "shape-buf");
+        rt.host_first_touch(mem::AddrRange{buf, bytes});
+      }
+      rt.target(omp::TargetRegion{
+          .name = "shape",
+          .maps = {omp::MapEntry::tofrom(buf, bytes)},
+          .compute = kernel,
+          .body = {},
+      });
+      if (fresh_buffers) {
+        rt.host_free(buf);
+      }
+    }
+    if (!fresh_buffers) {
+      rt.host_free(reused);
+    }
+  });
+  return stack.sched().horizon().since_start();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int iterations = 24;
+  const RuntimeConfig configs[] = {
+      RuntimeConfig::LegacyCopy,
+      RuntimeConfig::ImplicitZeroCopy,
+      RuntimeConfig::EagerMaps,
+  };
+  const char* short_names[] = {"Copy", "Z-C", "Eager"};
+
+  for (const bool fresh : {true, false}) {
+    std::printf("\n=== %s ===\n",
+                fresh ? "fresh buffer mapped every iteration (spC/bt shape)"
+                      : "one buffer re-mapped every iteration (stencil shape)");
+    std::printf("%-14s", "kernel \\ MB");
+    for (const int mb : {8, 64, 512, 2048}) {
+      std::printf(" %8d", mb);
+    }
+    std::printf("\n");
+    for (const int kernel_us : {100, 1000, 10000, 100000}) {
+      std::printf("%-12dus", kernel_us);
+      for (const int mb : {8, 64, 512, 2048}) {
+        sim::Duration best;
+        const char* winner = "?";
+        for (std::size_t c = 0; c < 3; ++c) {
+          const sim::Duration t =
+              run_shape(configs[c], iterations, mb,
+                        sim::Duration::from_us(kernel_us), fresh);
+          if (winner[0] == '?' || t < best) {
+            best = t;
+            winner = short_names[c];
+          }
+        }
+        std::printf(" %8s", winner);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nReading: fresh-buffer shapes are where Eager Maps shines (prefault\n"
+      "beats both per-page demand faults and Copy's realloc+transfer);\n"
+      "re-mapped persistent buffers fault once, so plain zero-copy wins —\n"
+      "unless kernels dominate, where everything converges (Fig. 4).\n");
+  return 0;
+}

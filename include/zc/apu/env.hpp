@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace zc::apu {
+
+/// The run environment knobs that steer configuration selection, mirroring
+/// the environment variables the paper describes:
+///
+///  * `HSA_XNACK`      — unified-memory (XNACK-replay) support enabled;
+///  * `OMPX_APU_MAPS`  — opt-in implicit zero-copy on discrete GPUs with
+///                        XNACK enabled (footnote 1 of the paper);
+///  * `OMPX_EAGER_ZERO_COPY_MAPS` — ask the runtime to prefault the GPU page
+///                        table on every map (the Eager Maps configuration);
+///  * THP              — transparent huge pages; the paper runs all
+///                        experiments with THP on so both Copy and zero-copy
+///                        work on 2 MB pages.
+struct RunEnvironment {
+  bool hsa_xnack = true;
+  bool ompx_apu_maps = false;
+  bool ompx_eager_maps = false;
+  bool transparent_huge_pages = true;
+
+  /// Page size implied by the THP setting: 2 MB when on, 4 KB when off.
+  [[nodiscard]] std::uint64_t page_bytes() const {
+    return transparent_huge_pages ? (2ULL << 20) : (4ULL << 10);
+  }
+
+  /// Parse from environment-variable-style key/value pairs; unknown keys are
+  /// ignored, values "1"/"true"/"on" (case-insensitive) enable a knob and
+  /// anything else disables it. Keys: HSA_XNACK, OMPX_APU_MAPS,
+  /// OMPX_EAGER_ZERO_COPY_MAPS, THP.
+  [[nodiscard]] static RunEnvironment from_env(
+      const std::map<std::string, std::string>& env);
+
+  /// Render as "HSA_XNACK=1 OMPX_APU_MAPS=0 ..." for logs and reports.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace zc::apu

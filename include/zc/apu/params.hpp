@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+
+#include "zc/sim/time.hpp"
+
+namespace zc::apu {
+
+/// Whether the modeled node is an APU (CPU+GPU on one socket sharing one
+/// physical HBM storage) or a classic discrete-GPU node with separate host
+/// and device memories behind a PCIe-style link.
+enum class MachineKind {
+  ApuMi300a,
+  DiscreteGpu,
+};
+
+[[nodiscard]] constexpr const char* to_string(MachineKind k) {
+  switch (k) {
+    case MachineKind::ApuMi300a:
+      return "MI300A APU";
+    case MachineKind::DiscreteGpu:
+      return "discrete GPU";
+  }
+  return "?";
+}
+
+/// Node topology: how many of each shared resource exists. A multi-socket
+/// APU card (§III-A of the paper) composes `sockets` identical sockets;
+/// each socket's GPU is a separate OpenMP device with its own kernel
+/// slots, SDMA engines, and driver instance, and can access the other
+/// socket's HBM at a penalty.
+struct Topology {
+  int sockets = 1;             ///< APU sockets on the card
+  int cpu_cores = 24;          ///< host cores per socket
+  int xcds = 6;                ///< accelerated compute dies per socket
+  int gpu_kernel_slots = 16;   ///< concurrent kernels per socket GPU
+  int sdma_engines = 2;        ///< async copy engines per socket
+  std::uint64_t hbm_bytes = 128ULL << 30;  ///< HBM capacity per socket
+};
+
+/// Cost model constants. Every modeled operation draws its duration from
+/// here; nothing in the runtime hard-codes a latency. The MI300A defaults
+/// are order-of-magnitude figures from public literature and the paper's
+/// own quantities (e.g. XNACK service dominated by 2 MB page migration,
+/// `svm_attributes_set` costing a syscall plus per-page insertion). The
+/// calibration of workload proxies against the paper's ratios lives with
+/// the workloads, not here.
+struct CostParams {
+  // -- data movement ----------------------------------------------------
+  /// Effective bandwidth of a blocking runtime DMA copy between two
+  /// locations of the same HBM storage (APU "HBM-to-HBM" copy), including
+  /// driver and runtime inefficiencies — far below raw HBM bandwidth.
+  double copy_bandwidth_bytes_per_s = 24e9;
+  /// Fixed CPU-side cost to submit one async copy.
+  sim::Duration copy_setup = sim::Duration::from_us(3.0);
+  /// Minimum on-engine time of any copy (command processing).
+  sim::Duration copy_min = sim::Duration::from_us(2.0);
+
+  // -- kernel execution --------------------------------------------------
+  /// CPU-side cost to build and enqueue one kernel dispatch packet.
+  sim::Duration kernel_dispatch_cpu = sim::Duration::from_us(1.5);
+  /// GPU-side fixed launch/teardown latency per kernel.
+  sim::Duration kernel_launch_latency = sim::Duration::from_us(3.0);
+  /// CPU-side fixed overhead of one completion-signal wait call.
+  sim::Duration signal_wait_overhead = sim::Duration::from_us(0.4);
+  /// OpenMP runtime bookkeeping per map entry (present-table lookup etc.).
+  sim::Duration map_bookkeeping = sim::Duration::from_us(0.25);
+  /// GPU streaming bandwidth used by the kernel cost model.
+  double gpu_stream_bandwidth_bytes_per_s = 2.6e12;
+  /// Multiplier on kernel compute time when the process runs with XNACK
+  /// enabled (HSA_XNACK=1): retry-capable code generation and fault-capable
+  /// memory paths cost a small, uniform percentage.
+  double xnack_kernel_slowdown = 1.02;
+
+  // -- memory allocation -------------------------------------------------
+  /// Fixed cost of a ROCr memory-pool allocation (driver round trip).
+  sim::Duration pool_alloc_base = sim::Duration::from_us(12.0);
+  /// Per-page cost of creating (allocating, zeroing) and bulk-mapping one
+  /// page on the efficient driver paths: ROCr pool allocation and host
+  /// prefault of not-yet-resident memory. Bulk population is the paper's
+  /// "GPU TLB Bulk Page Faulting" lesson — an order of magnitude cheaper
+  /// than the page-by-page demand-fault path, but still the dominant cost
+  /// of GB-scale allocations.
+  sim::Duration bulk_page_populate = sim::Duration::from_us(100.0);
+  /// Fixed cost of freeing a pool allocation...
+  sim::Duration pool_free_base = sim::Duration::from_us(6.0);
+  /// ...plus per-page teardown (unmap, TLB shootdown).
+  sim::Duration pool_free_per_page = sim::Duration::from_us(10.0);
+  /// Cost of an OS allocation (mmap); pages are created lazily.
+  sim::Duration os_alloc_base = sim::Duration::from_us(1.5);
+  /// Cost of an OS free.
+  sim::Duration os_free_base = sim::Duration::from_us(1.0);
+  /// CPU first-touch cost per page (page zeroing at host streaming rate).
+  sim::Duration host_touch_per_page_2mb = sim::Duration::from_us(5.0);
+
+  // -- unified-memory protocols -------------------------------------------
+  /// Cost of servicing one GPU page fault via XNACK-replay when the page is
+  /// already resident in host memory (interrupt, host page-table walk, GPU
+  /// page-table/TLB update).
+  sim::Duration xnack_fault_resident = sim::Duration::from_us(10.0);
+  /// Added when the faulting page is not yet CPU-resident: the demand-fault
+  /// path must allocate and zero the page, one interrupt-driven page at a
+  /// time, before it can be mapped. This is what makes GPU-side first-touch
+  /// initialization of OS-allocated memory (the paper's 452.ep pattern) so
+  /// much slower than bulk population.
+  sim::Duration page_materialize = sim::Duration::from_us(900.0);
+  /// Base cost of one host-issued `svm_attributes_set` prefault syscall.
+  sim::Duration prefault_syscall_base = sim::Duration::from_us(1.2);
+  /// Added per CPU-resident page newly inserted into the GPU page table by
+  /// a prefault (mapping only; the page already exists).
+  sim::Duration prefault_insert_per_page = sim::Duration::from_us(9.0);
+  /// Added per prefaulted page that was NOT yet CPU-resident: the prefetch
+  /// path creates it in bulk — cheaper than a pool allocation's full
+  /// bookkeeping, and far cheaper than demand materialization.
+  sim::Duration prefault_populate_per_page = sim::Duration::from_us(40.0);
+  /// Added per already-present page a prefault merely verifies.
+  sim::Duration prefault_check_per_page = sim::Duration::from_us(0.05);
+
+  // -- GPU TLB -------------------------------------------------------------
+  /// Translation entries the GPU TLB holds (per 2 MB translation).
+  std::uint32_t tlb_entries = 4096;
+  /// Cost of one page-table walk on a TLB miss (page already present).
+  sim::Duration tlb_walk = sim::Duration::from_us(0.12);
+
+  // -- multi-socket (NUMA) --------------------------------------------------
+  /// Kernel-compute multiplier when a kernel's data is homed on another
+  /// socket's HBM (cross-socket fabric bandwidth/latency penalty).
+  double remote_memory_penalty = 1.6;
+  /// Bandwidth factor for DMA copies that cross the socket fabric.
+  double remote_copy_bandwidth_factor = 0.55;
+
+  // -- discrete-GPU specifics (MachineKind::DiscreteGpu only) --------------
+  /// Host<->device link bandwidth (PCIe-style) for discrete nodes.
+  double pcie_bandwidth_bytes_per_s = 12e9;
+};
+
+/// MI300A-flavoured defaults.
+[[nodiscard]] CostParams mi300a_costs();
+
+/// Discrete-GPU-flavoured defaults: copies cross a PCIe-style link and
+/// device allocations live in dedicated VRAM.
+[[nodiscard]] CostParams discrete_gpu_costs();
+
+}  // namespace zc::apu

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "zc/apu/env.hpp"
+#include "zc/apu/params.hpp"
+
+namespace zc::omp {
+
+/// The four runtime configurations the paper studies (§IV). All are
+/// equivalent from an OpenMP semantics viewpoint; they differ in how the
+/// runtime realizes data environments on the machine.
+enum class RuntimeConfig {
+  /// Map = device pool allocation + DMA copies (discrete-GPU behaviour,
+  /// runs unchanged on the APU; copies become HBM-to-HBM).
+  LegacyCopy,
+  /// Program built with `#pragma omp requires unified_shared_memory`:
+  /// maps are no-ops, kernels receive host pointers, globals are accessed
+  /// through double indirection. Requires unified-memory (XNACK) support.
+  UnifiedSharedMemory,
+  /// Same zero-copy behaviour selected automatically by the runtime on an
+  /// APU with XNACK enabled (or opted into on discrete GPUs with
+  /// OMPX_APU_MAPS=1), for programs NOT built with the requires pragma.
+  /// Globals keep the Copy behaviour (device copy + transfers on map).
+  ImplicitZeroCopy,
+  /// Implicit zero-copy plus a GPU page-table prefault on every map
+  /// (`svm_attributes_set`), trading a host syscall per map for fault-free
+  /// first-touch kernels. Does not require XNACK.
+  EagerMaps,
+};
+
+[[nodiscard]] constexpr const char* to_string(RuntimeConfig c) {
+  switch (c) {
+    case RuntimeConfig::LegacyCopy:
+      return "Legacy Copy";
+    case RuntimeConfig::UnifiedSharedMemory:
+      return "Unified Shared Memory";
+    case RuntimeConfig::ImplicitZeroCopy:
+      return "Implicit Zero-Copy";
+    case RuntimeConfig::EagerMaps:
+      return "Eager Maps";
+  }
+  return "?";
+}
+
+/// True for the three configurations that pass host pointers to kernels.
+[[nodiscard]] constexpr bool is_zero_copy(RuntimeConfig c) {
+  return c != RuntimeConfig::LegacyCopy;
+}
+
+/// True for the configurations that keep separate device copies of
+/// declare-target globals and transfer them on map (§IV-C: everything
+/// except Unified Shared Memory's double indirection).
+[[nodiscard]] constexpr bool globals_use_device_copy(RuntimeConfig c) {
+  return c != RuntimeConfig::UnifiedSharedMemory;
+}
+
+/// Raised when the deployment environment cannot satisfy the program's
+/// requirements (e.g. `requires unified_shared_memory` without XNACK).
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The automatic configuration-selection logic the paper contributes
+/// (§IV-B/C/D, including footnote 1):
+///
+///  1. a program built with `requires unified_shared_memory` always runs as
+///     Unified Shared Memory and demands XNACK — it cannot fall back;
+///  2. otherwise, `OMPX_EAGER_ZERO_COPY_MAPS=1` on an APU selects Eager
+///     Maps (works with XNACK on or off);
+///  3. otherwise, an APU with XNACK enabled — or a discrete GPU with both
+///     `OMPX_APU_MAPS=1` and XNACK — selects Implicit Zero-Copy;
+///  4. otherwise the runtime behaves as on discrete GPUs: Legacy Copy.
+[[nodiscard]] RuntimeConfig resolve_config(apu::MachineKind kind,
+                                           const apu::RunEnvironment& env,
+                                           bool requires_usm);
+
+}  // namespace zc::omp

@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "zc/core/config.hpp"
+#include "zc/core/mapping.hpp"
+#include "zc/core/program.hpp"
+#include "zc/core/target_region.hpp"
+#include "zc/hsa/runtime.hpp"
+
+namespace zc::omp {
+
+/// Raised for OpenMP mapping-semantics violations (e.g. a Legacy Copy
+/// kernel referencing memory no enclosing construct mapped).
+class MappingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Handle for an `omp target ... nowait` region: the kernel is in flight;
+/// `OffloadRuntime::target_wait` completes it (wait + data-end). A task
+/// must be waited exactly once before destruction of the runtime.
+class TargetTask {
+ public:
+  TargetTask() = default;
+
+  [[nodiscard]] bool valid() const { return !maps_.empty() || kernel_named_; }
+  [[nodiscard]] bool completed() const { return completed_; }
+
+ private:
+  friend class OffloadRuntime;
+  hsa::Signal signal_;
+  std::vector<MapEntry> maps_;
+  int device_ = 0;
+  bool kernel_named_ = false;
+  bool completed_ = false;
+};
+
+/// The OpenMP target-offloading runtime — the system the paper studies.
+///
+/// One instance models `libomptarget` for one application process on one
+/// device. At construction the runtime resolves which of the four
+/// configurations applies (see `resolve_config`); all data-management
+/// behaviour then flows from that choice:
+///
+///  * **Legacy Copy** — maps allocate ROCr pool memory, transfer data over
+///    the SDMA engines, and reference-count the present table; kernels
+///    receive translated device pointers.
+///  * **Unified Shared Memory** — maps are no-ops; kernels receive host
+///    pointers; declare-target globals resolve through double indirection
+///    to host storage.
+///  * **Implicit Zero-Copy** — like USM for mapped data, but declare-target
+///    globals keep their per-image device copies and are synchronized by
+///    DMA when mapped (§IV-C).
+///  * **Eager Maps** — Implicit Zero-Copy plus a `svm_attributes_set`
+///    GPU-page-table prefault on *every* map operation (§IV-D).
+///
+/// Image load (GPU code objects, runtime support structures, device copies
+/// of globals) happens lazily on the first runtime call, and each host
+/// thread pays a one-time initialization on its first call — mirroring the
+/// initialization traffic visible in the paper's Table I.
+class OffloadRuntime {
+ public:
+  OffloadRuntime(hsa::Runtime& hsa, ProgramBinary program);
+
+  [[nodiscard]] RuntimeConfig config() const { return config_; }
+  [[nodiscard]] bool zero_copy() const { return is_zero_copy(config_); }
+  [[nodiscard]] const ProgramBinary& program() const { return program_; }
+
+  /// Number of OpenMP devices (APU sockets) visible to this process.
+  [[nodiscard]] int device_count() const;
+
+  /// --- host-side memory (timed helpers for workload code) ---------------
+  /// `home_socket` is the NUMA placement of the allocation (the socket of
+  /// the thread that will first-touch it).
+  mem::VirtAddr host_alloc(std::uint64_t bytes, std::string name,
+                           int home_socket = 0);
+  void host_free(mem::VirtAddr base);
+  /// CPU first touch of the range (page materialization cost).
+  void host_first_touch(mem::AddrRange range);
+
+  /// Host storage address of a declare-target global.
+  [[nodiscard]] mem::VirtAddr global_host_addr(const std::string& name);
+
+  /// --- OpenMP data API (all constructs accept a device number) -----------
+  void target_data_begin(std::span<const MapEntry> maps, int device = 0);
+  void target_data_end(std::span<const MapEntry> maps, int device = 0);
+
+  /// Unstructured data mapping: `omp target enter data` / `exit data`.
+  /// Enter accepts to/tofrom/alloc entries; exit additionally accepts
+  /// `release` (decrement, no transfer) and `delete` (drop regardless of
+  /// reference count).
+  void target_enter_data(std::span<const MapEntry> maps, int device = 0);
+  void target_exit_data(std::span<const MapEntry> maps, int device = 0);
+
+  /// `omp target update to/from(...)` for already-mapped data.
+  void target_update_to(const MapEntry& entry, int device = 0);
+  void target_update_from(const MapEntry& entry, int device = 0);
+
+  /// Execute an `omp target` region synchronously: implicit
+  /// target_data_begin(maps), kernel launch + wait, target_data_end(maps).
+  void target(const TargetRegion& region);
+
+  /// `omp target ... nowait`: maps are entered and the kernel dispatched,
+  /// but the calling thread does not wait; complete with `target_wait`.
+  /// `depends` models OpenMP task dependences: the kernel does not start
+  /// on the GPU before every listed task's kernel has completed (the host
+  /// thread still returns immediately).
+  [[nodiscard]] TargetTask target_nowait(
+      const TargetRegion& region, std::span<const TargetTask*> depends = {});
+  /// Wait for the kernel of a nowait target and run its data-end phase.
+  void target_wait(TargetTask& task);
+
+  /// --- device-pointer API (`omp_target_alloc` family) ---------------------
+  /// Explicit device allocation. NOTE: this is the HIP-device-library path
+  /// the paper warns about — the pool allocation happens in *every*
+  /// configuration, so code using it forfeits the zero-copy benefit (the
+  /// reason the paper builds QMCPack without the HIP device library).
+  mem::VirtAddr device_alloc(std::uint64_t bytes, std::string name,
+                             int device = 0);
+  void device_free(mem::VirtAddr ptr);
+  /// `omp_target_memcpy`: blocking DMA copy between any two simulated
+  /// addresses (host or device).
+  void target_memcpy(mem::VirtAddr dst, mem::VirtAddr src,
+                     std::uint64_t bytes);
+
+  /// --- introspection -------------------------------------------------------
+  [[nodiscard]] const PresentTable& present_table(int device = 0) const {
+    return tables_.at(static_cast<std::size_t>(device));
+  }
+  [[nodiscard]] hsa::Runtime& hsa() { return hsa_; }
+  [[nodiscard]] bool image_loaded() const { return image_loaded_; }
+
+  /// Number of pool allocations modeled for image load and per-thread
+  /// initialization (chosen to echo the initialization call counts visible
+  /// in the paper's Table I).
+  static constexpr int kImageLoadAllocs = 9;
+  static constexpr int kImageLoadCopies = 3;
+  static constexpr int kThreadInitAllocs = 10;
+
+ private:
+  void ensure_initialized();
+  void load_image();
+
+  /// Reject map lists with overlapping entries (OpenMP restriction).
+  static void check_distinct(std::span<const MapEntry> maps);
+
+  void check_device(int device) const;
+
+  /// Map semantics for one entry on region/data-begin; h2d copy signals are
+  /// appended to `copies`.
+  void begin_one(const MapEntry& entry, int device,
+                 std::vector<hsa::Signal>& copies);
+  /// First pass of data-end: issue d2h copies.
+  void end_copy_one(const MapEntry& entry, int device,
+                    std::vector<hsa::Signal>& copies);
+  /// Second pass of data-end: decrement refcounts, free device storage.
+  void end_release_one(const MapEntry& entry, int device);
+
+  /// Whether this entry's data is handled Copy-style (device copy + DMA):
+  /// always under Legacy Copy; only globals under Implicit Z-C/Eager Maps;
+  /// never under USM.
+  [[nodiscard]] bool copy_managed(const MapEntry& entry) const;
+  [[nodiscard]] bool is_global_addr(mem::VirtAddr a) const;
+
+  void wait_all(std::vector<hsa::Signal>& sigs);
+
+  hsa::Runtime& hsa_;
+  ProgramBinary program_;
+  RuntimeConfig config_;
+  std::vector<PresentTable> tables_;  // one per device
+  /// Serializes mapping-table transactions (lookup + allocate + insert or
+  /// decrement + free + erase) across host threads — the libomptarget
+  /// per-process mapping lock. Zero-copy paths never take it.
+  sim::Mutex table_mutex_;
+  bool image_load_started_ = false;
+  bool image_loaded_ = false;
+  sim::Latch image_latch_;  // set once the image is fully loaded
+  std::unordered_set<int> initialized_threads_;
+  std::unordered_map<std::string, mem::VirtAddr> global_host_;
+  std::vector<mem::AddrRange> global_ranges_;
+  std::vector<mem::VirtAddr> image_allocs_;
+};
+
+}  // namespace zc::omp

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "zc/apu/machine.hpp"
+#include "zc/core/offload_runtime.hpp"
+#include "zc/core/program.hpp"
+#include "zc/hsa/runtime.hpp"
+#include "zc/mem/memory_system.hpp"
+
+namespace zc::omp {
+
+/// The full simulated software stack for one application run:
+/// machine -> memory system -> HSA runtime -> OpenMP offload runtime.
+///
+/// Non-copyable and non-movable (the layers hold references to each other);
+/// construct one per run.
+class OffloadStack {
+ public:
+  OffloadStack(apu::Machine::Config machine_config, ProgramBinary program)
+      : machine_{std::move(machine_config)},
+        memory_{machine_},
+        hsa_{machine_, memory_},
+        omp_{hsa_, std::move(program)} {}
+
+  OffloadStack(const OffloadStack&) = delete;
+  OffloadStack& operator=(const OffloadStack&) = delete;
+
+  /// Build a stack whose environment makes `resolve_config` pick `config`
+  /// on an MI300A machine:
+  ///  * Legacy Copy           — HSA_XNACK=0
+  ///  * Unified Shared Memory — HSA_XNACK=1 and a USM-built binary
+  ///  * Implicit Zero-Copy    — HSA_XNACK=1
+  ///  * Eager Maps            — OMPX_EAGER_ZERO_COPY_MAPS=1 (XNACK on)
+  [[nodiscard]] static apu::Machine::Config machine_config_for(
+      RuntimeConfig config, sim::JitterParams jitter = {},
+      std::uint64_t seed = 1);
+
+  /// Adjust `program.requires_unified_shared_memory` to match `config`.
+  [[nodiscard]] static ProgramBinary program_for(RuntimeConfig config,
+                                                 ProgramBinary program);
+
+  [[nodiscard]] apu::Machine& machine() { return machine_; }
+  [[nodiscard]] mem::MemorySystem& memory() { return memory_; }
+  [[nodiscard]] hsa::Runtime& hsa() { return hsa_; }
+  [[nodiscard]] OffloadRuntime& omp() { return omp_; }
+  [[nodiscard]] sim::Scheduler& sched() { return machine_.sched(); }
+
+ private:
+  apu::Machine machine_;
+  mem::MemorySystem memory_;
+  hsa::Runtime hsa_;
+  OffloadRuntime omp_;
+};
+
+}  // namespace zc::omp

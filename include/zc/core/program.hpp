@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zc::omp {
+
+/// A `#pragma omp declare target` global variable as the compiler baked it
+/// into the binary: its name and size. The runtime materializes host
+/// storage at image load; whether the device gets its own copy or a pointer
+/// back to host storage depends on the configuration (§IV-B vs §IV-C).
+struct GlobalVar {
+  std::string name;
+  std::uint64_t bytes = 0;
+};
+
+/// Compiler-produced properties of the application binary that steer the
+/// runtime: the `requires unified_shared_memory` flag and the declare-target
+/// global table. (An application cannot change these at run time — the
+/// paper stresses that USM-built binaries are less portable for exactly
+/// this reason.)
+struct ProgramBinary {
+  std::string name = "a.out";
+  bool requires_unified_shared_memory = false;
+  std::vector<GlobalVar> globals;
+};
+
+}  // namespace zc::omp

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "zc/core/mapping.hpp"
+#include "zc/hsa/kernel.hpp"
+#include "zc/sim/time.hpp"
+
+namespace zc::omp {
+
+/// Translates the host addresses a target-region body was written against
+/// into the device addresses the kernel actually receives: the present-
+/// table mapping for Copy-managed data, identity for zero-copy data and
+/// for raw device pointers (`omp_target_alloc` memory used via
+/// `is_device_ptr`).
+class ArgTranslator {
+ public:
+  ArgTranslator(const PresentTable& table, bool zero_copy_default,
+                const mem::AddressSpace* space = nullptr)
+      : table_{&table}, space_{space}, zero_copy_default_{zero_copy_default} {}
+
+  /// Device address for a host address. Under Legacy Copy an unmapped host
+  /// address is a program error (throws std::invalid_argument) — exactly
+  /// the failure a discrete GPU would produce.
+  [[nodiscard]] mem::VirtAddr device(mem::VirtAddr host) const;
+
+  /// Convenience for typed offsets.
+  [[nodiscard]] mem::VirtAddr device(mem::VirtAddr host,
+                                     std::uint64_t byte_offset) const {
+    return device(host) + byte_offset;
+  }
+
+ private:
+  const PresentTable* table_;
+  const mem::AddressSpace* space_;
+  bool zero_copy_default_;
+};
+
+/// A buffer the kernel accesses that is mapped by an *enclosing* data
+/// region rather than a map clause on the target construct itself (the
+/// "target data + bare target" OpenMP pattern). No mapping operation is
+/// performed for it — in particular, Eager Maps issues no prefault — but it
+/// participates in fault/TLB accounting and argument translation.
+struct BufferUse {
+  mem::VirtAddr addr;
+  std::uint64_t bytes = 0;
+  hsa::Access access = hsa::Access::ReadWrite;
+};
+
+/// An `omp target` construct: map clauses, buffers used from enclosing data
+/// environments, a modeled compute time, and an optional functional body
+/// that receives translated device pointers.
+struct TargetRegion {
+  std::string name;
+  std::vector<MapEntry> maps;
+  std::vector<BufferUse> uses;
+  sim::Duration compute;
+  std::function<void(hsa::KernelContext&, const ArgTranslator&)> body;
+  /// OpenMP device number (socket) the region offloads to.
+  int device = 0;
+};
+
+}  // namespace zc::omp

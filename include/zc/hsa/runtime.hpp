@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "zc/apu/machine.hpp"
+#include "zc/hsa/kernel.hpp"
+#include "zc/hsa/signal.hpp"
+#include "zc/mem/memory_system.hpp"
+#include "zc/trace/call_stats.hpp"
+#include "zc/trace/call_trace.hpp"
+#include "zc/trace/kernel_trace.hpp"
+#include "zc/trace/overhead_ledger.hpp"
+
+namespace zc::hsa {
+
+/// Raised when the GPU touches memory it cannot translate and XNACK-replay
+/// is disabled — on real hardware, a fatal memory violation.
+class GpuMemoryFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The simulated ROCr/HSA runtime: the API surface the OpenMP offload
+/// runtime is written against, instrumented like `rocprof --hsa-trace`.
+///
+/// Every public method is called from a virtual host thread, advances that
+/// thread's clock by the CPU-side cost of the call, places device-side work
+/// on the machine's resource timelines (GPU kernel slots, SDMA engines,
+/// driver lock), and records its call count and attributed latency in
+/// `CallStats`. The memory-state consequences (page tables, TLB) go through
+/// `mem::MemorySystem`.
+class Runtime {
+ public:
+  Runtime(apu::Machine& machine, mem::MemorySystem& mem);
+
+  /// --- signals -----------------------------------------------------------
+  [[nodiscard]] Signal signal_create();
+
+  /// Block until `s` completes; charged the blocked time.
+  void signal_wait_scacquire(Signal s);
+
+  /// --- memory ------------------------------------------------------------
+  /// Allocate "device" memory from the ROCr pool. On an APU the driver
+  /// fulfills this from the single HBM storage and bulk-prefaults the GPU
+  /// page table (XNACK-disabled semantics): the whole range is GPU-
+  /// translatable on return. `count_in_ledger=false` exempts one-time
+  /// image-load/init work from the Table III steady-state MM accounting
+  /// (call statistics always record).
+  mem::VirtAddr memory_pool_allocate(std::uint64_t bytes, std::string name,
+                                     bool count_in_ledger = true,
+                                     int device = 0);
+
+  void memory_pool_free(mem::VirtAddr base);
+
+  /// Submit an async DMA copy; the returned signal completes when the SDMA
+  /// engine finishes. The byte transfer is performed functionally at submit
+  /// time (program order on the issuing thread preserves dataflow).
+  /// `with_handler` models registering a host completion callback
+  /// (`signal_async_handler`), as the OpenMP Copy configuration does for
+  /// device-to-host transfers.
+  Signal memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
+                           std::uint64_t bytes, bool with_handler = false,
+                           bool count_in_ledger = true, int device = 0);
+
+  /// Host-issued GPU page-table prefault (`svm_attributes_set`): a syscall
+  /// serialized on the driver lock; newly inserted pages pay the insert
+  /// cost, already-present pages only a verification.
+  mem::PrefaultOutcome svm_attributes_set_prefault(mem::AddrRange range,
+                                                   int device = 0);
+
+  /// --- kernels -----------------------------------------------------------
+  /// Dispatch a kernel. Fault accounting depends on the run environment:
+  /// with XNACK enabled, absent pages of OS-allocated buffers are faulted
+  /// in page-by-page while the kernel runs (stall added to its duration and
+  /// serialized on the driver); with XNACK disabled, touching an absent
+  /// page throws GpuMemoryFault. `not_before` delays the GPU-side start
+  /// (dependence on earlier asynchronous work) without blocking the host.
+  Signal dispatch_kernel(const KernelLaunch& launch, int host_thread = 0,
+                         sim::TimePoint not_before = sim::TimePoint::zero());
+
+  /// Dispatch and immediately wait (synchronous kernel execution).
+  void run_kernel(const KernelLaunch& launch, int host_thread = 0);
+
+  /// --- state & instrumentation -------------------------------------------
+  [[nodiscard]] apu::Machine& machine() { return machine_; }
+  [[nodiscard]] mem::MemorySystem& memory() { return mem_; }
+  [[nodiscard]] trace::CallStats& stats() { return stats_; }
+  [[nodiscard]] const trace::CallStats& stats() const { return stats_; }
+  [[nodiscard]] trace::KernelTrace& kernel_trace() { return ktrace_; }
+  /// Per-call timeline trace (opt-in; aggregate stats are always on).
+  [[nodiscard]] trace::CallTrace& call_trace() { return ctrace_; }
+  [[nodiscard]] trace::OverheadLedger& ledger() { return ledger_; }
+
+ private:
+  [[nodiscard]] sim::Scheduler& sched() { return machine_.sched(); }
+
+  /// Record into the aggregate stats and (when enabled) the call trace.
+  void record_call(trace::HsaCall call, sim::TimePoint start,
+                   sim::Duration latency);
+
+  apu::Machine& machine_;
+  mem::MemorySystem& mem_;
+  trace::CallStats stats_;
+  trace::CallTrace ctrace_;
+  trace::KernelTrace ktrace_;
+  trace::OverheadLedger ledger_;
+};
+
+}  // namespace zc::hsa

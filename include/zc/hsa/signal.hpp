@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "zc/sim/scheduler.hpp"
+#include "zc/sim/time.hpp"
+
+namespace zc::hsa {
+
+/// Completion signal for asynchronous device operations.
+///
+/// In the simulator an async operation's completion time is computed
+/// analytically when it is submitted, so a signal usually just carries that
+/// timestamp; waiting advances the waiter's clock. A signal can also be
+/// awaited before any operation has been bound to it (cross-thread
+/// synchronization), in which case the waiter blocks until `complete()` is
+/// called.
+///
+/// Handles are cheap shared references; copying a `Signal` shares state.
+class Signal {
+ public:
+  Signal() : state_{std::make_shared<State>()} {}
+
+  /// Mark complete at virtual time `t` and wake blocked waiters.
+  void complete(sim::Scheduler& sched, sim::TimePoint t) {
+    state_->complete_at = t;
+    state_->waiters.notify_all(sched, t);
+  }
+
+  [[nodiscard]] bool is_complete() const {
+    return state_->complete_at.has_value();
+  }
+  [[nodiscard]] sim::TimePoint complete_at() const {
+    return state_->complete_at.value();
+  }
+
+  /// Block/advance the current thread until completion; returns the time
+  /// the caller spent blocked.
+  sim::Duration wait(sim::Scheduler& sched) {
+    const sim::TimePoint before = sched.now();
+    if (!state_->complete_at.has_value()) {
+      state_->waiters.wait(sched);
+    }
+    sched.advance_to(*state_->complete_at);
+    return sched.now() - before;
+  }
+
+ private:
+  struct State {
+    std::optional<sim::TimePoint> complete_at;
+    sim::WaitList waiters;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace zc::hsa

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace zc::mem {
+
+/// A simulated virtual address.
+///
+/// Every allocation in the simulation (host `malloc`/`mmap` memory as well
+/// as ROCr "device" pool memory) receives a range of simulated virtual
+/// addresses. Simulated addresses are what flows through the OpenMP mapping
+/// tables and kernel arguments — exactly as real pointers do in the real
+/// runtime — while each allocation also carries real backing storage so
+/// kernels can execute functionally.
+struct VirtAddr {
+  std::uint64_t value = 0;
+
+  [[nodiscard]] static constexpr VirtAddr null() { return VirtAddr{0}; }
+  [[nodiscard]] constexpr bool is_null() const { return value == 0; }
+
+  friend constexpr auto operator<=>(VirtAddr, VirtAddr) = default;
+
+  [[nodiscard]] friend constexpr VirtAddr operator+(VirtAddr a,
+                                                    std::uint64_t off) {
+    return VirtAddr{a.value + off};
+  }
+  [[nodiscard]] friend constexpr std::uint64_t operator-(VirtAddr a,
+                                                         VirtAddr b) {
+    return a.value - b.value;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// What kind of storage an allocation models.
+enum class MemKind {
+  HostOs,      ///< OS allocator (malloc/mmap/stack); XNACK territory
+  DevicePool,  ///< ROCr memory-pool allocation ("device" memory)
+};
+
+[[nodiscard]] constexpr const char* to_string(MemKind k) {
+  switch (k) {
+    case MemKind::HostOs:
+      return "host-os";
+    case MemKind::DevicePool:
+      return "device-pool";
+  }
+  return "?";
+}
+
+/// A half-open byte range of simulated virtual addresses.
+struct AddrRange {
+  VirtAddr base;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] VirtAddr end() const { return base + bytes; }
+  [[nodiscard]] bool empty() const { return bytes == 0; }
+  [[nodiscard]] bool contains(VirtAddr a) const {
+    return a >= base && a < end();
+  }
+
+  /// Index of the first page overlapped by the range.
+  [[nodiscard]] std::uint64_t first_page(std::uint64_t page_bytes) const {
+    return base.value / page_bytes;
+  }
+  /// One past the index of the last page overlapped by the range.
+  [[nodiscard]] std::uint64_t end_page(std::uint64_t page_bytes) const {
+    if (bytes == 0) {
+      return first_page(page_bytes);
+    }
+    return (base.value + bytes + page_bytes - 1) / page_bytes;
+  }
+  /// Number of pages the range overlaps.
+  [[nodiscard]] std::uint64_t page_count(std::uint64_t page_bytes) const {
+    return end_page(page_bytes) - first_page(page_bytes);
+  }
+};
+
+}  // namespace zc::mem

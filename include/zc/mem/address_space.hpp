@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "zc/mem/address.hpp"
+
+namespace zc::mem {
+
+/// One live allocation: simulated address range plus real backing bytes.
+///
+/// Backing storage is created lazily on first functional access, so
+/// GB-scale simulated buffers that are only ever *timed* (never computed
+/// on) cost no real memory. An unmaterialized allocation reads as all
+/// zeros, which the copy machinery exploits (copying zeros onto zeros is
+/// skipped).
+class Allocation {
+ public:
+  Allocation(VirtAddr base, std::uint64_t bytes, MemKind kind, std::string name);
+
+  [[nodiscard]] VirtAddr base() const { return base_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] AddrRange range() const { return AddrRange{base_, bytes_}; }
+  [[nodiscard]] MemKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// NUMA home: which socket's HBM backs this allocation (first-touch
+  /// placement for host memory; the owning device for pool memory).
+  [[nodiscard]] int home_socket() const { return home_socket_; }
+  void set_home_socket(int socket) { home_socket_ = socket; }
+
+  /// True once real backing storage exists.
+  [[nodiscard]] bool materialized() const { return backing_ != nullptr; }
+
+  /// Real backing storage (zero-initialized; materializes on first use).
+  [[nodiscard]] std::span<std::byte> data() {
+    ensure_backing();
+    return {backing_.get(), static_cast<std::size_t>(bytes_)};
+  }
+
+  /// Real pointer corresponding to simulated address `a` inside this range.
+  [[nodiscard]] std::byte* translate(VirtAddr a);
+
+ private:
+  void ensure_backing();
+
+  VirtAddr base_;
+  std::uint64_t bytes_;
+  MemKind kind_;
+  std::string name_;
+  int home_socket_ = 0;
+  std::unique_ptr<std::byte[]> backing_;
+};
+
+/// The single simulated virtual address space of a node.
+///
+/// On an APU this mirrors reality: host and "device" allocations are ranges
+/// of one address space over one physical storage. Addresses are handed out
+/// by a page-aligned bump allocator and never reused, which both simplifies
+/// reasoning and faithfully models the paper's spC/bt observation that
+/// stack-allocated host buffers occupy fresh addresses on every function
+/// invocation (and therefore fault anew on the GPU each time).
+class AddressSpace {
+ public:
+  explicit AddressSpace(std::uint64_t page_bytes);
+
+  /// Allocate `bytes` (rounded up to page alignment for the range, exact
+  /// for the backing). Returns a stable reference owned by the space.
+  Allocation& allocate(std::uint64_t bytes, MemKind kind, std::string name);
+
+  /// Free by base address. Throws std::invalid_argument for unknown bases.
+  void free(VirtAddr base);
+
+  /// The allocation whose range contains `a`, or nullptr.
+  [[nodiscard]] Allocation* find(VirtAddr a);
+  [[nodiscard]] const Allocation* find(VirtAddr a) const;
+
+  /// Real pointer for simulated address `a`; throws if unmapped.
+  [[nodiscard]] std::byte* translate(VirtAddr a);
+
+  /// Typed convenience over `translate`.
+  template <typename T>
+  [[nodiscard]] T* translate_as(VirtAddr a) {
+    return reinterpret_cast<T*>(translate(a));
+  }
+
+  [[nodiscard]] std::uint64_t page_bytes() const { return page_bytes_; }
+  [[nodiscard]] std::size_t live_allocations() const { return allocs_.size(); }
+  [[nodiscard]] std::uint64_t live_bytes() const { return live_bytes_; }
+  [[nodiscard]] std::uint64_t total_allocated_bytes() const {
+    return total_bytes_;
+  }
+
+ private:
+  std::uint64_t page_bytes_;
+  std::uint64_t next_ = 0;  // next base offset (page-aligned)
+  std::map<std::uint64_t, std::unique_ptr<Allocation>> allocs_;  // by base
+  std::uint64_t live_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace zc::mem

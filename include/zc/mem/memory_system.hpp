@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "zc/apu/machine.hpp"
+#include "zc/mem/address_space.hpp"
+#include "zc/mem/page_table.hpp"
+#include "zc/mem/tlb.hpp"
+
+namespace zc::mem {
+
+/// Counts returned by a host-issued prefault (`svm_attributes_set`).
+struct PrefaultOutcome {
+  std::uint64_t inserted = 0;      ///< pages newly added to the GPU page table
+  std::uint64_t materialized = 0;  ///< of those, pages that were not yet
+                                   ///< CPU-resident (bulk-created first)
+  std::uint64_t present = 0;       ///< pages merely verified present
+
+  [[nodiscard]] std::uint64_t inserted_resident() const {
+    return inserted - materialized;
+  }
+};
+
+/// Counts returned by GPU-side demand fault-in (XNACK-replay).
+struct FaultOutcome {
+  std::uint64_t faulted = 0;       ///< pages inserted into the GPU page table
+  std::uint64_t non_resident = 0;  ///< of those, pages that also had to be
+                                   ///< materialized (not yet CPU-resident)
+  [[nodiscard]] std::uint64_t resident() const {
+    return faulted - non_resident;
+  }
+};
+
+/// The node's memory state: address space, CPU/GPU page tables, GPU TLB.
+///
+/// `MemorySystem` is deliberately *pure state*: it mutates tables and
+/// reports page counts, but never advances virtual time or reserves
+/// resource timelines — the HSA layer above owns timing and instrumentation
+/// so that every modeled cost is attributable to an API call (which is how
+/// the paper's Table I accounts for time). The protocol semantics live
+/// here:
+///
+///  * OS allocations create no page-table entries; CPU pages materialize on
+///    host touch, GPU pages via XNACK fault-in or host prefault.
+///  * ROCr pool allocations create CPU and GPU entries in bulk at
+///    allocation time (the paper's "XNACK-disabled" bulk prefault path);
+///    on a discrete node pool memory is device-only (no CPU entries).
+///  * Frees drop page-table entries and invalidate TLB translations, so
+///    re-allocated addresses fault again — though the bump address space
+///    never reuses addresses anyway, matching the paper's stack-buffer
+///    observation for 457.spC / 470.bt.
+class MemorySystem {
+ public:
+  explicit MemorySystem(apu::Machine& machine);
+
+  /// malloc/mmap-style host allocation. `home_socket` records the NUMA
+  /// placement the first-touching thread would produce.
+  Allocation& os_alloc(std::uint64_t bytes, std::string name,
+                       int home_socket = 0);
+  void os_free(VirtAddr base);
+
+  /// ROCr memory-pool ("device") allocation owned by one socket's GPU.
+  Allocation& pool_alloc(std::uint64_t bytes, std::string name,
+                         int socket = 0);
+  void pool_free(VirtAddr base);
+
+  /// CPU first touch: materialize CPU pages; returns newly created count.
+  std::uint64_t host_touch(AddrRange range);
+
+  /// Pages of `range` the GPU of `socket` cannot currently translate.
+  [[nodiscard]] std::uint64_t gpu_absent_pages(AddrRange range,
+                                               int socket = 0) const;
+
+  /// GPU-side fault-in (XNACK-replay) of all absent pages in `range` on
+  /// one socket's GPU; also materializes the CPU pages backing them,
+  /// reporting how many needed materialization (they fault expensively).
+  FaultOutcome gpu_fault_in(AddrRange range, int socket = 0);
+
+  /// Host-side prefault (`svm_attributes_set` semantics) of `range` into
+  /// one socket's GPU page table.
+  PrefaultOutcome prefault(AddrRange range, int socket = 0);
+
+  /// Stream `range` through one socket's GPU TLB.
+  TlbAccessResult tlb_access(AddrRange range, int socket = 0);
+
+  [[nodiscard]] AddressSpace& space() { return space_; }
+  [[nodiscard]] const AddressSpace& space() const { return space_; }
+  [[nodiscard]] PageTable& cpu_pt() { return cpu_pt_; }
+  [[nodiscard]] PageTable& gpu_pt(int socket = 0) {
+    return gpu_pt_.at(static_cast<std::size_t>(socket));
+  }
+  [[nodiscard]] Tlb& tlb(int socket = 0) {
+    return tlb_.at(static_cast<std::size_t>(socket));
+  }
+  [[nodiscard]] int sockets() const { return static_cast<int>(gpu_pt_.size()); }
+  [[nodiscard]] std::uint64_t page_bytes() const {
+    return space_.page_bytes();
+  }
+
+ private:
+  void release(VirtAddr base, MemKind expected);
+
+  apu::Machine& machine_;
+  AddressSpace space_;
+  PageTable cpu_pt_;
+  std::vector<PageTable> gpu_pt_;
+  std::vector<Tlb> tlb_;
+};
+
+}  // namespace zc::mem

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "zc/mem/address.hpp"
+
+namespace zc::mem {
+
+/// A page table as a presence set over page indices.
+///
+/// Used for both the CPU page table (which pages of an OS allocation have
+/// been materialized) and the GPU page table (which pages the GPU can
+/// translate without an XNACK fault). Only presence matters to the paper's
+/// protocols; permissions and physical frames are out of scope.
+class PageTable {
+ public:
+  explicit PageTable(std::uint64_t page_bytes);
+
+  [[nodiscard]] std::uint64_t page_bytes() const { return page_bytes_; }
+
+  [[nodiscard]] bool present(std::uint64_t page_index) const {
+    return pages_.contains(page_index);
+  }
+  [[nodiscard]] bool present_addr(VirtAddr a) const {
+    return present(a.value / page_bytes_);
+  }
+
+  /// Insert one page; returns true if it was newly inserted.
+  bool insert(std::uint64_t page_index) {
+    return pages_.insert(page_index).second;
+  }
+
+  /// Insert every page of the range; returns how many were new.
+  std::uint64_t insert_range(AddrRange range);
+
+  /// Remove every page of the range; returns how many were present.
+  std::uint64_t remove_range(AddrRange range);
+
+  /// How many pages of the range are absent.
+  [[nodiscard]] std::uint64_t count_absent(AddrRange range) const;
+
+  /// How many pages of the range are present.
+  [[nodiscard]] std::uint64_t count_present(AddrRange range) const {
+    return range.page_count(page_bytes_) - count_absent(range);
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return pages_.size(); }
+  void clear() { pages_.clear(); }
+
+ private:
+  std::uint64_t page_bytes_;
+  std::unordered_set<std::uint64_t> pages_;
+};
+
+}  // namespace zc::mem

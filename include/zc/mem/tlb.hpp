@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "zc/mem/address.hpp"
+
+namespace zc::mem {
+
+/// Result of streaming an address range through the TLB.
+struct TlbAccessResult {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// GPU translation lookaside buffer: an LRU cache over page translations.
+///
+/// The TLB sits in front of the GPU page table: a miss costs a page-table
+/// walk (the page being present in the GPU page table is the concern of
+/// XNACK/prefaulting, not of the TLB). Kernels stream their touched ranges
+/// through `access_range`; working sets larger than the capacity thrash,
+/// which is the mechanism the paper suspects behind the Eager Maps S128
+/// variability.
+class Tlb {
+ public:
+  explicit Tlb(std::uint32_t capacity, std::uint64_t page_bytes);
+
+  /// Touch one page; true on hit. Misses insert the translation (evicting
+  /// the least recently used one if full).
+  bool access(std::uint64_t page_index);
+
+  /// Touch every page of a range in order.
+  TlbAccessResult access_range(AddrRange range);
+
+  /// Drop translations for the range (e.g. on free / unmap).
+  void invalidate_range(AddrRange range);
+
+  void invalidate_all();
+
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t page_bytes() const { return page_bytes_; }
+  [[nodiscard]] std::uint64_t total_hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t total_misses() const { return misses_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint64_t page_bytes_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace zc::mem

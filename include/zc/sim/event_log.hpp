@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "zc/sim/time.hpp"
+
+namespace zc::sim {
+
+/// A timestamped diagnostic record.
+struct Event {
+  TimePoint time;
+  std::string category;
+  std::string text;
+};
+
+/// Bounded in-memory trace of simulation events.
+///
+/// Disabled by default so the hot path pays only a branch; enable it in
+/// tests or when debugging a run. When the capacity is exceeded the oldest
+/// events are dropped (a ring), and `dropped()` reports how many.
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 1 << 16) : capacity_{capacity} {}
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void add(TimePoint t, std::string category, std::string text);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  /// Events in chronological insertion order.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// Events of one category, in insertion order.
+  [[nodiscard]] std::vector<Event> by_category(const std::string& cat) const;
+
+  void clear();
+
+  /// Write "time [category] text" lines.
+  void dump(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of oldest event when full
+  std::size_t dropped_ = 0;
+  std::vector<Event> events_;
+};
+
+}  // namespace zc::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+
+#include <ucontext.h>
+
+namespace zc::sim {
+
+/// A cooperatively scheduled execution context (stackful coroutine).
+///
+/// Fibers let the simulator express virtual host threads as ordinary
+/// blocking code: a workload calls into the OpenMP runtime, which calls into
+/// HSA, which "waits" on a signal — and the wait suspends the whole call
+/// stack back to the scheduler without any of those layers being written as
+/// state machines.
+///
+/// A fiber alternates control with its resumer: `resume()` runs the fiber
+/// until it calls `Fiber::yield()` or its body returns. Exceptions thrown by
+/// the body are captured and rethrown from the `resume()` that observed the
+/// fiber finish. Not thread-safe: all fibers of a simulation run on one OS
+/// thread.
+class Fiber {
+ public:
+  explicit Fiber(std::function<void()> body,
+                 std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Run the fiber until it yields or finishes. Must not be called from
+  /// inside any fiber other than the resumer context that created it, and
+  /// never on a finished fiber.
+  void resume();
+
+  /// Suspend the currently running fiber back to its resumer.
+  /// Must be called from inside a fiber.
+  static void yield();
+
+  /// True once the body has returned (or thrown).
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  /// The fiber currently executing on this OS thread, or nullptr.
+  [[nodiscard]] static Fiber* current();
+
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+ private:
+  static void trampoline();
+
+  std::function<void()> body_;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t ctx_{};
+  ucontext_t resumer_{};
+  bool started_ = false;
+  bool finished_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace zc::sim

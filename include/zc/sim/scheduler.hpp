@@ -1,0 +1,254 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "zc/sim/fiber.hpp"
+#include "zc/sim/time.hpp"
+
+namespace zc::sim {
+
+class Scheduler;
+
+/// Error raised for simulation misuse (deadlock, op outside a thread, ...).
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A simulated host thread: a fiber plus a private virtual clock.
+class VirtualThread {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] TimePoint now() const { return clock_; }
+  [[nodiscard]] bool finished() const { return fiber_ && fiber_->finished(); }
+
+ private:
+  friend class Scheduler;
+  friend class WaitList;
+
+  enum class State { Runnable, Blocked, Finished };
+
+  VirtualThread(std::string name, int id) : name_{std::move(name)}, id_{id} {}
+
+  std::string name_;
+  int id_;
+  TimePoint clock_;
+  State state_ = State::Runnable;
+  bool deprioritized_ = false;  // one-shot, set by Scheduler::reschedule
+  std::unique_ptr<Fiber> fiber_;
+};
+
+/// Deterministic discrete-event scheduler for virtual threads.
+///
+/// Policy: always execute the runnable thread with the smallest clock
+/// (ties broken by spawn order). A running thread keeps executing as long
+/// as its clock stays minimal; when `advance()` pushes it past another
+/// runnable thread's clock it is suspended and the new minimum runs. The
+/// result is a deterministic interleaving equivalent to time-ordered event
+/// execution, while upper layers (HSA runtime, OpenMP runtime, workloads)
+/// are written as ordinary blocking code.
+///
+/// All simulated work must run inside threads created with `spawn()`; the
+/// scheduling operations (`advance`, `advance_to`, ...) throw `SimError`
+/// when called from outside.
+class Scheduler {
+ public:
+  Scheduler();
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Create a virtual thread. May be called before `run()` or from inside a
+  /// running thread (the child starts at the spawner's current clock).
+  VirtualThread& spawn(std::string name, std::function<void()> body);
+
+  /// Run until every thread has finished. Throws SimError on deadlock
+  /// (all remaining threads blocked) and propagates the first exception
+  /// escaping any thread body.
+  void run();
+
+  /// Convenience: spawn a single thread and run the simulation.
+  void run_single(std::function<void()> body) {
+    spawn("main", std::move(body));
+    run();
+  }
+
+  /// --- operations available inside virtual threads ---
+
+  /// The currently executing virtual thread (throws if none).
+  [[nodiscard]] VirtualThread& current();
+  [[nodiscard]] const VirtualThread& current() const;
+  [[nodiscard]] bool in_thread() const { return running_ != nullptr; }
+
+  /// Clock of the current thread.
+  [[nodiscard]] TimePoint now() const;
+
+  /// Move the current thread's clock forward by `d` (>= 0).
+  void advance(Duration d);
+
+  /// Move the current thread's clock to `t` if `t` is later.
+  void advance_to(TimePoint t);
+
+  /// Give other threads with equal clocks a chance to run.
+  void reschedule();
+
+  /// --- whole-simulation queries ---
+
+  /// Max clock over all threads ever run (the simulation makespan so far).
+  [[nodiscard]] TimePoint horizon() const { return horizon_; }
+
+  [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
+  [[nodiscard]] const VirtualThread& thread(std::size_t i) const {
+    return *threads_.at(i);
+  }
+
+ private:
+  friend class WaitList;
+
+  void block_current();
+  void wake(VirtualThread& t, TimePoint at_least);
+  void maybe_yield();
+  [[nodiscard]] VirtualThread* pick_next() const;
+
+  std::vector<std::unique_ptr<VirtualThread>> threads_;
+  VirtualThread* running_ = nullptr;
+  TimePoint horizon_;
+  bool in_run_ = false;
+};
+
+/// A list of threads blocked waiting for an event another thread will post.
+///
+/// Used for cross-thread dependencies whose completion time is not yet
+/// known (e.g. an HSA signal that no operation has been bound to yet).
+class WaitList {
+ public:
+  /// Block the current thread until `notify_all` is called.
+  /// On wakeup the thread's clock is at least the notifier-supplied time.
+  void wait(Scheduler& sched);
+
+  /// Wake all waiters; each resumes with clock >= `at_least`.
+  void notify_all(Scheduler& sched, TimePoint at_least);
+
+  [[nodiscard]] bool empty() const { return waiters_.empty(); }
+  [[nodiscard]] std::size_t size() const { return waiters_.size(); }
+
+ private:
+  std::vector<VirtualThread*> waiters_;
+};
+
+/// A one-shot latch: threads that `wait` before `set` block; waits after
+/// `set` just synchronize the clock to the set time.
+class Latch {
+ public:
+  /// Mark the event set at the caller's current time and wake waiters.
+  void set(Scheduler& sched) {
+    set_ = true;
+    at_ = sched.now();
+    waiters_.notify_all(sched, at_);
+  }
+
+  /// Block until set; on return the caller's clock is >= the set time.
+  void wait(Scheduler& sched) {
+    if (!set_) {
+      waiters_.wait(sched);
+    }
+    sched.advance_to(at_);
+  }
+
+  [[nodiscard]] bool is_set() const { return set_; }
+
+ private:
+  bool set_ = false;
+  TimePoint at_;
+  WaitList waiters_;
+};
+
+/// A fiber mutex: lock() blocks (cooperatively) while another virtual
+/// thread holds it — including across that thread's time-advancing
+/// operations. Used for critical sections that span multiple modeled
+/// operations (e.g. a mapping-table transaction that performs a device
+/// allocation in the middle).
+class Mutex {
+ public:
+  void lock(Scheduler& sched) {
+    while (held_) {
+      waiters_.wait(sched);
+    }
+    held_ = true;
+  }
+
+  void unlock(Scheduler& sched) {
+    if (!held_) {
+      throw SimError("Mutex::unlock: not locked");
+    }
+    held_ = false;
+    waiters_.notify_all(sched, sched.now());
+  }
+
+  [[nodiscard]] bool held() const { return held_; }
+
+ private:
+  bool held_ = false;
+  WaitList waiters_;
+};
+
+/// RAII guard for Mutex.
+class LockGuard {
+ public:
+  LockGuard(Mutex& m, Scheduler& sched) : m_{m}, sched_{sched} {
+    m_.lock(sched_);
+  }
+  ~LockGuard() { m_.unlock(sched_); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+  Scheduler& sched_;
+};
+
+/// A reusable rendezvous for a fixed party of threads: each call to
+/// `arrive_and_wait` blocks until all `parties` threads have arrived, then
+/// releases everyone with their clocks advanced to the last arrival's time
+/// (the OpenMP `barrier` semantics a multi-threaded workload needs between
+/// phases). Reusable across rounds.
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_{parties} {
+    if (parties <= 0) {
+      throw SimError("Barrier: parties must be positive");
+    }
+  }
+
+  void arrive_and_wait(Scheduler& sched) {
+    latest_ = max(latest_, sched.now());
+    if (++arrived_ < parties_) {
+      waiters_.wait(sched);
+      return;
+    }
+    // Last arrival releases the round and resets for the next one.
+    arrived_ = 0;
+    const TimePoint release = latest_;
+    latest_ = TimePoint::zero();
+    waiters_.notify_all(sched, release);
+    sched.advance_to(release);
+  }
+
+  [[nodiscard]] int parties() const { return parties_; }
+  [[nodiscard]] int waiting() const { return arrived_; }
+
+ private:
+  int parties_;
+  int arrived_ = 0;
+  TimePoint latest_;
+  WaitList waiters_;
+};
+
+}  // namespace zc::sim

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace zc::sim {
+
+/// A signed span of virtual time with nanosecond resolution.
+///
+/// All timing in the simulator is expressed in `Duration`/`TimePoint` rather
+/// than raw integers so that unit mistakes (microseconds where nanoseconds
+/// were meant) are type errors. The representation is a plain `int64_t`
+/// nanosecond count; roughly +/-292 years of simulated time.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanoseconds(std::int64_t v) {
+    return Duration{v};
+  }
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t v) {
+    return Duration{v * 1000};
+  }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t v) {
+    return Duration{v * 1000 * 1000};
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t v) {
+    return Duration{v * 1000 * 1000 * 1000};
+  }
+  /// Fractional microseconds, rounded to the nearest nanosecond.
+  [[nodiscard]] static Duration from_us(double us);
+  /// Fractional seconds, rounded to the nearest nanosecond.
+  [[nodiscard]] static Duration from_seconds(double s);
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const {
+    return static_cast<double>(ns_) / 1e3;
+  }
+  [[nodiscard]] constexpr double ms() const {
+    return static_cast<double>(ns_) / 1e6;
+  }
+  [[nodiscard]] constexpr double sec() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.ns_ + b.ns_};
+  }
+  [[nodiscard]] friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.ns_ - b.ns_};
+  }
+  [[nodiscard]] friend constexpr Duration operator-(Duration a) {
+    return Duration{-a.ns_};
+  }
+  /// Scaling by a real factor rounds to the nearest nanosecond. (Integer
+  /// factors are exact: every int64 nanosecond count of practical size is
+  /// representable, and products stay below 2^53 ns ~ 104 days.)
+  friend Duration operator*(Duration a, double k);
+  friend Duration operator*(double k, Duration a) { return a * k; }
+  /// Ratio of two durations as a real number; b must be nonzero.
+  [[nodiscard]] friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  [[nodiscard]] friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration{a.ns_ / k};
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "12.4ms".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant of virtual time (nanoseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint zero() { return TimePoint{}; }
+  [[nodiscard]] static constexpr TimePoint from_ns(std::int64_t v) {
+    TimePoint t;
+    t.ns_ = v;
+    return t;
+  }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return from_ns(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr Duration since_start() const {
+    return Duration::nanoseconds(ns_);
+  }
+
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.ns();
+    return *this;
+  }
+  [[nodiscard]] friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return from_ns(t.ns_ + d.ns());
+  }
+  [[nodiscard]] friend constexpr TimePoint operator+(Duration d, TimePoint t) {
+    return t + d;
+  }
+  [[nodiscard]] friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return from_ns(t.ns_ - d.ns());
+  }
+  [[nodiscard]] friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::nanoseconds(a.ns_ - b.ns_);
+  }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+[[nodiscard]] constexpr TimePoint max(TimePoint a, TimePoint b) {
+  return a < b ? b : a;
+}
+[[nodiscard]] constexpr TimePoint min(TimePoint a, TimePoint b) {
+  return a < b ? a : b;
+}
+[[nodiscard]] constexpr Duration max(Duration a, Duration b) {
+  return a < b ? b : a;
+}
+[[nodiscard]] constexpr Duration min(Duration a, Duration b) {
+  return a < b ? a : b;
+}
+
+namespace literals {
+[[nodiscard]] constexpr Duration operator""_ns(unsigned long long v) {
+  return Duration::nanoseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::microseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::milliseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace zc::sim

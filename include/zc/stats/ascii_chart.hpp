@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace zc::stats {
+
+/// Minimal multi-series line chart rendered as text — enough to eyeball the
+/// shape of the paper's Fig. 3/4 ratio curves in a terminal. Each series is
+/// a vector of y values over shared x labels.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::vector<std::string> x_labels);
+
+  void add_series(std::string name, std::vector<double> ys);
+
+  /// Render `height` rows tall. Marks series points with their index digit
+  /// ('0', '1', ...); coincident points show the highest series index.
+  void print(std::ostream& os, int height = 12) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> x_labels_;
+  struct Series {
+    std::string name;
+    std::vector<double> ys;
+  };
+  std::vector<Series> series_;
+};
+
+}  // namespace zc::stats

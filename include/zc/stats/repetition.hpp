@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "zc/stats/summary.hpp"
+
+namespace zc::stats {
+
+/// Measurements from repeating one experiment configuration.
+struct RepeatedRuns {
+  std::vector<sim::Duration> times;
+
+  [[nodiscard]] Summary summary() const { return summarize(times); }
+  [[nodiscard]] sim::Duration median_time() const { return median(times); }
+  [[nodiscard]] double cov() const { return summary().cov(); }
+};
+
+/// Run `run(seed)` `reps` times with seeds base_seed+1, base_seed+2, ...
+/// (matching the paper's repetition methodology: 8 runs for SPECaccel,
+/// 4 for QMCPack, medians reported, CoV as robustness evidence).
+[[nodiscard]] RepeatedRuns repeat(
+    int reps, std::uint64_t base_seed,
+    const std::function<sim::Duration(std::uint64_t seed)>& run);
+
+/// The paper's headline metric: median(Copy) / median(config).
+/// Ratios above 1 mean the zero-copy configuration is faster.
+[[nodiscard]] double ratio_of_medians(const RepeatedRuns& copy,
+                                      const RepeatedRuns& config);
+
+}  // namespace zc::stats

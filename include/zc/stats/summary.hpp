@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "zc/sim/time.hpp"
+
+namespace zc::stats {
+
+/// Five-number-ish summary of repeated measurements.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Coefficient of variation (stddev/mean), the robustness statistic the
+  /// paper reports; 0 for degenerate inputs.
+  [[nodiscard]] double cov() const { return mean != 0.0 ? stddev / mean : 0.0; }
+};
+
+/// Summarize raw samples. Throws std::invalid_argument on empty input.
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// Summarize durations in seconds.
+[[nodiscard]] Summary summarize(const std::vector<sim::Duration>& samples);
+
+/// Median of raw samples (throws on empty).
+[[nodiscard]] double median(std::vector<double> samples);
+
+/// p-quantile (0 <= p <= 1) with linear interpolation between order
+/// statistics (throws on empty input or p outside [0,1]).
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+/// Median execution time of repeated runs.
+[[nodiscard]] sim::Duration median(const std::vector<sim::Duration>& samples);
+
+}  // namespace zc::stats

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace zc::stats {
+
+/// Fixed-width text table, used by the benchmark harness to print
+/// paper-style tables (Tables I-III) and figure series.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `precision` significant decimals.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  /// Convenience: format an integer with thousands separators (1,124,258).
+  [[nodiscard]] static std::string count(std::uint64_t v);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no padding).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zc::stats

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "zc/sim/time.hpp"
+#include "zc/trace/call_stats.hpp"
+
+namespace zc::trace {
+
+/// One traced API call, as `rocprof --hsa-trace` would emit it.
+struct CallRecord {
+  HsaCall call;
+  int host_thread = 0;
+  sim::TimePoint start;
+  sim::Duration latency;
+
+  [[nodiscard]] sim::TimePoint end() const { return start + latency; }
+};
+
+/// Optional per-call trace (off by default — full-fidelity runs make
+/// millions of calls; aggregate `CallStats` are always collected).
+///
+/// Enables timeline analyses the aggregate counters cannot answer: call
+/// interleavings across host threads, warm-up vs steady-state phases, gaps
+/// between dependent calls.
+class CallTrace {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(HsaCall call, int host_thread, sim::TimePoint start,
+              sim::Duration latency) {
+    if (enabled_) {
+      records_.push_back(CallRecord{call, host_thread, start, latency});
+    }
+  }
+
+  [[nodiscard]] const std::vector<CallRecord>& records() const {
+    return records_;
+  }
+
+  /// Records of one API in insertion order.
+  [[nodiscard]] std::vector<CallRecord> by_call(HsaCall call) const;
+
+  /// Total latency of calls that *started* within [from, to).
+  [[nodiscard]] sim::Duration latency_in_window(sim::TimePoint from,
+                                                sim::TimePoint to) const;
+
+  void clear() { records_.clear(); }
+
+  /// "start_us,call,thread,latency_us" CSV rows.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<CallRecord> records_;
+};
+
+}  // namespace zc::trace

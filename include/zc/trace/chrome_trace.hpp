@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "zc/trace/call_trace.hpp"
+#include "zc/trace/kernel_trace.hpp"
+
+namespace zc::trace {
+
+/// Export traces in the Chrome trace-event JSON format, viewable in
+/// chrome://tracing or https://ui.perfetto.dev.
+///
+/// Host-side API calls (CallTrace records) appear as complete events on
+/// per-thread tracks (`pid` 1, `tid` = virtual host thread); kernel
+/// executions (KernelRecord) appear on GPU tracks (`pid` 2, `tid` = device),
+/// with fault/TLB stalls attached as arguments.
+class ChromeTraceWriter {
+ public:
+  /// Add every record of a host-side call trace.
+  void add(const CallTrace& calls);
+
+  /// Add kernel launches (device-side track).
+  void add(const std::vector<KernelRecord>& kernels);
+
+  /// Write the complete JSON document.
+  void write(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t event_count() const {
+    return call_events_.size() + kernel_events_.size();
+  }
+
+ private:
+  std::vector<CallRecord> call_events_;
+  std::vector<KernelRecord> kernel_events_;
+};
+
+}  // namespace zc::trace

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "zc/trace/call_stats.hpp"
+
+namespace zc::trace {
+
+/// One row of a Table-I-style comparison between two configurations.
+struct CallComparison {
+  HsaCall call;
+  std::uint64_t baseline_calls = 0;
+  std::uint64_t other_calls = 0;
+  sim::Duration baseline_latency;
+  sim::Duration other_latency;
+
+  /// baseline/other total-latency ratio; NaN-free: negative when the other
+  /// configuration never issued the call (the paper prints "N/A").
+  [[nodiscard]] double latency_ratio() const {
+    if (other_latency.is_zero()) {
+      return -1.0;
+    }
+    return baseline_latency / other_latency;
+  }
+  [[nodiscard]] bool ratio_defined() const {
+    return !other_latency.is_zero();
+  }
+};
+
+/// Build the paper's Table I comparison: call counts and latency ratios of
+/// `baseline` (Copy) against `other` (a zero-copy configuration), for the
+/// given calls in order.
+[[nodiscard]] std::vector<CallComparison> compare_calls(
+    const CallStats& baseline, const CallStats& other,
+    const std::vector<HsaCall>& calls);
+
+/// The four calls Table I reports, in the paper's order.
+[[nodiscard]] std::vector<HsaCall> table_one_calls();
+
+}  // namespace zc::trace

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "zc/sim/time.hpp"
+#include "zc/workloads/runner.hpp"
+
+namespace zc::workloads {
+
+/// Proxy of the QMCPack "NiO" performance benchmark (§V-A of the paper).
+///
+/// The proxy reproduces the two discrete-GPU optimization patterns the
+/// paper studies and the runtime-traffic profile of Table I:
+///
+///  * **Ahead-of-time data transfer** — each run begins with one bulk map
+///    of a large read-only spline table, followed by a long Monte-Carlo
+///    phase with only small per-step transfers.
+///  * **Data-transfer latency hiding** — `threads` OpenMP host threads,
+///    each owning `walkers_per_thread` walkers, offload concurrently to
+///    the one GPU; under Legacy Copy their many small copies ride the SDMA
+///    engines behind other threads' kernels.
+///
+/// Each MC step runs four kernels per walker (drift, spline evaluation on
+/// a rotating window of the table, determinant update, host-side reduction
+/// accumulation), with `always`-modified maps of small per-walker arrays —
+/// the pattern that makes Eager Maps issue a prefault syscall per map. The
+/// spline-evaluation scratch buffer lives on the "program stack" of the
+/// step function and is re-mapped fresh, giving Legacy Copy its per-step
+/// pool allocation (the ~23k allocations of Table I).
+struct QmcpackParams {
+  int size = 2;                ///< NiO problem size (S2 ... S128)
+  int threads = 1;             ///< OpenMP host threads offloading
+  /// APU sockets to spread the host threads over (§III-A affinity: thread
+  /// t offloads to device t*sockets/threads and homes its walkers there).
+  /// The run's machine topology must provide at least this many sockets.
+  int sockets = 1;
+  int walkers_per_thread = 8;
+  int steps = 300;             ///< MC steps; ~3000 reproduces Table I counts
+  /// Synchronize all host threads every N steps (0 = never): QMCPack's MC
+  /// block boundaries, where walker statistics are exchanged.
+  int block_sync_period = 0;
+
+  // --- calibration constants (documented in EXPERIMENTS.md) -------------
+  std::uint64_t spline_mb_per_size = 96;  ///< spline table MB per size unit
+  std::uint64_t walker_buf_base = 4096;   ///< per-walker array bytes per size unit
+  std::uint64_t reduce_bytes = 8192;      ///< host reduction array bytes
+  std::uint64_t scratch_bytes = 16384;    ///< per-step stack scratch bytes
+  std::uint64_t spline_window_pages = 16; ///< table slice a kernel touches
+  sim::Duration kernel_base = sim::Duration::from_us(10.0);
+  sim::Duration kernel_per_size = sim::Duration::from_us(10.0);
+
+  [[nodiscard]] std::uint64_t spline_bytes() const {
+    return spline_mb_per_size * static_cast<std::uint64_t>(size) * (1ULL << 20);
+  }
+  [[nodiscard]] std::uint64_t walker_buf_bytes() const;
+  /// Per-kernel modeled compute time (grows linearly with problem size).
+  [[nodiscard]] sim::Duration kernel_compute() const {
+    return kernel_base + kernel_per_size * static_cast<double>(size);
+  }
+};
+
+/// Paper problem sizes for the NiO series.
+[[nodiscard]] std::vector<int> qmcpack_paper_sizes();
+
+/// Build the runnable program for these parameters.
+[[nodiscard]] Program make_qmcpack(const QmcpackParams& params);
+
+}  // namespace zc::workloads

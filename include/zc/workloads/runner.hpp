@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "zc/core/offload_stack.hpp"
+#include "zc/sim/jitter.hpp"
+#include "zc/stats/repetition.hpp"
+#include "zc/trace/call_stats.hpp"
+#include "zc/trace/kernel_trace.hpp"
+#include "zc/trace/overhead_ledger.hpp"
+
+namespace zc::workloads {
+
+/// A workload packaged for the experiment harness: program-binary
+/// properties, a thread-spawning setup, and an optional checksum extractor
+/// evaluated after the simulation drains (used by tests to assert that all
+/// four configurations compute identical results).
+struct Program {
+  omp::ProgramBinary binary;
+  std::function<void(omp::OffloadStack&)> setup_threads;
+  std::function<double(omp::OffloadStack&)> finalize;
+};
+
+/// How to run a Program once.
+struct RunOptions {
+  omp::RuntimeConfig config = omp::RuntimeConfig::ImplicitZeroCopy;
+  sim::JitterParams jitter{};
+  std::uint64_t seed = 1;
+  bool keep_kernel_records = false;
+
+  /// Ablation overrides (defaults: MI300A machine as configured for
+  /// `config`). `transparent_huge_pages=false` switches to 4 KB pages.
+  std::optional<apu::CostParams> costs;
+  std::optional<apu::Topology> topology;
+  std::optional<bool> transparent_huge_pages;
+};
+
+/// Everything one run produces.
+struct RunResult {
+  omp::RuntimeConfig config;
+  sim::Duration wall_time;  ///< simulation makespan (max over host threads)
+  trace::CallStats stats;
+  trace::KernelTraceSummary kernels;
+  trace::OverheadLedger ledger;
+  double checksum = 0.0;
+  /// Per-launch records (only when RunOptions::keep_kernel_records).
+  std::vector<trace::KernelRecord> kernel_records;
+};
+
+/// Build the stack, run the program to completion, snapshot the telemetry.
+[[nodiscard]] RunResult run_program(const Program& program,
+                                    const RunOptions& options);
+
+/// Repeat a run `reps` times with distinct seeds (paper methodology) and
+/// return the measured wall times.
+[[nodiscard]] stats::RepeatedRuns repeat_program(const Program& program,
+                                                 RunOptions options, int reps);
+
+}  // namespace zc::workloads

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "zc/sim/time.hpp"
+#include "zc/workloads/runner.hpp"
+
+namespace zc::workloads {
+
+/// Proxies of the SPECaccel 2023 C/C++ benchmarks the paper evaluates
+/// (§V-B). Each proxy encodes the causal structure the paper uses to
+/// explain its Table II ratio; the scale knobs below carry ref-workload-
+/// flavoured defaults and are documented in EXPERIMENTS.md.
+///
+/// All SPECaccel runs use a single host thread (no MPI).
+
+/// 403.stencil — two grids; one bulk copy in at start and one out at end
+/// (Copy config); steady-state kernels access the grids exclusively from
+/// the GPU, mapping only a scalar residual per iteration. The input grid
+/// is host-initialized (cheap resident faults under zero-copy); the output
+/// grid is GPU-first-touched (expensive demand materialization -> the
+/// O(10^6) us MI of Table III).
+struct StencilParams {
+  std::uint64_t grid_bytes = 3ULL << 30;  ///< per grid (in and out)
+  int iterations = 3000;
+  sim::Duration per_iter_compute = sim::Duration::from_us(60000);
+};
+[[nodiscard]] Program make_stencil(const StencilParams& params = {});
+
+/// 404.lbm — two host-initialized lattices transferred at the start (and
+/// one back at the end) under Copy; the per-iteration target constructs
+/// carry map clauses for the lattices, so Eager Maps pays a prefault
+/// syscall + presence walk per iteration.
+struct LbmParams {
+  std::uint64_t lattice_bytes = 1792ULL << 20;  ///< per lattice (two of them)
+  int iterations = 1500;
+  sim::Duration per_iter_compute = sim::Duration::from_us(4400);
+};
+[[nodiscard]] Program make_lbm(const LbmParams& params = {});
+
+/// 452.ep — allocates a large arena (ROCr pool under Copy; host memory
+/// otherwise), performs NO copies, and initializes the arena inside a
+/// target region: GPU-side first touch. Copy's bulk-prefaulted pool makes
+/// initialization fault-free; Implicit Z-C/USM demand-fault page by page;
+/// Eager Maps prefaults on map.
+struct EpParams {
+  std::uint64_t arena_bytes = 16ULL << 30;
+  int batches = 110;  ///< gaussian-pair generation batches after init
+  sim::Duration per_batch_compute = sim::Duration::from_us(500000);
+};
+[[nodiscard]] Program make_ep(const EpParams& params = {});
+
+/// 457.spC — every cycle: GB-scale host stack arrays (fresh addresses),
+/// map in, 13 small kernels (each a few percent of an allocation), map
+/// out, free. Copy pays allocation + copy every cycle; zero-copy pays only
+/// faults (Eager: prefaults) on the fresh addresses.
+struct SpcParams {
+  std::uint64_t array_bytes = 1792ULL << 20;  ///< per array, two arrays
+  int cycles = 40;
+  int kernels_per_cycle = 13;
+  sim::Duration per_kernel_compute = sim::Duration::from_us(1500);
+};
+[[nodiscard]] Program make_spc(const SpcParams& params = {});
+
+/// 470.bt — like spC with >2 GB largest allocation, 10 kernels per cycle,
+/// and a dominant kernel ~30% of the largest allocation's time: more
+/// kernel time per cycle, hence a smaller (but still large) ratio.
+struct BtParams {
+  std::uint64_t array_bytes = 2304ULL << 20;  ///< per array, two arrays
+  int cycles = 40;
+  int kernels_per_cycle = 10;  ///< including the one dominant kernel
+  sim::Duration per_kernel_compute = sim::Duration::from_us(5000);
+  sim::Duration big_kernel_compute = sim::Duration::from_us(30000);
+};
+[[nodiscard]] Program make_bt(const BtParams& params = {});
+
+/// The Table II benchmark list, in paper order.
+struct SpecBenchmark {
+  std::string name;
+  Program program;
+};
+[[nodiscard]] std::vector<SpecBenchmark> make_spec_suite();
+
+}  // namespace zc::workloads

@@ -1,0 +1,50 @@
+#include "zc/apu/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace zc::apu {
+
+namespace {
+
+bool truthy(std::string v) {
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return v == "1" || v == "true" || v == "on" || v == "yes";
+}
+
+}  // namespace
+
+RunEnvironment RunEnvironment::from_env(
+    const std::map<std::string, std::string>& env) {
+  RunEnvironment out;
+  if (auto it = env.find("HSA_XNACK"); it != env.end()) {
+    out.hsa_xnack = truthy(it->second);
+  }
+  if (auto it = env.find("OMPX_APU_MAPS"); it != env.end()) {
+    out.ompx_apu_maps = truthy(it->second);
+  }
+  if (auto it = env.find("OMPX_EAGER_ZERO_COPY_MAPS"); it != env.end()) {
+    out.ompx_eager_maps = truthy(it->second);
+  }
+  if (auto it = env.find("THP"); it != env.end()) {
+    out.transparent_huge_pages = truthy(it->second);
+  }
+  return out;
+}
+
+std::string RunEnvironment::to_string() const {
+  auto flag = [](bool b) { return b ? "1" : "0"; };
+  std::string s;
+  s += "HSA_XNACK=";
+  s += flag(hsa_xnack);
+  s += " OMPX_APU_MAPS=";
+  s += flag(ompx_apu_maps);
+  s += " OMPX_EAGER_ZERO_COPY_MAPS=";
+  s += flag(ompx_eager_maps);
+  s += " THP=";
+  s += flag(transparent_huge_pages);
+  return s;
+}
+
+}  // namespace zc::apu

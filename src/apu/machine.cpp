@@ -1,0 +1,91 @@
+#include "zc/apu/machine.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace zc::apu {
+
+CostParams mi300a_costs() { return CostParams{}; }
+
+CostParams discrete_gpu_costs() {
+  CostParams c;
+  // Host<->device copies cross the PCIe-style link instead of staying in
+  // one HBM storage; everything else keeps the same order of magnitude.
+  c.copy_bandwidth_bytes_per_s = c.pcie_bandwidth_bytes_per_s;
+  return c;
+}
+
+namespace {
+
+/// Baseline noise drops the outlier mechanism; only syscall paths keep it.
+sim::JitterParams without_outliers(sim::JitterParams p) {
+  p.outlier_prob = 0.0;
+  return p;
+}
+
+}  // namespace
+
+Machine::Machine(Config config)
+    : config_{std::move(config)},
+      jitter_{without_outliers(config_.jitter), config_.seed},
+      syscall_jitter_{config_.jitter, config_.seed ^ 0x5ca1ab1eULL},
+      runtime_lock_{"runtime-lock", 1} {
+  if (config_.topology.sockets <= 0) {
+    throw std::invalid_argument("Machine: sockets must be positive");
+  }
+  for (int s = 0; s < config_.topology.sockets; ++s) {
+    const std::string suffix = "-s" + std::to_string(s);
+    gpu_.emplace_back("gpu-kernel-slots" + suffix,
+                      config_.topology.gpu_kernel_slots);
+    sdma_.emplace_back("sdma-engines" + suffix, config_.topology.sdma_engines);
+    driver_.emplace_back("driver-lock" + suffix, 1);
+  }
+}
+
+sim::ResourceTimeline& Machine::per_socket(
+    std::vector<sim::ResourceTimeline>& v, int socket) {
+  if (socket < 0 || socket >= static_cast<int>(v.size())) {
+    throw std::out_of_range("Machine: socket " + std::to_string(socket) +
+                            " out of range (have " +
+                            std::to_string(v.size()) + ")");
+  }
+  return v[static_cast<std::size_t>(socket)];
+}
+
+Machine Machine::mi300a(RunEnvironment env, sim::JitterParams jitter,
+                        std::uint64_t seed) {
+  Config cfg;
+  cfg.kind = MachineKind::ApuMi300a;
+  cfg.costs = mi300a_costs();
+  cfg.env = env;
+  cfg.jitter = jitter;
+  cfg.seed = seed;
+  return Machine{std::move(cfg)};
+}
+
+Machine Machine::discrete_gpu(RunEnvironment env, sim::JitterParams jitter,
+                              std::uint64_t seed) {
+  Config cfg;
+  cfg.kind = MachineKind::DiscreteGpu;
+  cfg.costs = discrete_gpu_costs();
+  cfg.env = env;
+  cfg.jitter = jitter;
+  cfg.seed = seed;
+  return Machine{std::move(cfg)};
+}
+
+sim::Duration Machine::copy_duration(std::uint64_t bytes) const {
+  const double secs =
+      static_cast<double>(bytes) / config_.costs.copy_bandwidth_bytes_per_s;
+  return max(config_.costs.copy_min, sim::Duration::from_seconds(secs));
+}
+
+sim::Duration Machine::fault_service_duration(bool cpu_resident) const {
+  if (cpu_resident) {
+    return config_.costs.xnack_fault_resident;
+  }
+  return config_.costs.xnack_fault_resident + config_.costs.page_materialize;
+}
+
+}  // namespace zc::apu

@@ -1,0 +1,26 @@
+#include "zc/core/config.hpp"
+
+namespace zc::omp {
+
+RuntimeConfig resolve_config(apu::MachineKind kind,
+                             const apu::RunEnvironment& env,
+                             bool requires_usm) {
+  const bool apu = kind == apu::MachineKind::ApuMi300a;
+  if (requires_usm) {
+    if (!env.hsa_xnack) {
+      throw ConfigError(
+          "program requires unified_shared_memory but XNACK (HSA_XNACK) is "
+          "disabled in this environment");
+    }
+    return RuntimeConfig::UnifiedSharedMemory;
+  }
+  if (env.ompx_eager_maps && apu) {
+    return RuntimeConfig::EagerMaps;
+  }
+  if (env.hsa_xnack && (apu || env.ompx_apu_maps)) {
+    return RuntimeConfig::ImplicitZeroCopy;
+  }
+  return RuntimeConfig::LegacyCopy;
+}
+
+}  // namespace zc::omp

@@ -1,0 +1,70 @@
+#include "zc/core/mapping.hpp"
+
+#include <stdexcept>
+
+namespace zc::omp {
+
+PresentEntry& PresentTable::insert(mem::AddrRange host,
+                                   mem::VirtAddr device_base, bool pinned) {
+  if (host.empty()) {
+    throw std::invalid_argument("PresentTable::insert: empty range");
+  }
+  // Reject partial overlap with neighbours.
+  auto next = entries_.lower_bound(host.base.value);
+  if (next != entries_.end() &&
+      next->second.host.base < host.end()) {
+    throw std::invalid_argument(
+        "PresentTable::insert: range overlaps existing mapping at " +
+        next->second.host.base.to_string());
+  }
+  if (next != entries_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.host.end() > host.base) {
+      throw std::invalid_argument(
+          "PresentTable::insert: range overlaps existing mapping at " +
+          prev->second.host.base.to_string());
+    }
+  }
+  PresentEntry entry{host, device_base, 0, pinned};
+  auto [it, ok] = entries_.emplace(host.base.value, entry);
+  (void)ok;
+  return it->second;
+}
+
+PresentEntry* PresentTable::lookup(mem::VirtAddr addr) {
+  if (entries_.empty()) {
+    return nullptr;
+  }
+  auto it = entries_.upper_bound(addr.value);
+  if (it == entries_.begin()) {
+    return nullptr;
+  }
+  --it;
+  return it->second.host.contains(addr) ? &it->second : nullptr;
+}
+
+const PresentEntry* PresentTable::lookup(mem::VirtAddr addr) const {
+  return const_cast<PresentTable*>(this)->lookup(addr);
+}
+
+PresentEntry* PresentTable::lookup_range(mem::AddrRange range) {
+  PresentEntry* e = lookup(range.base);
+  if (e == nullptr) {
+    return nullptr;
+  }
+  if (range.end() > e->host.end()) {
+    throw std::invalid_argument(
+        "PresentTable::lookup_range: range extends past mapped range of '" +
+        e->host.base.to_string() + "'");
+  }
+  return e;
+}
+
+void PresentTable::erase(mem::VirtAddr host_base) {
+  if (entries_.erase(host_base.value) == 0) {
+    throw std::invalid_argument("PresentTable::erase: unknown base " +
+                                host_base.to_string());
+  }
+}
+
+}  // namespace zc::omp

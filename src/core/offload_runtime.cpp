@@ -1,0 +1,507 @@
+#include "zc/core/offload_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace zc::omp {
+
+using sim::Duration;
+
+OffloadRuntime::OffloadRuntime(hsa::Runtime& hsa, ProgramBinary program)
+    : hsa_{hsa},
+      program_{std::move(program)},
+      config_{resolve_config(hsa.machine().kind(), hsa.machine().env(),
+                             program_.requires_unified_shared_memory)},
+      tables_(static_cast<std::size_t>(hsa.machine().sockets())) {}
+
+int OffloadRuntime::device_count() const {
+  return hsa_.machine().sockets();
+}
+
+void OffloadRuntime::check_device(int device) const {
+  if (device < 0 || device >= device_count()) {
+    throw MappingError("device " + std::to_string(device) +
+                       " out of range (have " +
+                       std::to_string(device_count()) + ")");
+  }
+}
+
+void OffloadRuntime::ensure_initialized() {
+  // First caller loads the image; concurrent callers wait until it is
+  // fully loaded (image load performs time-advancing allocations, so a
+  // plain flag would let others observe a half-loaded image).
+  if (!image_load_started_) {
+    image_load_started_ = true;
+    load_image();
+    image_loaded_ = true;
+    image_latch_.set(hsa_.machine().sched());
+  } else if (!image_loaded_) {
+    image_latch_.wait(hsa_.machine().sched());
+  }
+  const int tid = hsa_.machine().sched().current().id();
+  if (initialized_threads_.contains(tid)) {
+    return;
+  }
+  initialized_threads_.insert(tid);
+  // Per-thread runtime structures: HSA queues, signal pools, staging.
+  // One-time init work is exempt from the steady-state overhead ledger.
+  for (int i = 0; i < kThreadInitAllocs; ++i) {
+    image_allocs_.push_back(hsa_.memory_pool_allocate(
+        i == 0 ? (4u << 20) : (256u << 10),
+        "omp-thread" + std::to_string(tid) + "-init",
+        /*count_in_ledger=*/false));
+  }
+}
+
+void OffloadRuntime::load_image() {
+  // GPU code object and offload runtime support structures (one-time work,
+  // exempt from the steady-state overhead ledger).
+  // The code object of a large application plus device runtime structures
+  // run to hundreds of MB.
+  for (int i = 0; i < kImageLoadAllocs; ++i) {
+    image_allocs_.push_back(hsa_.memory_pool_allocate(
+        i == 0 ? (128u << 20) : (16u << 20), "omp-image-" + std::to_string(i),
+        /*count_in_ledger=*/false));
+  }
+  // Upload the code object and device environment (the few DMA copies the
+  // zero-copy configurations still show in HSA traces).
+  mem::Allocation& staging = hsa_.memory().os_alloc(256 << 10, "omp-image-staging");
+  std::vector<hsa::Signal> uploads;
+  for (int i = 0; i < kImageLoadCopies; ++i) {
+    uploads.push_back(hsa_.memory_async_copy(image_allocs_[0], staging.base(),
+                                             64 << 10, /*with_handler=*/false,
+                                             /*count_in_ledger=*/false));
+  }
+  wait_all(uploads);
+
+  // Declare-target globals: host storage always exists (static data, no
+  // runtime cost); the device side depends on the configuration.
+  for (const GlobalVar& g : program_.globals) {
+    if (g.bytes == 0) {
+      throw std::invalid_argument("global '" + g.name + "' has zero size");
+    }
+    mem::Allocation& host =
+        hsa_.memory().os_alloc(g.bytes, "global:" + g.name);
+    (void)hsa_.memory().host_touch(host.range());  // static data is resident
+    global_host_.emplace(g.name, host.base());
+    global_ranges_.push_back(host.range());
+    if (globals_use_device_copy(config_)) {
+      // Each GPU code object carries its own copy of the global (§IV-C).
+      for (int d = 0; d < device_count(); ++d) {
+        const mem::VirtAddr dev = hsa_.memory_pool_allocate(
+            g.bytes, "global-dev:" + g.name, /*count_in_ledger=*/false, d);
+        tables_[static_cast<std::size_t>(d)].insert(host.range(), dev,
+                                                    /*pinned=*/true);
+      }
+    }
+    // Under Unified Shared Memory the device image stores a pointer to the
+    // host global (double indirection): no device storage at all.
+  }
+}
+
+mem::VirtAddr OffloadRuntime::global_host_addr(const std::string& name) {
+  if (!image_load_started_) {
+    image_load_started_ = true;
+    load_image();
+    image_loaded_ = true;
+    image_latch_.set(hsa_.machine().sched());
+  } else if (!image_loaded_) {
+    image_latch_.wait(hsa_.machine().sched());
+  }
+  auto it = global_host_.find(name);
+  if (it == global_host_.end()) {
+    throw std::invalid_argument("unknown declare-target global '" + name + "'");
+  }
+  return it->second;
+}
+
+mem::VirtAddr OffloadRuntime::host_alloc(std::uint64_t bytes,
+                                         std::string name, int home_socket) {
+  check_device(home_socket);
+  apu::Machine& m = hsa_.machine();
+  m.sched().advance(m.jittered(m.costs().os_alloc_base));
+  return hsa_.memory().os_alloc(bytes, std::move(name), home_socket).base();
+}
+
+void OffloadRuntime::host_free(mem::VirtAddr base) {
+  // Map sanitizer: freeing host memory that is still mapped into a device
+  // data environment leaves the runtime holding a dangling shadow copy —
+  // a use-after-free on real systems. Catch it loudly here.
+  for (int d = 0; d < device_count(); ++d) {
+    if (tables_[static_cast<std::size_t>(d)].lookup(base) != nullptr) {
+      throw MappingError("host_free of memory still mapped on device " +
+                         std::to_string(d) + " at " + base.to_string());
+    }
+  }
+  apu::Machine& m = hsa_.machine();
+  m.sched().advance(m.jittered(m.costs().os_free_base));
+  hsa_.memory().os_free(base);
+}
+
+void OffloadRuntime::host_first_touch(mem::AddrRange range) {
+  apu::Machine& m = hsa_.machine();
+  const std::uint64_t new_pages = hsa_.memory().host_touch(range);
+  if (new_pages == 0) {
+    return;
+  }
+  const double page_scale =
+      static_cast<double>(m.page_bytes()) / static_cast<double>(2ULL << 20);
+  m.sched().advance(m.jittered(m.costs().host_touch_per_page_2mb * page_scale *
+                               static_cast<double>(new_pages)));
+}
+
+bool OffloadRuntime::is_global_addr(mem::VirtAddr a) const {
+  return std::any_of(global_ranges_.begin(), global_ranges_.end(),
+                     [a](const mem::AddrRange& r) { return r.contains(a); });
+}
+
+bool OffloadRuntime::copy_managed(const MapEntry& entry) const {
+  switch (config_) {
+    case RuntimeConfig::LegacyCopy:
+      return true;
+    case RuntimeConfig::UnifiedSharedMemory:
+      return false;
+    case RuntimeConfig::ImplicitZeroCopy:
+    case RuntimeConfig::EagerMaps:
+      // §IV-C: globals keep Copy behaviour; everything else is zero-copy.
+      return is_global_addr(entry.host_ptr);
+  }
+  return true;
+}
+
+void OffloadRuntime::wait_all(std::vector<hsa::Signal>& sigs) {
+  if (sigs.empty()) {
+    return;
+  }
+  // The runtime batches: one wait on the transfer that completes last
+  // (engine FIFO ordering makes every earlier submission complete earlier
+  // or on another engine no later than observed here).
+  auto latest = std::max_element(
+      sigs.begin(), sigs.end(), [](const hsa::Signal& a, const hsa::Signal& b) {
+        return a.complete_at() < b.complete_at();
+      });
+  hsa_.signal_wait_scacquire(*latest);
+  sigs.clear();
+}
+
+void OffloadRuntime::begin_one(const MapEntry& entry, int device,
+                               std::vector<hsa::Signal>& copies) {
+  if (entry.bytes == 0) {
+    throw std::invalid_argument("map entry with zero size");
+  }
+  if (exit_only(entry.type)) {
+    throw MappingError(std::string{"map type '"} + to_string(entry.type) +
+                       "' is only valid on target exit data");
+  }
+  apu::Machine& m = hsa_.machine();
+  m.sched().advance(m.costs().map_bookkeeping);
+
+  if (!copy_managed(entry)) {
+    // Zero-copy: no storage operation. Eager Maps additionally prefaults
+    // the GPU page table for the mapped range on every map.
+    if (config_ == RuntimeConfig::EagerMaps) {
+      (void)hsa_.svm_attributes_set_prefault(entry.host_range(), device);
+    }
+    return;
+  }
+
+  PresentTable& table = tables_[static_cast<std::size_t>(device)];
+  bool do_copy = false;
+  PresentEntry* e = nullptr;
+  {
+    // Mapping-table transaction: the lookup and the insert (with the device
+    // allocation in between) must be atomic with respect to other host
+    // threads mapping the same range.
+    sim::LockGuard lock{table_mutex_, m.sched()};
+    e = table.lookup_range(entry.host_range());
+    if (e != nullptr) {
+      if (!e->pinned) {
+        ++e->refcount;
+      }
+      do_copy = entry.always && copies_to_device(entry.type);
+    } else {
+      const mem::VirtAddr dev = hsa_.memory_pool_allocate(
+          entry.bytes, "omp-map:" + entry.host_ptr.to_string(),
+          /*count_in_ledger=*/true, device);
+      e = &table.insert(entry.host_range(), dev);
+      e->refcount = 1;
+      do_copy = copies_to_device(entry.type);
+    }
+  }
+  if (do_copy) {
+    copies.push_back(hsa_.memory_async_copy(
+        e->device_addr(entry.host_ptr), entry.host_ptr, entry.bytes,
+        /*with_handler=*/false, /*count_in_ledger=*/true, device));
+  }
+}
+
+void OffloadRuntime::end_copy_one(const MapEntry& entry, int device,
+                                  std::vector<hsa::Signal>& copies) {
+  apu::Machine& m = hsa_.machine();
+  m.sched().advance(m.costs().map_bookkeeping);
+  if (!copy_managed(entry)) {
+    return;
+  }
+  PresentEntry* e =
+      tables_[static_cast<std::size_t>(device)].lookup_range(entry.host_range());
+  if (e == nullptr) {
+    if (exit_only(entry.type)) {
+      return;  // release/delete of absent data is a no-op (OpenMP 5.x)
+    }
+    throw MappingError("target_data_end for unmapped range at " +
+                       entry.host_ptr.to_string());
+  }
+  const bool last_ref = !e->pinned && e->refcount == 1;
+  if (copies_to_host(entry.type) && (entry.always || last_ref)) {
+    copies.push_back(hsa_.memory_async_copy(
+        entry.host_ptr, e->device_addr(entry.host_ptr), entry.bytes,
+        /*with_handler=*/true, /*count_in_ledger=*/true, device));
+  }
+}
+
+void OffloadRuntime::end_release_one(const MapEntry& entry, int device) {
+  if (!copy_managed(entry)) {
+    return;
+  }
+  PresentTable& table = tables_[static_cast<std::size_t>(device)];
+  sim::LockGuard lock{table_mutex_, hsa_.machine().sched()};
+  PresentEntry* e = table.lookup_range(entry.host_range());
+  if (e == nullptr || e->pinned) {
+    return;
+  }
+  if (entry.type == MapType::Delete) {
+    e->refcount = 0;  // delete drops the mapping regardless of the count
+  } else if (e->refcount > 0) {
+    --e->refcount;
+  }
+  if (e->refcount == 0) {
+    const mem::VirtAddr dev = e->device_base;
+    const mem::VirtAddr host_base = e->host.base;
+    hsa_.memory_pool_free(dev);
+    table.erase(host_base);
+  }
+}
+
+void OffloadRuntime::check_distinct(std::span<const MapEntry> maps) {
+  // OpenMP restriction: a list item may appear at most once in the map
+  // clauses of a construct. Duplicates would double-count references and
+  // corrupt copy-back decisions, so reject them loudly.
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    for (std::size_t j = i + 1; j < maps.size(); ++j) {
+      const mem::AddrRange a = maps[i].host_range();
+      const mem::AddrRange b = maps[j].host_range();
+      if (a.base < b.end() && b.base < a.end()) {
+        throw MappingError("overlapping map entries at " +
+                           maps[i].host_ptr.to_string() + " and " +
+                           maps[j].host_ptr.to_string() +
+                           " on one construct");
+      }
+    }
+  }
+}
+
+void OffloadRuntime::target_data_begin(std::span<const MapEntry> maps,
+                                       int device) {
+  ensure_initialized();
+  check_device(device);
+  check_distinct(maps);
+  std::vector<hsa::Signal> copies;
+  for (const MapEntry& entry : maps) {
+    begin_one(entry, device, copies);
+  }
+  wait_all(copies);
+}
+
+void OffloadRuntime::target_data_end(std::span<const MapEntry> maps,
+                                     int device) {
+  ensure_initialized();
+  check_device(device);
+  check_distinct(maps);
+  std::vector<hsa::Signal> copies;
+  for (const MapEntry& entry : maps) {
+    end_copy_one(entry, device, copies);
+  }
+  wait_all(copies);
+  for (const MapEntry& entry : maps) {
+    end_release_one(entry, device);
+  }
+}
+
+void OffloadRuntime::target_enter_data(std::span<const MapEntry> maps,
+                                       int device) {
+  for (const MapEntry& entry : maps) {
+    if (exit_only(entry.type)) {
+      throw MappingError(std::string{"map type '"} + to_string(entry.type) +
+                         "' is not valid on target enter data");
+    }
+  }
+  target_data_begin(maps, device);
+}
+
+void OffloadRuntime::target_exit_data(std::span<const MapEntry> maps,
+                                      int device) {
+  target_data_end(maps, device);
+}
+
+void OffloadRuntime::target_update_to(const MapEntry& entry, int device) {
+  ensure_initialized();
+  check_device(device);
+  apu::Machine& m = hsa_.machine();
+  m.sched().advance(m.costs().map_bookkeeping);
+  if (!copy_managed(entry)) {
+    return;
+  }
+  PresentEntry* e =
+      tables_[static_cast<std::size_t>(device)].lookup_range(entry.host_range());
+  if (e == nullptr) {
+    throw MappingError("target update to() of unmapped range at " +
+                       entry.host_ptr.to_string());
+  }
+  hsa_.signal_wait_scacquire(hsa_.memory_async_copy(
+      e->device_addr(entry.host_ptr), entry.host_ptr, entry.bytes,
+      /*with_handler=*/false, /*count_in_ledger=*/true, device));
+}
+
+void OffloadRuntime::target_update_from(const MapEntry& entry, int device) {
+  ensure_initialized();
+  check_device(device);
+  apu::Machine& m = hsa_.machine();
+  m.sched().advance(m.costs().map_bookkeeping);
+  if (!copy_managed(entry)) {
+    return;
+  }
+  PresentEntry* e =
+      tables_[static_cast<std::size_t>(device)].lookup_range(entry.host_range());
+  if (e == nullptr) {
+    throw MappingError("target update from() of unmapped range at " +
+                       entry.host_ptr.to_string());
+  }
+  hsa_.signal_wait_scacquire(hsa_.memory_async_copy(
+      entry.host_ptr, e->device_addr(entry.host_ptr), entry.bytes,
+      /*with_handler=*/true, /*count_in_ledger=*/true, device));
+}
+
+namespace {
+
+hsa::Access access_for(MapType t) {
+  switch (t) {
+    case MapType::To:
+      return hsa::Access::Read;
+    case MapType::From:
+      return hsa::Access::Write;
+    case MapType::ToFrom:
+    case MapType::Alloc:
+    case MapType::Release:
+    case MapType::Delete:
+      return hsa::Access::ReadWrite;
+  }
+  return hsa::Access::ReadWrite;
+}
+
+/// Build the kernel launch for a region whose data has been entered.
+hsa::KernelLaunch build_launch(const TargetRegion& region,
+                               const ArgTranslator& translator) {
+  hsa::KernelLaunch launch;
+  launch.name = region.name;
+  launch.compute = region.compute;
+  launch.device = region.device;
+  launch.buffers.reserve(region.maps.size() + region.uses.size());
+  for (const MapEntry& entry : region.maps) {
+    launch.buffers.push_back(hsa::BufferAccess{
+        translator.device(entry.host_ptr), entry.bytes, access_for(entry.type)});
+  }
+  for (const BufferUse& use : region.uses) {
+    launch.buffers.push_back(hsa::BufferAccess{translator.device(use.addr),
+                                               use.bytes, use.access});
+  }
+  return launch;
+}
+
+}  // namespace
+
+void OffloadRuntime::target(const TargetRegion& region) {
+  ensure_initialized();
+  check_device(region.device);
+  target_data_begin(region.maps, region.device);
+
+  const ArgTranslator translator{
+      tables_[static_cast<std::size_t>(region.device)], zero_copy(),
+      &hsa_.memory().space()};
+  hsa::KernelLaunch launch = build_launch(region, translator);
+  if (region.body) {
+    launch.body = [&region, &translator](hsa::KernelContext& ctx) {
+      region.body(ctx, translator);
+    };
+  }
+  hsa_.run_kernel(launch, hsa_.machine().sched().current().id());
+
+  target_data_end(region.maps, region.device);
+}
+
+TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
+                                         std::span<const TargetTask*> depends) {
+  ensure_initialized();
+  check_device(region.device);
+  sim::TimePoint not_before;
+  for (const TargetTask* dep : depends) {
+    if (dep == nullptr || !dep->valid()) {
+      throw MappingError("target_nowait: invalid dependence");
+    }
+    not_before = max(not_before, dep->signal_.complete_at());
+  }
+  target_data_begin(region.maps, region.device);
+
+  const ArgTranslator translator{
+      tables_[static_cast<std::size_t>(region.device)], zero_copy(),
+      &hsa_.memory().space()};
+  hsa::KernelLaunch launch = build_launch(region, translator);
+  if (region.body) {
+    // The functional body runs at dispatch; a conforming program does not
+    // observe the results before target_wait anyway.
+    launch.body = [&region, &translator](hsa::KernelContext& ctx) {
+      region.body(ctx, translator);
+    };
+  }
+  TargetTask task;
+  task.signal_ = hsa_.dispatch_kernel(
+      launch, hsa_.machine().sched().current().id(), not_before);
+  task.maps_.assign(region.maps.begin(), region.maps.end());
+  task.device_ = region.device;
+  task.kernel_named_ = true;
+  return task;
+}
+
+void OffloadRuntime::target_wait(TargetTask& task) {
+  if (task.completed_) {
+    throw MappingError("target_wait: task already completed");
+  }
+  if (!task.valid()) {
+    throw MappingError("target_wait: empty task");
+  }
+  hsa_.signal_wait_scacquire(task.signal_);
+  target_data_end(task.maps_, task.device_);
+  task.completed_ = true;
+}
+
+mem::VirtAddr OffloadRuntime::device_alloc(std::uint64_t bytes,
+                                           std::string name, int device) {
+  ensure_initialized();
+  check_device(device);
+  return hsa_.memory_pool_allocate(bytes, std::move(name),
+                                   /*count_in_ledger=*/true, device);
+}
+
+void OffloadRuntime::device_free(mem::VirtAddr ptr) {
+  ensure_initialized();
+  hsa_.memory_pool_free(ptr);
+}
+
+void OffloadRuntime::target_memcpy(mem::VirtAddr dst, mem::VirtAddr src,
+                                   std::uint64_t bytes) {
+  ensure_initialized();
+  hsa_.signal_wait_scacquire(
+      hsa_.memory_async_copy(dst, src, bytes, /*with_handler=*/true));
+}
+
+}  // namespace zc::omp

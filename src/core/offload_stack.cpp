@@ -1,0 +1,40 @@
+#include "zc/core/offload_stack.hpp"
+
+namespace zc::omp {
+
+apu::Machine::Config OffloadStack::machine_config_for(RuntimeConfig config,
+                                                      sim::JitterParams jitter,
+                                                      std::uint64_t seed) {
+  apu::Machine::Config cfg;
+  cfg.kind = apu::MachineKind::ApuMi300a;
+  cfg.costs = apu::mi300a_costs();
+  cfg.jitter = jitter;
+  cfg.seed = seed;
+  switch (config) {
+    case RuntimeConfig::LegacyCopy:
+      cfg.env.hsa_xnack = false;
+      break;
+    case RuntimeConfig::UnifiedSharedMemory:
+    case RuntimeConfig::ImplicitZeroCopy:
+      cfg.env.hsa_xnack = true;
+      break;
+    case RuntimeConfig::EagerMaps:
+      cfg.env.hsa_xnack = true;
+      cfg.env.ompx_eager_maps = true;
+      break;
+  }
+  return cfg;
+}
+
+ProgramBinary OffloadStack::program_for(RuntimeConfig config,
+                                        ProgramBinary program) {
+  // Build the source with the requires pragma when USM is requested. A
+  // binary that already carries the requirement keeps it — the paper's
+  // §IV-B point: such binaries cannot be switched to other configurations.
+  if (config == RuntimeConfig::UnifiedSharedMemory) {
+    program.requires_unified_shared_memory = true;
+  }
+  return program;
+}
+
+}  // namespace zc::omp

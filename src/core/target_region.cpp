@@ -1,0 +1,28 @@
+#include "zc/core/target_region.hpp"
+
+#include <stdexcept>
+
+namespace zc::omp {
+
+mem::VirtAddr ArgTranslator::device(mem::VirtAddr host) const {
+  if (const PresentEntry* e = table_->lookup(host)) {
+    return e->device_addr(host);
+  }
+  if (zero_copy_default_) {
+    return host;
+  }
+  // Raw device pointers (omp_target_alloc / is_device_ptr) are already
+  // device addresses in every configuration.
+  if (space_ != nullptr) {
+    const mem::Allocation* a = space_->find(host);
+    if (a != nullptr && a->kind() == mem::MemKind::DevicePool) {
+      return host;
+    }
+  }
+  throw std::invalid_argument(
+      "ArgTranslator: host address " + host.to_string() +
+      " is not present in any device data environment (Legacy Copy "
+      "requires an enclosing map)");
+}
+
+}  // namespace zc::omp

@@ -1,0 +1,277 @@
+#include "zc/hsa/runtime.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace zc::hsa {
+
+using sim::Duration;
+using sim::TimePoint;
+
+Runtime::Runtime(apu::Machine& machine, mem::MemorySystem& mem)
+    : machine_{machine}, mem_{mem} {}
+
+void Runtime::record_call(trace::HsaCall call, TimePoint start,
+                          Duration latency) {
+  stats_.record(call, latency);
+  if (ctrace_.enabled()) {
+    ctrace_.record(call, sched().current().id(), start, latency);
+  }
+}
+
+Signal Runtime::signal_create() {
+  const Duration cost = Duration::from_us(0.2);
+  const TimePoint start = sched().now();
+  sched().advance(cost);
+  record_call(trace::HsaCall::SignalCreate, start, cost);
+  return Signal{};
+}
+
+void Runtime::signal_wait_scacquire(Signal s) {
+  const Duration overhead = machine_.costs().signal_wait_overhead;
+  const TimePoint start = sched().now();
+  const Duration blocked = s.wait(sched());
+  sched().advance(overhead);
+  record_call(trace::HsaCall::SignalWaitScacquire, start, blocked + overhead);
+}
+
+mem::VirtAddr Runtime::memory_pool_allocate(std::uint64_t bytes,
+                                            std::string name,
+                                            bool count_in_ledger, int device) {
+  const apu::CostParams& c = machine_.costs();
+  mem::Allocation& a = mem_.pool_alloc(bytes, std::move(name), device);
+  // Small requests are served from already-populated slabs; only large
+  // allocations pay per-page creation and bulk GPU page-table population.
+  // The whole operation holds the driver lock.
+  const bool slab = bytes < mem_.page_bytes() / 2;
+  const std::uint64_t pages =
+      slab ? 0 : a.range().page_count(mem_.page_bytes());
+  const Duration dur = machine_.jittered(
+      c.pool_alloc_base + c.bulk_page_populate * static_cast<double>(pages));
+  const TimePoint start = sched().now();
+  const sim::Interval iv = machine_.driver(device).reserve(start, dur);
+  sched().advance_to(iv.end);
+  record_call(trace::HsaCall::MemoryPoolAllocate, start, dur);
+  if (count_in_ledger) {
+    ledger_.add_alloc(dur);
+  }
+  if (machine_.log().enabled()) {
+    machine_.log().add(sched().now(), "hsa",
+                       "pool_allocate " + std::to_string(bytes) + "B");
+  }
+  return a.base();
+}
+
+void Runtime::memory_pool_free(mem::VirtAddr base) {
+  const apu::CostParams& c = machine_.costs();
+  mem::Allocation* const a = mem_.space().find(base);
+  const bool slab = a != nullptr && a->bytes() < mem_.page_bytes() / 2;
+  const std::uint64_t pages =
+      (a != nullptr && !slab) ? a->range().page_count(mem_.page_bytes()) : 0;
+  const int socket = a != nullptr ? a->home_socket() : 0;
+  const Duration dur = machine_.jittered(
+      c.pool_free_base + c.pool_free_per_page * static_cast<double>(pages));
+  const TimePoint start = sched().now();
+  const sim::Interval iv = machine_.driver(socket).reserve(start, dur);
+  sched().advance_to(iv.end);
+  mem_.pool_free(base);
+  record_call(trace::HsaCall::MemoryPoolFree, start, dur);
+  ledger_.add_alloc(dur);
+}
+
+Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
+                                  std::uint64_t bytes, bool with_handler,
+                                  bool count_in_ledger, int device) {
+  if (bytes == 0) {
+    throw std::invalid_argument("memory_async_copy: zero-byte copy");
+  }
+  const apu::CostParams& c = machine_.costs();
+
+  // Functional transfer first: program order on the issuing thread makes
+  // this equivalent to performing it at completion time. Unmaterialized
+  // allocations read as zeros, so zero->zero transfers are skipped and
+  // zero->data transfers become clears — GB-scale benchmark buffers that
+  // are only ever timed never consume real memory.
+  mem::Allocation* const src_alloc = mem_.space().find(src);
+  mem::Allocation* const dst_alloc = mem_.space().find(dst);
+  if (src_alloc == nullptr || !src_alloc->range().contains(src + (bytes - 1))) {
+    throw std::out_of_range("memory_async_copy: bad source range at " +
+                            src.to_string());
+  }
+  if (dst_alloc == nullptr || !dst_alloc->range().contains(dst + (bytes - 1))) {
+    throw std::out_of_range("memory_async_copy: bad destination range at " +
+                            dst.to_string());
+  }
+  if (src_alloc->materialized()) {
+    std::memmove(dst_alloc->translate(dst), src_alloc->translate(src), bytes);
+  } else if (dst_alloc->materialized()) {
+    std::memset(dst_alloc->translate(dst), 0, bytes);
+  }
+
+  const Duration setup = machine_.jittered(c.copy_setup);
+  const TimePoint start = sched().now();
+  const sim::Interval lock_iv = machine_.runtime_lock().reserve(start, setup);
+  sched().advance_to(lock_iv.end);
+  // Copies whose endpoints live on different sockets cross the fabric at
+  // reduced bandwidth.
+  Duration engine_time = machine_.jittered(machine_.copy_duration(bytes));
+  if (src_alloc->home_socket() != dst_alloc->home_socket()) {
+    engine_time = engine_time * (1.0 / c.remote_copy_bandwidth_factor);
+  }
+  const sim::Interval iv =
+      machine_.sdma(device).reserve(sched().now(), engine_time);
+
+  Signal sig;
+  sig.complete(sched(), iv.end);
+  record_call(trace::HsaCall::MemoryAsyncCopy, start, setup + engine_time);
+  if (count_in_ledger) {
+    ledger_.add_copy(setup + engine_time);
+  }
+  if (with_handler) {
+    // Host-side completion callback bookkeeping.
+    const Duration handler_cost = Duration::from_us(1.0);
+    record_call(trace::HsaCall::SignalAsyncHandler, iv.end, handler_cost);
+  }
+  return sig;
+}
+
+mem::PrefaultOutcome Runtime::svm_attributes_set_prefault(
+    mem::AddrRange range, int device) {
+  // The real syscall faults (EFAULT) on addresses outside any mapping;
+  // catch the misuse instead of inventing page-table entries for it.
+  const mem::Allocation* a = mem_.space().find(range.base);
+  if (range.empty() || a == nullptr ||
+      !a->range().contains(range.base + (range.bytes - 1))) {
+    throw std::invalid_argument(
+        "svm_attributes_set: range at " + range.base.to_string() +
+        " is not within a live allocation");
+  }
+  const apu::CostParams& c = machine_.costs();
+  const mem::PrefaultOutcome out = mem_.prefault(range, device);
+  const Duration dur = machine_.jittered_syscall(
+      c.prefault_syscall_base +
+      c.prefault_insert_per_page * static_cast<double>(out.inserted) +
+      c.prefault_populate_per_page * static_cast<double>(out.materialized) +
+      c.prefault_check_per_page * static_cast<double>(out.present));
+  // The syscall serializes on the owning socket's driver/page-table lock.
+  const TimePoint start = sched().now();
+  const sim::Interval iv = machine_.driver(device).reserve(start, dur);
+  sched().advance_to(iv.end);
+  record_call(trace::HsaCall::SvmAttributesSet, start, dur);
+  ledger_.add_prefault(dur);
+  return out;
+}
+
+Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
+                                sim::TimePoint not_before) {
+  const apu::CostParams& c = machine_.costs();
+  const bool xnack = machine_.env().hsa_xnack;
+
+  // CPU-side packet submission, serialized on the shared runtime lock.
+  const Duration dispatch_cost = machine_.jittered(c.kernel_dispatch_cpu);
+  const TimePoint submit = sched().now();
+  const sim::Interval lock_iv =
+      machine_.runtime_lock().reserve(submit, dispatch_cost);
+  sched().advance_to(lock_iv.end);
+  record_call(trace::HsaCall::QueueDispatch, submit, dispatch_cost);
+  const TimePoint dispatched = max(sched().now(), not_before);
+
+  // Page-fault accounting for every buffer the kernel touches. Faults on
+  // CPU-resident pages only mirror the translation; faults on untouched
+  // pages additionally materialize them (GPU-side first touch).
+  std::uint64_t faults = 0;
+  std::uint64_t non_resident = 0;
+  bool remote_data = false;
+  for (const BufferAccess& b : launch.buffers) {
+    if (const mem::Allocation* a = mem_.space().find(b.addr);
+        a != nullptr && a->home_socket() != launch.device) {
+      remote_data = true;
+    }
+    const std::uint64_t absent = mem_.gpu_absent_pages(b.range(), launch.device);
+    if (absent == 0) {
+      continue;
+    }
+    if (!xnack) {
+      throw GpuMemoryFault(
+          "kernel '" + launch.name + "' touches " + std::to_string(absent) +
+          " unmapped page(s) at " + b.addr.to_string() +
+          " with XNACK disabled");
+    }
+    const mem::FaultOutcome fo = mem_.gpu_fault_in(b.range(), launch.device);
+    faults += fo.faulted;
+    non_resident += fo.non_resident;
+  }
+  Duration fault_time;
+  if (faults > 0) {
+    fault_time = machine_.jittered(
+        machine_.fault_service_duration(true) *
+            static_cast<double>(faults - non_resident) +
+        machine_.fault_service_duration(false) *
+            static_cast<double>(non_resident));
+  }
+
+  // TLB behaviour of the streamed ranges.
+  std::uint64_t tlb_misses = 0;
+  for (const BufferAccess& b : launch.buffers) {
+    tlb_misses += mem_.tlb_access(b.range(), launch.device).misses;
+  }
+  const Duration tlb_time = c.tlb_walk * static_cast<double>(tlb_misses);
+
+  // Fault servicing holds the driver lock; queueing delay behind other
+  // driver work (e.g. another thread's prefault syscalls) extends the
+  // kernel's stall.
+  Duration fault_term;
+  if (!fault_time.is_zero()) {
+    const sim::Interval di =
+        machine_.driver(launch.device).reserve(dispatched, fault_time);
+    fault_term = di.end - dispatched;
+  }
+
+  // XNACK-enabled processes pay a small uniform kernel-time penalty
+  // (retry-capable code generation), independent of any faults. Kernels
+  // whose data lives on another socket's HBM additionally pay the
+  // cross-socket fabric penalty.
+  Duration base_compute = launch.compute;
+  if (xnack) {
+    base_compute = base_compute * c.xnack_kernel_slowdown;
+  }
+  if (remote_data) {
+    base_compute = base_compute * c.remote_memory_penalty;
+  }
+  const Duration compute = machine_.jittered(base_compute);
+  const Duration launch_lat = machine_.jittered(c.kernel_launch_latency);
+  const Duration total = launch_lat + compute + tlb_time + fault_term;
+  const sim::Interval gi = machine_.gpu(launch.device).reserve(dispatched, total);
+
+  // Functional execution.
+  if (launch.body) {
+    KernelContext ctx{mem_.space()};
+    launch.body(ctx);
+  }
+
+  if (faults > 0) {
+    ledger_.add_first_touch(fault_term, faults);
+  }
+  ktrace_.record(trace::KernelRecord{
+      .name = launch.name,
+      .host_thread = host_thread,
+      .dispatch = dispatched,
+      .start = gi.start,
+      .end = gi.end,
+      .compute = compute,
+      .fault_stall = fault_term,
+      .tlb_stall = tlb_time,
+      .page_faults = faults,
+      .tlb_misses = tlb_misses,
+  });
+
+  Signal sig;
+  sig.complete(sched(), gi.end);
+  return sig;
+}
+
+void Runtime::run_kernel(const KernelLaunch& launch, int host_thread) {
+  signal_wait_scacquire(dispatch_kernel(launch, host_thread));
+}
+
+}  // namespace zc::hsa

@@ -1,0 +1,94 @@
+#include "zc/mem/address_space.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace zc::mem {
+
+std::string VirtAddr::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+Allocation::Allocation(VirtAddr base, std::uint64_t bytes, MemKind kind,
+                       std::string name)
+    : base_{base}, bytes_{bytes}, kind_{kind}, name_{std::move(name)} {}
+
+void Allocation::ensure_backing() {
+  if (backing_ == nullptr) {
+    backing_.reset(new std::byte[bytes_]());
+  }
+}
+
+std::byte* Allocation::translate(VirtAddr a) {
+  if (!range().contains(a)) {
+    throw std::out_of_range("Allocation::translate: address " + a.to_string() +
+                            " outside allocation '" + name_ + "'");
+  }
+  ensure_backing();
+  return backing_.get() + (a - base_);
+}
+
+AddressSpace::AddressSpace(std::uint64_t page_bytes) : page_bytes_{page_bytes} {
+  if (page_bytes_ == 0 || (page_bytes_ & (page_bytes_ - 1)) != 0) {
+    throw std::invalid_argument("AddressSpace: page size must be a power of two");
+  }
+  next_ = page_bytes_;  // keep address 0 unmapped so VirtAddr::null stays invalid
+}
+
+Allocation& AddressSpace::allocate(std::uint64_t bytes, MemKind kind,
+                                   std::string name) {
+  if (bytes == 0) {
+    throw std::invalid_argument("AddressSpace::allocate: zero-byte allocation");
+  }
+  const VirtAddr base{next_};
+  const std::uint64_t span = (bytes + page_bytes_ - 1) / page_bytes_ * page_bytes_;
+  next_ += span + page_bytes_;  // one guard page between allocations
+  auto alloc =
+      std::make_unique<Allocation>(base, bytes, kind, std::move(name));
+  Allocation& ref = *alloc;
+  allocs_.emplace(base.value, std::move(alloc));
+  live_bytes_ += bytes;
+  total_bytes_ += bytes;
+  return ref;
+}
+
+void AddressSpace::free(VirtAddr base) {
+  auto it = allocs_.find(base.value);
+  if (it == allocs_.end()) {
+    throw std::invalid_argument("AddressSpace::free: unknown base " +
+                                base.to_string());
+  }
+  live_bytes_ -= it->second->bytes();
+  allocs_.erase(it);
+}
+
+Allocation* AddressSpace::find(VirtAddr a) {
+  if (allocs_.empty()) {
+    return nullptr;
+  }
+  auto it = allocs_.upper_bound(a.value);
+  if (it == allocs_.begin()) {
+    return nullptr;
+  }
+  --it;
+  Allocation* alloc = it->second.get();
+  return alloc->range().contains(a) ? alloc : nullptr;
+}
+
+const Allocation* AddressSpace::find(VirtAddr a) const {
+  return const_cast<AddressSpace*>(this)->find(a);
+}
+
+std::byte* AddressSpace::translate(VirtAddr a) {
+  Allocation* alloc = find(a);
+  if (alloc == nullptr) {
+    throw std::out_of_range("AddressSpace::translate: unmapped address " +
+                            a.to_string());
+  }
+  return alloc->translate(a);
+}
+
+}  // namespace zc::mem

@@ -1,0 +1,120 @@
+#include "zc/mem/memory_system.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace zc::mem {
+
+MemorySystem::MemorySystem(apu::Machine& machine)
+    : machine_{machine},
+      space_{machine.page_bytes()},
+      cpu_pt_{machine.page_bytes()} {
+  for (int s = 0; s < machine.sockets(); ++s) {
+    gpu_pt_.emplace_back(machine.page_bytes());
+    tlb_.emplace_back(machine.costs().tlb_entries, machine.page_bytes());
+  }
+}
+
+Allocation& MemorySystem::os_alloc(std::uint64_t bytes, std::string name,
+                                   int home_socket) {
+  Allocation& a = space_.allocate(bytes, MemKind::HostOs, std::move(name));
+  a.set_home_socket(home_socket);
+  return a;
+}
+
+void MemorySystem::os_free(VirtAddr base) { release(base, MemKind::HostOs); }
+
+Allocation& MemorySystem::pool_alloc(std::uint64_t bytes, std::string name,
+                                     int socket) {
+  Allocation& a = space_.allocate(bytes, MemKind::DevicePool, std::move(name));
+  a.set_home_socket(socket);
+  // Pool allocations are mapped in bulk at creation: the owning GPU can
+  // translate them immediately (no XNACK), and on an APU the CPU can as
+  // well, because the driver fulfilled the request from shared storage.
+  gpu_pt(socket).insert_range(a.range());
+  if (machine_.is_apu()) {
+    cpu_pt_.insert_range(a.range());
+  }
+  return a;
+}
+
+void MemorySystem::pool_free(VirtAddr base) {
+  release(base, MemKind::DevicePool);
+}
+
+void MemorySystem::release(VirtAddr base, MemKind expected) {
+  Allocation* a = space_.find(base);
+  if (a == nullptr || a->base() != base) {
+    throw std::invalid_argument("MemorySystem: free of unknown base " +
+                                base.to_string());
+  }
+  if (a->kind() != expected) {
+    throw std::invalid_argument(std::string{"MemorySystem: free of "} +
+                                to_string(a->kind()) + " allocation '" +
+                                a->name() + "' via " + to_string(expected) +
+                                " API");
+  }
+  const AddrRange range = a->range();
+  cpu_pt_.remove_range(range);
+  for (std::size_t s = 0; s < gpu_pt_.size(); ++s) {
+    gpu_pt_[s].remove_range(range);
+    tlb_[s].invalidate_range(range);
+  }
+  space_.free(base);
+}
+
+std::uint64_t MemorySystem::host_touch(AddrRange range) {
+  return cpu_pt_.insert_range(range);
+}
+
+std::uint64_t MemorySystem::gpu_absent_pages(AddrRange range,
+                                             int socket) const {
+  return gpu_pt_.at(static_cast<std::size_t>(socket)).count_absent(range);
+}
+
+FaultOutcome MemorySystem::gpu_fault_in(AddrRange range, int socket) {
+  // The XNACK-replay walk materializes the host page if needed (the
+  // expensive demand path), then inserts the translation into the GPU page
+  // table.
+  FaultOutcome out;
+  PageTable& pt = gpu_pt(socket);
+  const std::uint64_t pb = space_.page_bytes();
+  const std::uint64_t end = range.end_page(pb);
+  for (std::uint64_t p = range.first_page(pb); p < end; ++p) {
+    if (!pt.insert(p)) {
+      continue;  // already GPU-translatable: no fault
+    }
+    ++out.faulted;
+    if (cpu_pt_.insert(p)) {
+      ++out.non_resident;
+    }
+  }
+  return out;
+}
+
+PrefaultOutcome MemorySystem::prefault(AddrRange range, int socket) {
+  // Host-side prefault walks the host page table to find entries to
+  // mirror; untouched pages are bulk-created first (and reported, since
+  // creation dominates their cost).
+  PrefaultOutcome out;
+  PageTable& pt = gpu_pt(socket);
+  const std::uint64_t pb = space_.page_bytes();
+  const std::uint64_t end = range.end_page(pb);
+  for (std::uint64_t p = range.first_page(pb); p < end; ++p) {
+    if (!pt.insert(p)) {
+      ++out.present;
+      continue;
+    }
+    ++out.inserted;
+    if (cpu_pt_.insert(p)) {
+      ++out.materialized;
+    }
+  }
+  return out;
+}
+
+TlbAccessResult MemorySystem::tlb_access(AddrRange range, int socket) {
+  return tlb(socket).access_range(range);
+}
+
+}  // namespace zc::mem

@@ -1,0 +1,40 @@
+#include "zc/mem/page_table.hpp"
+
+#include <stdexcept>
+
+namespace zc::mem {
+
+PageTable::PageTable(std::uint64_t page_bytes) : page_bytes_{page_bytes} {
+  if (page_bytes_ == 0 || (page_bytes_ & (page_bytes_ - 1)) != 0) {
+    throw std::invalid_argument("PageTable: page size must be a power of two");
+  }
+}
+
+std::uint64_t PageTable::insert_range(AddrRange range) {
+  std::uint64_t inserted = 0;
+  const std::uint64_t end = range.end_page(page_bytes_);
+  for (std::uint64_t p = range.first_page(page_bytes_); p < end; ++p) {
+    inserted += pages_.insert(p).second ? 1 : 0;
+  }
+  return inserted;
+}
+
+std::uint64_t PageTable::remove_range(AddrRange range) {
+  std::uint64_t removed = 0;
+  const std::uint64_t end = range.end_page(page_bytes_);
+  for (std::uint64_t p = range.first_page(page_bytes_); p < end; ++p) {
+    removed += pages_.erase(p);
+  }
+  return removed;
+}
+
+std::uint64_t PageTable::count_absent(AddrRange range) const {
+  std::uint64_t absent = 0;
+  const std::uint64_t end = range.end_page(page_bytes_);
+  for (std::uint64_t p = range.first_page(page_bytes_); p < end; ++p) {
+    absent += pages_.contains(p) ? 0 : 1;
+  }
+  return absent;
+}
+
+}  // namespace zc::mem

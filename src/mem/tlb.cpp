@@ -1,0 +1,79 @@
+#include "zc/mem/tlb.hpp"
+
+#include <stdexcept>
+
+namespace zc::mem {
+
+Tlb::Tlb(std::uint32_t capacity, std::uint64_t page_bytes)
+    : capacity_{capacity}, page_bytes_{page_bytes} {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("Tlb: capacity must be positive");
+  }
+  if (page_bytes_ == 0 || (page_bytes_ & (page_bytes_ - 1)) != 0) {
+    throw std::invalid_argument("Tlb: page size must be a power of two");
+  }
+}
+
+bool Tlb::access(std::uint64_t page_index) {
+  auto it = map_.find(page_index);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= capacity_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(page_index);
+  map_.emplace(page_index, lru_.begin());
+  return false;
+}
+
+TlbAccessResult Tlb::access_range(AddrRange range) {
+  TlbAccessResult r;
+  const std::uint64_t first = range.first_page(page_bytes_);
+  const std::uint64_t end = range.end_page(page_bytes_);
+  // Fast path: a sequential stream at least as large as the TLB thrashes
+  // completely under LRU — every access misses and the TLB ends up holding
+  // the last `capacity` pages. Model that directly instead of walking
+  // millions of pages.
+  if (end - first > capacity_) {
+    r.misses = end - first;
+    misses_ += r.misses;
+    invalidate_all();
+    for (std::uint64_t p = end - capacity_; p < end; ++p) {
+      lru_.push_front(p);
+      map_.emplace(p, lru_.begin());
+    }
+    return r;
+  }
+  for (std::uint64_t p = first; p < end; ++p) {
+    if (access(p)) {
+      ++r.hits;
+    } else {
+      ++r.misses;
+    }
+  }
+  return r;
+}
+
+void Tlb::invalidate_range(AddrRange range) {
+  const std::uint64_t end = range.end_page(page_bytes_);
+  for (std::uint64_t p = range.first_page(page_bytes_); p < end; ++p) {
+    auto it = map_.find(p);
+    if (it != map_.end()) {
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+  }
+}
+
+void Tlb::invalidate_all() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace zc::mem

@@ -1,0 +1,53 @@
+#include "zc/sim/event_log.hpp"
+
+#include <ostream>
+#include <utility>
+
+namespace zc::sim {
+
+void EventLog::add(TimePoint t, std::string category, std::string text) {
+  if (!enabled_ || capacity_ == 0) {
+    return;
+  }
+  Event ev{t, std::move(category), std::move(text)};
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(ev));
+    return;
+  }
+  events_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::by_category(const std::string& cat) const {
+  std::vector<Event> out;
+  for (const Event& e : snapshot()) {
+    if (e.category == cat) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+void EventLog::clear() {
+  events_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+void EventLog::dump(std::ostream& os) const {
+  for (const Event& e : snapshot()) {
+    os << e.time.to_string() << " [" << e.category << "] " << e.text << '\n';
+  }
+}
+
+}  // namespace zc::sim

@@ -1,0 +1,83 @@
+#include "zc/sim/fiber.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace zc::sim {
+
+namespace {
+// Single-OS-thread simulator: plain globals are sufficient and keep the
+// ucontext trampoline (which cannot take pointer arguments portably) simple.
+Fiber* g_current = nullptr;
+Fiber* g_starting = nullptr;
+}  // namespace
+
+Fiber* Fiber::current() { return g_current; }
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_{std::move(body)}, stack_{new char[stack_bytes]} {
+  if (!body_) {
+    throw std::invalid_argument("Fiber: empty body");
+  }
+  if (getcontext(&ctx_) != 0) {
+    throw std::runtime_error("Fiber: getcontext failed");
+  }
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = nullptr;  // trampoline swaps back explicitly
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+// Destroying a suspended (started, unfinished) fiber releases the stack
+// without unwinding it, so destructors of the fiber's live locals do not
+// run. This only happens on error paths (e.g. tearing down a deadlocked
+// simulation), where leaking those locals is preferable to aborting.
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline() {
+  Fiber* self = g_starting;
+  g_starting = nullptr;
+  try {
+    self->body_();
+  } catch (...) {
+    self->error_ = std::current_exception();
+  }
+  self->finished_ = true;
+  g_current = nullptr;
+  swapcontext(&self->ctx_, &self->resumer_);
+  // Never reached: a finished fiber is never resumed.
+  std::abort();
+}
+
+void Fiber::resume() {
+  if (finished_) {
+    throw std::logic_error("Fiber::resume on finished fiber");
+  }
+  Fiber* const prev = g_current;
+  g_current = this;
+  if (!started_) {
+    started_ = true;
+    g_starting = this;
+  }
+  if (swapcontext(&resumer_, &ctx_) != 0) {
+    g_current = prev;
+    throw std::runtime_error("Fiber: swapcontext failed");
+  }
+  g_current = prev;
+  if (finished_ && error_) {
+    std::exception_ptr err = std::exchange(error_, nullptr);
+    std::rethrow_exception(err);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* const self = g_current;
+  if (self == nullptr) {
+    throw std::logic_error("Fiber::yield outside any fiber");
+  }
+  g_current = nullptr;
+  swapcontext(&self->ctx_, &self->resumer_);
+}
+
+}  // namespace zc::sim

@@ -1,0 +1,22 @@
+#include "zc/sim/jitter.hpp"
+
+namespace zc::sim {
+
+Duration JitterModel::apply(Duration d) {
+  if (d.is_zero()) {
+    return d;
+  }
+  double factor = 1.0;
+  if (params_.sigma > 0.0) {
+    factor *= rng_.lognormal_unit_mean(params_.sigma);
+  }
+  if (params_.outlier_prob > 0.0 && rng_.bernoulli(params_.outlier_prob)) {
+    factor *= params_.outlier_factor;
+  }
+  if (factor == 1.0) {
+    return d;
+  }
+  return d * factor;
+}
+
+}  // namespace zc::sim

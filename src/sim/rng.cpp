@@ -1,0 +1,91 @@
+#include "zc/sim/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace zc::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+  // xoshiro state must not be all-zero; splitmix64 never produces four zero
+  // outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  // Modulo bias is negligible for the small ranges used in the simulator,
+  // but use Lemire's multiply-shift reduction anyway.
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(next_u64()) * static_cast<unsigned __int128>(n);
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  spare_ = r * std::sin(theta);
+  have_spare_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::lognormal_unit_mean(double sigma) {
+  if (sigma <= 0.0) {
+    return 1.0;
+  }
+  return std::exp(sigma * normal() - 0.5 * sigma * sigma);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Rng Rng::split() { return Rng{next_u64()}; }
+
+}  // namespace zc::sim

@@ -1,0 +1,176 @@
+#include "zc/sim/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace zc::sim {
+
+Scheduler::Scheduler() = default;
+Scheduler::~Scheduler() = default;
+
+VirtualThread& Scheduler::spawn(std::string name, std::function<void()> body) {
+  const int id = static_cast<int>(threads_.size());
+  auto vt = std::unique_ptr<VirtualThread>(
+      new VirtualThread{std::move(name), id});
+  VirtualThread* const raw = vt.get();
+  if (running_ != nullptr) {
+    raw->clock_ = running_->clock_;  // child inherits the spawner's time
+  }
+  raw->fiber_ = std::make_unique<Fiber>([this, raw, fn = std::move(body)] {
+    fn();
+    raw->state_ = VirtualThread::State::Finished;
+    horizon_ = max(horizon_, raw->clock_);
+  });
+  threads_.push_back(std::move(vt));
+  return *raw;
+}
+
+VirtualThread* Scheduler::pick_next() const {
+  // Minimum clock wins; on ties a thread that called reschedule() lets
+  // non-deprioritized peers go first, then spawn order breaks what remains.
+  VirtualThread* best = nullptr;
+  for (const auto& t : threads_) {
+    if (t->state_ != VirtualThread::State::Runnable) {
+      continue;
+    }
+    if (best == nullptr || t->clock_ < best->clock_ ||
+        (t->clock_ == best->clock_ && best->deprioritized_ &&
+         !t->deprioritized_)) {
+      best = t.get();
+    }
+  }
+  return best;
+}
+
+void Scheduler::run() {
+  if (in_run_) {
+    throw SimError("Scheduler::run is not reentrant");
+  }
+  in_run_ = true;
+  while (true) {
+    VirtualThread* const next = pick_next();
+    if (next == nullptr) {
+      bool any_blocked = false;
+      std::string blocked_names;
+      for (const auto& t : threads_) {
+        if (t->state_ == VirtualThread::State::Blocked) {
+          any_blocked = true;
+          if (!blocked_names.empty()) {
+            blocked_names += ", ";
+          }
+          blocked_names += t->name_;
+        }
+      }
+      in_run_ = false;
+      if (any_blocked) {
+        throw SimError("simulation deadlock: blocked threads remain (" +
+                       blocked_names + ")");
+      }
+      return;  // all finished
+    }
+    running_ = next;
+    next->deprioritized_ = false;
+    try {
+      next->fiber_->resume();
+    } catch (...) {
+      running_ = nullptr;
+      in_run_ = false;
+      throw;
+    }
+    running_ = nullptr;
+  }
+}
+
+VirtualThread& Scheduler::current() {
+  if (running_ == nullptr) {
+    throw SimError("no virtual thread is running");
+  }
+  return *running_;
+}
+
+const VirtualThread& Scheduler::current() const {
+  if (running_ == nullptr) {
+    throw SimError("no virtual thread is running");
+  }
+  return *running_;
+}
+
+TimePoint Scheduler::now() const { return current().clock_; }
+
+void Scheduler::advance(Duration d) {
+  if (d.is_negative()) {
+    throw SimError("Scheduler::advance: negative duration");
+  }
+  VirtualThread& self = current();
+  self.clock_ += d;
+  horizon_ = max(horizon_, self.clock_);
+  maybe_yield();
+}
+
+void Scheduler::advance_to(TimePoint t) {
+  VirtualThread& self = current();
+  if (t > self.clock_) {
+    self.clock_ = t;
+    horizon_ = max(horizon_, self.clock_);
+  }
+  maybe_yield();
+}
+
+void Scheduler::reschedule() {
+  VirtualThread& self = current();
+  self.deprioritized_ = true;
+  Fiber::yield();
+}
+
+void Scheduler::maybe_yield() {
+  // Keep running while we are still (one of) the minimum-clock runnable
+  // threads; the spawn-order tie break means an equal-clock thread with a
+  // smaller id must get the CPU first.
+  VirtualThread& self = current();
+  for (const auto& t : threads_) {
+    if (t.get() == &self || t->state_ != VirtualThread::State::Runnable) {
+      continue;
+    }
+    if (t->clock_ < self.clock_ ||
+        (t->clock_ == self.clock_ && t->id_ < self.id_ &&
+         !t->deprioritized_)) {
+      Fiber::yield();
+      return;
+    }
+  }
+}
+
+void Scheduler::block_current() {
+  VirtualThread& self = current();
+  self.state_ = VirtualThread::State::Blocked;
+  Fiber::yield();
+}
+
+void Scheduler::wake(VirtualThread& t, TimePoint at_least) {
+  if (t.state_ != VirtualThread::State::Blocked) {
+    throw SimError("Scheduler::wake: thread '" + t.name_ + "' is not blocked");
+  }
+  t.state_ = VirtualThread::State::Runnable;
+  t.clock_ = max(t.clock_, at_least);
+  horizon_ = max(horizon_, t.clock_);
+}
+
+void WaitList::wait(Scheduler& sched) {
+  VirtualThread& self = sched.current();
+  waiters_.push_back(&self);
+  sched.block_current();
+}
+
+void WaitList::notify_all(Scheduler& sched, TimePoint at_least) {
+  std::vector<VirtualThread*> waiters = std::move(waiters_);
+  waiters_.clear();
+  for (VirtualThread* w : waiters) {
+    sched.wake(*w, at_least);
+  }
+  // If a woken thread now has a smaller clock than the notifier, hand over.
+  if (sched.in_thread()) {
+    sched.maybe_yield();
+  }
+}
+
+}  // namespace zc::sim

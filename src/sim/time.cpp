@@ -1,0 +1,44 @@
+#include "zc/sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace zc::sim {
+
+Duration Duration::from_us(double us) {
+  return Duration::nanoseconds(static_cast<std::int64_t>(std::llround(us * 1e3)));
+}
+
+Duration Duration::from_seconds(double s) {
+  return Duration::nanoseconds(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+Duration operator*(Duration a, double k) {
+  return Duration::nanoseconds(
+      static_cast<std::int64_t>(std::llround(static_cast<double>(a.ns()) * k)));
+}
+
+namespace {
+
+std::string format_ns(std::int64_t v) {
+  char buf[64];
+  const double av = std::abs(static_cast<double>(v));
+  if (av < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(v));
+  } else if (av < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3gus", static_cast<double>(v) / 1e3);
+  } else if (av < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.4gms", static_cast<double>(v) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.5gs", static_cast<double>(v) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return format_ns(ns_); }
+
+std::string TimePoint::to_string() const { return format_ns(ns_); }
+
+}  // namespace zc::sim

@@ -1,0 +1,51 @@
+#include "zc/sim/timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace zc::sim {
+
+ResourceTimeline::ResourceTimeline(std::string name, int servers)
+    : name_{std::move(name)} {
+  if (servers <= 0) {
+    throw std::invalid_argument("ResourceTimeline '" + name_ +
+                                "': servers must be positive");
+  }
+  free_at_.assign(static_cast<std::size_t>(servers), TimePoint::zero());
+}
+
+Interval ResourceTimeline::reserve(TimePoint ready, Duration dur) {
+  if (dur.is_negative()) {
+    throw std::invalid_argument("ResourceTimeline '" + name_ +
+                                "': negative duration");
+  }
+  last_ready_ = max(last_ready_, ready);
+
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  const TimePoint start = max(ready, *it);
+  const TimePoint end = start + dur;
+  *it = end;
+
+  ++reservations_;
+  busy_ += dur;
+  queued_ += start - ready;
+  return Interval{start, end};
+}
+
+TimePoint ResourceTimeline::available_at() const {
+  return *std::min_element(free_at_.begin(), free_at_.end());
+}
+
+TimePoint ResourceTimeline::drained_at() const {
+  return *std::max_element(free_at_.begin(), free_at_.end());
+}
+
+void ResourceTimeline::reset() {
+  std::fill(free_at_.begin(), free_at_.end(), TimePoint::zero());
+  reservations_ = 0;
+  busy_ = Duration::zero();
+  queued_ = Duration::zero();
+  last_ready_ = TimePoint::zero();
+}
+
+}  // namespace zc::sim

@@ -1,0 +1,86 @@
+#include "zc/stats/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace zc::stats {
+
+AsciiChart::AsciiChart(std::string title, std::vector<std::string> x_labels)
+    : title_{std::move(title)}, x_labels_{std::move(x_labels)} {
+  if (x_labels_.empty()) {
+    throw std::invalid_argument("AsciiChart: no x labels");
+  }
+}
+
+void AsciiChart::add_series(std::string name, std::vector<double> ys) {
+  if (ys.size() != x_labels_.size()) {
+    throw std::invalid_argument("AsciiChart: series '" + name +
+                                "' arity mismatch");
+  }
+  series_.push_back(Series{std::move(name), std::move(ys)});
+}
+
+void AsciiChart::print(std::ostream& os, int height) const {
+  if (series_.empty() || height < 2) {
+    throw std::invalid_argument("AsciiChart::print: nothing to draw");
+  }
+  double lo = series_[0].ys[0];
+  double hi = lo;
+  for (const Series& s : series_) {
+    for (const double y : s.ys) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+  }
+  if (hi == lo) {
+    hi = lo + 1.0;
+  }
+  // Pad the range slightly so extremes do not sit on the border rows.
+  const double pad = 0.05 * (hi - lo);
+  lo -= pad;
+  hi += pad;
+
+  const int col_width = 7;
+  const int plot_cols = static_cast<int>(x_labels_.size()) * col_width;
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(plot_cols), ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const Series& s = series_[si];
+    for (std::size_t xi = 0; xi < s.ys.size(); ++xi) {
+      const double frac = (s.ys[xi] - lo) / (hi - lo);
+      int row = height - 1 -
+                static_cast<int>(std::lround(frac * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      const int col = static_cast<int>(xi) * col_width + col_width / 2;
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          static_cast<char>('0' + (si % 10));
+    }
+  }
+
+  os << title_ << '\n';
+  for (int r = 0; r < height; ++r) {
+    const double y = hi - (hi - lo) * r / (height - 1);
+    char label[16];
+    std::snprintf(label, sizeof label, "%6.2f", y);
+    os << label << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(8, ' ') << std::string(static_cast<std::size_t>(plot_cols), '-')
+     << '\n';
+  os << std::string(8, ' ');
+  for (const std::string& xl : x_labels_) {
+    char cell[16];
+    std::snprintf(cell, sizeof cell, "%*s", col_width,
+                  xl.substr(0, static_cast<std::size_t>(col_width) - 1).c_str());
+    os << cell;
+  }
+  os << '\n';
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "  [" << si % 10 << "] " << series_[si].name << '\n';
+  }
+}
+
+}  // namespace zc::stats

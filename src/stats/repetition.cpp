@@ -1,0 +1,25 @@
+#include "zc/stats/repetition.hpp"
+
+#include <stdexcept>
+
+namespace zc::stats {
+
+RepeatedRuns repeat(
+    int reps, std::uint64_t base_seed,
+    const std::function<sim::Duration(std::uint64_t seed)>& run) {
+  if (reps <= 0) {
+    throw std::invalid_argument("repeat: reps must be positive");
+  }
+  RepeatedRuns out;
+  out.times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    out.times.push_back(run(base_seed + static_cast<std::uint64_t>(r) + 1));
+  }
+  return out;
+}
+
+double ratio_of_medians(const RepeatedRuns& copy, const RepeatedRuns& config) {
+  return copy.median_time() / config.median_time();
+}
+
+}  // namespace zc::stats

@@ -1,0 +1,83 @@
+#include "zc/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace zc::stats {
+
+double median(std::vector<double> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("median: empty sample set");
+  }
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + mid, samples.end());
+  const double hi = samples[mid];
+  if (samples.size() % 2 == 1) {
+    return hi;
+  }
+  const double lo =
+      *std::max_element(samples.begin(), samples.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    throw std::invalid_argument("percentile: empty sample set");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("percentile: p outside [0, 1]");
+  }
+  std::sort(samples.begin(), samples.end());
+  const double pos = p * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) {
+    return samples.back();
+  }
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+sim::Duration median(const std::vector<sim::Duration>& samples) {
+  std::vector<double> secs;
+  secs.reserve(samples.size());
+  for (const sim::Duration d : samples) {
+    secs.push_back(d.sec());
+  }
+  return sim::Duration::from_seconds(median(std::move(secs)));
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("summarize: empty sample set");
+  }
+  Summary s;
+  s.n = samples.size();
+  double sum = 0.0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (const double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  double ss = 0.0;
+  for (const double v : samples) {
+    ss += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = s.n > 1 ? std::sqrt(ss / static_cast<double>(s.n - 1)) : 0.0;
+  s.median = median(samples);
+  return s;
+}
+
+Summary summarize(const std::vector<sim::Duration>& samples) {
+  std::vector<double> secs;
+  secs.reserve(samples.size());
+  for (const sim::Duration d : samples) {
+    secs.push_back(d.sec());
+  }
+  return summarize(secs);
+}
+
+}  // namespace zc::stats

@@ -1,0 +1,92 @@
+#include "zc/stats/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace zc::stats {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_{std::move(header)} {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: empty header");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row arity " +
+                                std::to_string(row.size()) +
+                                " != header arity " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::count(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  const std::size_t first = raw.size() % 3 == 0 ? 3 : raw.size() % 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) {
+      out += ',';
+    }
+    out += raw[i];
+  }
+  return out;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto csv_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << row[c];
+    }
+    os << '\n';
+  };
+  csv_row(header_);
+  for (const auto& row : rows_) {
+    csv_row(row);
+  }
+}
+
+}  // namespace zc::stats

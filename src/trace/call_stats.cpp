@@ -1,0 +1,74 @@
+#include "zc/trace/call_stats.hpp"
+
+#include <ostream>
+
+namespace zc::trace {
+
+const char* to_string(HsaCall c) {
+  switch (c) {
+    case HsaCall::SignalCreate:
+      return "hsa_signal_create";
+    case HsaCall::SignalWaitScacquire:
+      return "hsa_signal_wait_scacquire";
+    case HsaCall::SignalAsyncHandler:
+      return "hsa_amd_signal_async_handler";
+    case HsaCall::MemoryPoolAllocate:
+      return "hsa_amd_memory_pool_allocate";
+    case HsaCall::MemoryPoolFree:
+      return "hsa_amd_memory_pool_free";
+    case HsaCall::MemoryAsyncCopy:
+      return "hsa_amd_memory_async_copy";
+    case HsaCall::QueueDispatch:
+      return "hsa_queue_dispatch";
+    case HsaCall::SvmAttributesSet:
+      return "hsa_amd_svm_attributes_set";
+    case HsaCall::kCount:
+      break;
+  }
+  return "?";
+}
+
+void CallStats::record(HsaCall call, sim::Duration latency) {
+  Entry& e = entries_[index(call)];
+  ++e.count;
+  e.latency += latency;
+}
+
+std::uint64_t CallStats::total_calls() const {
+  std::uint64_t n = 0;
+  for (const Entry& e : entries_) {
+    n += e.count;
+  }
+  return n;
+}
+
+sim::Duration CallStats::total_time() const {
+  sim::Duration d;
+  for (const Entry& e : entries_) {
+    d += e.latency;
+  }
+  return d;
+}
+
+void CallStats::reset() { entries_.fill(Entry{}); }
+
+void CallStats::merge(const CallStats& other) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i].count += other.entries_[i].count;
+    entries_[i].latency += other.entries_[i].latency;
+  }
+}
+
+void CallStats::write_csv(std::ostream& os) const {
+  os << "call,count,total_us\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.count == 0) {
+      continue;
+    }
+    os << to_string(static_cast<HsaCall>(i)) << ',' << e.count << ','
+       << e.latency.us() << '\n';
+  }
+}
+
+}  // namespace zc::trace

@@ -1,0 +1,36 @@
+#include "zc/trace/call_trace.hpp"
+
+#include <ostream>
+
+namespace zc::trace {
+
+std::vector<CallRecord> CallTrace::by_call(HsaCall call) const {
+  std::vector<CallRecord> out;
+  for (const CallRecord& r : records_) {
+    if (r.call == call) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+sim::Duration CallTrace::latency_in_window(sim::TimePoint from,
+                                           sim::TimePoint to) const {
+  sim::Duration total;
+  for (const CallRecord& r : records_) {
+    if (r.start >= from && r.start < to) {
+      total += r.latency;
+    }
+  }
+  return total;
+}
+
+void CallTrace::write_csv(std::ostream& os) const {
+  os << "start_us,call,thread,latency_us\n";
+  for (const CallRecord& r : records_) {
+    os << r.start.since_start().us() << ',' << to_string(r.call) << ','
+       << r.host_thread << ',' << r.latency.us() << '\n';
+  }
+}
+
+}  // namespace zc::trace

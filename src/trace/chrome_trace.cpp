@@ -1,0 +1,62 @@
+#include "zc/trace/chrome_trace.hpp"
+
+#include <ostream>
+
+namespace zc::trace {
+
+namespace {
+
+/// Trace-event names must be JSON-safe; ours are identifiers already, but
+/// escape defensively.
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\';
+    }
+    os << c;
+  }
+}
+
+}  // namespace
+
+void ChromeTraceWriter::add(const CallTrace& calls) {
+  call_events_.insert(call_events_.end(), calls.records().begin(),
+                      calls.records().end());
+}
+
+void ChromeTraceWriter::add(const std::vector<KernelRecord>& kernels) {
+  kernel_events_.insert(kernel_events_.end(), kernels.begin(), kernels.end());
+}
+
+void ChromeTraceWriter::write(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+  };
+  for (const CallRecord& r : call_events_) {
+    sep();
+    os << "{\"name\":\"" << to_string(r.call)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << r.host_thread
+       << ",\"ts\":" << r.start.since_start().us()
+       << ",\"dur\":" << r.latency.us() << ",\"cat\":\"hsa\"}";
+  }
+  for (const KernelRecord& k : kernel_events_) {
+    sep();
+    os << "{\"name\":\"";
+    write_escaped(os, k.name);
+    os << "\",\"ph\":\"X\",\"pid\":2,\"tid\":0,\"ts\":"
+       << k.start.since_start().us() << ",\"dur\":" << k.duration().us()
+       << ",\"cat\":\"kernel\",\"args\":{\"host_thread\":" << k.host_thread
+       << ",\"page_faults\":" << k.page_faults
+       << ",\"fault_stall_us\":" << k.fault_stall.us()
+       << ",\"tlb_stall_us\":" << k.tlb_stall.us() << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\","
+        "\"otherData\":{\"generator\":\"apuzc simulator\"}}";
+}
+
+}  // namespace zc::trace

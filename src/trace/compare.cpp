@@ -1,0 +1,27 @@
+#include "zc/trace/compare.hpp"
+
+namespace zc::trace {
+
+std::vector<CallComparison> compare_calls(const CallStats& baseline,
+                                          const CallStats& other,
+                                          const std::vector<HsaCall>& calls) {
+  std::vector<CallComparison> out;
+  out.reserve(calls.size());
+  for (const HsaCall call : calls) {
+    out.push_back(CallComparison{
+        .call = call,
+        .baseline_calls = baseline.count(call),
+        .other_calls = other.count(call),
+        .baseline_latency = baseline.total_latency(call),
+        .other_latency = other.total_latency(call),
+    });
+  }
+  return out;
+}
+
+std::vector<HsaCall> table_one_calls() {
+  return {HsaCall::SignalWaitScacquire, HsaCall::MemoryPoolAllocate,
+          HsaCall::MemoryAsyncCopy, HsaCall::SignalAsyncHandler};
+}
+
+}  // namespace zc::trace

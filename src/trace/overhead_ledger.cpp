@@ -1,0 +1,35 @@
+#include "zc/trace/overhead_ledger.hpp"
+
+#include <cmath>
+
+namespace zc::trace {
+
+const char* order_of_magnitude_us(sim::Duration d) {
+  const double us = d.us();
+  if (us < 1.0) {
+    return "O(0)";
+  }
+  const int k = static_cast<int>(std::floor(std::log10(us)));
+  switch (k) {
+    case 0:
+      return "O(10^0)";
+    case 1:
+      return "O(10^1)";
+    case 2:
+      return "O(10^2)";
+    case 3:
+      return "O(10^3)";
+    case 4:
+      return "O(10^4)";
+    case 5:
+      return "O(10^5)";
+    case 6:
+      return "O(10^6)";
+    case 7:
+      return "O(10^7)";
+    default:
+      return k < 0 ? "O(0)" : "O(>=10^8)";
+  }
+}
+
+}  // namespace zc::trace

@@ -1,0 +1,55 @@
+#include "zc/workloads/runner.hpp"
+
+#include <stdexcept>
+
+namespace zc::workloads {
+
+RunResult run_program(const Program& program, const RunOptions& options) {
+  if (!program.setup_threads) {
+    throw std::invalid_argument("run_program: program has no setup_threads");
+  }
+  apu::Machine::Config machine_config = omp::OffloadStack::machine_config_for(
+      options.config, options.jitter, options.seed);
+  if (options.costs) {
+    machine_config.costs = *options.costs;
+  }
+  if (options.topology) {
+    machine_config.topology = *options.topology;
+  }
+  if (options.transparent_huge_pages) {
+    machine_config.env.transparent_huge_pages = *options.transparent_huge_pages;
+  }
+  omp::OffloadStack stack{
+      std::move(machine_config),
+      omp::OffloadStack::program_for(options.config, program.binary)};
+  stack.hsa().kernel_trace().set_keep_records(options.keep_kernel_records);
+
+  program.setup_threads(stack);
+  stack.sched().run();
+
+  RunResult result;
+  result.config = options.config;
+  result.wall_time = stack.sched().horizon().since_start();
+  result.stats = stack.hsa().stats();
+  result.kernels = stack.hsa().kernel_trace().summary();
+  result.ledger = stack.hsa().ledger();
+  if (options.keep_kernel_records) {
+    result.kernel_records = stack.hsa().kernel_trace().records();
+  }
+  if (program.finalize) {
+    result.checksum = program.finalize(stack);
+  }
+  return result;
+}
+
+stats::RepeatedRuns repeat_program(const Program& program, RunOptions options,
+                                   int reps) {
+  return stats::repeat(reps, options.seed,
+                       [&program, options](std::uint64_t seed) mutable {
+                         RunOptions o = options;
+                         o.seed = seed;
+                         return run_program(program, o).wall_time;
+                       });
+}
+
+}  // namespace zc::workloads

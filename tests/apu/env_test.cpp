@@ -1,0 +1,51 @@
+#include "zc/apu/env.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zc::apu {
+namespace {
+
+TEST(RunEnvironment, Defaults) {
+  const RunEnvironment env;
+  EXPECT_TRUE(env.hsa_xnack);
+  EXPECT_FALSE(env.ompx_apu_maps);
+  EXPECT_FALSE(env.ompx_eager_maps);
+  EXPECT_TRUE(env.transparent_huge_pages);
+  EXPECT_EQ(env.page_bytes(), 2ULL << 20);
+}
+
+TEST(RunEnvironment, ThpOffMeansSmallPages) {
+  RunEnvironment env;
+  env.transparent_huge_pages = false;
+  EXPECT_EQ(env.page_bytes(), 4096u);
+}
+
+TEST(RunEnvironment, FromEnvParsesTruthyForms) {
+  const auto env = RunEnvironment::from_env({{"HSA_XNACK", "0"},
+                                             {"OMPX_APU_MAPS", "TRUE"},
+                                             {"OMPX_EAGER_ZERO_COPY_MAPS", "on"},
+                                             {"THP", "no"}});
+  EXPECT_FALSE(env.hsa_xnack);
+  EXPECT_TRUE(env.ompx_apu_maps);
+  EXPECT_TRUE(env.ompx_eager_maps);
+  EXPECT_FALSE(env.transparent_huge_pages);
+}
+
+TEST(RunEnvironment, FromEnvIgnoresUnknownKeysAndKeepsDefaults) {
+  const auto env = RunEnvironment::from_env({{"PATH", "/bin"}});
+  EXPECT_TRUE(env.hsa_xnack);
+  EXPECT_TRUE(env.transparent_huge_pages);
+}
+
+TEST(RunEnvironment, ToStringRoundTripsFlags) {
+  RunEnvironment env;
+  env.hsa_xnack = false;
+  env.ompx_eager_maps = true;
+  const std::string s = env.to_string();
+  EXPECT_NE(s.find("HSA_XNACK=0"), std::string::npos);
+  EXPECT_NE(s.find("OMPX_EAGER_ZERO_COPY_MAPS=1"), std::string::npos);
+  EXPECT_NE(s.find("THP=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::apu

@@ -1,0 +1,61 @@
+// Exhaustive configuration-selection matrix: every combination of machine
+// kind, XNACK, OMPX_APU_MAPS, OMPX_EAGER_ZERO_COPY_MAPS and binary USM
+// requirement resolves to exactly the configuration the paper's rules
+// dictate — or fails loudly.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "zc/core/config.hpp"
+
+namespace zc::omp {
+namespace {
+
+using apu::MachineKind;
+using apu::RunEnvironment;
+
+using Case = std::tuple<bool /*apu*/, bool /*xnack*/, bool /*apu_maps*/,
+                        bool /*eager*/, bool /*usm binary*/>;
+
+class ConfigMatrix : public ::testing::TestWithParam<Case> {};
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, ConfigMatrix,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST_P(ConfigMatrix, ResolvesPerPaperRules) {
+  const auto [apu, xnack, apu_maps, eager, usm] = GetParam();
+  const MachineKind kind =
+      apu ? MachineKind::ApuMi300a : MachineKind::DiscreteGpu;
+  RunEnvironment env;
+  env.hsa_xnack = xnack;
+  env.ompx_apu_maps = apu_maps;
+  env.ompx_eager_maps = eager;
+
+  if (usm && !xnack) {
+    // USM binaries demand unified memory; no fallback exists.
+    EXPECT_THROW((void)resolve_config(kind, env, usm), ConfigError);
+    return;
+  }
+  const RuntimeConfig got = resolve_config(kind, env, usm);
+  RuntimeConfig expect;
+  if (usm) {
+    expect = RuntimeConfig::UnifiedSharedMemory;  // binary requirement wins
+  } else if (eager && apu) {
+    expect = RuntimeConfig::EagerMaps;  // §IV-D (works with XNACK off)
+  } else if (xnack && (apu || apu_maps)) {
+    expect = RuntimeConfig::ImplicitZeroCopy;  // §IV-C + footnote 1
+  } else {
+    expect = RuntimeConfig::LegacyCopy;  // discrete-GPU behaviour
+  }
+  EXPECT_EQ(got, expect) << "apu=" << apu << " xnack=" << xnack
+                         << " apu_maps=" << apu_maps << " eager=" << eager
+                         << " usm=" << usm;
+}
+
+}  // namespace
+}  // namespace zc::omp

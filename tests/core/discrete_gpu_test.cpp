@@ -1,0 +1,101 @@
+// End-to-end behaviour on the discrete-GPU machine model: the same OpenMP
+// program that auto-selects zero-copy on the APU runs as Legacy Copy on a
+// discrete node, pays PCIe-rate transfers, and can opt into zero-copy with
+// OMPX_APU_MAPS=1 when XNACK is available (paper footnote 1).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "zc/core/host_array.hpp"
+#include "zc/core/offload_stack.hpp"
+
+namespace zc::omp {
+namespace {
+
+using namespace zc::sim::literals;
+
+std::unique_ptr<OffloadStack> discrete(bool xnack, bool apu_maps) {
+  apu::Machine::Config mc;
+  mc.kind = apu::MachineKind::DiscreteGpu;
+  mc.costs = apu::discrete_gpu_costs();
+  mc.env.hsa_xnack = xnack;
+  mc.env.ompx_apu_maps = apu_maps;
+  return std::make_unique<OffloadStack>(std::move(mc), ProgramBinary{});
+}
+
+sim::Duration run_app(OffloadStack& stack) {
+  stack.sched().run_single([&] {
+    OffloadRuntime& rt = stack.omp();
+    HostArray<double> x{rt, 4u << 20, "x"};
+    x.first_touch();
+    for (int i = 0; i < 10; ++i) {
+      rt.target(TargetRegion{.name = "k",
+                             .maps = {x.always_tofrom()},
+                             .compute = 100_us,
+                             .body = {}});
+    }
+    x.release();
+  });
+  return stack.sched().horizon().since_start();
+}
+
+TEST(DiscreteGpu, DefaultsToLegacyCopy) {
+  auto stack = discrete(false, false);
+  EXPECT_EQ(stack->omp().config(), RuntimeConfig::LegacyCopy);
+}
+
+TEST(DiscreteGpu, XnackAloneDoesNotEnableZeroCopy) {
+  auto stack = discrete(true, false);
+  EXPECT_EQ(stack->omp().config(), RuntimeConfig::LegacyCopy);
+}
+
+TEST(DiscreteGpu, OmpxApuMapsOptsIntoZeroCopy) {
+  auto stack = discrete(true, true);
+  EXPECT_EQ(stack->omp().config(), RuntimeConfig::ImplicitZeroCopy);
+}
+
+TEST(DiscreteGpu, TransfersCrossTheLinkAtPcieRate) {
+  auto stack = discrete(false, false);
+  const std::uint64_t bytes = 1ULL << 30;
+  sim::Duration elapsed;
+  stack->sched().run_single([&] {
+    hsa::Runtime& hsa = stack->hsa();
+    mem::MemorySystem& mm = stack->memory();
+    mem::Allocation& src = mm.os_alloc(bytes, "h");
+    const mem::VirtAddr dev = hsa.memory_pool_allocate(bytes, "d");
+    const sim::TimePoint t0 = stack->sched().now();
+    hsa.signal_wait_scacquire(hsa.memory_async_copy(dev, src.base(), bytes));
+    elapsed = stack->sched().now() - t0;
+  });
+  const double achieved = static_cast<double>(bytes) / elapsed.sec();
+  EXPECT_NEAR(achieved / stack->machine().costs().pcie_bandwidth_bytes_per_s,
+              1.0, 0.02);
+}
+
+TEST(DiscreteGpu, OptInZeroCopyBeatsCopyOnTransferHeavyApp) {
+  auto copy_stack = discrete(false, false);
+  auto zc_stack = discrete(true, true);
+  const sim::Duration copy_time = run_app(*copy_stack);
+  const sim::Duration zc_time = run_app(*zc_stack);
+  EXPECT_GT(copy_time, zc_time);
+  // And the APU runs the same program even faster than discrete zero-copy
+  // is NOT claimed — what matters is the pattern held without code changes.
+  EXPECT_EQ(copy_stack->omp().config(), RuntimeConfig::LegacyCopy);
+  EXPECT_EQ(zc_stack->omp().config(), RuntimeConfig::ImplicitZeroCopy);
+}
+
+TEST(DiscreteGpu, PoolMemoryIsNotHostResident) {
+  auto stack = discrete(false, false);
+  stack->sched().run_single([&] {
+    const mem::VirtAddr dev =
+        stack->hsa().memory_pool_allocate(4 << 20, "vram");
+    // Device memory exists in the GPU page table but not the CPU's.
+    const mem::AddrRange r{dev, 4 << 20};
+    EXPECT_EQ(stack->memory().gpu_pt().count_absent(r), 0u);
+    EXPECT_EQ(stack->memory().cpu_pt().count_present(r), 0u);
+  });
+}
+
+}  // namespace
+}  // namespace zc::omp

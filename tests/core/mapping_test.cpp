@@ -1,0 +1,114 @@
+#include "zc/core/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace zc::omp {
+namespace {
+
+mem::AddrRange range(std::uint64_t base, std::uint64_t bytes) {
+  return mem::AddrRange{mem::VirtAddr{base}, bytes};
+}
+
+TEST(MapEntryBuilders, SetTypeAndModifiers) {
+  const mem::VirtAddr p{100};
+  EXPECT_EQ(MapEntry::to(p, 8).type, MapType::To);
+  EXPECT_EQ(MapEntry::from(p, 8).type, MapType::From);
+  EXPECT_EQ(MapEntry::tofrom(p, 8).type, MapType::ToFrom);
+  EXPECT_EQ(MapEntry::alloc(p, 8).type, MapType::Alloc);
+  EXPECT_FALSE(MapEntry::to(p, 8).always);
+  EXPECT_TRUE(MapEntry::always_to(p, 8).always);
+  EXPECT_TRUE(MapEntry::always_tofrom(p, 8).always);
+}
+
+TEST(MapTypePredicates, TransferDirections) {
+  EXPECT_TRUE(copies_to_device(MapType::To));
+  EXPECT_TRUE(copies_to_device(MapType::ToFrom));
+  EXPECT_FALSE(copies_to_device(MapType::From));
+  EXPECT_FALSE(copies_to_device(MapType::Alloc));
+  EXPECT_TRUE(copies_to_host(MapType::From));
+  EXPECT_TRUE(copies_to_host(MapType::ToFrom));
+  EXPECT_FALSE(copies_to_host(MapType::To));
+  EXPECT_FALSE(copies_to_host(MapType::Alloc));
+}
+
+TEST(PresentTable, InsertAndLookupByContainment) {
+  PresentTable t;
+  t.insert(range(1000, 100), mem::VirtAddr{5000});
+  EXPECT_NE(t.lookup(mem::VirtAddr{1000}), nullptr);
+  EXPECT_NE(t.lookup(mem::VirtAddr{1099}), nullptr);
+  EXPECT_EQ(t.lookup(mem::VirtAddr{1100}), nullptr);
+  EXPECT_EQ(t.lookup(mem::VirtAddr{999}), nullptr);
+}
+
+TEST(PresentTable, DeviceAddressPreservesOffset) {
+  PresentTable t;
+  PresentEntry& e = t.insert(range(1000, 100), mem::VirtAddr{5000});
+  EXPECT_EQ(e.device_addr(mem::VirtAddr{1040}).value, 5040u);
+}
+
+TEST(PresentTable, RejectsPartialOverlap) {
+  PresentTable t;
+  t.insert(range(1000, 100), mem::VirtAddr{5000});
+  EXPECT_THROW(t.insert(range(1050, 100), mem::VirtAddr{6000}),
+               std::invalid_argument);
+  EXPECT_THROW(t.insert(range(950, 100), mem::VirtAddr{6000}),
+               std::invalid_argument);
+  EXPECT_THROW(t.insert(range(1000, 100), mem::VirtAddr{6000}),
+               std::invalid_argument);
+  // Adjacent, non-overlapping is fine.
+  t.insert(range(1100, 50), mem::VirtAddr{7000});
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(PresentTable, RejectsEmptyRange) {
+  PresentTable t;
+  EXPECT_THROW(t.insert(range(1000, 0), mem::VirtAddr{1}),
+               std::invalid_argument);
+}
+
+TEST(PresentTable, LookupRangeRejectsStraddle) {
+  PresentTable t;
+  t.insert(range(1000, 100), mem::VirtAddr{5000});
+  EXPECT_NE(t.lookup_range(range(1000, 100)), nullptr);
+  EXPECT_NE(t.lookup_range(range(1050, 50)), nullptr);
+  EXPECT_THROW((void)t.lookup_range(range(1050, 100)), std::invalid_argument);
+  EXPECT_EQ(t.lookup_range(range(2000, 10)), nullptr);
+}
+
+TEST(PresentTable, EraseRemovesEntry) {
+  PresentTable t;
+  t.insert(range(1000, 100), mem::VirtAddr{5000});
+  t.erase(mem::VirtAddr{1000});
+  EXPECT_EQ(t.lookup(mem::VirtAddr{1000}), nullptr);
+  EXPECT_THROW(t.erase(mem::VirtAddr{1000}), std::invalid_argument);
+}
+
+TEST(PresentTable, MultipleDisjointEntries) {
+  PresentTable t;
+  t.insert(range(1000, 100), mem::VirtAddr{5000});
+  t.insert(range(3000, 100), mem::VirtAddr{6000});
+  t.insert(range(2000, 100), mem::VirtAddr{7000});
+  EXPECT_EQ(t.lookup(mem::VirtAddr{2050})->device_base.value, 7000u);
+  EXPECT_EQ(t.lookup(mem::VirtAddr{3000})->device_base.value, 6000u);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(PresentTable, PinnedFlagStored) {
+  PresentTable t;
+  PresentEntry& e = t.insert(range(1000, 8), mem::VirtAddr{5000}, true);
+  EXPECT_TRUE(e.pinned);
+}
+
+TEST(PresentTable, PinnedEntriesCoexistWithDynamicOnes) {
+  PresentTable t;
+  t.insert(range(1000, 100), mem::VirtAddr{5000}, true);
+  PresentEntry& dyn = t.insert(range(2000, 100), mem::VirtAddr{6000});
+  dyn.refcount = 1;
+  EXPECT_TRUE(t.lookup(mem::VirtAddr{1000})->pinned);
+  EXPECT_FALSE(t.lookup(mem::VirtAddr{2000})->pinned);
+}
+
+}  // namespace
+}  // namespace zc::omp

@@ -1,0 +1,107 @@
+#include "zc/core/offload_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "zc/core/host_array.hpp"
+#include "zc/workloads/qmcpack.hpp"
+
+namespace zc::omp {
+namespace {
+
+using namespace zc::sim::literals;
+
+TEST(OffloadStackConfig, EnvironmentsMatchTheConfigTheyName) {
+  {
+    const auto cfg =
+        OffloadStack::machine_config_for(RuntimeConfig::LegacyCopy);
+    EXPECT_FALSE(cfg.env.hsa_xnack);
+    EXPECT_FALSE(cfg.env.ompx_eager_maps);
+  }
+  {
+    const auto cfg =
+        OffloadStack::machine_config_for(RuntimeConfig::ImplicitZeroCopy);
+    EXPECT_TRUE(cfg.env.hsa_xnack);
+    EXPECT_FALSE(cfg.env.ompx_eager_maps);
+  }
+  {
+    const auto cfg = OffloadStack::machine_config_for(RuntimeConfig::EagerMaps);
+    EXPECT_TRUE(cfg.env.ompx_eager_maps);
+  }
+  EXPECT_EQ(OffloadStack::machine_config_for(RuntimeConfig::LegacyCopy).kind,
+            apu::MachineKind::ApuMi300a);
+}
+
+TEST(OffloadStackConfig, ProgramForSetsButNeverClearsUsmRequirement) {
+  ProgramBinary usm_binary;
+  usm_binary.requires_unified_shared_memory = true;
+  EXPECT_TRUE(OffloadStack::program_for(RuntimeConfig::ImplicitZeroCopy,
+                                        usm_binary)
+                  .requires_unified_shared_memory);
+  EXPECT_TRUE(OffloadStack::program_for(RuntimeConfig::UnifiedSharedMemory, {})
+                  .requires_unified_shared_memory);
+  EXPECT_FALSE(OffloadStack::program_for(RuntimeConfig::LegacyCopy, {})
+                   .requires_unified_shared_memory);
+}
+
+TEST(OffloadStackConfig, SeedFlowsIntoJitter) {
+  auto wall = [](std::uint64_t seed) {
+    OffloadStack stack{OffloadStack::machine_config_for(
+                           RuntimeConfig::ImplicitZeroCopy,
+                           {.sigma = 0.05}, seed),
+                       {}};
+    stack.sched().run_single([&] {
+      OffloadRuntime& rt = stack.omp();
+      HostArray<double> x{rt, 1024, "x"};
+      for (int i = 0; i < 16; ++i) {
+        rt.target(TargetRegion{.name = "k",
+                               .maps = {x.tofrom()},
+                               .compute = 50_us,
+                               .body = {}});
+      }
+      x.release();
+    });
+    return stack.sched().horizon();
+  };
+  EXPECT_EQ(wall(11), wall(11));
+  EXPECT_NE(wall(11), wall(12));
+}
+
+TEST(HostArrayTiming, FirstTouchIsIdempotentInTimeAndState) {
+  OffloadStack stack{
+      OffloadStack::machine_config_for(RuntimeConfig::ImplicitZeroCopy), {}};
+  stack.sched().run_single([&] {
+    OffloadRuntime& rt = stack.omp();
+    HostArray<std::byte> x{
+        rt, static_cast<std::size_t>(8 * stack.machine().page_bytes()), "x"};
+    const sim::TimePoint t0 = stack.sched().now();
+    x.first_touch();
+    const sim::Duration first = stack.sched().now() - t0;
+    EXPECT_GT(first, sim::Duration::zero());
+    const sim::TimePoint t1 = stack.sched().now();
+    x.first_touch();  // pages already resident: free
+    EXPECT_EQ(stack.sched().now() - t1, sim::Duration::zero());
+    x.release();
+  });
+}
+
+TEST(WorkloadJitter, ChecksumsAreJitterInvariant) {
+  // Jitter perturbs timing only; functional results must not move.
+  workloads::QmcpackParams p;
+  p.size = 2;
+  p.threads = 2;
+  p.walkers_per_thread = 2;
+  p.steps = 4;
+  const workloads::Program program = workloads::make_qmcpack(p);
+  const double quiet =
+      workloads::run_program(program, {.config = RuntimeConfig::LegacyCopy})
+          .checksum;
+  const double noisy =
+      workloads::run_program(program, {.config = RuntimeConfig::LegacyCopy,
+                                       .jitter = {.sigma = 0.2},
+                                       .seed = 99})
+          .checksum;
+  EXPECT_DOUBLE_EQ(quiet, noisy);
+}
+
+}  // namespace
+}  // namespace zc::omp

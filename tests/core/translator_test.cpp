@@ -1,0 +1,66 @@
+#include "zc/core/target_region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "zc/mem/address_space.hpp"
+
+namespace zc::omp {
+namespace {
+
+constexpr std::uint64_t kPage = 2ULL << 20;
+
+TEST(ArgTranslator, MappedAddressesUsePresentTable) {
+  PresentTable table;
+  table.insert(mem::AddrRange{mem::VirtAddr{1000}, 100}, mem::VirtAddr{9000});
+  const ArgTranslator tr{table, /*zero_copy=*/false};
+  EXPECT_EQ(tr.device(mem::VirtAddr{1000}).value, 9000u);
+  EXPECT_EQ(tr.device(mem::VirtAddr{1042}).value, 9042u);
+  EXPECT_EQ(tr.device(mem::VirtAddr{1000}, 17).value, 9017u);
+}
+
+TEST(ArgTranslator, ZeroCopyFallsBackToIdentity) {
+  PresentTable table;
+  const ArgTranslator tr{table, /*zero_copy=*/true};
+  EXPECT_EQ(tr.device(mem::VirtAddr{123456}).value, 123456u);
+}
+
+TEST(ArgTranslator, ZeroCopyStillPrefersTableForGlobals) {
+  // Implicit Z-C: globals have pinned device copies; everything else is
+  // identity.
+  PresentTable table;
+  table.insert(mem::AddrRange{mem::VirtAddr{1000}, 8}, mem::VirtAddr{7000},
+               /*pinned=*/true);
+  const ArgTranslator tr{table, /*zero_copy=*/true};
+  EXPECT_EQ(tr.device(mem::VirtAddr{1004}).value, 7004u);
+  EXPECT_EQ(tr.device(mem::VirtAddr{2000}).value, 2000u);
+}
+
+TEST(ArgTranslator, CopyModeRejectsUnmappedHostAddress) {
+  PresentTable table;
+  const ArgTranslator tr{table, /*zero_copy=*/false};
+  EXPECT_THROW((void)tr.device(mem::VirtAddr{555}), std::invalid_argument);
+}
+
+TEST(ArgTranslator, DevicePoolPointersAreIdentityEvenUnderCopy) {
+  mem::AddressSpace space{kPage};
+  mem::Allocation& dev = space.allocate(256, mem::MemKind::DevicePool, "d");
+  mem::Allocation& host = space.allocate(256, mem::MemKind::HostOs, "h");
+  PresentTable table;
+  const ArgTranslator tr{table, /*zero_copy=*/false, &space};
+  EXPECT_EQ(tr.device(dev.base()), dev.base());
+  EXPECT_EQ(tr.device(dev.base() + 100), dev.base() + 100);
+  // Host memory without a mapping still fails under Copy.
+  EXPECT_THROW((void)tr.device(host.base()), std::invalid_argument);
+}
+
+TEST(ArgTranslator, TableTakesPrecedenceOverDevicePoolScan) {
+  mem::AddressSpace space{kPage};
+  mem::Allocation& host = space.allocate(256, mem::MemKind::HostOs, "h");
+  PresentTable table;
+  table.insert(host.range(), mem::VirtAddr{42 * kPage});
+  const ArgTranslator tr{table, /*zero_copy=*/false, &space};
+  EXPECT_EQ(tr.device(host.base()).value, 42 * kPage);
+}
+
+}  // namespace
+}  // namespace zc::omp

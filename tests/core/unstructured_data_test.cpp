@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "zc/core/host_array.hpp"
+#include "zc/core/offload_stack.hpp"
+
+namespace zc::omp {
+namespace {
+
+using namespace zc::sim::literals;
+using trace::HsaCall;
+
+std::unique_ptr<OffloadStack> make_stack(RuntimeConfig cfg) {
+  return std::make_unique<OffloadStack>(OffloadStack::machine_config_for(cfg),
+                                        OffloadStack::program_for(cfg, {}));
+}
+
+TEST(UnstructuredData, EnterExitMoveDataLikeStructuredRegions) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 16, "x"};
+    x[0] = 3.0;
+    const mem::VirtAddr xv = x.addr();
+    const MapEntry enter = x.to();
+    rt.target_enter_data({&enter, 1});
+    TargetRegion region{
+        .name = "mul",
+        .maps = {x.alloc()},
+        .compute = 1_us,
+        .body = [xv](hsa::KernelContext& ctx, const ArgTranslator& tr) {
+          ctx.ptr<double>(tr.device(xv))[0] *= 7.0;
+        },
+    };
+    rt.target(region);
+    EXPECT_DOUBLE_EQ(x[0], 3.0);  // not yet copied back
+    const MapEntry exit = x.from();
+    rt.target_exit_data({&exit, 1});
+    EXPECT_DOUBLE_EQ(x[0], 21.0);
+    EXPECT_EQ(rt.present_table().size(), 0u);  // mapping released
+  });
+}
+
+TEST(UnstructuredData, ReleaseDecrementsWithoutTransfer) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 16, "x"};
+    x[0] = 1.0;
+    const mem::VirtAddr xv = x.addr();
+    const MapEntry enter = x.tofrom();
+    rt.target_enter_data({&enter, 1});
+    TargetRegion region{
+        .name = "set",
+        .maps = {x.alloc()},
+        .compute = 1_us,
+        .body = [xv](hsa::KernelContext& ctx, const ArgTranslator& tr) {
+          ctx.ptr<double>(tr.device(xv))[0] = 99.0;
+        },
+    };
+    rt.target(region);
+    const MapEntry release = MapEntry::release(x.addr(), x.bytes());
+    rt.target_exit_data({&release, 1});
+    // Release performed NO device-to-host transfer despite the tofrom map.
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+    EXPECT_EQ(rt.present_table().size(), 0u);
+  });
+}
+
+TEST(UnstructuredData, DeleteDropsNestedMappingImmediately) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 16, "x"};
+    const MapEntry enter = x.to();
+    rt.target_enter_data({&enter, 1});
+    rt.target_enter_data({&enter, 1});  // refcount = 2
+    const MapEntry del = MapEntry::del(x.addr(), x.bytes());
+    rt.target_exit_data({&del, 1});
+    EXPECT_EQ(rt.present_table().size(), 0u);  // gone despite refcount 2
+  });
+}
+
+TEST(UnstructuredData, ReleaseOfAbsentDataIsNoop) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 16, "x"};
+    const MapEntry release = MapEntry::release(x.addr(), x.bytes());
+    EXPECT_NO_THROW(rt.target_exit_data({&release, 1}));
+    const MapEntry del = MapEntry::del(x.addr(), x.bytes());
+    EXPECT_NO_THROW(rt.target_exit_data({&del, 1}));
+  });
+}
+
+TEST(UnstructuredData, ExitOnlyTypesRejectedOnEnter) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  EXPECT_THROW(stack->sched().run_single([&] {
+                 OffloadRuntime& rt = stack->omp();
+                 HostArray<double> x{rt, 16, "x"};
+                 const MapEntry bad = MapEntry::release(x.addr(), x.bytes());
+                 rt.target_enter_data({&bad, 1});
+               }),
+               MappingError);
+  auto stack2 = make_stack(RuntimeConfig::LegacyCopy);
+  EXPECT_THROW(stack2->sched().run_single([&] {
+                 OffloadRuntime& rt = stack2->omp();
+                 HostArray<double> x{rt, 16, "x"};
+                 const MapEntry bad = MapEntry::del(x.addr(), x.bytes());
+                 TargetRegion region{.name = "k",
+                                     .maps = {bad},
+                                     .compute = 1_us,
+                                     .body = {}};
+                 rt.target(region);
+               }),
+               MappingError);
+}
+
+TEST(UnstructuredData, ZeroCopyConfigsTreatAllOfItAsNoop) {
+  for (RuntimeConfig cfg : {RuntimeConfig::UnifiedSharedMemory,
+                            RuntimeConfig::ImplicitZeroCopy}) {
+    auto stack = make_stack(cfg);
+    stack->sched().run_single([&] {
+      OffloadRuntime& rt = stack->omp();
+      HostArray<double> x{rt, 16, "x"};
+      rt.target_data_begin({});  // trigger init
+      const auto allocs =
+          stack->hsa().stats().count(HsaCall::MemoryPoolAllocate);
+      const MapEntry enter = x.tofrom();
+      rt.target_enter_data({&enter, 1});
+      const MapEntry del = MapEntry::del(x.addr(), x.bytes());
+      rt.target_exit_data({&del, 1});
+      EXPECT_EQ(stack->hsa().stats().count(HsaCall::MemoryPoolAllocate),
+                allocs)
+          << to_string(cfg);
+    });
+  }
+}
+
+TEST(UnstructuredData, MapEntryBuilders) {
+  const mem::VirtAddr p{64};
+  EXPECT_EQ(MapEntry::release(p, 8).type, MapType::Release);
+  EXPECT_EQ(MapEntry::del(p, 8).type, MapType::Delete);
+  EXPECT_TRUE(exit_only(MapType::Release));
+  EXPECT_TRUE(exit_only(MapType::Delete));
+  EXPECT_FALSE(exit_only(MapType::ToFrom));
+  EXPECT_FALSE(copies_to_device(MapType::Release));
+  EXPECT_FALSE(copies_to_host(MapType::Delete));
+  EXPECT_STREQ(to_string(MapType::Release), "release");
+  EXPECT_STREQ(to_string(MapType::Delete), "delete");
+}
+
+}  // namespace
+}  // namespace zc::omp

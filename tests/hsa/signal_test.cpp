@@ -1,0 +1,95 @@
+#include "zc/hsa/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "zc/sim/scheduler.hpp"
+
+namespace zc::hsa {
+namespace {
+
+using namespace zc::sim::literals;
+using sim::Duration;
+using sim::Scheduler;
+using sim::TimePoint;
+
+TEST(Signal, WaitOnCompletedSignalAdvancesToCompletionTime) {
+  Scheduler s;
+  s.run_single([&] {
+    Signal sig;
+    sig.complete(s, TimePoint::zero() + 40_us);
+    const Duration blocked = sig.wait(s);
+    EXPECT_EQ(s.now(), TimePoint::zero() + 40_us);
+    EXPECT_EQ(blocked, 40_us);
+  });
+}
+
+TEST(Signal, WaitOnPastCompletionIsFree) {
+  Scheduler s;
+  s.run_single([&] {
+    Signal sig;
+    sig.complete(s, TimePoint::zero() + 5_us);
+    s.advance(20_us);
+    const Duration blocked = sig.wait(s);
+    EXPECT_EQ(blocked, Duration::zero());
+    EXPECT_EQ(s.now(), TimePoint::zero() + 20_us);
+  });
+}
+
+TEST(Signal, CrossThreadWaitBeforePost) {
+  // A thread can wait on a signal no operation has been bound to yet; it
+  // blocks until another thread completes it.
+  Scheduler s;
+  Signal sig;
+  TimePoint woke;
+  s.spawn("waiter", [&] {
+    const Duration blocked = sig.wait(s);
+    woke = s.now();
+    EXPECT_EQ(blocked, 70_us);
+  });
+  s.spawn("poster", [&] {
+    s.advance(70_us);
+    sig.complete(s, s.now());
+  });
+  s.run();
+  EXPECT_EQ(woke, TimePoint::zero() + 70_us);
+}
+
+TEST(Signal, HandlesAreSharedReferences) {
+  Scheduler s;
+  s.run_single([&] {
+    Signal a;
+    Signal b = a;  // same underlying state
+    a.complete(s, TimePoint::zero() + 9_us);
+    EXPECT_TRUE(b.is_complete());
+    EXPECT_EQ(b.complete_at(), TimePoint::zero() + 9_us);
+  });
+}
+
+TEST(Signal, MultipleWaitersAllReleased) {
+  Scheduler s;
+  Signal sig;
+  int released = 0;
+  for (int t = 0; t < 4; ++t) {
+    s.spawn("w" + std::to_string(t), [&] {
+      (void)sig.wait(s);
+      ++released;
+      EXPECT_GE(s.now(), TimePoint::zero() + 15_us);
+    });
+  }
+  s.spawn("poster", [&] {
+    s.advance(15_us);
+    sig.complete(s, s.now());
+  });
+  s.run();
+  EXPECT_EQ(released, 4);
+}
+
+TEST(Signal, UnpostedSignalDeadlocksLoudly) {
+  Scheduler s;
+  Signal sig;
+  s.spawn("stuck", [&] { (void)sig.wait(s); });
+  EXPECT_THROW(s.run(), sim::SimError);
+}
+
+}  // namespace
+}  // namespace zc::hsa

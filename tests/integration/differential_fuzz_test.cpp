@@ -1,0 +1,253 @@
+// Differential semantics fuzzing: generate random *conforming* OpenMP
+// offload programs (structured/unstructured data regions, nested maps,
+// updates, synchronous and nowait targets) and assert that all four runtime
+// configurations compute bit-identical results — the paper's claim that the
+// configurations are equivalent "from an OpenMP semantics viewpoint".
+//
+// Conformance rules enforced by the generator (so results are defined):
+//  * the host only writes a buffer while it is unmapped;
+//  * kernels only write buffers whose outermost mapping is `tofrom`
+//    (guaranteeing copy-back on final release) or in-region `tofrom` maps;
+//  * data regions nest LIFO and reuse the same entries for begin/end.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "zc/core/host_array.hpp"
+#include "zc/core/offload_stack.hpp"
+#include "zc/sim/rng.hpp"
+
+namespace zc::omp {
+namespace {
+
+using namespace zc::sim::literals;
+
+constexpr RuntimeConfig kAllConfigs[] = {
+    RuntimeConfig::LegacyCopy,
+    RuntimeConfig::UnifiedSharedMemory,
+    RuntimeConfig::ImplicitZeroCopy,
+    RuntimeConfig::EagerMaps,
+};
+
+constexpr std::size_t kBuffers = 5;
+constexpr std::size_t kDoubles = 256;
+
+struct OpenRegion {
+  std::vector<MapEntry> entries;
+  std::vector<std::size_t> buffers;
+};
+
+double run_random_program(RuntimeConfig config, std::uint64_t seed) {
+  auto stack = std::make_unique<OffloadStack>(
+      OffloadStack::machine_config_for(config),
+      OffloadStack::program_for(config, {}));
+  double checksum = 0.0;
+
+  stack->sched().run_single([&] {
+    sim::Rng rng{seed};
+    OffloadRuntime& rt = stack->omp();
+
+    std::vector<HostArray<double>> bufs;
+    bufs.reserve(kBuffers);
+    std::vector<int> refcount(kBuffers, 0);
+    std::vector<bool> outer_tofrom(kBuffers, false);
+    // Whether the outermost mapping copied host data to the device: a
+    // buffer whose outer map is `alloc` has undefined device contents under
+    // Copy (and the host's under shared storage), so conforming programs do
+    // not read or update it before writing it.
+    std::vector<bool> outer_synced(kBuffers, false);
+    // Device copy written by a kernel and not yet synced to the host: an
+    // `update to` now would have implementation-defined results (Copy
+    // overwrites the device data, shared storage does not) — a conforming
+    // program would not do it, so neither does the generator.
+    std::vector<bool> device_dirty(kBuffers, false);
+    for (std::size_t b = 0; b < kBuffers; ++b) {
+      bufs.emplace_back(rt, kDoubles, "fuzz-" + std::to_string(b));
+      for (std::size_t i = 0; i < kDoubles; ++i) {
+        bufs[b][i] = static_cast<double>(b * 1000 + i);
+      }
+      bufs[b].first_touch();
+    }
+    std::vector<OpenRegion> open;
+
+    auto map_for = [&](std::size_t b, bool want_write) {
+      if (want_write) {
+        return bufs[b].tofrom();
+      }
+      switch (rng.uniform_index(3)) {
+        case 0:
+          return bufs[b].to();
+        case 1:
+          return bufs[b].tofrom();
+        default:
+          return bufs[b].alloc();
+      }
+    };
+
+    const int ops = 40 + static_cast<int>(rng.uniform_index(40));
+    for (int op = 0; op < ops; ++op) {
+      switch (rng.uniform_index(6)) {
+        case 0: {  // host write to an unmapped buffer
+          const std::size_t b = rng.uniform_index(kBuffers);
+          if (refcount[b] == 0) {
+            const std::size_t i = rng.uniform_index(kDoubles);
+            bufs[b][i] += 1.0 + static_cast<double>(op);
+          }
+          break;
+        }
+        case 1: {  // open a data region over 1-2 distinct buffers (OpenMP
+                   // forbids the same list item twice on one construct)
+          OpenRegion region;
+          const std::size_t count = 1 + rng.uniform_index(2);
+          const std::size_t first = rng.uniform_index(kBuffers);
+          for (std::size_t k = 0; k < count; ++k) {
+            const std::size_t b = (first + k) % kBuffers;
+            const bool fresh = refcount[b] == 0;
+            const bool tofrom = rng.bernoulli(0.5);
+            const MapEntry entry =
+                tofrom ? bufs[b].tofrom() : map_for(b, false);
+            region.entries.push_back(entry);
+            region.buffers.push_back(b);
+            if (fresh) {
+              outer_tofrom[b] = entry.type == MapType::ToFrom;
+              outer_synced[b] = copies_to_device(entry.type);
+            }
+            ++refcount[b];
+          }
+          rt.target_data_begin(region.entries);
+          open.push_back(std::move(region));
+          break;
+        }
+        case 2: {  // close the innermost region (LIFO)
+          if (!open.empty()) {
+            OpenRegion region = std::move(open.back());
+            open.pop_back();
+            rt.target_data_end(region.entries);
+            for (const std::size_t b : region.buffers) {
+              if (--refcount[b] == 0) {
+                device_dirty[b] = false;  // final release copied back
+              }
+            }
+          }
+          break;
+        }
+        case 3: {  // synchronous target: write one buffer, read another
+          const std::size_t w = rng.uniform_index(kBuffers);
+          const std::size_t r = rng.uniform_index(kBuffers);
+          TargetRegion region;
+          region.name = "fuzz_kernel";
+          region.compute = sim::Duration::microseconds(
+              1 + static_cast<std::int64_t>(rng.uniform_index(20)));
+          // Writable: map tofrom in-region if unmapped, else require the
+          // outermost mapping to copy back.
+          if (refcount[w] == 0) {
+            region.maps.push_back(bufs[w].tofrom());
+          } else if (outer_tofrom[w]) {
+            region.maps.push_back(bufs[w].alloc());
+            device_dirty[w] = true;
+          } else {
+            break;  // skip: writing would not be copied back under Copy
+          }
+          const bool use_read = r != w && refcount[r] > 0 && outer_synced[r];
+          if (use_read) {
+            region.uses.push_back(
+                BufferUse{bufs[r].addr(), bufs[r].bytes(), hsa::Access::Read});
+          }
+          const mem::VirtAddr wv = bufs[w].addr();
+          const mem::VirtAddr rv = r != w ? bufs[r].addr() : mem::VirtAddr{};
+          const std::uint64_t salt = rng.next_u64() % 97;
+          region.body = [wv, rv, use_read, salt](hsa::KernelContext& ctx,
+                                                 const ArgTranslator& tr) {
+            double* w_data = ctx.ptr<double>(tr.device(wv));
+            for (std::size_t i = 0; i < kDoubles; ++i) {
+              w_data[i] = w_data[i] * 1.0001 + static_cast<double>((salt + i) % 5);
+            }
+            if (use_read) {
+              const double* r_data = ctx.ptr<double>(tr.device(rv));
+              w_data[0] += r_data[kDoubles - 1];
+            }
+          };
+          rt.target(region);
+          break;
+        }
+        case 4: {  // target update on a mapped buffer
+          const std::size_t b = rng.uniform_index(kBuffers);
+          if (refcount[b] > 0 && outer_synced[b]) {
+            if (device_dirty[b] || rng.bernoulli(0.5)) {
+              rt.target_update_from(
+                  MapEntry::from(bufs[b].addr(), bufs[b].bytes()));
+              device_dirty[b] = false;
+            } else {
+              rt.target_update_to(MapEntry::to(bufs[b].addr(), bufs[b].bytes()));
+            }
+          }
+          break;
+        }
+        case 5: {  // nowait target on an unmapped buffer, waited immediately
+                   // after a second op
+          const std::size_t w = rng.uniform_index(kBuffers);
+          if (refcount[w] != 0) {
+            break;
+          }
+          TargetRegion region;
+          region.name = "fuzz_nowait";
+          region.compute = 5_us;
+          region.maps.push_back(bufs[w].tofrom());
+          const mem::VirtAddr wv = bufs[w].addr();
+          region.body = [wv](hsa::KernelContext& ctx, const ArgTranslator& tr) {
+            double* w_data = ctx.ptr<double>(tr.device(wv));
+            w_data[0] += 0.5;
+          };
+          TargetTask task = rt.target_nowait(region);
+          rt.target_wait(task);
+          break;
+        }
+      }
+    }
+
+    // Close everything still open (LIFO) and read back.
+    while (!open.empty()) {
+      OpenRegion region = std::move(open.back());
+      open.pop_back();
+      rt.target_data_end(region.entries);
+      for (const std::size_t b : region.buffers) {
+        --refcount[b];
+      }
+    }
+    for (std::size_t b = 0; b < kBuffers; ++b) {
+      for (std::size_t i = 0; i < kDoubles; ++i) {
+        checksum += bufs[b][i] * static_cast<double>(b + 1);
+      }
+      bufs[b].release();
+    }
+    // Invariant: no mappings leaked (globals-free program).
+    EXPECT_EQ(rt.present_table().size(), 0u);
+  });
+  return checksum;
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST_P(DifferentialFuzz, AllConfigurationsComputeIdenticalResults) {
+  const std::uint64_t seed = GetParam();
+  const double reference =
+      run_random_program(RuntimeConfig::LegacyCopy, seed);
+  for (const RuntimeConfig config : kAllConfigs) {
+    EXPECT_DOUBLE_EQ(run_random_program(config, seed), reference)
+        << "seed " << seed << ", " << to_string(config);
+  }
+}
+
+TEST_P(DifferentialFuzz, RunsAreDeterministic) {
+  const std::uint64_t seed = GetParam();
+  EXPECT_DOUBLE_EQ(run_random_program(RuntimeConfig::ImplicitZeroCopy, seed),
+                   run_random_program(RuntimeConfig::ImplicitZeroCopy, seed));
+}
+
+}  // namespace
+}  // namespace zc::omp

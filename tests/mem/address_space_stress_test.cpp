@@ -1,0 +1,90 @@
+// Randomized stress of the address space against a reference interval map:
+// allocate/free churn with lookups must stay consistent.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "zc/mem/address_space.hpp"
+#include "zc/sim/rng.hpp"
+
+namespace zc::mem {
+namespace {
+
+constexpr std::uint64_t kPage = 4096;
+
+class AddressSpaceStress : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressSpaceStress,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+TEST_P(AddressSpaceStress, AgreesWithReferenceIntervalMap) {
+  sim::Rng rng{GetParam()};
+  AddressSpace as{kPage};
+  struct Ref {
+    VirtAddr base;
+    std::uint64_t bytes;
+  };
+  std::map<std::uint64_t, Ref> live;  // by base
+  std::uint64_t total = 0;
+
+  for (int op = 0; op < 800; ++op) {
+    if (live.empty() || rng.bernoulli(0.6)) {
+      const std::uint64_t bytes = 1 + rng.uniform_index(64 * kPage);
+      Allocation& a = as.allocate(bytes, MemKind::HostOs, "s");
+      // No overlap with any live allocation.
+      for (const auto& [base, ref] : live) {
+        const bool disjoint = a.base().value >= base + ref.bytes ||
+                              base >= a.base().value + bytes;
+        ASSERT_TRUE(disjoint);
+      }
+      live.emplace(a.base().value, Ref{a.base(), bytes});
+      total += bytes;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.uniform_index(live.size())));
+      as.free(it->second.base);
+      live.erase(it);
+    }
+
+    // Random lookups agree with the reference.
+    for (int probe = 0; probe < 5; ++probe) {
+      if (live.empty()) {
+        break;
+      }
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.uniform_index(live.size())));
+      const std::uint64_t off = rng.uniform_index(it->second.bytes);
+      Allocation* found = as.find(it->second.base + off);
+      ASSERT_NE(found, nullptr);
+      ASSERT_EQ(found->base(), it->second.base);
+      // One past the end is not part of the allocation.
+      Allocation* past = as.find(it->second.base + it->second.bytes);
+      if (past != nullptr) {
+        ASSERT_NE(past->base(), it->second.base);
+      }
+    }
+    ASSERT_EQ(as.live_allocations(), live.size());
+  }
+  EXPECT_EQ(as.total_allocated_bytes(), total);
+}
+
+TEST(AddressSpaceStress2, ThousandsOfAllocationsRemainAddressable) {
+  AddressSpace as{kPage};
+  std::vector<VirtAddr> bases;
+  for (int i = 0; i < 4000; ++i) {
+    bases.push_back(as.allocate(128, MemKind::HostOs, "x").base());
+  }
+  for (std::size_t i = 0; i < bases.size(); i += 7) {
+    Allocation* a = as.find(bases[i] + 100);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->base(), bases[i]);
+  }
+  for (const VirtAddr b : bases) {
+    as.free(b);
+  }
+  EXPECT_EQ(as.live_allocations(), 0u);
+}
+
+}  // namespace
+}  // namespace zc::mem

@@ -1,0 +1,98 @@
+#include "zc/mem/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace zc::mem {
+namespace {
+
+constexpr std::uint64_t kPage = 2ULL << 20;
+
+AddrRange range_at(std::uint64_t page_index, std::uint64_t pages) {
+  return AddrRange{VirtAddr{page_index * kPage}, pages * kPage};
+}
+
+TEST(PageTable, StartsEmpty) {
+  PageTable pt{kPage};
+  EXPECT_EQ(pt.size(), 0u);
+  EXPECT_FALSE(pt.present(0));
+}
+
+TEST(PageTable, InsertRangeCountsNewPagesOnly) {
+  PageTable pt{kPage};
+  EXPECT_EQ(pt.insert_range(range_at(10, 4)), 4u);
+  EXPECT_EQ(pt.insert_range(range_at(12, 4)), 2u);  // 12,13 already present
+  EXPECT_EQ(pt.size(), 6u);
+}
+
+TEST(PageTable, PresenceQueries) {
+  PageTable pt{kPage};
+  (void)pt.insert_range(range_at(5, 2));
+  EXPECT_TRUE(pt.present(5));
+  EXPECT_TRUE(pt.present(6));
+  EXPECT_FALSE(pt.present(7));
+  EXPECT_TRUE(pt.present_addr(VirtAddr{5 * kPage + 17}));
+}
+
+TEST(PageTable, PartialPageRangeCoversWholePage) {
+  PageTable pt{kPage};
+  // A one-byte range in the middle of page 3 still maps page 3.
+  EXPECT_EQ(pt.insert_range(AddrRange{VirtAddr{3 * kPage + 100}, 1}), 1u);
+  EXPECT_TRUE(pt.present(3));
+}
+
+TEST(PageTable, UnalignedRangeSpansBoundary) {
+  PageTable pt{kPage};
+  // [page1 + P/2, page1 + P/2 + P) touches pages 1 and 2.
+  EXPECT_EQ(pt.insert_range(AddrRange{VirtAddr{kPage + kPage / 2}, kPage}), 2u);
+  EXPECT_TRUE(pt.present(1));
+  EXPECT_TRUE(pt.present(2));
+}
+
+TEST(PageTable, CountAbsentAndPresent) {
+  PageTable pt{kPage};
+  (void)pt.insert_range(range_at(0, 3));
+  EXPECT_EQ(pt.count_absent(range_at(0, 5)), 2u);
+  EXPECT_EQ(pt.count_present(range_at(0, 5)), 3u);
+  EXPECT_EQ(pt.count_absent(range_at(10, 2)), 2u);
+}
+
+TEST(PageTable, RemoveRangeCountsRemoved) {
+  PageTable pt{kPage};
+  (void)pt.insert_range(range_at(0, 4));
+  EXPECT_EQ(pt.remove_range(range_at(1, 2)), 2u);
+  EXPECT_EQ(pt.remove_range(range_at(1, 2)), 0u);
+  EXPECT_TRUE(pt.present(0));
+  EXPECT_FALSE(pt.present(1));
+  EXPECT_TRUE(pt.present(3));
+}
+
+TEST(PageTable, EmptyRangeIsNoop) {
+  PageTable pt{kPage};
+  EXPECT_EQ(pt.insert_range(AddrRange{VirtAddr{kPage}, 0}), 0u);
+  EXPECT_EQ(pt.count_absent(AddrRange{VirtAddr{kPage}, 0}), 0u);
+}
+
+TEST(PageTable, ClearEmptiesTable) {
+  PageTable pt{kPage};
+  (void)pt.insert_range(range_at(0, 8));
+  pt.clear();
+  EXPECT_EQ(pt.size(), 0u);
+}
+
+TEST(PageTable, SmallPagesProduceMoreEntries) {
+  PageTable small{4096};
+  PageTable big{kPage};
+  const AddrRange r{VirtAddr{0}, kPage};  // 2 MB
+  EXPECT_EQ(big.insert_range(r), 1u);
+  EXPECT_EQ(small.insert_range(r), 512u);
+}
+
+TEST(PageTable, RejectsBadPageSize) {
+  EXPECT_THROW(PageTable{0}, std::invalid_argument);
+  EXPECT_THROW(PageTable{12345}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace zc::mem

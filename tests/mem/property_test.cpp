@@ -1,0 +1,164 @@
+// Reference-model property tests: the PageTable and Tlb must agree with
+// straightforward reference implementations (std::set presence; exact-LRU
+// list) on randomized operation streams.
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <set>
+#include <unordered_map>
+
+#include "zc/mem/page_table.hpp"
+#include "zc/mem/tlb.hpp"
+#include "zc/sim/rng.hpp"
+
+namespace zc::mem {
+namespace {
+
+constexpr std::uint64_t kPage = 4096;
+
+AddrRange random_range(sim::Rng& rng) {
+  const std::uint64_t base = rng.uniform_index(256) * kPage / 2;  // unaligned
+  const std::uint64_t bytes = 1 + rng.uniform_index(16 * kPage);
+  return AddrRange{VirtAddr{base}, bytes};
+}
+
+class PageTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST_P(PageTableProperty, AgreesWithSetReference) {
+  sim::Rng rng{GetParam()};
+  PageTable pt{kPage};
+  std::set<std::uint64_t> ref;
+
+  for (int op = 0; op < 600; ++op) {
+    const AddrRange r = random_range(rng);
+    const std::uint64_t first = r.first_page(kPage);
+    const std::uint64_t end = r.end_page(kPage);
+    switch (rng.uniform_index(3)) {
+      case 0: {  // insert
+        std::uint64_t expect_new = 0;
+        for (std::uint64_t p = first; p < end; ++p) {
+          expect_new += ref.insert(p).second ? 1 : 0;
+        }
+        ASSERT_EQ(pt.insert_range(r), expect_new);
+        break;
+      }
+      case 1: {  // remove
+        std::uint64_t expect_removed = 0;
+        for (std::uint64_t p = first; p < end; ++p) {
+          expect_removed += ref.erase(p);
+        }
+        ASSERT_EQ(pt.remove_range(r), expect_removed);
+        break;
+      }
+      case 2: {  // query
+        std::uint64_t expect_absent = 0;
+        for (std::uint64_t p = first; p < end; ++p) {
+          expect_absent += ref.contains(p) ? 0 : 1;
+        }
+        ASSERT_EQ(pt.count_absent(r), expect_absent);
+        break;
+      }
+    }
+    ASSERT_EQ(pt.size(), ref.size());
+  }
+}
+
+/// Exact reference LRU with the same interface subset as Tlb.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(std::size_t capacity) : capacity_{capacity} {}
+
+  bool access(std::uint64_t page) {
+    auto it = pos_.find(page);
+    if (it != pos_.end()) {
+      order_.erase(it->second);
+      order_.push_front(page);
+      pos_[page] = order_.begin();
+      return true;
+    }
+    if (pos_.size() >= capacity_) {
+      pos_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(page);
+    pos_[page] = order_.begin();
+    return false;
+  }
+
+  void invalidate(std::uint64_t page) {
+    auto it = pos_.find(page);
+    if (it != pos_.end()) {
+      order_.erase(it->second);
+      pos_.erase(it);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return pos_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> pos_;
+};
+
+class TlbProperty : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, TlbProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST_P(TlbProperty, SingleAccessAgreesWithReferenceLru) {
+  sim::Rng rng{GetParam()};
+  Tlb tlb{32, kPage};
+  ReferenceLru ref{32};
+  for (int op = 0; op < 2000; ++op) {
+    const std::uint64_t page = rng.uniform_index(64);
+    if (rng.bernoulli(0.1)) {
+      tlb.invalidate_range(AddrRange{VirtAddr{page * kPage}, kPage});
+      ref.invalidate(page);
+    } else {
+      ASSERT_EQ(tlb.access(page), ref.access(page)) << "op " << op;
+    }
+    ASSERT_EQ(tlb.size(), ref.size());
+  }
+}
+
+TEST_P(TlbProperty, RangeAccessMatchesPagewiseReferenceWhenUnderCapacity) {
+  // The bulk access_range fast path only fires for ranges larger than the
+  // capacity; for sub-capacity ranges it must match page-by-page LRU.
+  sim::Rng rng{GetParam()};
+  Tlb tlb{64, kPage};
+  ReferenceLru ref{64};
+  for (int op = 0; op < 300; ++op) {
+    const std::uint64_t first = rng.uniform_index(128);
+    const std::uint64_t pages = 1 + rng.uniform_index(32);  // <= capacity/2
+    const AddrRange r{VirtAddr{first * kPage}, pages * kPage};
+    TlbAccessResult expect;
+    for (std::uint64_t p = first; p < first + pages; ++p) {
+      if (ref.access(p)) {
+        ++expect.hits;
+      } else {
+        ++expect.misses;
+      }
+    }
+    const TlbAccessResult got = tlb.access_range(r);
+    ASSERT_EQ(got.hits, expect.hits) << "op " << op;
+    ASSERT_EQ(got.misses, expect.misses) << "op " << op;
+  }
+}
+
+TEST(TlbFastPath, ThrashLeavesLastPagesResident) {
+  Tlb tlb{8, kPage};
+  const AddrRange big{VirtAddr{0}, 64 * kPage};
+  const TlbAccessResult r = tlb.access_range(big);
+  EXPECT_EQ(r.misses, 64u);
+  EXPECT_EQ(tlb.size(), 8u);
+  // The last `capacity` pages of the stream are resident afterwards.
+  for (std::uint64_t p = 56; p < 64; ++p) {
+    EXPECT_TRUE(tlb.access(p)) << p;
+  }
+}
+
+}  // namespace
+}  // namespace zc::mem

@@ -1,0 +1,85 @@
+#include "zc/mem/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace zc::mem {
+namespace {
+
+constexpr std::uint64_t kPage = 2ULL << 20;
+
+AddrRange range_at(std::uint64_t page_index, std::uint64_t pages) {
+  return AddrRange{VirtAddr{page_index * kPage}, pages * kPage};
+}
+
+TEST(Tlb, MissThenHit) {
+  Tlb tlb{4, kPage};
+  EXPECT_FALSE(tlb.access(7));
+  EXPECT_TRUE(tlb.access(7));
+  EXPECT_EQ(tlb.total_misses(), 1u);
+  EXPECT_EQ(tlb.total_hits(), 1u);
+}
+
+TEST(Tlb, EvictsLeastRecentlyUsed) {
+  Tlb tlb{2, kPage};
+  (void)tlb.access(1);
+  (void)tlb.access(2);
+  (void)tlb.access(1);      // 1 is now most recent
+  (void)tlb.access(3);      // evicts 2
+  EXPECT_TRUE(tlb.access(1));
+  EXPECT_TRUE(tlb.access(3));
+  EXPECT_FALSE(tlb.access(2));  // was evicted
+}
+
+TEST(Tlb, CapacityBoundsResidency) {
+  Tlb tlb{8, kPage};
+  for (std::uint64_t p = 0; p < 100; ++p) {
+    (void)tlb.access(p);
+  }
+  EXPECT_EQ(tlb.size(), 8u);
+}
+
+TEST(Tlb, AccessRangeCountsHitsAndMisses) {
+  Tlb tlb{16, kPage};
+  const auto first = tlb.access_range(range_at(0, 8));
+  EXPECT_EQ(first.misses, 8u);
+  EXPECT_EQ(first.hits, 0u);
+  const auto second = tlb.access_range(range_at(4, 8));
+  EXPECT_EQ(second.hits, 4u);
+  EXPECT_EQ(second.misses, 4u);
+}
+
+TEST(Tlb, ThrashingWhenWorkingSetExceedsCapacity) {
+  Tlb tlb{4, kPage};
+  // Stream 8 pages repeatedly: with LRU and sequential access, every access
+  // misses (classic thrash).
+  for (int iter = 0; iter < 3; ++iter) {
+    const auto r = tlb.access_range(range_at(0, 8));
+    EXPECT_EQ(r.misses, 8u);
+  }
+}
+
+TEST(Tlb, InvalidateRangeDropsTranslations) {
+  Tlb tlb{16, kPage};
+  (void)tlb.access_range(range_at(0, 4));
+  tlb.invalidate_range(range_at(1, 2));
+  EXPECT_EQ(tlb.size(), 2u);
+  EXPECT_TRUE(tlb.access(0));
+  EXPECT_FALSE(tlb.access(1));
+}
+
+TEST(Tlb, InvalidateAll) {
+  Tlb tlb{16, kPage};
+  (void)tlb.access_range(range_at(0, 10));
+  tlb.invalidate_all();
+  EXPECT_EQ(tlb.size(), 0u);
+}
+
+TEST(Tlb, RejectsBadArguments) {
+  EXPECT_THROW(Tlb(0, kPage), std::invalid_argument);
+  EXPECT_THROW(Tlb(4, 3000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace zc::mem

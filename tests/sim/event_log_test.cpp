@@ -1,0 +1,79 @@
+#include "zc/sim/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace zc::sim {
+namespace {
+
+using namespace zc::sim::literals;
+
+TimePoint at(std::int64_t us) { return TimePoint::zero() + Duration::microseconds(us); }
+
+TEST(EventLog, DisabledByDefault) {
+  EventLog log;
+  log.add(at(1), "x", "ignored");
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLog, RecordsWhenEnabled) {
+  EventLog log;
+  log.enable();
+  log.add(at(1), "cat", "hello");
+  log.add(at(2), "dog", "world");
+  ASSERT_EQ(log.size(), 2u);
+  const auto events = log.snapshot();
+  EXPECT_EQ(events[0].text, "hello");
+  EXPECT_EQ(events[1].category, "dog");
+}
+
+TEST(EventLog, RingDropsOldest) {
+  EventLog log{3};
+  log.enable();
+  for (int i = 0; i < 5; ++i) {
+    log.add(at(i), "c", std::to_string(i));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].text, "2");
+  EXPECT_EQ(events[2].text, "4");
+}
+
+TEST(EventLog, ByCategoryFilters) {
+  EventLog log;
+  log.enable();
+  log.add(at(1), "a", "1");
+  log.add(at(2), "b", "2");
+  log.add(at(3), "a", "3");
+  const auto as = log.by_category("a");
+  ASSERT_EQ(as.size(), 2u);
+  EXPECT_EQ(as[1].text, "3");
+}
+
+TEST(EventLog, ClearResets) {
+  EventLog log{2};
+  log.enable();
+  log.add(at(1), "a", "1");
+  log.add(at(2), "a", "2");
+  log.add(at(3), "a", "3");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  log.add(at(4), "a", "4");
+  EXPECT_EQ(log.snapshot().front().text, "4");
+}
+
+TEST(EventLog, DumpFormatsLines) {
+  EventLog log;
+  log.enable();
+  log.add(at(1), "cat", "hello");
+  std::ostringstream os;
+  log.dump(os);
+  EXPECT_NE(os.str().find("[cat] hello"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::sim

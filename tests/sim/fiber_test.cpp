@@ -1,0 +1,110 @@
+#include "zc/sim/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace zc::sim {
+namespace {
+
+TEST(Fiber, RunsToCompletionWithoutYield) {
+  int calls = 0;
+  Fiber f{[&] { ++calls; }};
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Fiber, YieldAlternatesWithResumer) {
+  std::vector<std::string> log;
+  Fiber f{[&] {
+    log.push_back("a");
+    Fiber::yield();
+    log.push_back("b");
+    Fiber::yield();
+    log.push_back("c");
+  }};
+  f.resume();
+  log.push_back("1");
+  f.resume();
+  log.push_back("2");
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(log, (std::vector<std::string>{"a", "1", "b", "2", "c"}));
+}
+
+TEST(Fiber, CurrentTracksRunningFiber) {
+  EXPECT_EQ(Fiber::current(), nullptr);
+  Fiber* seen = nullptr;
+  Fiber f{[&] { seen = Fiber::current(); }};
+  f.resume();
+  EXPECT_EQ(seen, &f);
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, ExceptionPropagatesToResume) {
+  Fiber f{[] { throw std::runtime_error("boom"); }};
+  EXPECT_THROW(f.resume(), std::runtime_error);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, ExceptionAfterYieldPropagatesFromLaterResume) {
+  Fiber f{[] {
+    Fiber::yield();
+    throw std::runtime_error("later");
+  }};
+  EXPECT_NO_THROW(f.resume());
+  EXPECT_THROW(f.resume(), std::runtime_error);
+}
+
+TEST(Fiber, ResumeFinishedFiberThrows) {
+  Fiber f{[] {}};
+  f.resume();
+  EXPECT_THROW(f.resume(), std::logic_error);
+}
+
+TEST(Fiber, YieldOutsideFiberThrows) { EXPECT_THROW(Fiber::yield(), std::logic_error); }
+
+TEST(Fiber, EmptyBodyRejected) {
+  EXPECT_THROW(Fiber(std::function<void()>{}), std::invalid_argument);
+}
+
+TEST(Fiber, InterleavesTwoFibers) {
+  std::vector<int> order;
+  Fiber a{[&] {
+    order.push_back(1);
+    Fiber::yield();
+    order.push_back(3);
+  }};
+  Fiber b{[&] {
+    order.push_back(2);
+    Fiber::yield();
+    order.push_back(4);
+  }};
+  a.resume();
+  b.resume();
+  a.resume();
+  b.resume();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Fiber, DeepStackUsage) {
+  // Exercise a non-trivial amount of stack below a yield point.
+  Fiber f{[] {
+    volatile char buf[16 * 1024];
+    buf[0] = 1;
+    buf[sizeof(buf) - 1] = 2;
+    Fiber::yield();
+    EXPECT_EQ(buf[0], 1);
+    EXPECT_EQ(buf[sizeof(buf) - 1], 2);
+  }};
+  f.resume();
+  f.resume();
+  EXPECT_TRUE(f.finished());
+}
+
+}  // namespace
+}  // namespace zc::sim

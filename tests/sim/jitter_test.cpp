@@ -1,0 +1,67 @@
+#include "zc/sim/jitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace zc::sim {
+namespace {
+
+using namespace zc::sim::literals;
+
+TEST(JitterModel, DefaultIsIdentity) {
+  JitterModel j;
+  EXPECT_EQ(j.apply(10_us), 10_us);
+  EXPECT_EQ(j.apply(Duration::zero()), Duration::zero());
+}
+
+TEST(JitterModel, ZeroDurationNeverPerturbed) {
+  JitterModel j{{.sigma = 0.5, .outlier_prob = 0.5, .outlier_factor = 100.0}, 1};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(j.apply(Duration::zero()), Duration::zero());
+  }
+}
+
+TEST(JitterModel, UnitMeanOverManySamples) {
+  JitterModel j{{.sigma = 0.1}, 99};
+  const Duration base = 100_us;
+  double sum_ratio = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    sum_ratio += j.apply(base) / base;
+  }
+  EXPECT_NEAR(sum_ratio / n, 1.0, 0.01);
+}
+
+TEST(JitterModel, OutliersAppearAtExpectedRate) {
+  JitterModel j{{.sigma = 0.0, .outlier_prob = 0.01, .outlier_factor = 50.0}, 7};
+  int outliers = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (j.apply(1_us) > 10_us) {
+      ++outliers;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(outliers) / n, 0.01, 0.002);
+}
+
+TEST(JitterModel, DeterministicForSeed) {
+  JitterModel a{{.sigma = 0.2}, 5};
+  JitterModel b{{.sigma = 0.2}, 5};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.apply(10_us), b.apply(10_us));
+  }
+}
+
+TEST(JitterModel, SeedsProduceDifferentStreams) {
+  JitterModel a{{.sigma = 0.2}, 5};
+  JitterModel b{{.sigma = 0.2}, 6};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.apply(10_us) == b.apply(10_us)) ? 1 : 0;
+  }
+  EXPECT_LT(same, 10);
+}
+
+}  // namespace
+}  // namespace zc::sim

@@ -1,0 +1,114 @@
+#include "zc/sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace zc::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng r{9};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng r{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = r.uniform_index(8);
+    ASSERT_LT(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalHasRoughlyUnitVariance) {
+  Rng r{13};
+  const int n = 50'000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = r.normal();
+    sum += z;
+    sumsq += z * z;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalUnitMean) {
+  Rng r{17};
+  const int n = 200'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += r.lognormal_unit_mean(0.2);
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, LognormalSigmaZeroIsIdentity) {
+  Rng r{19};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(r.lognormal_unit_mean(0.0), 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r{23};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    hits += r.bernoulli(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent{31};
+  Rng child = parent.split();
+  // The child stream must differ from the parent continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (parent.next_u64() == child.next_u64()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace zc::sim

@@ -1,0 +1,85 @@
+#include "zc/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zc::sim {
+namespace {
+
+using namespace zc::sim::literals;
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::microseconds(1).ns(), 1000);
+  EXPECT_EQ(Duration::milliseconds(1).ns(), 1'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::microseconds(3), 3_us);
+  EXPECT_EQ(Duration::seconds(2), 2_s);
+}
+
+TEST(Duration, FractionalFactoriesRound) {
+  EXPECT_EQ(Duration::from_us(1.5).ns(), 1500);
+  EXPECT_EQ(Duration::from_us(0.0004).ns(), 0);  // rounds to nearest ns
+  EXPECT_EQ(Duration::from_seconds(2.5).ns(), 2'500'000'000LL);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((3_us + 2_us).ns(), 5000);
+  EXPECT_EQ((3_us - 5_us).ns(), -2000);
+  EXPECT_TRUE((3_us - 5_us).is_negative());
+  EXPECT_EQ((4_us * 3).ns(), 12'000);
+  EXPECT_EQ((3 * 4_us).ns(), 12'000);
+  EXPECT_EQ((10_us / 4).ns(), 2500);
+  EXPECT_DOUBLE_EQ(10_us / 4_us, 2.5);
+}
+
+TEST(Duration, ScalingByDoubleRounds) {
+  EXPECT_EQ((10_us * 0.33333).ns(), 3333);
+  EXPECT_EQ((0.5 * 3_ns).ns(), 2);  // llround(1.5) == 2
+}
+
+TEST(Duration, ConversionsAndPredicates) {
+  EXPECT_DOUBLE_EQ((1500_ns).us(), 1.5);
+  EXPECT_DOUBLE_EQ((2_ms).ms(), 2.0);
+  EXPECT_DOUBLE_EQ((3_s).sec(), 3.0);
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_FALSE((1_ns).is_zero());
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_GT(1_ms, 999_us);
+  EXPECT_EQ(max(3_us, 5_us), 5_us);
+  EXPECT_EQ(min(3_us, 5_us), 3_us);
+}
+
+TEST(Duration, ToStringPicksUnits) {
+  EXPECT_EQ((17_ns).to_string(), "17ns");
+  EXPECT_NE((1500_ns).to_string().find("us"), std::string::npos);
+  EXPECT_NE((2_ms).to_string().find("ms"), std::string::npos);
+  EXPECT_NE((3_s).to_string().find('s'), std::string::npos);
+}
+
+TEST(TimePoint, ZeroAndArithmetic) {
+  const TimePoint t0 = TimePoint::zero();
+  EXPECT_EQ(t0.ns(), 0);
+  const TimePoint t1 = t0 + 5_us;
+  EXPECT_EQ(t1.ns(), 5000);
+  EXPECT_EQ((t1 - t0), 5_us);
+  EXPECT_EQ((t1 - 2_us).ns(), 3000);
+  EXPECT_EQ(t1.since_start(), 5_us);
+}
+
+TEST(TimePoint, CompoundAssignAndOrdering) {
+  TimePoint t;
+  t += 3_us;
+  EXPECT_EQ(t.ns(), 3000);
+  EXPECT_LT(TimePoint::zero(), t);
+  EXPECT_EQ(max(t, TimePoint::zero()), t);
+  EXPECT_EQ(min(t, TimePoint::zero()), TimePoint::zero());
+}
+
+TEST(TimePoint, MaxIsSaturatingSentinel) {
+  EXPECT_GT(TimePoint::max(), TimePoint::from_ns(1) + Duration::seconds(100));
+}
+
+}  // namespace
+}  // namespace zc::sim

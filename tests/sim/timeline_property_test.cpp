@@ -1,0 +1,101 @@
+// Property tests for ResourceTimeline: randomized reservation streams must
+// satisfy the k-server invariants for every server count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "zc/sim/rng.hpp"
+#include "zc/sim/timeline.hpp"
+
+namespace zc::sim {
+namespace {
+
+struct Reservation {
+  TimePoint ready;
+  Duration dur;
+  Interval placed;
+};
+
+class TimelineProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(ServersAndSeeds, TimelineProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 8),
+                                            ::testing::Values(1u, 2u, 3u)));
+
+TEST_P(TimelineProperty, InvariantsHoldOnRandomStreams) {
+  const auto [servers, seed] = GetParam();
+  Rng rng{seed};
+  ResourceTimeline tl{"t", servers};
+
+  std::vector<Reservation> done;
+  TimePoint ready;
+  Duration total_busy;
+  for (int i = 0; i < 400; ++i) {
+    ready += Duration::nanoseconds(
+        static_cast<std::int64_t>(rng.uniform_index(3000)));
+    const Duration dur = Duration::nanoseconds(
+        static_cast<std::int64_t>(rng.uniform_index(5000)));
+    const Interval placed = tl.reserve(ready, dur);
+    // Start is never before the requester was ready.
+    ASSERT_GE(placed.start, ready);
+    ASSERT_EQ(placed.end - placed.start, dur);
+    done.push_back({ready, dur, placed});
+    total_busy += dur;
+  }
+
+  // Aggregate accounting.
+  EXPECT_EQ(tl.reservations(), 400u);
+  EXPECT_EQ(tl.busy_time(), total_busy);
+
+  // At no point are more than `servers` reservations simultaneously active:
+  // sweep over interval starts and count overlaps.
+  for (const Reservation& probe : done) {
+    if (probe.dur.is_zero()) {
+      continue;
+    }
+    int active = 0;
+    for (const Reservation& other : done) {
+      if (other.placed.start <= probe.placed.start &&
+          probe.placed.start < other.placed.end) {
+        ++active;
+      }
+    }
+    ASSERT_LE(active, servers);
+  }
+
+  // Work conservation: makespan is at least total_busy / servers.
+  const TimePoint drained = tl.drained_at();
+  EXPECT_GE(drained.since_start().ns() * servers, total_busy.ns());
+}
+
+TEST_P(TimelineProperty, DeterministicForSameStream) {
+  const auto [servers, seed] = GetParam();
+  auto run = [servers = servers, seed = seed] {
+    Rng rng{seed};
+    ResourceTimeline tl{"t", servers};
+    TimePoint ready;
+    std::vector<Interval> placed;
+    for (int i = 0; i < 100; ++i) {
+      ready += Duration::nanoseconds(
+          static_cast<std::int64_t>(rng.uniform_index(1000)));
+      placed.push_back(tl.reserve(
+          ready, Duration::nanoseconds(
+                     static_cast<std::int64_t>(rng.uniform_index(2000)))));
+    }
+    return placed;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+}
+
+}  // namespace
+}  // namespace zc::sim

@@ -1,0 +1,97 @@
+#include "zc/sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace zc::sim {
+namespace {
+
+using namespace zc::sim::literals;
+
+TimePoint at(std::int64_t us) { return TimePoint::zero() + Duration::microseconds(us); }
+
+TEST(ResourceTimeline, SingleServerSerializes) {
+  ResourceTimeline r{"gpu", 1};
+  const Interval a = r.reserve(at(0), 10_us);
+  EXPECT_EQ(a.start, at(0));
+  EXPECT_EQ(a.end, at(10));
+  // Second request ready at t=2 must queue behind the first.
+  const Interval b = r.reserve(at(2), 5_us);
+  EXPECT_EQ(b.start, at(10));
+  EXPECT_EQ(b.end, at(15));
+}
+
+TEST(ResourceTimeline, IdleGapIsNotBackfilled) {
+  ResourceTimeline r{"gpu", 1};
+  (void)r.reserve(at(0), 2_us);
+  const Interval late = r.reserve(at(10), 1_us);
+  EXPECT_EQ(late.start, at(10));  // starts at ready time, resource was idle
+}
+
+TEST(ResourceTimeline, TwoServersOverlap) {
+  ResourceTimeline r{"sdma", 2};
+  const Interval a = r.reserve(at(0), 10_us);
+  const Interval b = r.reserve(at(1), 10_us);
+  EXPECT_EQ(a.start, at(0));
+  EXPECT_EQ(b.start, at(1));  // second engine picks it up immediately
+  const Interval c = r.reserve(at(2), 3_us);
+  EXPECT_EQ(c.start, at(10));  // queues behind the earliest-free engine
+}
+
+TEST(ResourceTimeline, AvailableAndDrained) {
+  ResourceTimeline r{"q", 2};
+  (void)r.reserve(at(0), 4_us);
+  (void)r.reserve(at(0), 9_us);
+  EXPECT_EQ(r.available_at(), at(4));
+  EXPECT_EQ(r.drained_at(), at(9));
+  EXPECT_TRUE(r.idle_at(at(4)));
+  EXPECT_FALSE(r.idle_at(at(3)));
+}
+
+TEST(ResourceTimeline, StatisticsAccumulate) {
+  ResourceTimeline r{"q", 1};
+  (void)r.reserve(at(0), 5_us);
+  (void)r.reserve(at(1), 5_us);  // queues 4us
+  EXPECT_EQ(r.reservations(), 2u);
+  EXPECT_EQ(r.busy_time(), 10_us);
+  EXPECT_EQ(r.queue_time(), 4_us);
+}
+
+TEST(ResourceTimeline, ZeroDurationReservationIsAllowed) {
+  ResourceTimeline r{"q", 1};
+  const Interval i = r.reserve(at(3), Duration::zero());
+  EXPECT_EQ(i.start, i.end);
+  EXPECT_EQ(i.start, at(3));
+}
+
+TEST(ResourceTimeline, ResetForgetsEverything) {
+  ResourceTimeline r{"q", 1};
+  (void)r.reserve(at(0), 5_us);
+  r.reset();
+  EXPECT_EQ(r.reservations(), 0u);
+  EXPECT_EQ(r.busy_time(), Duration::zero());
+  const Interval i = r.reserve(at(0), 1_us);
+  EXPECT_EQ(i.start, at(0));
+}
+
+TEST(ResourceTimeline, RejectsBadArguments) {
+  EXPECT_THROW(ResourceTimeline("bad", 0), std::invalid_argument);
+  EXPECT_THROW(ResourceTimeline("bad", -1), std::invalid_argument);
+  ResourceTimeline r{"q", 1};
+  EXPECT_THROW((void)r.reserve(at(0), 1_us - 2_us), std::invalid_argument);
+}
+
+TEST(ResourceTimeline, FifoFairnessAcrossManyRequests) {
+  ResourceTimeline r{"q", 1};
+  TimePoint prev_end = TimePoint::zero();
+  for (int i = 0; i < 100; ++i) {
+    const Interval iv = r.reserve(at(i), 2_us);
+    EXPECT_GE(iv.start, prev_end);
+    prev_end = iv.end;
+  }
+  EXPECT_EQ(r.busy_time(), 200_us);
+}
+
+}  // namespace
+}  // namespace zc::sim

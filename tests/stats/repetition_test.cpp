@@ -1,0 +1,74 @@
+#include "zc/stats/repetition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "zc/stats/ascii_chart.hpp"
+
+#include <sstream>
+
+namespace zc::stats {
+namespace {
+
+using namespace zc::sim::literals;
+
+TEST(Repeat, RunsRequestedTimesWithDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  const RepeatedRuns runs = repeat(4, 100, [&](std::uint64_t seed) {
+    seeds.insert(seed);
+    return sim::Duration::microseconds(static_cast<std::int64_t>(seed));
+  });
+  EXPECT_EQ(runs.times.size(), 4u);
+  EXPECT_EQ(seeds.size(), 4u);
+  EXPECT_TRUE(seeds.contains(101));
+  EXPECT_TRUE(seeds.contains(104));
+}
+
+TEST(Repeat, RejectsNonPositiveReps) {
+  EXPECT_THROW((void)repeat(0, 1, [](std::uint64_t) { return 1_us; }),
+               std::invalid_argument);
+}
+
+TEST(Repeat, SummaryAndCov) {
+  const RepeatedRuns runs = repeat(3, 0, [&](std::uint64_t seed) {
+    return sim::Duration::microseconds(static_cast<std::int64_t>(10 * seed));
+  });
+  EXPECT_EQ(runs.median_time(), 20_us);
+  EXPECT_GT(runs.cov(), 0.0);
+}
+
+TEST(RatioOfMedians, CopyOverConfig) {
+  RepeatedRuns copy{{100_us, 110_us, 90_us}};
+  RepeatedRuns zc{{50_us, 55_us, 45_us}};
+  EXPECT_DOUBLE_EQ(ratio_of_medians(copy, zc), 2.0);
+}
+
+TEST(AsciiChart, RendersSeriesMarkersAndLegend) {
+  AsciiChart chart{"ratios", {"S2", "S4", "S8"}};
+  chart.add_series("Implicit Z-C", {1.0, 1.5, 2.0});
+  chart.add_series("Eager Maps", {0.9, 1.2, 1.4});
+  std::ostringstream os;
+  chart.print(os, 8);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ratios"), std::string::npos);
+  EXPECT_NE(out.find("[0] Implicit Z-C"), std::string::npos);
+  EXPECT_NE(out.find("[1] Eager Maps"), std::string::npos);
+  EXPECT_NE(out.find('0'), std::string::npos);
+  EXPECT_NE(out.find("S2"), std::string::npos);
+}
+
+TEST(AsciiChart, ArityMismatchThrows) {
+  AsciiChart chart{"x", {"a", "b"}};
+  EXPECT_THROW(chart.add_series("bad", {1.0}), std::invalid_argument);
+}
+
+TEST(AsciiChart, FlatSeriesStillRenders) {
+  AsciiChart chart{"flat", {"a", "b"}};
+  chart.add_series("s", {1.0, 1.0});
+  std::ostringstream os;
+  EXPECT_NO_THROW(chart.print(os, 4));
+}
+
+}  // namespace
+}  // namespace zc::stats

@@ -1,0 +1,98 @@
+#include "zc/stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "zc/sim/rng.hpp"
+
+namespace zc::stats {
+namespace {
+
+using namespace zc::sim::literals;
+
+TEST(Median, OddAndEvenCounts) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Median, EmptyThrows) {
+  EXPECT_THROW((void)median(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Median, DurationOverload) {
+  const std::vector<sim::Duration> ds{30_us, 10_us, 20_us};
+  EXPECT_EQ(median(ds), 20_us);
+}
+
+TEST(Summarize, BasicStatistics) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_NEAR(s.stddev, 2.138, 0.001);  // sample stddev
+  EXPECT_NEAR(s.cov(), 0.4276, 0.001);
+}
+
+TEST(Summarize, SingleSampleHasZeroSpread) {
+  const Summary s = summarize(std::vector<double>{5.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.cov(), 0.0);
+}
+
+TEST(Summarize, CovZeroForZeroMean) {
+  const Summary s = summarize({-1.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.cov(), 0.0);  // guarded division
+}
+
+TEST(Summarize, DurationOverloadUsesSeconds) {
+  const Summary s = summarize(std::vector<sim::Duration>{1_s, 3_s});
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(Summarize, LargeUniformSampleMatchesTheory) {
+  // Uniform[0,1): mean 0.5, stddev sqrt(1/12) ~ 0.2887.
+  sim::Rng rng{123};
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) {
+    xs.push_back(rng.uniform());
+  }
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 0.5, 0.005);
+  EXPECT_NEAR(s.stddev, 0.28868, 0.005);
+  EXPECT_NEAR(s.median, 0.5, 0.01);
+  EXPECT_NEAR(s.cov(), 0.57735, 0.01);
+}
+
+TEST(Median, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(median({9.0, 1.0, 5.0, 3.0, 7.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 17.5);
+}
+
+TEST(Percentile, MatchesMedian) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), median(xs));
+}
+
+TEST(Percentile, RejectsBadArguments) {
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace zc::stats

@@ -1,0 +1,51 @@
+#include "zc/stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace zc::stats {
+namespace {
+
+TEST(TextTable, PrintsAlignedColumns) {
+  TextTable t{{"Benchmark", "Ratio"}};
+  t.add_row({"stencil", "0.99"});
+  t.add_row({"spC", "7.80"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| Benchmark | Ratio |"), std::string::npos);
+  EXPECT_NE(out.find("| stencil   | 0.99  |"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t{{"a", "b"}};
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, ArityMismatchThrows) {
+  TextTable t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(7.7961, 2), "7.80");
+  EXPECT_EQ(TextTable::num(1.0, 3), "1.000");
+}
+
+TEST(TextTable, CountInsertsThousandsSeparators) {
+  EXPECT_EQ(TextTable::count(0), "0");
+  EXPECT_EQ(TextTable::count(999), "999");
+  EXPECT_EQ(TextTable::count(1000), "1,000");
+  EXPECT_EQ(TextTable::count(1124258), "1,124,258");
+  EXPECT_EQ(TextTable::count(307607), "307,607");
+}
+
+}  // namespace
+}  // namespace zc::stats

@@ -1,0 +1,69 @@
+#include "zc/trace/call_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace zc::trace {
+namespace {
+
+using namespace zc::sim::literals;
+
+TEST(CallStats, StartsEmpty) {
+  CallStats s;
+  EXPECT_EQ(s.total_calls(), 0u);
+  EXPECT_EQ(s.count(HsaCall::MemoryAsyncCopy), 0u);
+  EXPECT_EQ(s.total_time(), sim::Duration::zero());
+}
+
+TEST(CallStats, RecordAccumulatesCountAndLatency) {
+  CallStats s;
+  s.record(HsaCall::SignalWaitScacquire, 5_us);
+  s.record(HsaCall::SignalWaitScacquire, 7_us);
+  s.record(HsaCall::MemoryPoolAllocate, 30_us);
+  EXPECT_EQ(s.count(HsaCall::SignalWaitScacquire), 2u);
+  EXPECT_EQ(s.total_latency(HsaCall::SignalWaitScacquire), 12_us);
+  EXPECT_EQ(s.count(HsaCall::MemoryPoolAllocate), 1u);
+  EXPECT_EQ(s.total_calls(), 3u);
+  EXPECT_EQ(s.total_time(), 42_us);
+}
+
+TEST(CallStats, ResetClears) {
+  CallStats s;
+  s.record(HsaCall::QueueDispatch, 1_us);
+  s.reset();
+  EXPECT_EQ(s.total_calls(), 0u);
+}
+
+TEST(CallStats, MergeAddsBothStreams) {
+  CallStats a;
+  CallStats b;
+  a.record(HsaCall::MemoryAsyncCopy, 10_us);
+  b.record(HsaCall::MemoryAsyncCopy, 5_us);
+  b.record(HsaCall::SvmAttributesSet, 2_us);
+  a.merge(b);
+  EXPECT_EQ(a.count(HsaCall::MemoryAsyncCopy), 2u);
+  EXPECT_EQ(a.total_latency(HsaCall::MemoryAsyncCopy), 15_us);
+  EXPECT_EQ(a.count(HsaCall::SvmAttributesSet), 1u);
+}
+
+TEST(CallStats, NamesMatchRocrSpelling) {
+  EXPECT_STREQ(to_string(HsaCall::MemoryAsyncCopy), "hsa_amd_memory_async_copy");
+  EXPECT_STREQ(to_string(HsaCall::SignalWaitScacquire),
+               "hsa_signal_wait_scacquire");
+  EXPECT_STREQ(to_string(HsaCall::SvmAttributesSet),
+               "hsa_amd_svm_attributes_set");
+}
+
+TEST(CallStats, CsvListsOnlyNonzeroCalls) {
+  CallStats s;
+  s.record(HsaCall::MemoryAsyncCopy, 10_us);
+  std::ostringstream os;
+  s.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("hsa_amd_memory_async_copy,1,10"), std::string::npos);
+  EXPECT_EQ(out.find("hsa_queue_dispatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::trace

@@ -1,0 +1,84 @@
+#include "zc/trace/call_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "zc/hsa/runtime.hpp"
+
+namespace zc::trace {
+namespace {
+
+using namespace zc::sim::literals;
+
+sim::TimePoint at(std::int64_t us) {
+  return sim::TimePoint::zero() + sim::Duration::microseconds(us);
+}
+
+TEST(CallTrace, DisabledByDefault) {
+  CallTrace t;
+  t.record(HsaCall::QueueDispatch, 0, at(1), 2_us);
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(CallTrace, RecordsWhenEnabled) {
+  CallTrace t;
+  t.enable();
+  t.record(HsaCall::QueueDispatch, 3, at(1), 2_us);
+  t.record(HsaCall::MemoryAsyncCopy, 0, at(5), 7_us);
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records()[0].host_thread, 3);
+  EXPECT_EQ(t.records()[1].end(), at(12));
+}
+
+TEST(CallTrace, ByCallFilters) {
+  CallTrace t;
+  t.enable();
+  t.record(HsaCall::QueueDispatch, 0, at(1), 1_us);
+  t.record(HsaCall::MemoryAsyncCopy, 0, at(2), 1_us);
+  t.record(HsaCall::QueueDispatch, 0, at(3), 1_us);
+  EXPECT_EQ(t.by_call(HsaCall::QueueDispatch).size(), 2u);
+  EXPECT_EQ(t.by_call(HsaCall::SignalCreate).size(), 0u);
+}
+
+TEST(CallTrace, WindowedLatency) {
+  CallTrace t;
+  t.enable();
+  t.record(HsaCall::QueueDispatch, 0, at(1), 10_us);
+  t.record(HsaCall::QueueDispatch, 0, at(5), 20_us);
+  t.record(HsaCall::QueueDispatch, 0, at(9), 40_us);
+  EXPECT_EQ(t.latency_in_window(at(0), at(6)), 30_us);
+  EXPECT_EQ(t.latency_in_window(at(5), at(10)), 60_us);
+  EXPECT_EQ(t.latency_in_window(at(100), at(200)), sim::Duration::zero());
+}
+
+TEST(CallTrace, CsvOutput) {
+  CallTrace t;
+  t.enable();
+  t.record(HsaCall::SvmAttributesSet, 1, at(2), 3_us);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("hsa_amd_svm_attributes_set,1,3"), std::string::npos);
+}
+
+TEST(CallTrace, IntegratesWithHsaRuntime) {
+  apu::Machine machine = apu::Machine::mi300a();
+  mem::MemorySystem memory{machine};
+  hsa::Runtime rt{machine, memory};
+  rt.call_trace().enable();
+  machine.sched().run_single([&] {
+    const mem::VirtAddr dev = rt.memory_pool_allocate(1 << 20, "b");
+    rt.memory_pool_free(dev);
+  });
+  const auto& recs = rt.call_trace().records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].call, HsaCall::MemoryPoolAllocate);
+  EXPECT_EQ(recs[1].call, HsaCall::MemoryPoolFree);
+  EXPECT_GE(recs[1].start, recs[0].end());
+  // The trace agrees with the aggregate stats.
+  EXPECT_EQ(recs[0].latency,
+            rt.stats().total_latency(HsaCall::MemoryPoolAllocate));
+}
+
+}  // namespace
+}  // namespace zc::trace

@@ -1,0 +1,95 @@
+#include "zc/trace/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "zc/core/host_array.hpp"
+#include "zc/core/offload_stack.hpp"
+
+namespace zc::trace {
+namespace {
+
+using namespace zc::sim::literals;
+
+sim::TimePoint at(std::int64_t us) {
+  return sim::TimePoint::zero() + sim::Duration::microseconds(us);
+}
+
+TEST(ChromeTrace, EmptyDocumentIsValidJsonShell) {
+  ChromeTraceWriter w;
+  std::ostringstream os;
+  w.write(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("{\"traceEvents\":[]"), 0u);
+  EXPECT_NE(out.find("apuzc simulator"), std::string::npos);
+  EXPECT_EQ(w.event_count(), 0u);
+}
+
+TEST(ChromeTrace, CallEventsCarryThreadAndTiming) {
+  CallTrace calls;
+  calls.enable();
+  calls.record(HsaCall::QueueDispatch, 3, at(10), 2_us);
+  ChromeTraceWriter w;
+  w.add(calls);
+  std::ostringstream os;
+  w.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"name\":\"hsa_queue_dispatch\""), std::string::npos);
+  EXPECT_NE(out.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"ts\":10"), std::string::npos);
+  EXPECT_NE(out.find("\"dur\":2"), std::string::npos);
+  EXPECT_EQ(w.event_count(), 1u);
+}
+
+TEST(ChromeTrace, KernelEventsIncludeFaultArguments) {
+  KernelRecord k;
+  k.name = "nio_drift";
+  k.host_thread = 2;
+  k.start = at(100);
+  k.end = at(150);
+  k.fault_stall = 30_us;
+  k.page_faults = 4;
+  ChromeTraceWriter w;
+  w.add(std::vector<KernelRecord>{k});
+  std::ostringstream os;
+  w.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"name\":\"nio_drift\""), std::string::npos);
+  EXPECT_NE(out.find("\"page_faults\":4"), std::string::npos);
+  EXPECT_NE(out.find("\"fault_stall_us\":30"), std::string::npos);
+  EXPECT_NE(out.find("\"cat\":\"kernel\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EndToEndFromARealRun) {
+  omp::OffloadStack stack{
+      omp::OffloadStack::machine_config_for(omp::RuntimeConfig::LegacyCopy),
+      omp::OffloadStack::program_for(omp::RuntimeConfig::LegacyCopy, {})};
+  stack.hsa().call_trace().enable();
+  stack.sched().run_single([&] {
+    omp::OffloadRuntime& rt = stack.omp();
+    omp::HostArray<double> x{rt, 4096, "x"};
+    rt.target(omp::TargetRegion{.name = "traced",
+                                .maps = {x.tofrom()},
+                                .compute = 25_us,
+                                .body = {}});
+    x.release();
+  });
+  ChromeTraceWriter w;
+  w.add(stack.hsa().call_trace());
+  w.add(stack.hsa().kernel_trace().records());
+  EXPECT_GT(w.event_count(), 10u);  // image load + maps + kernel + waits
+
+  std::ostringstream os;
+  w.write(os);
+  const std::string out = os.str();
+  // Braces and brackets balance (cheap JSON sanity).
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+  EXPECT_NE(out.find("\"name\":\"traced\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::trace

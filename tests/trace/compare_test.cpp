@@ -1,0 +1,52 @@
+#include "zc/trace/compare.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zc::trace {
+namespace {
+
+using namespace zc::sim::literals;
+
+TEST(CompareCalls, BuildsRowsInRequestedOrder) {
+  CallStats copy;
+  CallStats zc;
+  copy.record(HsaCall::MemoryAsyncCopy, 100_us);
+  copy.record(HsaCall::MemoryAsyncCopy, 100_us);
+  zc.record(HsaCall::MemoryAsyncCopy, 2_us);
+  copy.record(HsaCall::SignalWaitScacquire, 30_us);
+  zc.record(HsaCall::SignalWaitScacquire, 10_us);
+
+  const auto rows = compare_calls(copy, zc,
+                                  {HsaCall::SignalWaitScacquire,
+                                   HsaCall::MemoryAsyncCopy});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].call, HsaCall::SignalWaitScacquire);
+  EXPECT_EQ(rows[0].baseline_calls, 1u);
+  EXPECT_EQ(rows[0].other_calls, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].latency_ratio(), 3.0);
+  EXPECT_EQ(rows[1].baseline_calls, 2u);
+  EXPECT_DOUBLE_EQ(rows[1].latency_ratio(), 100.0);
+}
+
+TEST(CompareCalls, UndefinedRatioWhenOtherNeverCalled) {
+  CallStats copy;
+  CallStats zc;
+  copy.record(HsaCall::SignalAsyncHandler, 10_us);
+  const auto rows =
+      compare_calls(copy, zc, {HsaCall::SignalAsyncHandler});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].ratio_defined());
+  EXPECT_LT(rows[0].latency_ratio(), 0.0);
+}
+
+TEST(CompareCalls, TableOneCallsMatchPaperOrder) {
+  const auto calls = table_one_calls();
+  ASSERT_EQ(calls.size(), 4u);
+  EXPECT_EQ(calls[0], HsaCall::SignalWaitScacquire);
+  EXPECT_EQ(calls[1], HsaCall::MemoryPoolAllocate);
+  EXPECT_EQ(calls[2], HsaCall::MemoryAsyncCopy);
+  EXPECT_EQ(calls[3], HsaCall::SignalAsyncHandler);
+}
+
+}  // namespace
+}  // namespace zc::trace

@@ -1,0 +1,81 @@
+#include "zc/trace/kernel_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace zc::trace {
+namespace {
+
+using namespace zc::sim::literals;
+
+KernelRecord make_record(std::int64_t start_us, std::int64_t dur_us,
+                         std::uint64_t faults = 0) {
+  KernelRecord r;
+  r.name = "k";
+  r.start = sim::TimePoint::zero() + sim::Duration::microseconds(start_us);
+  r.end = r.start + sim::Duration::microseconds(dur_us);
+  r.compute = sim::Duration::microseconds(dur_us);
+  r.page_faults = faults;
+  if (faults > 0) {
+    r.fault_stall = sim::Duration::microseconds(static_cast<std::int64_t>(faults));
+  }
+  return r;
+}
+
+TEST(KernelTrace, SummaryAccumulates) {
+  KernelTrace t;
+  t.record(make_record(0, 10));
+  t.record(make_record(20, 30, 5));
+  const KernelTraceSummary& s = t.summary();
+  EXPECT_EQ(s.launches, 2u);
+  EXPECT_EQ(s.total_time, 40_us);
+  EXPECT_EQ(s.total_page_faults, 5u);
+  EXPECT_EQ(s.total_fault_stall, 5_us);
+}
+
+TEST(KernelTrace, RecordsKeptByDefault) {
+  KernelTrace t;
+  t.record(make_record(0, 10));
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].duration(), 10_us);
+}
+
+TEST(KernelTrace, RecordsCanBeDisabledSummariesRemain) {
+  KernelTrace t;
+  t.set_keep_records(false);
+  t.record(make_record(0, 10));
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.summary().launches, 1u);
+}
+
+TEST(KernelTrace, SummarizeFirstWindow) {
+  KernelTrace t;
+  for (int i = 0; i < 10; ++i) {
+    t.record(make_record(i * 10, 5, i < 3 ? 2 : 0));
+  }
+  const KernelTraceSummary first3 = t.summarize_first(3);
+  EXPECT_EQ(first3.launches, 3u);
+  EXPECT_EQ(first3.total_page_faults, 6u);
+  const KernelTraceSummary all = t.summarize_first(100);
+  EXPECT_EQ(all.launches, 10u);
+}
+
+TEST(KernelTrace, ResetClearsEverything) {
+  KernelTrace t;
+  t.record(make_record(0, 10));
+  t.reset();
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.summary().launches, 0u);
+}
+
+TEST(KernelTrace, DumpContainsNameAndFaults) {
+  KernelTrace t;
+  t.record(make_record(0, 10, 4));
+  std::ostringstream os;
+  t.dump(os);
+  EXPECT_NE(os.str().find("faults=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::trace

@@ -1,0 +1,82 @@
+#include "zc/workloads/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "zc/core/host_array.hpp"
+
+namespace zc::workloads {
+namespace {
+
+using namespace zc::sim::literals;
+using omp::RuntimeConfig;
+
+Program trivial_program() {
+  Program p;
+  p.binary.name = "trivial";
+  p.setup_threads = [](omp::OffloadStack& stack) {
+    stack.sched().spawn("main", [&stack] {
+      omp::OffloadRuntime& rt = stack.omp();
+      omp::HostArray<double> x{rt, 64, "x"};
+      rt.target(omp::TargetRegion{.name = "noop",
+                                  .maps = {x.tofrom()},
+                                  .compute = 10_us,
+                                  .body = {}});
+      x.release();
+    });
+  };
+  p.finalize = [](omp::OffloadStack&) { return 42.0; };
+  return p;
+}
+
+TEST(Runner, RunsAndCollectsTelemetry) {
+  const RunResult r =
+      run_program(trivial_program(), {.config = RuntimeConfig::LegacyCopy});
+  EXPECT_EQ(r.config, RuntimeConfig::LegacyCopy);
+  EXPECT_GT(r.wall_time, sim::Duration::zero());
+  EXPECT_EQ(r.kernels.launches, 1u);
+  EXPECT_GT(r.stats.total_calls(), 0u);
+  EXPECT_DOUBLE_EQ(r.checksum, 42.0);
+}
+
+TEST(Runner, MissingSetupThrows) {
+  Program p;
+  EXPECT_THROW((void)run_program(p, {}), std::invalid_argument);
+}
+
+TEST(Runner, JitterMakesRunsVaryAndSeedsReproduce) {
+  const Program p = trivial_program();
+  RunOptions a{.config = RuntimeConfig::ImplicitZeroCopy,
+               .jitter = {.sigma = 0.1},
+               .seed = 5};
+  const RunResult r1 = run_program(p, a);
+  const RunResult r2 = run_program(p, a);
+  EXPECT_EQ(r1.wall_time, r2.wall_time);  // same seed
+  a.seed = 6;
+  const RunResult r3 = run_program(p, a);
+  EXPECT_NE(r1.wall_time, r3.wall_time);  // different seed
+}
+
+TEST(Runner, RepeatProgramUsesDistinctSeeds) {
+  const Program p = trivial_program();
+  const stats::RepeatedRuns runs = repeat_program(
+      p,
+      {.config = RuntimeConfig::ImplicitZeroCopy, .jitter = {.sigma = 0.05}},
+      4);
+  ASSERT_EQ(runs.times.size(), 4u);
+  EXPECT_GT(runs.cov(), 0.0);
+  EXPECT_GT(runs.median_time(), sim::Duration::zero());
+}
+
+TEST(Runner, KernelRecordsOptIn) {
+  const Program p = trivial_program();
+  omp::OffloadStack probe{
+      omp::OffloadStack::machine_config_for(RuntimeConfig::ImplicitZeroCopy),
+      omp::OffloadStack::program_for(RuntimeConfig::ImplicitZeroCopy, {})};
+  // Default run keeps summaries only; records flag is honored.
+  EXPECT_TRUE(probe.hsa().kernel_trace().keep_records());
+  const RunResult off = run_program(p, {.keep_kernel_records = false});
+  EXPECT_EQ(off.kernels.launches, 1u);
+}
+
+}  // namespace
+}  // namespace zc::workloads
