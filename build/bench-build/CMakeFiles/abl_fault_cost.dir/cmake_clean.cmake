@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_fault_cost"
+  "../bench/abl_fault_cost.pdb"
+  "CMakeFiles/abl_fault_cost.dir/abl_fault_cost.cpp.o"
+  "CMakeFiles/abl_fault_cost.dir/abl_fault_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fault_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

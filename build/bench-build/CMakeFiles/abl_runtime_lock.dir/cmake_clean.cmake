@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_runtime_lock"
+  "../bench/abl_runtime_lock.pdb"
+  "CMakeFiles/abl_runtime_lock.dir/abl_runtime_lock.cpp.o"
+  "CMakeFiles/abl_runtime_lock.dir/abl_runtime_lock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_runtime_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sdma"
+  "../bench/abl_sdma.pdb"
+  "CMakeFiles/abl_sdma.dir/abl_sdma.cpp.o"
+  "CMakeFiles/abl_sdma.dir/abl_sdma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

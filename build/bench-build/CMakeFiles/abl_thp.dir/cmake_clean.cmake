@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_thp"
+  "../bench/abl_thp.pdb"
+  "CMakeFiles/abl_thp.dir/abl_thp.cpp.o"
+  "CMakeFiles/abl_thp.dir/abl_thp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_thp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_tlb.cpp" "bench-build/CMakeFiles/abl_tlb.dir/abl_tlb.cpp.o" "gcc" "bench-build/CMakeFiles/abl_tlb.dir/abl_tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/zc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/zc_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/zc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/apu/CMakeFiles/zc_apu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/zc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/zc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_tlb"
+  "../bench/abl_tlb.pdb"
+  "CMakeFiles/abl_tlb.dir/abl_tlb.cpp.o"
+  "CMakeFiles/abl_tlb.dir/abl_tlb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/eager_vs_zerocopy"
+  "../bench/eager_vs_zerocopy.pdb"
+  "CMakeFiles/eager_vs_zerocopy.dir/eager_vs_zerocopy.cpp.o"
+  "CMakeFiles/eager_vs_zerocopy.dir/eager_vs_zerocopy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eager_vs_zerocopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eager_vs_zerocopy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_qmcpack_threads"
+  "../bench/fig3_qmcpack_threads.pdb"
+  "CMakeFiles/fig3_qmcpack_threads.dir/fig3_qmcpack_threads.cpp.o"
+  "CMakeFiles/fig3_qmcpack_threads.dir/fig3_qmcpack_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_qmcpack_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_s2_s24"
+  "../bench/scaling_s2_s24.pdb"
+  "CMakeFiles/scaling_s2_s24.dir/scaling_s2_s24.cpp.o"
+  "CMakeFiles/scaling_s2_s24.dir/scaling_s2_s24.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_s2_s24.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_hsa_calls"
+  "../bench/table1_hsa_calls.pdb"
+  "CMakeFiles/table1_hsa_calls.dir/table1_hsa_calls.cpp.o"
+  "CMakeFiles/table1_hsa_calls.dir/table1_hsa_calls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hsa_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

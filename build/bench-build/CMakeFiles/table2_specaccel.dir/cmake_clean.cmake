@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_specaccel"
+  "../bench/table2_specaccel.pdb"
+  "CMakeFiles/table2_specaccel.dir/table2_specaccel.cpp.o"
+  "CMakeFiles/table2_specaccel.dir/table2_specaccel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_specaccel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discrete_vs_apu.dir/discrete_vs_apu.cpp.o"
+  "CMakeFiles/discrete_vs_apu.dir/discrete_vs_apu.cpp.o.d"
+  "discrete_vs_apu"
+  "discrete_vs_apu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discrete_vs_apu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

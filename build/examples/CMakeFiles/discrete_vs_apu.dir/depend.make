@@ -1,0 +1,2 @@
+# Empty dependencies file for discrete_vs_apu.
+# This may be replaced when dependencies are built.

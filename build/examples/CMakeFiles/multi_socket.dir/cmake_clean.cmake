@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_socket.dir/multi_socket.cpp.o"
+  "CMakeFiles/multi_socket.dir/multi_socket.cpp.o.d"
+  "multi_socket"
+  "multi_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmcpack_nio.dir/qmcpack_nio.cpp.o"
+  "CMakeFiles/qmcpack_nio.dir/qmcpack_nio.cpp.o.d"
+  "qmcpack_nio"
+  "qmcpack_nio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmcpack_nio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qmcpack_nio.
+# This may be replaced when dependencies are built.

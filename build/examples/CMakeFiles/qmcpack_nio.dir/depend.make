@@ -1,0 +1,2 @@
+# Empty dependencies file for qmcpack_nio.
+# This may be replaced when dependencies are built.

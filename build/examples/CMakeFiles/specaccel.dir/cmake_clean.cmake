@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specaccel.dir/specaccel.cpp.o"
+  "CMakeFiles/specaccel.dir/specaccel.cpp.o.d"
+  "specaccel"
+  "specaccel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specaccel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

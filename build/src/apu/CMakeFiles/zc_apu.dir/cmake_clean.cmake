@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_apu.dir/env.cpp.o"
+  "CMakeFiles/zc_apu.dir/env.cpp.o.d"
+  "CMakeFiles/zc_apu.dir/machine.cpp.o"
+  "CMakeFiles/zc_apu.dir/machine.cpp.o.d"
+  "libzc_apu.a"
+  "libzc_apu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_apu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

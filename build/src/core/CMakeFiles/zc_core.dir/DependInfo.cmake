@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/zc_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/zc_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/offload_runtime.cpp" "src/core/CMakeFiles/zc_core.dir/offload_runtime.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/offload_runtime.cpp.o.d"
+  "/root/repo/src/core/offload_stack.cpp" "src/core/CMakeFiles/zc_core.dir/offload_stack.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/offload_stack.cpp.o.d"
+  "/root/repo/src/core/target_region.cpp" "src/core/CMakeFiles/zc_core.dir/target_region.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/target_region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apu/CMakeFiles/zc_apu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/zc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/zc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/zc_hsa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_core.dir/config.cpp.o"
+  "CMakeFiles/zc_core.dir/config.cpp.o.d"
+  "CMakeFiles/zc_core.dir/mapping.cpp.o"
+  "CMakeFiles/zc_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/zc_core.dir/offload_runtime.cpp.o"
+  "CMakeFiles/zc_core.dir/offload_runtime.cpp.o.d"
+  "CMakeFiles/zc_core.dir/offload_stack.cpp.o"
+  "CMakeFiles/zc_core.dir/offload_stack.cpp.o.d"
+  "CMakeFiles/zc_core.dir/target_region.cpp.o"
+  "CMakeFiles/zc_core.dir/target_region.cpp.o.d"
+  "libzc_core.a"
+  "libzc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

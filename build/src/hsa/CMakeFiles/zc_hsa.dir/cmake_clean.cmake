@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_hsa.dir/runtime.cpp.o"
+  "CMakeFiles/zc_hsa.dir/runtime.cpp.o.d"
+  "libzc_hsa.a"
+  "libzc_hsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_hsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

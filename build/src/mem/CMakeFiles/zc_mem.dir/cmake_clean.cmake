@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_mem.dir/address_space.cpp.o"
+  "CMakeFiles/zc_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/zc_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/zc_mem.dir/memory_system.cpp.o.d"
+  "CMakeFiles/zc_mem.dir/page_table.cpp.o"
+  "CMakeFiles/zc_mem.dir/page_table.cpp.o.d"
+  "CMakeFiles/zc_mem.dir/tlb.cpp.o"
+  "CMakeFiles/zc_mem.dir/tlb.cpp.o.d"
+  "libzc_mem.a"
+  "libzc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_sim.dir/event_log.cpp.o"
+  "CMakeFiles/zc_sim.dir/event_log.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/fiber.cpp.o"
+  "CMakeFiles/zc_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/jitter.cpp.o"
+  "CMakeFiles/zc_sim.dir/jitter.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/rng.cpp.o"
+  "CMakeFiles/zc_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/zc_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/time.cpp.o"
+  "CMakeFiles/zc_sim.dir/time.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/timeline.cpp.o"
+  "CMakeFiles/zc_sim.dir/timeline.cpp.o.d"
+  "libzc_sim.a"
+  "libzc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

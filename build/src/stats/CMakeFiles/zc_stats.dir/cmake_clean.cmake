@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_stats.dir/ascii_chart.cpp.o"
+  "CMakeFiles/zc_stats.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/zc_stats.dir/repetition.cpp.o"
+  "CMakeFiles/zc_stats.dir/repetition.cpp.o.d"
+  "CMakeFiles/zc_stats.dir/summary.cpp.o"
+  "CMakeFiles/zc_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/zc_stats.dir/table.cpp.o"
+  "CMakeFiles/zc_stats.dir/table.cpp.o.d"
+  "libzc_stats.a"
+  "libzc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/call_stats.cpp" "src/trace/CMakeFiles/zc_trace.dir/call_stats.cpp.o" "gcc" "src/trace/CMakeFiles/zc_trace.dir/call_stats.cpp.o.d"
+  "/root/repo/src/trace/call_trace.cpp" "src/trace/CMakeFiles/zc_trace.dir/call_trace.cpp.o" "gcc" "src/trace/CMakeFiles/zc_trace.dir/call_trace.cpp.o.d"
+  "/root/repo/src/trace/chrome_trace.cpp" "src/trace/CMakeFiles/zc_trace.dir/chrome_trace.cpp.o" "gcc" "src/trace/CMakeFiles/zc_trace.dir/chrome_trace.cpp.o.d"
+  "/root/repo/src/trace/compare.cpp" "src/trace/CMakeFiles/zc_trace.dir/compare.cpp.o" "gcc" "src/trace/CMakeFiles/zc_trace.dir/compare.cpp.o.d"
+  "/root/repo/src/trace/kernel_trace.cpp" "src/trace/CMakeFiles/zc_trace.dir/kernel_trace.cpp.o" "gcc" "src/trace/CMakeFiles/zc_trace.dir/kernel_trace.cpp.o.d"
+  "/root/repo/src/trace/overhead_ledger.cpp" "src/trace/CMakeFiles/zc_trace.dir/overhead_ledger.cpp.o" "gcc" "src/trace/CMakeFiles/zc_trace.dir/overhead_ledger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_trace.dir/call_stats.cpp.o"
+  "CMakeFiles/zc_trace.dir/call_stats.cpp.o.d"
+  "CMakeFiles/zc_trace.dir/call_trace.cpp.o"
+  "CMakeFiles/zc_trace.dir/call_trace.cpp.o.d"
+  "CMakeFiles/zc_trace.dir/chrome_trace.cpp.o"
+  "CMakeFiles/zc_trace.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/zc_trace.dir/compare.cpp.o"
+  "CMakeFiles/zc_trace.dir/compare.cpp.o.d"
+  "CMakeFiles/zc_trace.dir/kernel_trace.cpp.o"
+  "CMakeFiles/zc_trace.dir/kernel_trace.cpp.o.d"
+  "CMakeFiles/zc_trace.dir/overhead_ledger.cpp.o"
+  "CMakeFiles/zc_trace.dir/overhead_ledger.cpp.o.d"
+  "libzc_trace.a"
+  "libzc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

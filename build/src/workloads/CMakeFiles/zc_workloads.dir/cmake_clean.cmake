@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_workloads.dir/openfoam.cpp.o"
+  "CMakeFiles/zc_workloads.dir/openfoam.cpp.o.d"
+  "CMakeFiles/zc_workloads.dir/qmcpack.cpp.o"
+  "CMakeFiles/zc_workloads.dir/qmcpack.cpp.o.d"
+  "CMakeFiles/zc_workloads.dir/runner.cpp.o"
+  "CMakeFiles/zc_workloads.dir/runner.cpp.o.d"
+  "CMakeFiles/zc_workloads.dir/spec.cpp.o"
+  "CMakeFiles/zc_workloads.dir/spec.cpp.o.d"
+  "libzc_workloads.a"
+  "libzc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apu.dir/apu/env_test.cpp.o"
+  "CMakeFiles/test_apu.dir/apu/env_test.cpp.o.d"
+  "CMakeFiles/test_apu.dir/apu/machine_test.cpp.o"
+  "CMakeFiles/test_apu.dir/apu/machine_test.cpp.o.d"
+  "test_apu"
+  "test_apu.pdb"
+  "test_apu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

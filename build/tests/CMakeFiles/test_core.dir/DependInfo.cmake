@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/async_target_test.cpp" "tests/CMakeFiles/test_core.dir/core/async_target_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/async_target_test.cpp.o.d"
+  "/root/repo/tests/core/config_matrix_test.cpp" "tests/CMakeFiles/test_core.dir/core/config_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/config_matrix_test.cpp.o.d"
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/test_core.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/discrete_gpu_test.cpp" "tests/CMakeFiles/test_core.dir/core/discrete_gpu_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/discrete_gpu_test.cpp.o.d"
+  "/root/repo/tests/core/mapping_test.cpp" "tests/CMakeFiles/test_core.dir/core/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/mapping_test.cpp.o.d"
+  "/root/repo/tests/core/multi_device_test.cpp" "tests/CMakeFiles/test_core.dir/core/multi_device_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/multi_device_test.cpp.o.d"
+  "/root/repo/tests/core/offload_runtime_test.cpp" "tests/CMakeFiles/test_core.dir/core/offload_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/offload_runtime_test.cpp.o.d"
+  "/root/repo/tests/core/offload_stack_test.cpp" "tests/CMakeFiles/test_core.dir/core/offload_stack_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/offload_stack_test.cpp.o.d"
+  "/root/repo/tests/core/sanitizer_test.cpp" "tests/CMakeFiles/test_core.dir/core/sanitizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sanitizer_test.cpp.o.d"
+  "/root/repo/tests/core/translator_test.cpp" "tests/CMakeFiles/test_core.dir/core/translator_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/translator_test.cpp.o.d"
+  "/root/repo/tests/core/unstructured_data_test.cpp" "tests/CMakeFiles/test_core.dir/core/unstructured_data_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/unstructured_data_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/zc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/zc_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/zc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/apu/CMakeFiles/zc_apu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/zc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/zc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

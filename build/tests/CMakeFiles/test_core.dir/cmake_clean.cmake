@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/async_target_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/async_target_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/config_matrix_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/config_matrix_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/discrete_gpu_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/discrete_gpu_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/mapping_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/mapping_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/multi_device_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/multi_device_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/offload_runtime_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/offload_runtime_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/offload_stack_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/offload_stack_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sanitizer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sanitizer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/translator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/translator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/unstructured_data_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/unstructured_data_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hsa.dir/hsa/runtime_test.cpp.o"
+  "CMakeFiles/test_hsa.dir/hsa/runtime_test.cpp.o.d"
+  "CMakeFiles/test_hsa.dir/hsa/signal_test.cpp.o"
+  "CMakeFiles/test_hsa.dir/hsa/signal_test.cpp.o.d"
+  "test_hsa"
+  "test_hsa.pdb"
+  "test_hsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/address_space_stress_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/address_space_stress_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/address_space_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/address_space_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/memory_system_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/memory_system_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/page_size_matrix_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/page_size_matrix_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/page_table_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/page_table_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/property_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/property_test.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/tlb_test.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/tlb_test.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

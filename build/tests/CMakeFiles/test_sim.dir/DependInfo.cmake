@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/barrier_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/barrier_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/barrier_test.cpp.o.d"
+  "/root/repo/tests/sim/event_log_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/event_log_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/event_log_test.cpp.o.d"
+  "/root/repo/tests/sim/fiber_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/fiber_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/fiber_test.cpp.o.d"
+  "/root/repo/tests/sim/jitter_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/jitter_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/jitter_test.cpp.o.d"
+  "/root/repo/tests/sim/rng_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/rng_test.cpp.o.d"
+  "/root/repo/tests/sim/scheduler_property_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/scheduler_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/scheduler_property_test.cpp.o.d"
+  "/root/repo/tests/sim/scheduler_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/scheduler_test.cpp.o.d"
+  "/root/repo/tests/sim/time_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/time_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/time_test.cpp.o.d"
+  "/root/repo/tests/sim/timeline_property_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/timeline_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/timeline_property_test.cpp.o.d"
+  "/root/repo/tests/sim/timeline_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/timeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/zc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsa/CMakeFiles/zc_hsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/zc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/apu/CMakeFiles/zc_apu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/zc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/zc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/call_stats_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/call_stats_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/call_trace_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/call_trace_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/chrome_trace_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/chrome_trace_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/compare_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/compare_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/kernel_trace_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/kernel_trace_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/overhead_ledger_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/overhead_ledger_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/openfoam_test.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/openfoam_test.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/qmcpack_test.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/qmcpack_test.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/runner_test.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/runner_test.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/spec_test.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/spec_test.cpp.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
