@@ -53,6 +53,49 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   args.maybe_write_csv("abl_runtime_lock", table);
 
+  // Correctness cross-check for the lock-discipline work: the same workload,
+  // all four configurations, with and without interleaving stress mode, must
+  // produce bit-identical checksums — the contention being measured above
+  // must come from the runtime lock, never from divergent results.
+  {
+    workloads::QmcpackParams params;
+    params.size = 2;
+    params.threads = 8;
+    params.steps = std::min(steps, 60);
+    const workloads::Program program = workloads::make_qmcpack(params);
+    constexpr RuntimeConfig kConfigs[] = {
+        RuntimeConfig::LegacyCopy,
+        RuntimeConfig::UnifiedSharedMemory,
+        RuntimeConfig::ImplicitZeroCopy,
+        RuntimeConfig::EagerMaps,
+    };
+    bool ok = true;
+    double reference = 0.0;
+    bool have_reference = false;
+    for (const RuntimeConfig config : kConfigs) {
+      workloads::RunOptions opts{.config = config, .seed = args.seed};
+      const double plain = workloads::run_program(program, opts).checksum;
+      opts.stress_seed = args.seed;
+      const double stressed = workloads::run_program(program, opts).checksum;
+      if (!have_reference) {
+        reference = plain;
+        have_reference = true;
+      }
+      if (plain != reference || stressed != reference) {
+        ok = false;
+        std::cout << "checksum mismatch under " << omp::to_string(config)
+                  << ": plain=" << plain << " stressed=" << stressed
+                  << " reference=" << reference << "\n";
+      }
+    }
+    std::cout << "\nChecksum verification (4 configs x {plain, stress seed "
+              << args.seed << "}): " << (ok ? "bit-identical" : "MISMATCH")
+              << "\n";
+    if (!ok) {
+      return 1;
+    }
+  }
+
   std::cout << "\nExpected shape: at 100% the 8-thread ratio clearly exceeds "
                "the 1-thread ratio\n(Fig. 3); as the serialized CPU-side "
                "submission costs shrink, the growth factor\ncollapses toward "

@@ -12,6 +12,7 @@
 #include "zc/core/program.hpp"
 #include "zc/core/target_region.hpp"
 #include "zc/hsa/runtime.hpp"
+#include "zc/sim/scheduler.hpp"
 
 namespace zc::omp {
 
@@ -130,8 +131,12 @@ class OffloadRuntime {
                      std::uint64_t bytes);
 
   /// --- introspection -------------------------------------------------------
+  /// Read-only snapshot of one device's mapping table. Unguarded by design:
+  /// callers are tests/benches inspecting a quiescent runtime (post-run, or
+  /// in a single-threaded section between constructs); the runtime's own
+  /// mutation paths all go through `table_mutex_` and are checker-enforced.
   [[nodiscard]] const PresentTable& present_table(int device = 0) const {
-    return tables_.at(static_cast<std::size_t>(device));
+    return tables_.unguarded().at(static_cast<std::size_t>(device));
   }
   [[nodiscard]] hsa::Runtime& hsa() { return hsa_; }
   [[nodiscard]] bool image_loaded() const { return image_loaded_; }
@@ -145,6 +150,10 @@ class OffloadRuntime {
 
  private:
   void ensure_initialized();
+  /// First caller loads the image; concurrent callers wait on the latch
+  /// until it is fully loaded (shared by `ensure_initialized` and
+  /// `global_host_addr`).
+  void ensure_image_loaded();
   void load_image();
 
   /// Reject map lists with overlapping entries (OpenMP restriction).
@@ -173,11 +182,15 @@ class OffloadRuntime {
   hsa::Runtime& hsa_;
   ProgramBinary program_;
   RuntimeConfig config_;
-  std::vector<PresentTable> tables_;  // one per device
-  /// Serializes mapping-table transactions (lookup + allocate + insert or
-  /// decrement + free + erase) across host threads — the libomptarget
-  /// per-process mapping lock. Zero-copy paths never take it.
+  /// Serializes mapping-table transactions (lookup + allocate + insert, or
+  /// lookup + refcount + copy-back decision, or decrement + free + erase)
+  /// across host threads — the libomptarget per-process mapping lock.
+  /// Zero-copy paths never take it. Declared before `tables_` so the guard
+  /// exists when the guarded state is constructed.
   sim::Mutex table_mutex_;
+  /// One PresentTable per device, guarded by `table_mutex_`: any access
+  /// from inside a virtual thread without the lock is a checker error.
+  sim::GuardedBy<std::vector<PresentTable>> tables_;
   bool image_load_started_ = false;
   bool image_loaded_ = false;
   sim::Latch image_latch_;  // set once the image is fully loaded

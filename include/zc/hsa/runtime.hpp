@@ -8,6 +8,7 @@
 #include "zc/hsa/kernel.hpp"
 #include "zc/hsa/signal.hpp"
 #include "zc/mem/memory_system.hpp"
+#include "zc/sim/scheduler.hpp"
 #include "zc/trace/call_stats.hpp"
 #include "zc/trace/call_trace.hpp"
 #include "zc/trace/kernel_trace.hpp"
@@ -84,28 +85,42 @@ class Runtime {
   void run_kernel(const KernelLaunch& launch, int host_thread = 0);
 
   /// --- state & instrumentation -------------------------------------------
+  /// The accessors below hand out unguarded references by design: they
+  /// serve read-only snapshots (tests, the run harness) and opt-in
+  /// configuration before threads start. All *accumulation* — the writes
+  /// performed concurrently by every API call — goes through
+  /// `trace_mutex_` and is enforced by the sim lock-discipline checker.
   [[nodiscard]] apu::Machine& machine() { return machine_; }
   [[nodiscard]] mem::MemorySystem& memory() { return mem_; }
-  [[nodiscard]] trace::CallStats& stats() { return stats_; }
-  [[nodiscard]] const trace::CallStats& stats() const { return stats_; }
-  [[nodiscard]] trace::KernelTrace& kernel_trace() { return ktrace_; }
+  [[nodiscard]] trace::CallStats& stats() { return stats_.unguarded(); }
+  [[nodiscard]] const trace::CallStats& stats() const {
+    return stats_.unguarded();
+  }
+  [[nodiscard]] trace::KernelTrace& kernel_trace() {
+    return ktrace_.unguarded();
+  }
   /// Per-call timeline trace (opt-in; aggregate stats are always on).
-  [[nodiscard]] trace::CallTrace& call_trace() { return ctrace_; }
-  [[nodiscard]] trace::OverheadLedger& ledger() { return ledger_; }
+  [[nodiscard]] trace::CallTrace& call_trace() { return ctrace_.unguarded(); }
+  [[nodiscard]] trace::OverheadLedger& ledger() { return ledger_.unguarded(); }
 
  private:
   [[nodiscard]] sim::Scheduler& sched() { return machine_.sched(); }
 
-  /// Record into the aggregate stats and (when enabled) the call trace.
+  /// Record into the aggregate stats and (when enabled) the call trace;
+  /// takes `trace_mutex_` internally.
   void record_call(trace::HsaCall call, sim::TimePoint start,
                    sim::Duration latency);
 
   apu::Machine& machine_;
   mem::MemorySystem& mem_;
-  trace::CallStats stats_;
-  trace::CallTrace ctrace_;
-  trace::KernelTrace ktrace_;
-  trace::OverheadLedger ledger_;
+  /// Guards all instrumentation accumulators against concurrent host
+  /// threads — the equivalent of libomptarget/rocprof keeping their stats
+  /// behind a mutex (or atomics). Taking it costs no simulated time.
+  sim::Mutex trace_mutex_;
+  sim::GuardedBy<trace::CallStats> stats_;
+  sim::GuardedBy<trace::CallTrace> ctrace_;
+  sim::GuardedBy<trace::KernelTrace> ktrace_;
+  sim::GuardedBy<trace::OverheadLedger> ledger_;
 };
 
 }  // namespace zc::hsa

@@ -8,16 +8,27 @@
 #include <vector>
 
 #include "zc/sim/fiber.hpp"
+#include "zc/sim/rng.hpp"
 #include "zc/sim/time.hpp"
 
 namespace zc::sim {
 
 class Scheduler;
+class Mutex;
 
 /// Error raised for simulation misuse (deadlock, op outside a thread, ...).
 class SimError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Error raised by the lock-discipline checker: guarded state touched
+/// without its mutex, recursive locking, unlocking from a non-owner thread,
+/// or a thread finishing while still holding locks. Always a bug in the
+/// modeled runtime, never a property of the workload.
+class LockDisciplineError : public SimError {
+ public:
+  using SimError::SimError;
 };
 
 /// A simulated host thread: a fiber plus a private virtual clock.
@@ -28,9 +39,17 @@ class VirtualThread {
   [[nodiscard]] TimePoint now() const { return clock_; }
   [[nodiscard]] bool finished() const { return fiber_ && fiber_->finished(); }
 
+  /// Locks currently held by this thread, in acquisition order (the
+  /// lock-discipline checker's per-thread held-lock set).
+  [[nodiscard]] const std::vector<const Mutex*>& held_locks() const {
+    return held_;
+  }
+  [[nodiscard]] bool holds(const Mutex& m) const;
+
  private:
   friend class Scheduler;
   friend class WaitList;
+  friend class Mutex;
 
   enum class State { Runnable, Blocked, Finished };
 
@@ -41,6 +60,7 @@ class VirtualThread {
   TimePoint clock_;
   State state_ = State::Runnable;
   bool deprioritized_ = false;  // one-shot, set by Scheduler::reschedule
+  std::vector<const Mutex*> held_;
   std::unique_ptr<Fiber> fiber_;
 };
 
@@ -99,6 +119,24 @@ class Scheduler {
   /// Give other threads with equal clocks a chance to run.
   void reschedule();
 
+  /// --- interleaving stress mode ---
+
+  /// Perturb ready-thread order with a seeded RNG: scheduling ties (equal
+  /// clocks) are broken uniformly at random instead of by spawn order, and
+  /// lock/wait perturbation points (`stress_point`) may yield. The timing
+  /// model is untouched — only the order among equal-clock threads changes,
+  /// so every stressed schedule is a valid interleaving (min-clock policy
+  /// holds) and a given seed reproduces the same schedule bit-for-bit.
+  /// Call before `run()`.
+  void enable_stress(std::uint64_t seed);
+  [[nodiscard]] bool stress_enabled() const { return stress_; }
+
+  /// Under stress mode, randomly hand the CPU to an equal-clock peer.
+  /// Called by `Mutex::lock` and `WaitList::wait` to widen interleaving
+  /// coverage exactly where real thread schedules diverge; a no-op when
+  /// stress mode is off or no thread is running.
+  void stress_point();
+
   /// --- whole-simulation queries ---
 
   /// Max clock over all threads ever run (the simulation makespan so far).
@@ -115,12 +153,14 @@ class Scheduler {
   void block_current();
   void wake(VirtualThread& t, TimePoint at_least);
   void maybe_yield();
-  [[nodiscard]] VirtualThread* pick_next() const;
+  [[nodiscard]] VirtualThread* pick_next();
 
   std::vector<std::unique_ptr<VirtualThread>> threads_;
   VirtualThread* running_ = nullptr;
   TimePoint horizon_;
   bool in_run_ = false;
+  bool stress_ = false;
+  Rng stress_rng_{0};
 };
 
 /// A list of threads blocked waiting for an event another thread will post.
@@ -175,28 +215,119 @@ class Latch {
 /// operations. Used for critical sections that span multiple modeled
 /// operations (e.g. a mapping-table transaction that performs a device
 /// allocation in the middle).
+///
+/// The mutex tracks its owning thread and maintains each thread's held-lock
+/// set, which makes lock-discipline violations (recursive locking, foreign
+/// unlock, finishing while holding, touching guarded state without the
+/// guard — see `assert_held` / `GuardedBy`) hard runtime errors.
 class Mutex {
  public:
   void lock(Scheduler& sched) {
-    while (held_) {
+    sched.stress_point();
+    VirtualThread& self = sched.current();
+    if (owner_ == &self) {
+      throw LockDisciplineError("Mutex::lock: recursive lock by thread '" +
+                                self.name() + "'");
+    }
+    while (owner_ != nullptr) {
       waiters_.wait(sched);
     }
-    held_ = true;
+    owner_ = &self;
+    self.held_.push_back(this);
   }
 
   void unlock(Scheduler& sched) {
-    if (!held_) {
+    if (owner_ == nullptr) {
       throw SimError("Mutex::unlock: not locked");
     }
-    held_ = false;
+    VirtualThread& self = sched.current();
+    if (owner_ != &self) {
+      throw LockDisciplineError("Mutex::unlock: thread '" + self.name() +
+                                "' is not the owner (held by '" +
+                                owner_->name() + "')");
+    }
+    owner_ = nullptr;
+    std::erase(self.held_, this);
     waiters_.notify_all(sched, sched.now());
   }
 
-  [[nodiscard]] bool held() const { return held_; }
+  [[nodiscard]] bool held() const { return owner_ != nullptr; }
+  [[nodiscard]] bool held_by(const VirtualThread& t) const {
+    return owner_ == &t;
+  }
+  /// Owning thread, or nullptr when unlocked.
+  [[nodiscard]] const VirtualThread* owner() const { return owner_; }
 
  private:
-  bool held_ = false;
+  VirtualThread* owner_ = nullptr;
   WaitList waiters_;
+};
+
+inline bool VirtualThread::holds(const Mutex& m) const {
+  return m.held_by(*this);
+}
+
+/// Lock-discipline assertion: the calling virtual thread must hold `m`.
+///
+/// Outside any virtual thread (after `run()` drained, i.e. post-run
+/// introspection of results) there is no concurrency and the check passes.
+/// Inside a thread, accessing guarded state without the guard throws
+/// `LockDisciplineError` — deterministically, on the first unguarded
+/// access, regardless of whether the interleaving at hand would have
+/// corrupted anything.
+inline void assert_held(const Mutex& m, Scheduler& sched,
+                        const char* what = nullptr) {
+  if (!sched.in_thread()) {
+    return;
+  }
+  const VirtualThread& self = sched.current();
+  if (m.held_by(self)) {
+    return;
+  }
+  throw LockDisciplineError(
+      std::string{"lock discipline violation: "} +
+      (what != nullptr ? what : "guarded state") + " accessed by thread '" +
+      self.name() + "' without holding its mutex");
+}
+
+/// Shared state bound to the `Mutex` that guards it: every `get()` asserts
+/// the calling thread holds the guard (see `assert_held`). The wrapper is
+/// what turns the locking convention into a machine-checked invariant —
+/// forgetting the `LockGuard` around an access fails loudly and
+/// deterministically instead of silently racing.
+template <typename T>
+class GuardedBy {
+ public:
+  /// `what` names the state in violation messages; it must outlive the
+  /// wrapper (string literals do).
+  template <typename... Args>
+  explicit GuardedBy(Mutex& m, const char* what, Args&&... args)
+      : m_{&m}, what_{what}, value_{std::forward<Args>(args)...} {}
+
+  GuardedBy(const GuardedBy&) = delete;
+  GuardedBy& operator=(const GuardedBy&) = delete;
+
+  [[nodiscard]] T& get(Scheduler& sched) {
+    assert_held(*m_, sched, what_);
+    return value_;
+  }
+  [[nodiscard]] const T& get(Scheduler& sched) const {
+    assert_held(*m_, sched, what_);
+    return value_;
+  }
+
+  /// Escape hatch for accesses that are safe without the guard. Every call
+  /// site must carry a comment saying why (e.g. read-only introspection
+  /// with no concurrent mutator possible).
+  [[nodiscard]] T& unguarded() { return value_; }
+  [[nodiscard]] const T& unguarded() const { return value_; }
+
+  [[nodiscard]] Mutex& mutex() { return *m_; }
+
+ private:
+  Mutex* m_;
+  const char* what_;
+  T value_;
 };
 
 /// RAII guard for Mutex.

@@ -32,6 +32,11 @@ enum class HsaCall : int {
 /// ratios). Latency attribution follows the tracer's view: a wait call is
 /// charged the time the caller was blocked, a copy is charged its engine
 /// time, an allocation its driver round trip.
+///
+/// Concurrency discipline: the class itself is not synchronized. All
+/// accumulation from virtual host threads happens inside `hsa::Runtime`
+/// under its trace mutex (checker-enforced via `sim::GuardedBy`); `reset`,
+/// `merge`, and the readers run on quiescent instances or snapshots.
 class CallStats {
  public:
   void record(HsaCall call, sim::Duration latency);

@@ -30,6 +30,13 @@ struct RunOptions {
   std::uint64_t seed = 1;
   bool keep_kernel_records = false;
 
+  /// When set, run the scheduler in interleaving stress mode with this
+  /// seed: ready-thread ties and lock/wait points are perturbed by a
+  /// seeded RNG (reproducible per seed). Workload results must be
+  /// bit-identical under any stress seed — the differential check the
+  /// lock-discipline tests rely on.
+  std::optional<std::uint64_t> stress_seed;
+
   /// Ablation overrides (defaults: MI300A machine as configured for
   /// `config`). `transparent_huge_pages=false` switches to 4 KB pages.
   std::optional<apu::CostParams> costs;

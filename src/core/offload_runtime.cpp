@@ -13,7 +13,8 @@ OffloadRuntime::OffloadRuntime(hsa::Runtime& hsa, ProgramBinary program)
       program_{std::move(program)},
       config_{resolve_config(hsa.machine().kind(), hsa.machine().env(),
                              program_.requires_unified_shared_memory)},
-      tables_(static_cast<std::size_t>(hsa.machine().sockets())) {}
+      tables_{table_mutex_, "PresentTable",
+              static_cast<std::size_t>(hsa.machine().sockets())} {}
 
 int OffloadRuntime::device_count() const {
   return hsa_.machine().sockets();
@@ -27,10 +28,12 @@ void OffloadRuntime::check_device(int device) const {
   }
 }
 
-void OffloadRuntime::ensure_initialized() {
+void OffloadRuntime::ensure_image_loaded() {
   // First caller loads the image; concurrent callers wait until it is
   // fully loaded (image load performs time-advancing allocations, so a
-  // plain flag would let others observe a half-loaded image).
+  // plain flag would let others observe a half-loaded image). The
+  // flag-check-and-set is atomic under cooperative scheduling: no yield
+  // happens between the test and the assignment.
   if (!image_load_started_) {
     image_load_started_ = true;
     load_image();
@@ -39,6 +42,10 @@ void OffloadRuntime::ensure_initialized() {
   } else if (!image_loaded_) {
     image_latch_.wait(hsa_.machine().sched());
   }
+}
+
+void OffloadRuntime::ensure_initialized() {
+  ensure_image_loaded();
   const int tid = hsa_.machine().sched().current().id();
   if (initialized_threads_.contains(tid)) {
     return;
@@ -91,8 +98,9 @@ void OffloadRuntime::load_image() {
       for (int d = 0; d < device_count(); ++d) {
         const mem::VirtAddr dev = hsa_.memory_pool_allocate(
             g.bytes, "global-dev:" + g.name, /*count_in_ledger=*/false, d);
-        tables_[static_cast<std::size_t>(d)].insert(host.range(), dev,
-                                                    /*pinned=*/true);
+        sim::LockGuard lock{table_mutex_, hsa_.machine().sched()};
+        tables_.get(hsa_.machine().sched())[static_cast<std::size_t>(d)]
+            .insert(host.range(), dev, /*pinned=*/true);
       }
     }
     // Under Unified Shared Memory the device image stores a pointer to the
@@ -101,14 +109,10 @@ void OffloadRuntime::load_image() {
 }
 
 mem::VirtAddr OffloadRuntime::global_host_addr(const std::string& name) {
-  if (!image_load_started_) {
-    image_load_started_ = true;
-    load_image();
-    image_loaded_ = true;
-    image_latch_.set(hsa_.machine().sched());
-  } else if (!image_loaded_) {
-    image_latch_.wait(hsa_.machine().sched());
-  }
+  // Resolving a global is a runtime call like any other: besides waiting
+  // for the image, the calling thread pays its one-time per-thread
+  // initialization here if this is its first entry into the runtime.
+  ensure_initialized();
   auto it = global_host_.find(name);
   if (it == global_host_.end()) {
     throw std::invalid_argument("unknown declare-target global '" + name + "'");
@@ -128,10 +132,14 @@ void OffloadRuntime::host_free(mem::VirtAddr base) {
   // Map sanitizer: freeing host memory that is still mapped into a device
   // data environment leaves the runtime holding a dangling shadow copy —
   // a use-after-free on real systems. Catch it loudly here.
-  for (int d = 0; d < device_count(); ++d) {
-    if (tables_[static_cast<std::size_t>(d)].lookup(base) != nullptr) {
-      throw MappingError("host_free of memory still mapped on device " +
-                         std::to_string(d) + " at " + base.to_string());
+  {
+    sim::LockGuard lock{table_mutex_, hsa_.machine().sched()};
+    auto& tables = tables_.get(hsa_.machine().sched());
+    for (int d = 0; d < device_count(); ++d) {
+      if (tables[static_cast<std::size_t>(d)].lookup(base) != nullptr) {
+        throw MappingError("host_free of memory still mapped on device " +
+                           std::to_string(d) + " at " + base.to_string());
+      }
     }
   }
   apu::Machine& m = hsa_.machine();
@@ -206,15 +214,17 @@ void OffloadRuntime::begin_one(const MapEntry& entry, int device,
     return;
   }
 
-  PresentTable& table = tables_[static_cast<std::size_t>(device)];
   bool do_copy = false;
-  PresentEntry* e = nullptr;
+  mem::VirtAddr dev_dst;
   {
     // Mapping-table transaction: the lookup and the insert (with the device
     // allocation in between) must be atomic with respect to other host
-    // threads mapping the same range.
+    // threads mapping the same range. The device address leaves the
+    // critical section by value — the entry pointer must not.
     sim::LockGuard lock{table_mutex_, m.sched()};
-    e = table.lookup_range(entry.host_range());
+    PresentTable& table =
+        tables_.get(m.sched())[static_cast<std::size_t>(device)];
+    PresentEntry* e = table.lookup_range(entry.host_range());
     if (e != nullptr) {
       if (!e->pinned) {
         ++e->refcount;
@@ -228,10 +238,13 @@ void OffloadRuntime::begin_one(const MapEntry& entry, int device,
       e->refcount = 1;
       do_copy = copies_to_device(entry.type);
     }
+    dev_dst = e->device_addr(entry.host_ptr);
   }
   if (do_copy) {
+    // Safe outside the lock: this thread holds a reference (refcount or
+    // pin), so no concurrent release can free the device storage.
     copies.push_back(hsa_.memory_async_copy(
-        e->device_addr(entry.host_ptr), entry.host_ptr, entry.bytes,
+        dev_dst, entry.host_ptr, entry.bytes,
         /*with_handler=*/false, /*count_in_ledger=*/true, device));
   }
 }
@@ -243,19 +256,34 @@ void OffloadRuntime::end_copy_one(const MapEntry& entry, int device,
   if (!copy_managed(entry)) {
     return;
   }
-  PresentEntry* e =
-      tables_[static_cast<std::size_t>(device)].lookup_range(entry.host_range());
-  if (e == nullptr) {
-    if (exit_only(entry.type)) {
-      return;  // release/delete of absent data is a no-op (OpenMP 5.x)
+  bool do_copy = false;
+  mem::VirtAddr dev_src;
+  {
+    // The lookup, the refcount read, and the copy-back decision are one
+    // transaction under the mapping lock: without it, a concurrent
+    // end_release_one can decrement-and-erase between our lookup and the
+    // decision, leaving a dangling entry pointer — exactly where
+    // libomptarget takes its per-process lock.
+    sim::LockGuard lock{table_mutex_, m.sched()};
+    PresentEntry* const e =
+        tables_.get(m.sched())[static_cast<std::size_t>(device)].lookup_range(
+            entry.host_range());
+    if (e == nullptr) {
+      if (exit_only(entry.type)) {
+        return;  // release/delete of absent data is a no-op (OpenMP 5.x)
+      }
+      throw MappingError("target_data_end for unmapped range at " +
+                         entry.host_ptr.to_string());
     }
-    throw MappingError("target_data_end for unmapped range at " +
-                       entry.host_ptr.to_string());
+    const bool last_ref = !e->pinned && e->refcount == 1;
+    do_copy = copies_to_host(entry.type) && (entry.always || last_ref);
+    dev_src = e->device_addr(entry.host_ptr);
   }
-  const bool last_ref = !e->pinned && e->refcount == 1;
-  if (copies_to_host(entry.type) && (entry.always || last_ref)) {
+  if (do_copy) {
+    // Outside the lock: the caller still holds its reference until the
+    // release pass of this same target_data_end, so the storage is live.
     copies.push_back(hsa_.memory_async_copy(
-        entry.host_ptr, e->device_addr(entry.host_ptr), entry.bytes,
+        entry.host_ptr, dev_src, entry.bytes,
         /*with_handler=*/true, /*count_in_ledger=*/true, device));
   }
 }
@@ -264,8 +292,9 @@ void OffloadRuntime::end_release_one(const MapEntry& entry, int device) {
   if (!copy_managed(entry)) {
     return;
   }
-  PresentTable& table = tables_[static_cast<std::size_t>(device)];
   sim::LockGuard lock{table_mutex_, hsa_.machine().sched()};
+  PresentTable& table =
+      tables_.get(hsa_.machine().sched())[static_cast<std::size_t>(device)];
   PresentEntry* e = table.lookup_range(entry.host_range());
   if (e == nullptr || e->pinned) {
     return;
@@ -352,14 +381,24 @@ void OffloadRuntime::target_update_to(const MapEntry& entry, int device) {
   if (!copy_managed(entry)) {
     return;
   }
-  PresentEntry* e =
-      tables_[static_cast<std::size_t>(device)].lookup_range(entry.host_range());
-  if (e == nullptr) {
-    throw MappingError("target update to() of unmapped range at " +
-                       entry.host_ptr.to_string());
+  mem::VirtAddr dev_dst;
+  {
+    // Lookup + device-address resolution under the mapping lock; the
+    // transfer itself runs outside it (libomptarget releases the lock
+    // before issuing the DMA). A conforming program keeps the mapping
+    // alive across its own `target update`, so the address stays valid.
+    sim::LockGuard lock{table_mutex_, m.sched()};
+    PresentEntry* const e =
+        tables_.get(m.sched())[static_cast<std::size_t>(device)].lookup_range(
+            entry.host_range());
+    if (e == nullptr) {
+      throw MappingError("target update to() of unmapped range at " +
+                         entry.host_ptr.to_string());
+    }
+    dev_dst = e->device_addr(entry.host_ptr);
   }
   hsa_.signal_wait_scacquire(hsa_.memory_async_copy(
-      e->device_addr(entry.host_ptr), entry.host_ptr, entry.bytes,
+      dev_dst, entry.host_ptr, entry.bytes,
       /*with_handler=*/false, /*count_in_ledger=*/true, device));
 }
 
@@ -371,14 +410,21 @@ void OffloadRuntime::target_update_from(const MapEntry& entry, int device) {
   if (!copy_managed(entry)) {
     return;
   }
-  PresentEntry* e =
-      tables_[static_cast<std::size_t>(device)].lookup_range(entry.host_range());
-  if (e == nullptr) {
-    throw MappingError("target update from() of unmapped range at " +
-                       entry.host_ptr.to_string());
+  mem::VirtAddr dev_src;
+  {
+    // Same transaction discipline as target_update_to.
+    sim::LockGuard lock{table_mutex_, m.sched()};
+    PresentEntry* const e =
+        tables_.get(m.sched())[static_cast<std::size_t>(device)].lookup_range(
+            entry.host_range());
+    if (e == nullptr) {
+      throw MappingError("target update from() of unmapped range at " +
+                         entry.host_ptr.to_string());
+    }
+    dev_src = e->device_addr(entry.host_ptr);
   }
   hsa_.signal_wait_scacquire(hsa_.memory_async_copy(
-      entry.host_ptr, e->device_addr(entry.host_ptr), entry.bytes,
+      entry.host_ptr, dev_src, entry.bytes,
       /*with_handler=*/true, /*count_in_ledger=*/true, device));
 }
 
@@ -425,9 +471,14 @@ void OffloadRuntime::target(const TargetRegion& region) {
   check_device(region.device);
   target_data_begin(region.maps, region.device);
 
+  // Unguarded table reference: argument translation only resolves entries
+  // this thread's data-begin pinned (refcounts held until the data-end
+  // below), and std::map references stay valid while *other* entries are
+  // inserted or erased concurrently — the same reasoning libomptarget uses
+  // to translate args after dropping its mapping lock.
   const ArgTranslator translator{
-      tables_[static_cast<std::size_t>(region.device)], zero_copy(),
-      &hsa_.memory().space()};
+      tables_.unguarded()[static_cast<std::size_t>(region.device)],
+      zero_copy(), &hsa_.memory().space()};
   hsa::KernelLaunch launch = build_launch(region, translator);
   if (region.body) {
     launch.body = [&region, &translator](hsa::KernelContext& ctx) {
@@ -452,9 +503,10 @@ TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
   }
   target_data_begin(region.maps, region.device);
 
+  // Unguarded for the same refcount-pinning reason as in target().
   const ArgTranslator translator{
-      tables_[static_cast<std::size_t>(region.device)], zero_copy(),
-      &hsa_.memory().space()};
+      tables_.unguarded()[static_cast<std::size_t>(region.device)],
+      zero_copy(), &hsa_.memory().space()};
   hsa::KernelLaunch launch = build_launch(region, translator);
   if (region.body) {
     // The functional body runs at dispatch; a conforming program does not

@@ -9,13 +9,20 @@ using sim::Duration;
 using sim::TimePoint;
 
 Runtime::Runtime(apu::Machine& machine, mem::MemorySystem& mem)
-    : machine_{machine}, mem_{mem} {}
+    : machine_{machine},
+      mem_{mem},
+      stats_{trace_mutex_, "CallStats"},
+      ctrace_{trace_mutex_, "CallTrace"},
+      ktrace_{trace_mutex_, "KernelTrace"},
+      ledger_{trace_mutex_, "OverheadLedger"} {}
 
 void Runtime::record_call(trace::HsaCall call, TimePoint start,
                           Duration latency) {
-  stats_.record(call, latency);
-  if (ctrace_.enabled()) {
-    ctrace_.record(call, sched().current().id(), start, latency);
+  sim::LockGuard lock{trace_mutex_, sched()};
+  stats_.get(sched()).record(call, latency);
+  trace::CallTrace& ctrace = ctrace_.get(sched());
+  if (ctrace.enabled()) {
+    ctrace.record(call, sched().current().id(), start, latency);
   }
 }
 
@@ -53,7 +60,8 @@ mem::VirtAddr Runtime::memory_pool_allocate(std::uint64_t bytes,
   sched().advance_to(iv.end);
   record_call(trace::HsaCall::MemoryPoolAllocate, start, dur);
   if (count_in_ledger) {
-    ledger_.add_alloc(dur);
+    sim::LockGuard lock{trace_mutex_, sched()};
+    ledger_.get(sched()).add_alloc(dur);
   }
   if (machine_.log().enabled()) {
     machine_.log().add(sched().now(), "hsa",
@@ -76,7 +84,8 @@ void Runtime::memory_pool_free(mem::VirtAddr base) {
   sched().advance_to(iv.end);
   mem_.pool_free(base);
   record_call(trace::HsaCall::MemoryPoolFree, start, dur);
-  ledger_.add_alloc(dur);
+  sim::LockGuard lock{trace_mutex_, sched()};
+  ledger_.get(sched()).add_alloc(dur);
 }
 
 Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
@@ -125,7 +134,8 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
   sig.complete(sched(), iv.end);
   record_call(trace::HsaCall::MemoryAsyncCopy, start, setup + engine_time);
   if (count_in_ledger) {
-    ledger_.add_copy(setup + engine_time);
+    sim::LockGuard lock{trace_mutex_, sched()};
+    ledger_.get(sched()).add_copy(setup + engine_time);
   }
   if (with_handler) {
     // Host-side completion callback bookkeeping.
@@ -158,7 +168,8 @@ mem::PrefaultOutcome Runtime::svm_attributes_set_prefault(
   const sim::Interval iv = machine_.driver(device).reserve(start, dur);
   sched().advance_to(iv.end);
   record_call(trace::HsaCall::SvmAttributesSet, start, dur);
-  ledger_.add_prefault(dur);
+  sim::LockGuard lock{trace_mutex_, sched()};
+  ledger_.get(sched()).add_prefault(dur);
   return out;
 }
 
@@ -249,21 +260,26 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
     launch.body(ctx);
   }
 
-  if (faults > 0) {
-    ledger_.add_first_touch(fault_term, faults);
+  {
+    // Scoped tightly: signal completion below can hand the CPU to a waiter
+    // and must not happen while the trace mutex is held.
+    sim::LockGuard trace_lock{trace_mutex_, sched()};
+    if (faults > 0) {
+      ledger_.get(sched()).add_first_touch(fault_term, faults);
+    }
+    ktrace_.get(sched()).record(trace::KernelRecord{
+        .name = launch.name,
+        .host_thread = host_thread,
+        .dispatch = dispatched,
+        .start = gi.start,
+        .end = gi.end,
+        .compute = compute,
+        .fault_stall = fault_term,
+        .tlb_stall = tlb_time,
+        .page_faults = faults,
+        .tlb_misses = tlb_misses,
+    });
   }
-  ktrace_.record(trace::KernelRecord{
-      .name = launch.name,
-      .host_thread = host_thread,
-      .dispatch = dispatched,
-      .start = gi.start,
-      .end = gi.end,
-      .compute = compute,
-      .fault_stall = fault_term,
-      .tlb_stall = tlb_time,
-      .page_faults = faults,
-      .tlb_misses = tlb_misses,
-  });
 
   Signal sig;
   sig.complete(sched(), gi.end);

@@ -18,6 +18,11 @@ VirtualThread& Scheduler::spawn(std::string name, std::function<void()> body) {
   }
   raw->fiber_ = std::make_unique<Fiber>([this, raw, fn = std::move(body)] {
     fn();
+    if (!raw->held_.empty()) {
+      throw LockDisciplineError(
+          "thread '" + raw->name_ + "' finished while holding " +
+          std::to_string(raw->held_.size()) + " lock(s)");
+    }
     raw->state_ = VirtualThread::State::Finished;
     horizon_ = max(horizon_, raw->clock_);
   });
@@ -25,7 +30,29 @@ VirtualThread& Scheduler::spawn(std::string name, std::function<void()> body) {
   return *raw;
 }
 
-VirtualThread* Scheduler::pick_next() const {
+VirtualThread* Scheduler::pick_next() {
+  if (stress_) {
+    // Stress mode: the min-clock policy still decides *which clocks* may
+    // run (so the schedule stays a valid time-ordered interleaving), but
+    // ties are broken uniformly at random from the seeded stream instead
+    // of by spawn order.
+    std::vector<VirtualThread*> ties;
+    for (const auto& t : threads_) {
+      if (t->state_ != VirtualThread::State::Runnable) {
+        continue;
+      }
+      if (ties.empty() || t->clock_ < ties.front()->clock_) {
+        ties.clear();
+        ties.push_back(t.get());
+      } else if (t->clock_ == ties.front()->clock_) {
+        ties.push_back(t.get());
+      }
+    }
+    if (ties.empty()) {
+      return nullptr;
+    }
+    return ties[stress_rng_.uniform_index(ties.size())];
+  }
   // Minimum clock wins; on ties a thread that called reschedule() lets
   // non-deprioritized peers go first, then spawn order breaks what remains.
   VirtualThread* best = nullptr;
@@ -40,6 +67,23 @@ VirtualThread* Scheduler::pick_next() const {
     }
   }
   return best;
+}
+
+void Scheduler::enable_stress(std::uint64_t seed) {
+  stress_ = true;
+  stress_rng_ = Rng{seed};
+}
+
+void Scheduler::stress_point() {
+  if (!stress_ || running_ == nullptr) {
+    return;
+  }
+  // Half the time, hand the CPU back to the scheduler so an equal-clock
+  // peer may be drawn; the other half, proceed — both orders are explored
+  // across seeds.
+  if (stress_rng_.bernoulli(0.5)) {
+    Fiber::yield();
+  }
 }
 
 void Scheduler::run() {
@@ -125,18 +169,29 @@ void Scheduler::reschedule() {
 void Scheduler::maybe_yield() {
   // Keep running while we are still (one of) the minimum-clock runnable
   // threads; the spawn-order tie break means an equal-clock thread with a
-  // smaller id must get the CPU first.
+  // smaller id must get the CPU first. Under stress, any equal-clock peer
+  // is a coin-flip preemption opportunity instead.
   VirtualThread& self = current();
+  bool tie = false;
   for (const auto& t : threads_) {
     if (t.get() == &self || t->state_ != VirtualThread::State::Runnable) {
       continue;
     }
-    if (t->clock_ < self.clock_ ||
-        (t->clock_ == self.clock_ && t->id_ < self.id_ &&
-         !t->deprioritized_)) {
+    if (t->clock_ < self.clock_) {
       Fiber::yield();
       return;
     }
+    if (t->clock_ == self.clock_) {
+      if (stress_) {
+        tie = true;
+      } else if (t->id_ < self.id_ && !t->deprioritized_) {
+        Fiber::yield();
+        return;
+      }
+    }
+  }
+  if (tie && stress_rng_.bernoulli(0.5)) {
+    Fiber::yield();
   }
 }
 
@@ -156,6 +211,7 @@ void Scheduler::wake(VirtualThread& t, TimePoint at_least) {
 }
 
 void WaitList::wait(Scheduler& sched) {
+  sched.stress_point();  // wait points are where real schedules diverge
   VirtualThread& self = sched.current();
   waiters_.push_back(&self);
   sched.block_current();

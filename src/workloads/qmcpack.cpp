@@ -32,7 +32,8 @@ struct SharedState {
   SharedState(int threads, int sockets)
       : spline(static_cast<std::size_t>(sockets)),
         spline_ready(static_cast<std::size_t>(sockets)),
-        block_barrier{threads} {}
+        block_barrier{threads},
+        partials(static_cast<std::size_t>(threads)) {}
   /// One read-only spline replica per socket (an affinity-aware app keeps
   /// its big lookup tables in local HBM; with MPI-per-socket this happens
   /// naturally, one copy per rank).
@@ -40,7 +41,13 @@ struct SharedState {
   std::vector<sim::Latch> spline_ready;
   std::uint64_t spline_bytes = 0;
   sim::Barrier block_barrier;
-  double checksum = 0.0;
+  /// Per-thread checksum contributions, reduced in thread-index order at
+  /// finalize. Accumulating into one shared double at thread exit would make
+  /// the floating-point summation order follow thread *completion* order —
+  /// results would then differ in the low bits across interleavings, and the
+  /// stress-mode differential tests require bit-identical checksums under
+  /// every schedule.
+  std::vector<double> partials;
 };
 
 /// Deterministic per-(thread,walker,step) hash used to rotate the spline
@@ -278,7 +285,7 @@ void run_thread(OffloadStack& stack, const QmcpackParams& params, int tid,
   reduce1.release();
   reduce2.release();
   spline_params.release();
-  shared->checksum += acc;
+  shared->partials[static_cast<std::size_t>(tid)] = acc;
 }
 
 }  // namespace
@@ -297,7 +304,13 @@ Program make_qmcpack(const QmcpackParams& params) {
                           });
     }
   };
-  program.finalize = [slot](OffloadStack&) { return (*slot)->checksum; };
+  program.finalize = [slot](OffloadStack&) {
+    double checksum = 0.0;
+    for (const double p : (*slot)->partials) {
+      checksum += p;
+    }
+    return checksum;
+  };
   return program;
 }
 

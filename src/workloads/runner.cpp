@@ -23,6 +23,9 @@ RunResult run_program(const Program& program, const RunOptions& options) {
       std::move(machine_config),
       omp::OffloadStack::program_for(options.config, program.binary)};
   stack.hsa().kernel_trace().set_keep_records(options.keep_kernel_records);
+  if (options.stress_seed) {
+    stack.sched().enable_stress(*options.stress_seed);
+  }
 
   program.setup_threads(stack);
   stack.sched().run();

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "zc/core/cost.hpp"
@@ -616,6 +618,107 @@ TEST(OffloadRuntimeInit, ConcurrentFirstCallsSeeFullyLoadedImage) {
   EXPECT_EQ(ok, 4);
   // Exactly one pinned entry for the global on the device table.
   EXPECT_EQ(stack->omp().present_table().size(), 1u);
+}
+
+TEST(OffloadRuntimeConcurrency, ConcurrentDataEndsOnSharedMapping) {
+  // Regression for the unsynchronized PresentTable access in end_copy_one:
+  // one thread releases a mapping while another decides copy-back on the
+  // same range. The lookup, refcount read, and copy-back decision must be
+  // one transaction under the mapping lock; without it the lock-discipline
+  // checker (GuardedBy on the tables) fails this test deterministically —
+  // on any interleaving, not just an unlucky one.
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  auto& sched = stack->sched();
+  OffloadRuntime& rt = stack->omp();
+  constexpr std::size_t n = 64;
+  std::optional<HostArray<double>> x;
+
+  // Phase 1: map the range twice (refcount 2); the device copy captures the
+  // original values, then the host view is clobbered so that only a
+  // copy-back can restore it.
+  sched.spawn("setup", [&] {
+    x.emplace(rt, n, "x");
+    for (std::size_t i = 0; i < n; ++i) {
+      (*x)[i] = static_cast<double>(i);
+    }
+    const MapEntry enter = MapEntry::to(x->addr(), x->bytes());
+    rt.target_data_begin({&enter, 1});
+    rt.target_data_begin({&enter, 1});
+    for (std::size_t i = 0; i < n; ++i) {
+      (*x)[i] = -1.0;
+    }
+  });
+  sched.run();
+  const auto frees_before =
+      stack->hsa().stats().count(HsaCall::MemoryPoolFree);
+
+  // Phase 2: two threads race their target_data_end on the same range.
+  // `always,from` forces each end through the copy-back decision path while
+  // the other may be mid-release.
+  for (int t = 0; t < 2; ++t) {
+    sched.spawn("end-" + std::to_string(t), [&] {
+      MapEntry leave = MapEntry::from(x->addr(), x->bytes());
+      leave.always = true;
+      rt.target_data_end({&leave, 1});
+    });
+  }
+  sched.run();
+
+  // Both references released: exactly one device-storage free, empty table,
+  // and the copy-back restored the original values.
+  EXPECT_EQ(stack->hsa().stats().count(HsaCall::MemoryPoolFree),
+            frees_before + 1);
+  EXPECT_EQ(rt.present_table().size(), 0u);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_DOUBLE_EQ((*x)[i], static_cast<double>(i));
+  }
+
+  sched.spawn("cleanup", [&] { x->release(); });
+  sched.run();
+}
+
+TEST(OffloadRuntimeConcurrency, ConcurrentDataEndsUnderStressSeeds) {
+  // The same race surface as above, swept across stress seeds: the checker
+  // plus the seeded scheduler must agree that every perturbed interleaving
+  // of concurrent data-ends is correctly locked and converges to the same
+  // final state.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto stack = make_stack(RuntimeConfig::LegacyCopy);
+    auto& sched = stack->sched();
+    sched.enable_stress(seed);
+    OffloadRuntime& rt = stack->omp();
+    constexpr std::size_t n = 32;
+    std::optional<HostArray<double>> x;
+    sim::Latch mapped;  // ends must not start before setup has mapped
+    sched.spawn("setup", [&] {
+      x.emplace(rt, n, "x");
+      for (std::size_t i = 0; i < n; ++i) {
+        (*x)[i] = static_cast<double>(i);
+      }
+      const MapEntry enter = MapEntry::to(x->addr(), x->bytes());
+      rt.target_data_begin({&enter, 1});
+      rt.target_data_begin({&enter, 1});
+      for (std::size_t i = 0; i < n; ++i) {
+        (*x)[i] = -1.0;
+      }
+      mapped.set(sched);
+    });
+    for (int t = 0; t < 2; ++t) {
+      sched.spawn("end-" + std::to_string(t), [&] {
+        mapped.wait(sched);
+        MapEntry leave = MapEntry::from(x->addr(), x->bytes());
+        leave.always = true;
+        rt.target_data_end({&leave, 1});
+      });
+    }
+    sched.run();
+    EXPECT_EQ(rt.present_table().size(), 0u) << "seed=" << seed;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_DOUBLE_EQ((*x)[i], static_cast<double>(i)) << "seed=" << seed;
+    }
+    sched.spawn("cleanup", [&] { x->release(); });
+    sched.run();
+  }
 }
 
 }  // namespace
