@@ -14,6 +14,9 @@ Args Args::parse(int argc, char** argv) {
       args.quick = true;
     } else if (a == "--full") {
       args.full = true;
+    } else if (a == "--fidelity-min") {
+      args.fidelity_min = true;
+      args.quick = true;  // minimum scale implies the quick scaling too
     } else if (a.rfind("--reps=", 0) == 0) {
       args.reps = std::atoi(a.c_str() + 7);
     } else if (a.rfind("--steps=", 0) == 0) {
@@ -23,8 +26,8 @@ Args Args::parse(int argc, char** argv) {
     } else if (a.rfind("--csv=", 0) == 0) {
       args.csv = a.substr(6);
     } else if (a == "--help" || a == "-h") {
-      std::cout << "options: --quick | --full | --reps=N | --steps=N | "
-                   "--seed=N | --csv=PREFIX\n";
+      std::cout << "options: --quick | --full | --fidelity-min | --reps=N | "
+                   "--steps=N | --seed=N | --csv=PREFIX\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option '" << a << "' (try --help)\n";
@@ -39,7 +42,9 @@ void print_banner(const std::string& title, const std::string& paper_ref,
   std::cout << "== " << title << " ==\n";
   std::cout << "reproduces: " << paper_ref << '\n';
   std::cout << "fidelity: "
-            << (args.full ? "full" : (args.quick ? "quick" : "default"))
+            << (args.fidelity_min
+                    ? "min"
+                    : (args.full ? "full" : (args.quick ? "quick" : "default")))
             << " (seed " << args.seed << ")\n\n";
 }
 

@@ -16,6 +16,8 @@ namespace zc::bench {
 ///
 ///   --quick        scale workloads down (~10x faster, coarser ratios)
 ///   --full         paper fidelity (full step counts / repetitions)
+///   --fidelity-min minimal CI smoke scale: smallest workloads that still
+///                  exercise every acceptance bar, single repetition
 ///   --reps=N       override repetition count
 ///   --steps=N      override QMCPack MC step count
 ///   --seed=N       base RNG seed
@@ -23,6 +25,7 @@ namespace zc::bench {
 struct Args {
   bool quick = false;
   bool full = false;
+  bool fidelity_min = false;
   int reps = -1;
   int steps = -1;
   std::uint64_t seed = 1;

@@ -35,7 +35,8 @@ sim::Duration run_app(const Deployment& d) {
   mc.costs = d.kind == apu::MachineKind::ApuMi300a ? apu::mi300a_costs()
                                                    : apu::discrete_gpu_costs();
   mc.env.hsa_xnack = d.xnack;
-  mc.env.ompx_apu_maps = d.apu_maps;
+  mc.env.ompx_apu_maps =
+      d.apu_maps ? apu::ApuMapsMode::On : apu::ApuMapsMode::Off;
 
   omp::OffloadStack stack{std::move(mc), omp::ProgramBinary{"portable-app"}};
   std::printf("  %-44s -> %s\n", d.label, to_string(stack.omp().config()));

@@ -1,0 +1,33 @@
+#pragma once
+
+namespace zc::adapt {
+
+/// How the Adaptive Maps policy engine decided to handle one mapped
+/// region. Header-only (no link dependency) so layers below `zc_adapt`
+/// in the build graph — notably `zc_trace`'s DecisionTrace — can name
+/// decisions without a dependency cycle.
+enum class Decision {
+  /// Legacy Copy handling: device pool allocation + DMA transfers, with a
+  /// PresentTable entry translating kernel arguments.
+  DmaCopy,
+  /// XNACK zero-copy: kernels receive the host pointer and demand-fault
+  /// pages into the GPU page table.
+  ZeroCopy,
+  /// Zero-copy plus an eager host-side `svm_attributes_set` prefault of
+  /// the region before the kernel runs (the Eager Maps treatment).
+  EagerPrefault,
+};
+
+[[nodiscard]] constexpr const char* to_string(Decision d) {
+  switch (d) {
+    case Decision::DmaCopy:
+      return "dma-copy";
+    case Decision::ZeroCopy:
+      return "zero-copy";
+    case Decision::EagerPrefault:
+      return "eager-prefault";
+  }
+  return "?";
+}
+
+}  // namespace zc::adapt

@@ -2,16 +2,50 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 namespace zc::apu {
+
+/// Raised by `RunEnvironment::from_env` when a recognized environment
+/// variable carries a value the runtime cannot interpret. Real runtimes
+/// silently coerce such typos into "off"; the simulator refuses them so
+/// configuration experiments can't accidentally run the wrong setup.
+class EnvError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The three states of `OMPX_APU_MAPS`: off, the footnote-1 opt-in that
+/// forces implicit zero-copy handling on discrete GPUs, and the adaptive
+/// mode where the runtime's `zc::adapt` policy engine classifies each
+/// mapped region online.
+enum class ApuMapsMode {
+  Off,
+  On,
+  Adaptive,
+};
+
+[[nodiscard]] constexpr const char* to_string(ApuMapsMode m) {
+  switch (m) {
+    case ApuMapsMode::Off:
+      return "0";
+    case ApuMapsMode::On:
+      return "1";
+    case ApuMapsMode::Adaptive:
+      return "adaptive";
+  }
+  return "?";
+}
 
 /// The run environment knobs that steer configuration selection, mirroring
 /// the environment variables the paper describes:
 ///
 ///  * `HSA_XNACK`      — unified-memory (XNACK-replay) support enabled;
 ///  * `OMPX_APU_MAPS`  — opt-in implicit zero-copy on discrete GPUs with
-///                        XNACK enabled (footnote 1 of the paper);
+///                        XNACK enabled (footnote 1 of the paper), or
+///                        `adaptive` to let the runtime classify each mapped
+///                        region online (the Adaptive Maps configuration);
 ///  * `OMPX_EAGER_ZERO_COPY_MAPS` — ask the runtime to prefault the GPU page
 ///                        table on every map (the Eager Maps configuration);
 ///  * THP              — transparent huge pages; the paper runs all
@@ -19,7 +53,7 @@ namespace zc::apu {
 ///                        work on 2 MB pages.
 struct RunEnvironment {
   bool hsa_xnack = true;
-  bool ompx_apu_maps = false;
+  ApuMapsMode ompx_apu_maps = ApuMapsMode::Off;
   bool ompx_eager_maps = false;
   bool transparent_huge_pages = true;
 
@@ -28,9 +62,11 @@ struct RunEnvironment {
     return transparent_huge_pages ? (2ULL << 20) : (4ULL << 10);
   }
 
-  /// Parse from environment-variable-style key/value pairs; unknown keys are
-  /// ignored, values "1"/"true"/"on" (case-insensitive) enable a knob and
-  /// anything else disables it. Keys: HSA_XNACK, OMPX_APU_MAPS,
+  /// Parse from environment-variable-style key/value pairs; unknown keys
+  /// are ignored. Boolean knobs accept "1"/"true"/"on"/"yes" and
+  /// "0"/"false"/"off"/"no" (case-insensitive); `OMPX_APU_MAPS`
+  /// additionally accepts "adaptive". Any other value for a recognized key
+  /// throws `EnvError`. Keys: HSA_XNACK, OMPX_APU_MAPS,
   /// OMPX_EAGER_ZERO_COPY_MAPS, THP.
   [[nodiscard]] static RunEnvironment from_env(
       const std::map<std::string, std::string>& env);

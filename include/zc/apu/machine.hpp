@@ -29,6 +29,7 @@ class Machine {
     MachineKind kind = MachineKind::ApuMi300a;
     Topology topology{};
     CostParams costs{};
+    AdaptParams adapt{};
     RunEnvironment env{};
     sim::JitterParams jitter{};
     std::uint64_t seed = 1;
@@ -52,6 +53,9 @@ class Machine {
   }
   [[nodiscard]] const Topology& topology() const { return config_.topology; }
   [[nodiscard]] const CostParams& costs() const { return config_.costs; }
+  [[nodiscard]] const AdaptParams& adapt_params() const {
+    return config_.adapt;
+  }
   [[nodiscard]] const RunEnvironment& env() const { return config_.env; }
   [[nodiscard]] std::uint64_t page_bytes() const {
     return config_.env.page_bytes();

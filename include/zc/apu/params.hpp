@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "zc/sim/time.hpp"
@@ -132,6 +133,29 @@ struct CostParams {
   // -- discrete-GPU specifics (MachineKind::DiscreteGpu only) --------------
   /// Host<->device link bandwidth (PCIe-style) for discrete nodes.
   double pcie_bandwidth_bytes_per_s = 12e9;
+};
+
+/// Tuning knobs of the Adaptive Maps policy engine (`zc::adapt`). They are
+/// calibration constants in the same sense as `CostParams`: the policy's
+/// decisions are derived from the cost model, and these only control how
+/// eagerly it revisits them and how much CPU time the bookkeeping itself
+/// charges.
+struct AdaptParams {
+  /// A cached decision is re-evaluated only after this many further maps of
+  /// the same host range (and never while the range is actively mapped).
+  /// This is the hysteresis window that makes flip-flopping impossible.
+  std::uint32_t hysteresis_maps = 4;
+  /// On re-evaluation, switch away from the cached decision only when its
+  /// predicted cost exceeds the best alternative by this factor.
+  double switch_margin = 1.25;
+  /// Decision-cache capacity per device; beyond it the engine evicts the
+  /// stalest inactive entry so long-running programs stay bounded.
+  std::size_t max_cache_entries = 65536;
+  /// CPU-side cost of one fresh policy evaluation (feature gather + cost
+  /// prediction), charged by the runtime inside `begin_one`.
+  sim::Duration eval_cost = sim::Duration::from_us(0.05);
+  /// CPU-side cost of one decision-cache hit on the `begin_one` hot path.
+  sim::Duration cache_hit_cost = sim::Duration::from_us(0.02);
 };
 
 /// MI300A-flavoured defaults.

@@ -8,9 +8,10 @@
 
 namespace zc::omp {
 
-/// The four runtime configurations the paper studies (§IV). All are
-/// equivalent from an OpenMP semantics viewpoint; they differ in how the
-/// runtime realizes data environments on the machine.
+/// The four runtime configurations the paper studies (§IV), plus the
+/// simulator's own Adaptive Maps extension. All are equivalent from an
+/// OpenMP semantics viewpoint; they differ in how the runtime realizes
+/// data environments on the machine.
 enum class RuntimeConfig {
   /// Map = device pool allocation + DMA copies (discrete-GPU behaviour,
   /// runs unchanged on the APU; copies become HBM-to-HBM).
@@ -28,6 +29,12 @@ enum class RuntimeConfig {
   /// (`svm_attributes_set`), trading a host syscall per map for fault-free
   /// first-touch kernels. Does not require XNACK.
   EagerMaps,
+  /// Online profile-guided handling (`OMPX_APU_MAPS=adaptive`): the
+  /// `zc::adapt` policy engine classifies each mapped region as DMA-copy,
+  /// XNACK zero-copy, or eager host prefault from observed behavior, with
+  /// hysteresis and a per-range decision cache. Globals keep the Copy
+  /// behaviour, like the other non-USM configurations.
+  AdaptiveMaps,
 };
 
 [[nodiscard]] constexpr const char* to_string(RuntimeConfig c) {
@@ -40,11 +47,14 @@ enum class RuntimeConfig {
       return "Implicit Zero-Copy";
     case RuntimeConfig::EagerMaps:
       return "Eager Maps";
+    case RuntimeConfig::AdaptiveMaps:
+      return "Adaptive Maps";
   }
   return "?";
 }
 
-/// True for the three configurations that pass host pointers to kernels.
+/// True for the configurations that can pass host pointers to kernels
+/// (Adaptive Maps does so for every region its policy keeps zero-copy).
 [[nodiscard]] constexpr bool is_zero_copy(RuntimeConfig c) {
   return c != RuntimeConfig::LegacyCopy;
 }
@@ -68,11 +78,15 @@ class ConfigError : public std::runtime_error {
 ///
 ///  1. a program built with `requires unified_shared_memory` always runs as
 ///     Unified Shared Memory and demands XNACK — it cannot fall back;
-///  2. otherwise, `OMPX_EAGER_ZERO_COPY_MAPS=1` on an APU selects Eager
+///  2. otherwise, `OMPX_APU_MAPS=adaptive` on an APU selects Adaptive Maps
+///     (works with XNACK on or off — the policy simply never chooses
+///     zero-copy without XNACK);
+///  3. otherwise, `OMPX_EAGER_ZERO_COPY_MAPS=1` on an APU selects Eager
 ///     Maps (works with XNACK on or off);
-///  3. otherwise, an APU with XNACK enabled — or a discrete GPU with both
-///     `OMPX_APU_MAPS=1` and XNACK — selects Implicit Zero-Copy;
-///  4. otherwise the runtime behaves as on discrete GPUs: Legacy Copy.
+///  4. otherwise, an APU with XNACK enabled — or a discrete GPU with both
+///     `OMPX_APU_MAPS` enabled (any non-off value) and XNACK — selects
+///     Implicit Zero-Copy;
+///  5. otherwise the runtime behaves as on discrete GPUs: Legacy Copy.
 [[nodiscard]] RuntimeConfig resolve_config(apu::MachineKind kind,
                                            const apu::RunEnvironment& env,
                                            bool requires_usm);

@@ -7,12 +7,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "zc/adapt/policy.hpp"
 #include "zc/core/config.hpp"
 #include "zc/core/mapping.hpp"
 #include "zc/core/program.hpp"
 #include "zc/core/target_region.hpp"
 #include "zc/hsa/runtime.hpp"
 #include "zc/sim/scheduler.hpp"
+#include "zc/trace/decision_trace.hpp"
 
 namespace zc::omp {
 
@@ -60,6 +62,11 @@ class TargetTask {
 ///    DMA when mapped (§IV-C).
 ///  * **Eager Maps** — Implicit Zero-Copy plus a `svm_attributes_set`
 ///    GPU-page-table prefault on *every* map operation (§IV-D).
+///  * **Adaptive Maps** — the `zc::adapt` policy engine classifies each
+///    non-global mapped region as DMA-copy, zero-copy, or eager prefault
+///    from observed page state, inside the present-table transaction;
+///    globals keep the Copy behaviour. Every fresh classification is
+///    recorded in the `DecisionTrace`.
 ///
 /// Image load (GPU code objects, runtime support structures, device copies
 /// of globals) happens lazily on the first runtime call, and each host
@@ -141,6 +148,15 @@ class OffloadRuntime {
   [[nodiscard]] hsa::Runtime& hsa() { return hsa_; }
   [[nodiscard]] bool image_loaded() const { return image_loaded_; }
 
+  /// Adaptive Maps introspection, unguarded for the same quiescent-reader
+  /// reason as `present_table`.
+  [[nodiscard]] const trace::DecisionTrace& decision_trace() const {
+    return decisions_.unguarded();
+  }
+  [[nodiscard]] const adapt::PolicyEngine& policy_engine() const {
+    return adapt_.unguarded();
+  }
+
   /// Number of pool allocations modeled for image load and per-thread
   /// initialization (chosen to echo the initialization call counts visible
   /// in the paper's Table I).
@@ -165,6 +181,11 @@ class OffloadRuntime {
   /// appended to `copies`.
   void begin_one(const MapEntry& entry, int device,
                  std::vector<hsa::Signal>& copies);
+  /// Adaptive Maps handling of one engine-managed (non-global) entry:
+  /// consult the policy inside the table transaction, then realize the
+  /// decision (DMA/prefault submitted outside the lock).
+  void begin_one_adaptive(const MapEntry& entry, int device,
+                          std::vector<hsa::Signal>& copies);
   /// First pass of data-end: issue d2h copies.
   void end_copy_one(const MapEntry& entry, int device,
                     std::vector<hsa::Signal>& copies);
@@ -172,9 +193,13 @@ class OffloadRuntime {
   void end_release_one(const MapEntry& entry, int device);
 
   /// Whether this entry's data is handled Copy-style (device copy + DMA):
-  /// always under Legacy Copy; only globals under Implicit Z-C/Eager Maps;
-  /// never under USM.
+  /// always under Legacy Copy; only globals under Implicit Z-C/Eager
+  /// Maps/Adaptive Maps; never under USM.
   [[nodiscard]] bool copy_managed(const MapEntry& entry) const;
+  /// Whether this entry's handling is chosen by the adapt policy engine
+  /// (Adaptive Maps, non-global): present in the table means a live
+  /// DmaCopy classification, absent means zero-copy semantics.
+  [[nodiscard]] bool engine_managed(const MapEntry& entry) const;
   [[nodiscard]] bool is_global_addr(mem::VirtAddr a) const;
 
   void wait_all(std::vector<hsa::Signal>& sigs);
@@ -191,6 +216,12 @@ class OffloadRuntime {
   /// One PresentTable per device, guarded by `table_mutex_`: any access
   /// from inside a virtual thread without the lock is a checker error.
   sim::GuardedBy<std::vector<PresentTable>> tables_;
+  /// Adaptive Maps policy engine and its decision trace share the mapping
+  /// lock: decisions are part of the present-table transaction (classify,
+  /// then insert — atomically), so a separate lock would only add a window
+  /// where another thread maps the same range between the two.
+  sim::GuardedBy<adapt::PolicyEngine> adapt_;
+  sim::GuardedBy<trace::DecisionTrace> decisions_;
   bool image_load_started_ = false;
   bool image_loaded_ = false;
   sim::Latch image_latch_;  // set once the image is fully loaded

@@ -72,6 +72,10 @@ class MemorySystem {
   [[nodiscard]] std::uint64_t gpu_absent_pages(AddrRange range,
                                                int socket = 0) const;
 
+  /// Pages of `range` the CPU has materialized (host first touch or bulk
+  /// population). Pure state read — feeds the Adaptive Maps policy.
+  [[nodiscard]] std::uint64_t cpu_resident_pages(AddrRange range) const;
+
   /// GPU-side fault-in (XNACK-replay) of all absent pages in `range` on
   /// one socket's GPU; also materializes the CPU pages backing them,
   /// reporting how many needed materialization (they fault expensively).

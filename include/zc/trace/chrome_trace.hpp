@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "zc/trace/call_trace.hpp"
+#include "zc/trace/decision_trace.hpp"
 #include "zc/trace/kernel_trace.hpp"
 
 namespace zc::trace {
@@ -14,7 +15,9 @@ namespace zc::trace {
 /// Host-side API calls (CallTrace records) appear as complete events on
 /// per-thread tracks (`pid` 1, `tid` = virtual host thread); kernel
 /// executions (KernelRecord) appear on GPU tracks (`pid` 2, `tid` = device),
-/// with fault/TLB stalls attached as arguments.
+/// with fault/TLB stalls attached as arguments; Adaptive Maps decisions
+/// (DecisionRecord) appear as instant events on the host-thread track that
+/// took them, with the policy features and predicted costs as arguments.
 class ChromeTraceWriter {
  public:
   /// Add every record of a host-side call trace.
@@ -23,16 +26,21 @@ class ChromeTraceWriter {
   /// Add kernel launches (device-side track).
   void add(const std::vector<KernelRecord>& kernels);
 
+  /// Add Adaptive Maps policy decisions (instant events, host tracks).
+  void add(const DecisionTrace& decisions);
+
   /// Write the complete JSON document.
   void write(std::ostream& os) const;
 
   [[nodiscard]] std::size_t event_count() const {
-    return call_events_.size() + kernel_events_.size();
+    return call_events_.size() + kernel_events_.size() +
+           decision_events_.size();
   }
 
  private:
   std::vector<CallRecord> call_events_;
   std::vector<KernelRecord> kernel_events_;
+  std::vector<DecisionRecord> decision_events_;
 };
 
 }  // namespace zc::trace

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "zc/adapt/decision.hpp"
+#include "zc/sim/time.hpp"
+
+namespace zc::trace {
+
+/// One fresh Adaptive Maps policy evaluation: the decision, the feature
+/// inputs it saw, and the predicted cost of each handling — enough to
+/// explain *why* a region was classified the way it was. Addresses are
+/// raw simulated-address values (`VirtAddr::value`) so the trace layer
+/// needs no dependency on `zc::mem`.
+struct DecisionRecord {
+  adapt::Decision decision = adapt::Decision::ZeroCopy;
+  int host_thread = 0;
+  int device = 0;
+  sim::TimePoint time;
+  std::uint64_t host_base = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t pages = 0;
+  std::uint64_t cpu_resident_pages = 0;
+  std::uint64_t gpu_absent_pages = 0;
+  double predicted_copy_us = 0.0;
+  double predicted_zero_copy_us = 0.0;
+  double predicted_eager_us = 0.0;
+  /// True when a hysteresis re-evaluation changed an earlier decision.
+  bool revised = false;
+};
+
+/// Record of every *fresh* policy evaluation (cache misses and hysteresis
+/// re-evaluations). Cache hits — the vast majority on steady-state
+/// workloads — only bump an aggregate counter, so the trace stays small
+/// even on full-fidelity runs. Always on: fresh evaluations are rare by
+/// construction.
+class DecisionTrace {
+ public:
+  void record(const DecisionRecord& r) { records_.push_back(r); }
+  void note_cache_hit() { ++cache_hits_; }
+
+  [[nodiscard]] const std::vector<DecisionRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+
+  void clear() {
+    records_.clear();
+    cache_hits_ = 0;
+  }
+
+ private:
+  std::vector<DecisionRecord> records_;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace zc::trace

@@ -8,6 +8,7 @@
 #include "zc/sim/jitter.hpp"
 #include "zc/stats/repetition.hpp"
 #include "zc/trace/call_stats.hpp"
+#include "zc/trace/decision_trace.hpp"
 #include "zc/trace/kernel_trace.hpp"
 #include "zc/trace/overhead_ledger.hpp"
 
@@ -54,6 +55,8 @@ struct RunResult {
   double checksum = 0.0;
   /// Per-launch records (only when RunOptions::keep_kernel_records).
   std::vector<trace::KernelRecord> kernel_records;
+  /// Adaptive Maps policy decisions (empty for the static configurations).
+  trace::DecisionTrace decisions;
 };
 
 /// Build the stack, run the program to completion, snapshot the telemetry.

@@ -7,10 +7,29 @@ namespace zc::apu {
 
 namespace {
 
-bool truthy(std::string v) {
-  std::transform(v.begin(), v.end(), v.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  return v == "1" || v == "true" || v == "on" || v == "yes";
+std::string lowered(std::string v) {
+  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return v;
+}
+
+bool truthy(const std::string& key, const std::string& raw) {
+  const std::string v = lowered(raw);
+  if (v == "1" || v == "true" || v == "on" || v == "yes") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off" || v == "no") {
+    return false;
+  }
+  throw EnvError(key + "=" + raw + " is not a recognized boolean value");
+}
+
+ApuMapsMode apu_maps_mode(const std::string& key, const std::string& raw) {
+  if (lowered(raw) == "adaptive") {
+    return ApuMapsMode::Adaptive;
+  }
+  return truthy(key, raw) ? ApuMapsMode::On : ApuMapsMode::Off;
 }
 
 }  // namespace
@@ -19,16 +38,16 @@ RunEnvironment RunEnvironment::from_env(
     const std::map<std::string, std::string>& env) {
   RunEnvironment out;
   if (auto it = env.find("HSA_XNACK"); it != env.end()) {
-    out.hsa_xnack = truthy(it->second);
+    out.hsa_xnack = truthy(it->first, it->second);
   }
   if (auto it = env.find("OMPX_APU_MAPS"); it != env.end()) {
-    out.ompx_apu_maps = truthy(it->second);
+    out.ompx_apu_maps = apu_maps_mode(it->first, it->second);
   }
   if (auto it = env.find("OMPX_EAGER_ZERO_COPY_MAPS"); it != env.end()) {
-    out.ompx_eager_maps = truthy(it->second);
+    out.ompx_eager_maps = truthy(it->first, it->second);
   }
   if (auto it = env.find("THP"); it != env.end()) {
-    out.transparent_huge_pages = truthy(it->second);
+    out.transparent_huge_pages = truthy(it->first, it->second);
   }
   return out;
 }
@@ -39,7 +58,7 @@ std::string RunEnvironment::to_string() const {
   s += "HSA_XNACK=";
   s += flag(hsa_xnack);
   s += " OMPX_APU_MAPS=";
-  s += flag(ompx_apu_maps);
+  s += apu::to_string(ompx_apu_maps);
   s += " OMPX_EAGER_ZERO_COPY_MAPS=";
   s += flag(ompx_eager_maps);
   s += " THP=";

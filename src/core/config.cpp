@@ -14,10 +14,14 @@ RuntimeConfig resolve_config(apu::MachineKind kind,
     }
     return RuntimeConfig::UnifiedSharedMemory;
   }
+  if (env.ompx_apu_maps == apu::ApuMapsMode::Adaptive && apu) {
+    return RuntimeConfig::AdaptiveMaps;
+  }
   if (env.ompx_eager_maps && apu) {
     return RuntimeConfig::EagerMaps;
   }
-  if (env.hsa_xnack && (apu || env.ompx_apu_maps)) {
+  if (env.hsa_xnack &&
+      (apu || env.ompx_apu_maps != apu::ApuMapsMode::Off)) {
     return RuntimeConfig::ImplicitZeroCopy;
   }
   return RuntimeConfig::LegacyCopy;

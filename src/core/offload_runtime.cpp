@@ -14,7 +14,12 @@ OffloadRuntime::OffloadRuntime(hsa::Runtime& hsa, ProgramBinary program)
       config_{resolve_config(hsa.machine().kind(), hsa.machine().env(),
                              program_.requires_unified_shared_memory)},
       tables_{table_mutex_, "PresentTable",
-              static_cast<std::size_t>(hsa.machine().sockets())} {}
+              static_cast<std::size_t>(hsa.machine().sockets())},
+      adapt_{table_mutex_,       "AdaptPolicy",
+             hsa.machine().costs(), hsa.machine().adapt_params(),
+             hsa.machine().sockets(), hsa.machine().page_bytes(),
+             hsa.machine().env().hsa_xnack},
+      decisions_{table_mutex_, "DecisionTrace"} {}
 
 int OffloadRuntime::device_count() const {
   return hsa_.machine().sockets();
@@ -141,6 +146,11 @@ void OffloadRuntime::host_free(mem::VirtAddr base) {
                            std::to_string(d) + " at " + base.to_string());
       }
     }
+    // Addresses can be recycled by later allocations: drop any cached
+    // Adaptive Maps decision for the freed range.
+    if (const mem::Allocation* a = hsa_.memory().space().find(base)) {
+      adapt_.get(hsa_.machine().sched()).forget(a->range());
+    }
   }
   apu::Machine& m = hsa_.machine();
   m.sched().advance(m.jittered(m.costs().os_free_base));
@@ -172,10 +182,16 @@ bool OffloadRuntime::copy_managed(const MapEntry& entry) const {
       return false;
     case RuntimeConfig::ImplicitZeroCopy:
     case RuntimeConfig::EagerMaps:
-      // §IV-C: globals keep Copy behaviour; everything else is zero-copy.
+    case RuntimeConfig::AdaptiveMaps:
+      // §IV-C: globals keep Copy behaviour; everything else is zero-copy
+      // (or, under Adaptive Maps, engine-classified).
       return is_global_addr(entry.host_ptr);
   }
   return true;
+}
+
+bool OffloadRuntime::engine_managed(const MapEntry& entry) const {
+  return config_ == RuntimeConfig::AdaptiveMaps && !copy_managed(entry);
 }
 
 void OffloadRuntime::wait_all(std::vector<hsa::Signal>& sigs) {
@@ -206,6 +222,10 @@ void OffloadRuntime::begin_one(const MapEntry& entry, int device,
   m.sched().advance(m.costs().map_bookkeeping);
 
   if (!copy_managed(entry)) {
+    if (engine_managed(entry)) {
+      begin_one_adaptive(entry, device, copies);
+      return;
+    }
     // Zero-copy: no storage operation. Eager Maps additionally prefaults
     // the GPU page table for the mapped range on every map.
     if (config_ == RuntimeConfig::EagerMaps) {
@@ -249,11 +269,98 @@ void OffloadRuntime::begin_one(const MapEntry& entry, int device,
   }
 }
 
+void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
+                                        std::vector<hsa::Signal>& copies) {
+  apu::Machine& m = hsa_.machine();
+  bool do_copy = false;
+  bool do_prefault = false;
+  mem::VirtAddr dev_dst;
+  {
+    // The classification is part of the mapping-table transaction: the
+    // table lookup, the policy decision, and (for DmaCopy) the insert must
+    // be atomic, or two threads could classify the same range differently
+    // and race their inserts.
+    sim::LockGuard lock{table_mutex_, m.sched()};
+    PresentTable& table =
+        tables_.get(m.sched())[static_cast<std::size_t>(device)];
+    PresentEntry* e = table.lookup_range(entry.host_range());
+    if (e != nullptr) {
+      // A live DmaCopy classification: plain Copy reference semantics.
+      if (!e->pinned) {
+        ++e->refcount;
+      }
+      do_copy = entry.always && copies_to_device(entry.type);
+      dev_dst = e->device_addr(entry.host_ptr);
+    } else {
+      const mem::AddrRange range = entry.host_range();
+      adapt::RegionFeatures features;
+      features.range = range;
+      features.pages = range.page_count(m.page_bytes());
+      features.cpu_resident_pages = hsa_.memory().cpu_resident_pages(range);
+      features.gpu_absent_pages =
+          hsa_.memory().gpu_absent_pages(range, device);
+      features.copies_in = copies_to_device(entry.type);
+      features.copies_out = copies_to_host(entry.type);
+      const adapt::Outcome out =
+          adapt_.get(m.sched()).decide(device, features);
+      trace::DecisionTrace& dtrace = decisions_.get(m.sched());
+      if (out.fresh) {
+        m.sched().advance(m.adapt_params().eval_cost);
+        dtrace.record(trace::DecisionRecord{
+            .decision = out.decision,
+            .host_thread = m.sched().current().id(),
+            .device = device,
+            .time = m.sched().now(),
+            .host_base = range.base.value,
+            .bytes = range.bytes,
+            .pages = features.pages,
+            .cpu_resident_pages = features.cpu_resident_pages,
+            .gpu_absent_pages = features.gpu_absent_pages,
+            .predicted_copy_us = out.costs.copy_us,
+            .predicted_zero_copy_us = out.costs.zero_copy_us,
+            .predicted_eager_us = out.costs.eager_us,
+            .revised = out.revised});
+      } else {
+        m.sched().advance(m.adapt_params().cache_hit_cost);
+        dtrace.note_cache_hit();
+      }
+      switch (out.decision) {
+        case adapt::Decision::DmaCopy: {
+          const mem::VirtAddr dev = hsa_.memory_pool_allocate(
+              entry.bytes, "omp-map:" + entry.host_ptr.to_string(),
+              /*count_in_ledger=*/true, device);
+          e = &table.insert(range, dev);
+          e->refcount = 1;
+          do_copy = copies_to_device(entry.type);
+          dev_dst = e->device_addr(entry.host_ptr);
+          break;
+        }
+        case adapt::Decision::ZeroCopy:
+          break;
+        case adapt::Decision::EagerPrefault:
+          do_prefault = true;
+          break;
+      }
+    }
+  }
+  // Like the static configurations, the expensive realizations run outside
+  // the mapping lock: the DMA target is pinned by the refcount we hold,
+  // and the prefault only touches the driver's page tables.
+  if (do_prefault) {
+    (void)hsa_.svm_attributes_set_prefault(entry.host_range(), device);
+  }
+  if (do_copy) {
+    copies.push_back(hsa_.memory_async_copy(
+        dev_dst, entry.host_ptr, entry.bytes,
+        /*with_handler=*/false, /*count_in_ledger=*/true, device));
+  }
+}
+
 void OffloadRuntime::end_copy_one(const MapEntry& entry, int device,
                                   std::vector<hsa::Signal>& copies) {
   apu::Machine& m = hsa_.machine();
   m.sched().advance(m.costs().map_bookkeeping);
-  if (!copy_managed(entry)) {
+  if (!copy_managed(entry) && !engine_managed(entry)) {
     return;
   }
   bool do_copy = false;
@@ -269,6 +376,9 @@ void OffloadRuntime::end_copy_one(const MapEntry& entry, int device,
         tables_.get(m.sched())[static_cast<std::size_t>(device)].lookup_range(
             entry.host_range());
     if (e == nullptr) {
+      if (engine_managed(entry)) {
+        return;  // classified zero-copy/prefault: data already in place
+      }
       if (exit_only(entry.type)) {
         return;  // release/delete of absent data is a no-op (OpenMP 5.x)
       }
@@ -289,14 +399,24 @@ void OffloadRuntime::end_copy_one(const MapEntry& entry, int device,
 }
 
 void OffloadRuntime::end_release_one(const MapEntry& entry, int device) {
-  if (!copy_managed(entry)) {
+  const bool adaptive = engine_managed(entry);
+  if (!copy_managed(entry) && !adaptive) {
     return;
   }
-  sim::LockGuard lock{table_mutex_, hsa_.machine().sched()};
+  sim::Scheduler& sched = hsa_.machine().sched();
+  sim::LockGuard lock{table_mutex_, sched};
   PresentTable& table =
-      tables_.get(hsa_.machine().sched())[static_cast<std::size_t>(device)];
+      tables_.get(sched)[static_cast<std::size_t>(device)];
   PresentEntry* e = table.lookup_range(entry.host_range());
-  if (e == nullptr || e->pinned) {
+  if (e == nullptr) {
+    if (adaptive) {
+      // Zero-copy-classified range: the mapping lifetime the policy's
+      // `decide` opened ends here.
+      adapt_.get(sched).release(device, entry.host_range());
+    }
+    return;
+  }
+  if (e->pinned) {
     return;
   }
   if (entry.type == MapType::Delete) {
@@ -309,6 +429,10 @@ void OffloadRuntime::end_release_one(const MapEntry& entry, int device) {
     const mem::VirtAddr host_base = e->host.base;
     hsa_.memory_pool_free(dev);
     table.erase(host_base);
+    if (adaptive) {
+      // The DmaCopy classification's lifetime ends with the table entry.
+      adapt_.get(sched).release(device, entry.host_range());
+    }
   }
 }
 
@@ -378,7 +502,7 @@ void OffloadRuntime::target_update_to(const MapEntry& entry, int device) {
   check_device(device);
   apu::Machine& m = hsa_.machine();
   m.sched().advance(m.costs().map_bookkeeping);
-  if (!copy_managed(entry)) {
+  if (!copy_managed(entry) && !engine_managed(entry)) {
     return;
   }
   mem::VirtAddr dev_dst;
@@ -392,6 +516,9 @@ void OffloadRuntime::target_update_to(const MapEntry& entry, int device) {
         tables_.get(m.sched())[static_cast<std::size_t>(device)].lookup_range(
             entry.host_range());
     if (e == nullptr) {
+      if (engine_managed(entry)) {
+        return;  // zero-copy-classified: kernels read host memory directly
+      }
       throw MappingError("target update to() of unmapped range at " +
                          entry.host_ptr.to_string());
     }
@@ -407,7 +534,7 @@ void OffloadRuntime::target_update_from(const MapEntry& entry, int device) {
   check_device(device);
   apu::Machine& m = hsa_.machine();
   m.sched().advance(m.costs().map_bookkeeping);
-  if (!copy_managed(entry)) {
+  if (!copy_managed(entry) && !engine_managed(entry)) {
     return;
   }
   mem::VirtAddr dev_src;
@@ -418,6 +545,9 @@ void OffloadRuntime::target_update_from(const MapEntry& entry, int device) {
         tables_.get(m.sched())[static_cast<std::size_t>(device)].lookup_range(
             entry.host_range());
     if (e == nullptr) {
+      if (engine_managed(entry)) {
+        return;  // zero-copy-classified: host memory is the single copy
+      }
       throw MappingError("target update from() of unmapped range at " +
                          entry.host_ptr.to_string());
     }

@@ -22,6 +22,10 @@ apu::Machine::Config OffloadStack::machine_config_for(RuntimeConfig config,
       cfg.env.hsa_xnack = true;
       cfg.env.ompx_eager_maps = true;
       break;
+    case RuntimeConfig::AdaptiveMaps:
+      cfg.env.hsa_xnack = true;
+      cfg.env.ompx_apu_maps = apu::ApuMapsMode::Adaptive;
+      break;
   }
   return cfg;
 }

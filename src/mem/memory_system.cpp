@@ -72,6 +72,10 @@ std::uint64_t MemorySystem::gpu_absent_pages(AddrRange range,
   return gpu_pt_.at(static_cast<std::size_t>(socket)).count_absent(range);
 }
 
+std::uint64_t MemorySystem::cpu_resident_pages(AddrRange range) const {
+  return cpu_pt_.count_present(range);
+}
+
 FaultOutcome MemorySystem::gpu_fault_in(AddrRange range, int socket) {
   // The XNACK-replay walk materializes the host page if needed (the
   // expensive demand path), then inserts the translation into the GPU page

@@ -28,6 +28,11 @@ void ChromeTraceWriter::add(const std::vector<KernelRecord>& kernels) {
   kernel_events_.insert(kernel_events_.end(), kernels.begin(), kernels.end());
 }
 
+void ChromeTraceWriter::add(const DecisionTrace& decisions) {
+  decision_events_.insert(decision_events_.end(), decisions.records().begin(),
+                          decisions.records().end());
+}
+
 void ChromeTraceWriter::write(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -54,6 +59,21 @@ void ChromeTraceWriter::write(std::ostream& os) const {
        << ",\"page_faults\":" << k.page_faults
        << ",\"fault_stall_us\":" << k.fault_stall.us()
        << ",\"tlb_stall_us\":" << k.tlb_stall.us() << "}}";
+  }
+  for (const DecisionRecord& d : decision_events_) {
+    sep();
+    os << "{\"name\":\"adapt:" << to_string(d.decision)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << d.host_thread
+       << ",\"ts\":" << d.time.since_start().us()
+       << ",\"cat\":\"adapt\",\"args\":{\"device\":" << d.device
+       << ",\"host_base\":" << d.host_base << ",\"bytes\":" << d.bytes
+       << ",\"pages\":" << d.pages
+       << ",\"cpu_resident_pages\":" << d.cpu_resident_pages
+       << ",\"gpu_absent_pages\":" << d.gpu_absent_pages
+       << ",\"predicted_copy_us\":" << d.predicted_copy_us
+       << ",\"predicted_zero_copy_us\":" << d.predicted_zero_copy_us
+       << ",\"predicted_eager_us\":" << d.predicted_eager_us
+       << ",\"revised\":" << (d.revised ? "true" : "false") << "}}";
   }
   os << "],\"displayTimeUnit\":\"ms\","
         "\"otherData\":{\"generator\":\"apuzc simulator\"}}";

@@ -39,6 +39,7 @@ RunResult run_program(const Program& program, const RunOptions& options) {
   if (options.keep_kernel_records) {
     result.kernel_records = stack.hsa().kernel_trace().records();
   }
+  result.decisions = stack.omp().decision_trace();
   if (program.finalize) {
     result.checksum = program.finalize(stack);
   }

@@ -2,13 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+
 namespace zc::apu {
 namespace {
 
 TEST(RunEnvironment, Defaults) {
   const RunEnvironment env;
   EXPECT_TRUE(env.hsa_xnack);
-  EXPECT_FALSE(env.ompx_apu_maps);
+  EXPECT_EQ(env.ompx_apu_maps, ApuMapsMode::Off);
   EXPECT_FALSE(env.ompx_eager_maps);
   EXPECT_TRUE(env.transparent_huge_pages);
   EXPECT_EQ(env.page_bytes(), 2ULL << 20);
@@ -26,7 +29,7 @@ TEST(RunEnvironment, FromEnvParsesTruthyForms) {
                                              {"OMPX_EAGER_ZERO_COPY_MAPS", "on"},
                                              {"THP", "no"}});
   EXPECT_FALSE(env.hsa_xnack);
-  EXPECT_TRUE(env.ompx_apu_maps);
+  EXPECT_EQ(env.ompx_apu_maps, ApuMapsMode::On);
   EXPECT_TRUE(env.ompx_eager_maps);
   EXPECT_FALSE(env.transparent_huge_pages);
 }
@@ -43,8 +46,86 @@ TEST(RunEnvironment, ToStringRoundTripsFlags) {
   env.ompx_eager_maps = true;
   const std::string s = env.to_string();
   EXPECT_NE(s.find("HSA_XNACK=0"), std::string::npos);
+  EXPECT_NE(s.find("OMPX_APU_MAPS=0"), std::string::npos);
   EXPECT_NE(s.find("OMPX_EAGER_ZERO_COPY_MAPS=1"), std::string::npos);
   EXPECT_NE(s.find("THP=1"), std::string::npos);
+}
+
+TEST(RunEnvironment, ToStringRendersAdaptiveMode) {
+  RunEnvironment env;
+  env.ompx_apu_maps = ApuMapsMode::Adaptive;
+  EXPECT_NE(env.to_string().find("OMPX_APU_MAPS=adaptive"),
+            std::string::npos);
+}
+
+// --- OMPX_APU_MAPS value matrix --------------------------------------------
+// The auto-detection variable now has three states; cover every accepted
+// spelling (including the case-insensitive ones) alongside the boolean
+// forms the other variables share.
+
+using ApuMapsCase = std::tuple<const char* /*value*/, ApuMapsMode>;
+
+class ApuMapsValues : public ::testing::TestWithParam<ApuMapsCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAcceptedSpellings, ApuMapsValues,
+    ::testing::Values(ApuMapsCase{"0", ApuMapsMode::Off},
+                      ApuMapsCase{"false", ApuMapsMode::Off},
+                      ApuMapsCase{"OFF", ApuMapsMode::Off},
+                      ApuMapsCase{"no", ApuMapsMode::Off},
+                      ApuMapsCase{"1", ApuMapsMode::On},
+                      ApuMapsCase{"true", ApuMapsMode::On},
+                      ApuMapsCase{"On", ApuMapsMode::On},
+                      ApuMapsCase{"YES", ApuMapsMode::On},
+                      ApuMapsCase{"adaptive", ApuMapsMode::Adaptive},
+                      ApuMapsCase{"Adaptive", ApuMapsMode::Adaptive},
+                      ApuMapsCase{"ADAPTIVE", ApuMapsMode::Adaptive}));
+
+TEST_P(ApuMapsValues, ParsesToExpectedMode) {
+  const auto [value, expected] = GetParam();
+  const auto env = RunEnvironment::from_env({{"OMPX_APU_MAPS", value}});
+  EXPECT_EQ(env.ompx_apu_maps, expected) << "OMPX_APU_MAPS=" << value;
+}
+
+// --- negative paths ---------------------------------------------------------
+// A recognized variable set to an unintelligible value must throw, not be
+// silently coerced to "off": configuration experiments depend on running
+// the configuration they name.
+
+class InvalidEnvValues : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(RecognizedKeys, InvalidEnvValues,
+                         ::testing::Values("HSA_XNACK", "OMPX_APU_MAPS",
+                                           "OMPX_EAGER_ZERO_COPY_MAPS",
+                                           "THP"));
+
+TEST_P(InvalidEnvValues, GarbageValueThrows) {
+  const std::string key = GetParam();
+  EXPECT_THROW((void)RunEnvironment::from_env({{key, "bogus"}}), EnvError);
+  EXPECT_THROW((void)RunEnvironment::from_env({{key, "2"}}), EnvError);
+  EXPECT_THROW((void)RunEnvironment::from_env({{key, ""}}), EnvError);
+}
+
+TEST(RunEnvironment, AdaptiveIsOnlyValidForApuMaps) {
+  // `adaptive` names a mapping policy; it is not a boolean spelling.
+  EXPECT_THROW((void)RunEnvironment::from_env({{"HSA_XNACK", "adaptive"}}),
+               EnvError);
+  EXPECT_THROW(
+      (void)RunEnvironment::from_env({{"OMPX_EAGER_ZERO_COPY_MAPS",
+                                       "adaptive"}}),
+      EnvError);
+  EXPECT_THROW((void)RunEnvironment::from_env({{"THP", "adaptive"}}),
+               EnvError);
+}
+
+TEST(RunEnvironment, ErrorMessageNamesTheOffendingVariable) {
+  try {
+    (void)RunEnvironment::from_env({{"OMPX_APU_MAPS", "maybe"}});
+    FAIL() << "expected EnvError";
+  } catch (const EnvError& e) {
+    EXPECT_NE(std::string{e.what()}.find("OMPX_APU_MAPS"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("maybe"), std::string::npos);
+  }
 }
 
 }  // namespace

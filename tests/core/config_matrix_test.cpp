@@ -1,7 +1,7 @@
 // Exhaustive configuration-selection matrix: every combination of machine
-// kind, XNACK, OMPX_APU_MAPS, OMPX_EAGER_ZERO_COPY_MAPS and binary USM
-// requirement resolves to exactly the configuration the paper's rules
-// dictate — or fails loudly.
+// kind, XNACK, OMPX_APU_MAPS (off / on / adaptive), OMPX_EAGER_ZERO_COPY_MAPS
+// and binary USM requirement resolves to exactly the configuration the
+// paper's rules (plus the Adaptive Maps extension) dictate — or fails loudly.
 
 #include <gtest/gtest.h>
 
@@ -12,20 +12,21 @@
 namespace zc::omp {
 namespace {
 
+using apu::ApuMapsMode;
 using apu::MachineKind;
 using apu::RunEnvironment;
 
-using Case = std::tuple<bool /*apu*/, bool /*xnack*/, bool /*apu_maps*/,
+using Case = std::tuple<bool /*apu*/, bool /*xnack*/, ApuMapsMode /*apu_maps*/,
                         bool /*eager*/, bool /*usm binary*/>;
 
 class ConfigMatrix : public ::testing::TestWithParam<Case> {};
 
-INSTANTIATE_TEST_SUITE_P(AllCombinations, ConfigMatrix,
-                         ::testing::Combine(::testing::Bool(),
-                                            ::testing::Bool(),
-                                            ::testing::Bool(),
-                                            ::testing::Bool(),
-                                            ::testing::Bool()));
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ConfigMatrix,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(ApuMapsMode::Off, ApuMapsMode::On,
+                                         ApuMapsMode::Adaptive),
+                       ::testing::Bool(), ::testing::Bool()));
 
 TEST_P(ConfigMatrix, ResolvesPerPaperRules) {
   const auto [apu, xnack, apu_maps, eager, usm] = GetParam();
@@ -45,16 +46,18 @@ TEST_P(ConfigMatrix, ResolvesPerPaperRules) {
   RuntimeConfig expect;
   if (usm) {
     expect = RuntimeConfig::UnifiedSharedMemory;  // binary requirement wins
+  } else if (apu_maps == ApuMapsMode::Adaptive && apu) {
+    expect = RuntimeConfig::AdaptiveMaps;  // policy engine (XNACK optional)
   } else if (eager && apu) {
     expect = RuntimeConfig::EagerMaps;  // §IV-D (works with XNACK off)
-  } else if (xnack && (apu || apu_maps)) {
+  } else if (xnack && (apu || apu_maps != ApuMapsMode::Off)) {
     expect = RuntimeConfig::ImplicitZeroCopy;  // §IV-C + footnote 1
   } else {
     expect = RuntimeConfig::LegacyCopy;  // discrete-GPU behaviour
   }
   EXPECT_EQ(got, expect) << "apu=" << apu << " xnack=" << xnack
-                         << " apu_maps=" << apu_maps << " eager=" << eager
-                         << " usm=" << usm;
+                         << " apu_maps=" << to_string(apu_maps)
+                         << " eager=" << eager << " usm=" << usm;
 }
 
 }  // namespace

@@ -5,13 +5,22 @@
 namespace zc::omp {
 namespace {
 
+using apu::ApuMapsMode;
 using apu::MachineKind;
 using apu::RunEnvironment;
 
 RunEnvironment env(bool xnack, bool apu_maps = false, bool eager = false) {
   RunEnvironment e;
   e.hsa_xnack = xnack;
-  e.ompx_apu_maps = apu_maps;
+  e.ompx_apu_maps = apu_maps ? ApuMapsMode::On : ApuMapsMode::Off;
+  e.ompx_eager_maps = eager;
+  return e;
+}
+
+RunEnvironment adaptive_env(bool xnack, bool eager = false) {
+  RunEnvironment e;
+  e.hsa_xnack = xnack;
+  e.ompx_apu_maps = ApuMapsMode::Adaptive;
   e.ompx_eager_maps = eager;
   return e;
 }
@@ -55,6 +64,31 @@ TEST(ResolveConfig, EagerMapsIgnoredOnDiscrete) {
       RuntimeConfig::LegacyCopy);
 }
 
+TEST(ResolveConfig, AdaptiveSelectedOnApuWithOrWithoutXnack) {
+  EXPECT_EQ(resolve_config(MachineKind::ApuMi300a, adaptive_env(true), false),
+            RuntimeConfig::AdaptiveMaps);
+  // Like Eager Maps, the adaptive policy works without XNACK: it simply
+  // never classifies a region zero-copy in that environment.
+  EXPECT_EQ(resolve_config(MachineKind::ApuMi300a, adaptive_env(false), false),
+            RuntimeConfig::AdaptiveMaps);
+}
+
+TEST(ResolveConfig, AdaptiveBeatsEagerWhenBothRequested) {
+  EXPECT_EQ(
+      resolve_config(MachineKind::ApuMi300a, adaptive_env(true, true), false),
+      RuntimeConfig::AdaptiveMaps);
+}
+
+TEST(ResolveConfig, AdaptiveOnDiscreteCountsAsFootnote1OptIn) {
+  // No adaptive engine on discrete nodes; with XNACK the non-off value
+  // still opts into zero-copy, without it the node stays on Copy.
+  EXPECT_EQ(resolve_config(MachineKind::DiscreteGpu, adaptive_env(true), false),
+            RuntimeConfig::ImplicitZeroCopy);
+  EXPECT_EQ(
+      resolve_config(MachineKind::DiscreteGpu, adaptive_env(false), false),
+      RuntimeConfig::LegacyCopy);
+}
+
 TEST(ResolveConfig, UsmBinaryAlwaysRunsUsm) {
   EXPECT_EQ(resolve_config(MachineKind::ApuMi300a, env(true), true),
             RuntimeConfig::UnifiedSharedMemory);
@@ -80,11 +114,13 @@ TEST(ConfigPredicates, ZeroCopyAndGlobalsHandling) {
   EXPECT_TRUE(is_zero_copy(RuntimeConfig::UnifiedSharedMemory));
   EXPECT_TRUE(is_zero_copy(RuntimeConfig::ImplicitZeroCopy));
   EXPECT_TRUE(is_zero_copy(RuntimeConfig::EagerMaps));
+  EXPECT_TRUE(is_zero_copy(RuntimeConfig::AdaptiveMaps));
 
   EXPECT_TRUE(globals_use_device_copy(RuntimeConfig::LegacyCopy));
   EXPECT_FALSE(globals_use_device_copy(RuntimeConfig::UnifiedSharedMemory));
   EXPECT_TRUE(globals_use_device_copy(RuntimeConfig::ImplicitZeroCopy));
   EXPECT_TRUE(globals_use_device_copy(RuntimeConfig::EagerMaps));
+  EXPECT_TRUE(globals_use_device_copy(RuntimeConfig::AdaptiveMaps));
 }
 
 TEST(ConfigNames, MatchPaperTerminology) {
@@ -94,6 +130,7 @@ TEST(ConfigNames, MatchPaperTerminology) {
   EXPECT_STREQ(to_string(RuntimeConfig::ImplicitZeroCopy),
                "Implicit Zero-Copy");
   EXPECT_STREQ(to_string(RuntimeConfig::EagerMaps), "Eager Maps");
+  EXPECT_STREQ(to_string(RuntimeConfig::AdaptiveMaps), "Adaptive Maps");
 }
 
 }  // namespace

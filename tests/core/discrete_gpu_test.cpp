@@ -20,7 +20,7 @@ std::unique_ptr<OffloadStack> discrete(bool xnack, bool apu_maps) {
   mc.kind = apu::MachineKind::DiscreteGpu;
   mc.costs = apu::discrete_gpu_costs();
   mc.env.hsa_xnack = xnack;
-  mc.env.ompx_apu_maps = apu_maps;
+  mc.env.ompx_apu_maps = apu_maps ? apu::ApuMapsMode::On : apu::ApuMapsMode::Off;
   return std::make_unique<OffloadStack>(std::move(mc), ProgramBinary{});
 }
 

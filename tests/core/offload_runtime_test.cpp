@@ -28,6 +28,7 @@ constexpr RuntimeConfig kAllConfigs[] = {
     RuntimeConfig::UnifiedSharedMemory,
     RuntimeConfig::ImplicitZeroCopy,
     RuntimeConfig::EagerMaps,
+    RuntimeConfig::AdaptiveMaps,
 };
 
 /// The Fig. 2 program of the paper: a[i] += b[i] * alpha, with alpha a
@@ -108,6 +109,8 @@ INSTANTIATE_TEST_SUITE_P(AllConfigs, PerConfig,
                                return "ImplicitZeroCopy";
                              case RuntimeConfig::EagerMaps:
                                return "EagerMaps";
+                             case RuntimeConfig::AdaptiveMaps:
+                               return "AdaptiveMaps";
                            }
                            return "Unknown";
                          });

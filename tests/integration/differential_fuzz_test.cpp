@@ -1,8 +1,11 @@
 // Differential semantics fuzzing: generate random *conforming* OpenMP
 // offload programs (structured/unstructured data regions, nested maps,
-// updates, synchronous and nowait targets) and assert that all four runtime
+// updates, synchronous and nowait targets) and assert that all five runtime
 // configurations compute bit-identical results — the paper's claim that the
 // configurations are equivalent "from an OpenMP semantics viewpoint".
+// Adaptive Maps belongs in this set precisely because its per-region
+// decisions (copy vs zero-copy vs prefault) change performance, never
+// semantics, for conforming programs.
 //
 // Conformance rules enforced by the generator (so results are defined):
 //  * the host only writes a buffer while it is unmapped;
@@ -29,6 +32,7 @@ constexpr RuntimeConfig kAllConfigs[] = {
     RuntimeConfig::UnifiedSharedMemory,
     RuntimeConfig::ImplicitZeroCopy,
     RuntimeConfig::EagerMaps,
+    RuntimeConfig::AdaptiveMaps,
 };
 
 constexpr std::size_t kBuffers = 5;
@@ -39,10 +43,14 @@ struct OpenRegion {
   std::vector<std::size_t> buffers;
 };
 
-double run_random_program(RuntimeConfig config, std::uint64_t seed) {
+double run_random_program(RuntimeConfig config, std::uint64_t seed,
+                          std::uint64_t stress_seed = 0) {
   auto stack = std::make_unique<OffloadStack>(
       OffloadStack::machine_config_for(config),
       OffloadStack::program_for(config, {}));
+  if (stress_seed != 0) {
+    stack->sched().enable_stress(stress_seed);
+  }
   double checksum = 0.0;
 
   stack->sched().run_single([&] {
@@ -247,6 +255,23 @@ TEST_P(DifferentialFuzz, RunsAreDeterministic) {
   const std::uint64_t seed = GetParam();
   EXPECT_DOUBLE_EQ(run_random_program(RuntimeConfig::ImplicitZeroCopy, seed),
                    run_random_program(RuntimeConfig::ImplicitZeroCopy, seed));
+}
+
+TEST_P(DifferentialFuzz, AllConfigurationsAgreeUnderStressSchedules) {
+  // Re-run the same programs under the seeded stress scheduler, which
+  // perturbs ready-thread order at every lock and wait point. Checksums
+  // must stay bit-identical across all five configurations — including
+  // Adaptive Maps, whose policy decisions ride inside the PresentTable
+  // transaction and must not be schedule-sensitive.
+  const std::uint64_t seed = GetParam();
+  const double reference = run_random_program(RuntimeConfig::LegacyCopy, seed);
+  for (const RuntimeConfig config : kAllConfigs) {
+    for (std::uint64_t stress = 1; stress <= 2; ++stress) {
+      EXPECT_DOUBLE_EQ(run_random_program(config, seed, stress), reference)
+          << "seed " << seed << ", stress " << stress << ", "
+          << to_string(config);
+    }
+  }
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 // Interleaving stress mode, end to end: run a multi-threaded workload
 // through the full runtime stack (OpenMP runtime -> HSA -> memory system)
 // under the seeded stress scheduler and assert that workload *results* are
-// bit-identical across stress seeds and across all four runtime
+// bit-identical across stress seeds and across all five runtime
 // configurations. The stress scheduler perturbs ready-thread order at every
 // lock/wait point, so this is the differential check that the runtime's
 // locking (PresentTable mutex, trace mutex) — and not a lucky schedule — is
@@ -23,6 +23,7 @@ constexpr omp::RuntimeConfig kAllConfigs[] = {
     omp::RuntimeConfig::UnifiedSharedMemory,
     omp::RuntimeConfig::ImplicitZeroCopy,
     omp::RuntimeConfig::EagerMaps,
+    omp::RuntimeConfig::AdaptiveMaps,
 };
 
 QmcpackParams small_params() {
@@ -43,7 +44,7 @@ double run_once(omp::RuntimeConfig config,
 
 TEST(StressMode, ChecksumsBitIdenticalAcrossSeedsAndConfigs) {
   // The acceptance bar from the concurrency work: >= 8 distinct stress
-  // seeds, all four configurations, bit-identical workload results.
+  // seeds, all five configurations, bit-identical workload results.
   for (omp::RuntimeConfig config : kAllConfigs) {
     const double reference = run_once(config, std::nullopt);
     for (std::uint64_t seed = 1; seed <= 8; ++seed) {

@@ -61,6 +61,65 @@ TEST(ChromeTrace, KernelEventsIncludeFaultArguments) {
   EXPECT_NE(out.find("\"cat\":\"kernel\""), std::string::npos);
 }
 
+TEST(ChromeTrace, DecisionEventsCarryPolicyArguments) {
+  DecisionTrace decisions;
+  DecisionRecord d;
+  d.decision = adapt::Decision::EagerPrefault;
+  d.host_thread = 4;
+  d.device = 1;
+  d.time = at(42);
+  d.host_base = 0x1000;
+  d.bytes = 8192;
+  d.pages = 2;
+  d.cpu_resident_pages = 1;
+  d.gpu_absent_pages = 2;
+  d.predicted_copy_us = 120.5;
+  d.predicted_zero_copy_us = 910.0;
+  d.predicted_eager_us = 58.25;
+  d.revised = true;
+  decisions.record(d);
+
+  ChromeTraceWriter w;
+  w.add(decisions);
+  EXPECT_EQ(w.event_count(), 1u);
+  std::ostringstream os;
+  w.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"name\":\"adapt:eager-prefault\""), std::string::npos);
+  EXPECT_NE(out.find("\"cat\":\"adapt\""), std::string::npos);
+  EXPECT_NE(out.find("\"tid\":4"), std::string::npos);
+  EXPECT_NE(out.find("\"ts\":42"), std::string::npos);
+  EXPECT_NE(out.find("\"device\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"pages\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"revised\":true"), std::string::npos);
+  // Braces and brackets balance with the instant event present.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+TEST(ChromeTrace, DecisionEventsFromAnAdaptiveRun) {
+  omp::OffloadStack stack{
+      omp::OffloadStack::machine_config_for(omp::RuntimeConfig::AdaptiveMaps),
+      omp::OffloadStack::program_for(omp::RuntimeConfig::AdaptiveMaps, {})};
+  stack.sched().run_single([&] {
+    omp::OffloadRuntime& rt = stack.omp();
+    omp::HostArray<double> x{rt, 4096, "x"};
+    rt.target(omp::TargetRegion{.name = "adaptive_traced",
+                                .maps = {x.tofrom()},
+                                .compute = 25_us,
+                                .body = {}});
+    x.release();
+  });
+  ChromeTraceWriter w;
+  w.add(stack.omp().decision_trace());
+  EXPECT_GE(w.event_count(), 1u);
+  std::ostringstream os;
+  w.write(os);
+  EXPECT_NE(os.str().find("\"cat\":\"adapt\""), std::string::npos);
+}
+
 TEST(ChromeTrace, EndToEndFromARealRun) {
   omp::OffloadStack stack{
       omp::OffloadStack::machine_config_for(omp::RuntimeConfig::LegacyCopy),
