@@ -20,6 +20,10 @@ struct RegionFeatures {
   std::uint64_t gpu_absent_pages = 0;    ///< missing from the GPU page table
   bool copies_in = false;   ///< map type transfers host->device on entry
   bool copies_out = false;  ///< map type transfers device->host on exit
+  /// The device's pool has failed an allocation this run (sticky flag set
+  /// by the runtime's OOM fallback): DmaCopy would likely fail again and
+  /// degrade anyway, so the predictor prices it out.
+  bool memory_pressure = false;
 };
 
 /// Predicted first-use cost of each handling, in virtual microseconds.

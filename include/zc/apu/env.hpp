@@ -50,12 +50,16 @@ enum class ApuMapsMode {
 ///                        table on every map (the Eager Maps configuration);
 ///  * THP              — transparent huge pages; the paper runs all
 ///                        experiments with THP on so both Copy and zero-copy
-///                        work on 2 MB pages.
+///                        work on 2 MB pages;
+///  * `OMPX_APU_FAULTS` — deterministic fault schedule for the `zc::fault`
+///                        engine (see zc/fault/spec.hpp for the grammar);
+///                        empty means fault-free.
 struct RunEnvironment {
   bool hsa_xnack = true;
   ApuMapsMode ompx_apu_maps = ApuMapsMode::Off;
   bool ompx_eager_maps = false;
   bool transparent_huge_pages = true;
+  std::string ompx_apu_faults;
 
   /// Page size implied by the THP setting: 2 MB when on, 4 KB when off.
   [[nodiscard]] std::uint64_t page_bytes() const {
@@ -67,7 +71,8 @@ struct RunEnvironment {
   /// "0"/"false"/"off"/"no" (case-insensitive); `OMPX_APU_MAPS`
   /// additionally accepts "adaptive". Any other value for a recognized key
   /// throws `EnvError`. Keys: HSA_XNACK, OMPX_APU_MAPS,
-  /// OMPX_EAGER_ZERO_COPY_MAPS, THP.
+  /// OMPX_EAGER_ZERO_COPY_MAPS, THP, OMPX_APU_FAULTS (whose value is
+  /// validated against the fault-spec grammar).
   [[nodiscard]] static RunEnvironment from_env(
       const std::map<std::string, std::string>& env);
 

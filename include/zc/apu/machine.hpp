@@ -5,6 +5,7 @@
 
 #include "zc/apu/env.hpp"
 #include "zc/apu/params.hpp"
+#include "zc/fault/engine.hpp"
 #include "zc/sim/event_log.hpp"
 #include "zc/sim/jitter.hpp"
 #include "zc/sim/scheduler.hpp"
@@ -30,6 +31,7 @@ class Machine {
     Topology topology{};
     CostParams costs{};
     AdaptParams adapt{};
+    DegradeParams degrade{};
     RunEnvironment env{};
     sim::JitterParams jitter{};
     std::uint64_t seed = 1;
@@ -56,6 +58,9 @@ class Machine {
   [[nodiscard]] const AdaptParams& adapt_params() const {
     return config_.adapt;
   }
+  [[nodiscard]] const DegradeParams& degrade_params() const {
+    return config_.degrade;
+  }
   [[nodiscard]] const RunEnvironment& env() const { return config_.env; }
   [[nodiscard]] std::uint64_t page_bytes() const {
     return config_.env.page_bytes();
@@ -63,6 +68,11 @@ class Machine {
 
   [[nodiscard]] sim::Scheduler& sched() { return sched_; }
   [[nodiscard]] sim::EventLog& log() { return log_; }
+  /// The deterministic fault-injection engine, built from the environment's
+  /// `OMPX_APU_FAULTS` schedule and the machine seed. Consulted from the
+  /// HSA layer; fault-free runs carry an empty (disabled) engine.
+  [[nodiscard]] fault::FaultEngine& faults() { return faults_; }
+  [[nodiscard]] const fault::FaultEngine& faults() const { return faults_; }
 
   /// Number of APU sockets (each socket's GPU is one OpenMP device).
   [[nodiscard]] int sockets() const { return config_.topology.sockets; }
@@ -116,6 +126,7 @@ class Machine {
   Config config_;
   sim::Scheduler sched_;
   sim::EventLog log_;
+  fault::FaultEngine faults_;
   sim::JitterModel jitter_;
   sim::JitterModel syscall_jitter_;
   std::vector<sim::ResourceTimeline> gpu_;

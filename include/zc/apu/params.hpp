@@ -158,6 +158,22 @@ struct AdaptParams {
   sim::Duration cache_hit_cost = sim::Duration::from_us(0.02);
 };
 
+/// Degraded-mode policy knobs: how hard the runtime tries before giving a
+/// region up. Like `AdaptParams`, these are calibration constants — the
+/// degradation *paths* (OOM -> zero-copy fallback, transient prefault
+/// error -> exponential backoff -> XNACK reliance, copy error -> one
+/// retry -> structured failure) are fixed in the runtime.
+struct DegradeParams {
+  /// Retries of a `svm_attributes_set` that failed with EINTR/EBUSY.
+  int prefault_max_retries = 4;
+  /// Virtual-time backoff before the first prefault retry...
+  sim::Duration prefault_backoff_base = sim::Duration::from_us(50.0);
+  /// ...multiplied by this factor before each further retry.
+  double prefault_backoff_factor = 2.0;
+  /// Resubmissions of an async copy whose signal completed with an error.
+  int copy_max_retries = 1;
+};
+
 /// MI300A-flavoured defaults.
 [[nodiscard]] CostParams mi300a_costs();
 

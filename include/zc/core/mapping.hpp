@@ -94,6 +94,10 @@ struct PresentEntry {
   mem::VirtAddr device_base;  ///< == host.base under zero-copy
   std::uint64_t refcount = 0;
   bool pinned = false;  ///< never deleted (declare-target globals)
+  /// Entry created by the OOM degradation path: `device_base == host.base`
+  /// (zero-copy semantics inside a Copy-managed configuration), so no
+  /// transfers are issued for it and no pool storage is freed with it.
+  bool degraded = false;
 
   [[nodiscard]] mem::VirtAddr device_addr(mem::VirtAddr host_addr) const {
     return device_base + (host_addr - host.base);

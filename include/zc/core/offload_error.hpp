@@ -1,0 +1,85 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "zc/mem/address.hpp"
+
+namespace zc::omp {
+
+/// Unified error taxonomy of the OpenMP offload runtime. Every structured
+/// failure the runtime raises — misuse it detects as well as resource
+/// exhaustion it could not degrade around — carries one of these codes so
+/// callers (and tests) can dispatch on *what* failed without parsing
+/// `what()` strings.
+enum class ErrorCode {
+  InvalidArgument,   ///< malformed request (zero-size global/map entry)
+  UnknownGlobal,     ///< declare-target global name not in the image
+  MappingViolation,  ///< OpenMP mapping-semantics violation
+  DeviceOutOfRange,  ///< device number outside [0, omp_get_num_devices())
+  TaskMisuse,        ///< nowait-task protocol violation (double wait, ...)
+  OutOfMemory,       ///< device pool exhausted with no degraded mode left
+  PrefaultFailed,    ///< svm_attributes_set retries exhausted, XNACK off
+  CopyFailed,        ///< async DMA copy failed after the bounded retry
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::InvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::UnknownGlobal:
+      return "unknown-global";
+    case ErrorCode::MappingViolation:
+      return "mapping-violation";
+    case ErrorCode::DeviceOutOfRange:
+      return "device-out-of-range";
+    case ErrorCode::TaskMisuse:
+      return "task-misuse";
+    case ErrorCode::OutOfMemory:
+      return "out-of-memory";
+    case ErrorCode::PrefaultFailed:
+      return "prefault-failed";
+    case ErrorCode::CopyFailed:
+      return "copy-failed";
+  }
+  return "?";
+}
+
+/// Structured runtime failure: the code, the device it concerns (-1 when
+/// no single device is implicated), and the host range involved (empty
+/// when the failure is not about a specific range). Only the offending
+/// construct fails — the runtime's tables stay consistent, so a handler
+/// can continue issuing work.
+class OffloadError : public std::runtime_error {
+ public:
+  OffloadError(ErrorCode code, const std::string& what, int device = -1,
+               mem::AddrRange host = {})
+      : std::runtime_error{std::string{"["} + omp::to_string(code) + "] " +
+                           what},
+        code_{code},
+        device_{device},
+        host_{host} {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] int device() const { return device_; }
+  [[nodiscard]] mem::AddrRange host_range() const { return host_; }
+
+ private:
+  ErrorCode code_;
+  int device_;
+  mem::AddrRange host_;
+};
+
+/// Raised for OpenMP mapping-semantics violations (e.g. a Legacy Copy
+/// kernel referencing memory no enclosing construct mapped). A subclass of
+/// `OffloadError` so existing handlers keep working while new code can
+/// catch the whole taxonomy at once.
+class MappingError : public OffloadError {
+ public:
+  explicit MappingError(const std::string& what,
+                        ErrorCode code = ErrorCode::MappingViolation,
+                        int device = -1, mem::AddrRange host = {})
+      : OffloadError{code, what, device, host} {}
+};
+
+}  // namespace zc::omp

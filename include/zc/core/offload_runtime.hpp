@@ -10,6 +10,7 @@
 #include "zc/adapt/policy.hpp"
 #include "zc/core/config.hpp"
 #include "zc/core/mapping.hpp"
+#include "zc/core/offload_error.hpp"
 #include "zc/core/program.hpp"
 #include "zc/core/target_region.hpp"
 #include "zc/hsa/runtime.hpp"
@@ -17,13 +18,6 @@
 #include "zc/trace/decision_trace.hpp"
 
 namespace zc::omp {
-
-/// Raised for OpenMP mapping-semantics violations (e.g. a Legacy Copy
-/// kernel referencing memory no enclosing construct mapped).
-class MappingError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 /// Handle for an `omp target ... nowait` region: the kernel is in flight;
 /// `OffloadRuntime::target_wait` completes it (wait + data-end). A task
@@ -157,6 +151,13 @@ class OffloadRuntime {
     return adapt_.unguarded();
   }
 
+  /// Whether one device's pool has ever failed an allocation this run (the
+  /// sticky "memory pressure" flag the degraded Copy path sets and the
+  /// Adaptive Maps policy consumes). Quiescent-reader accessor.
+  [[nodiscard]] bool memory_pressure(int device = 0) const {
+    return pressure_.unguarded().at(static_cast<std::size_t>(device)) != 0;
+  }
+
   /// Number of pool allocations modeled for image load and per-thread
   /// initialization (chosen to echo the initialization call counts visible
   /// in the paper's Table I).
@@ -165,6 +166,20 @@ class OffloadRuntime {
   static constexpr int kThreadInitAllocs = 10;
 
  private:
+  /// An issued async DMA copy plus everything needed to resubmit it: the
+  /// runtime's retry ladder waits for a batch, then re-issues each copy
+  /// whose signal completed with an error payload.
+  struct PendingCopy {
+    hsa::Signal signal;
+    mem::VirtAddr dst;
+    mem::VirtAddr src;
+    std::uint64_t bytes = 0;
+    mem::AddrRange host;  ///< host side of the transfer (for diagnostics)
+    bool with_handler = false;
+    bool count_in_ledger = true;
+    int device = 0;
+  };
+
   void ensure_initialized();
   /// First caller loads the image; concurrent callers wait on the latch
   /// until it is fully loaded (shared by `ensure_initialized` and
@@ -177,20 +192,40 @@ class OffloadRuntime {
 
   void check_device(int device) const;
 
-  /// Map semantics for one entry on region/data-begin; h2d copy signals are
+  /// Map semantics for one entry on region/data-begin; h2d copies are
   /// appended to `copies`.
   void begin_one(const MapEntry& entry, int device,
-                 std::vector<hsa::Signal>& copies);
+                 std::vector<PendingCopy>& copies);
   /// Adaptive Maps handling of one engine-managed (non-global) entry:
   /// consult the policy inside the table transaction, then realize the
   /// decision (DMA/prefault submitted outside the lock).
   void begin_one_adaptive(const MapEntry& entry, int device,
-                          std::vector<hsa::Signal>& copies);
+                          std::vector<PendingCopy>& copies);
   /// First pass of data-end: issue d2h copies.
   void end_copy_one(const MapEntry& entry, int device,
-                    std::vector<hsa::Signal>& copies);
+                    std::vector<PendingCopy>& copies);
   /// Second pass of data-end: decrement refcounts, free device storage.
   void end_release_one(const MapEntry& entry, int device);
+
+  /// Degraded-mode reaction to a device-pool OOM on a Copy-managed map:
+  /// fall back to zero-copy for this region. With XNACK disabled the range
+  /// is prefaulted into the GPU page table *before* the degraded entry
+  /// becomes visible in the present table — another thread could dispatch
+  /// a kernel on the range the moment it is published, and an
+  /// untranslatable page would then be a fatal GpuMemoryFault.
+  void fallback_map_zero_copy(const MapEntry& entry, int device);
+
+  /// `svm_attributes_set` with bounded exponential backoff (virtual time)
+  /// against injected EINTR/EBUSY. On exhaustion: falls back to XNACK
+  /// demand faulting when available, else throws
+  /// OffloadError(PrefaultFailed).
+  void prefault_with_retry(mem::AddrRange range, int device);
+
+  /// Issue one async DMA copy and package it for the retry ladder.
+  [[nodiscard]] PendingCopy submit_copy(mem::VirtAddr dst, mem::VirtAddr src,
+                                        std::uint64_t bytes,
+                                        mem::AddrRange host, bool with_handler,
+                                        bool count_in_ledger, int device);
 
   /// Whether this entry's data is handled Copy-style (device copy + DMA):
   /// always under Legacy Copy; only globals under Implicit Z-C/Eager
@@ -202,7 +237,10 @@ class OffloadRuntime {
   [[nodiscard]] bool engine_managed(const MapEntry& entry) const;
   [[nodiscard]] bool is_global_addr(mem::VirtAddr a) const;
 
-  void wait_all(std::vector<hsa::Signal>& sigs);
+  /// Wait for a batch of copies; each errored copy is resubmitted (up to
+  /// `DegradeParams::copy_max_retries` times) before the offending region
+  /// fails with OffloadError(CopyFailed). Clears `copies`.
+  void wait_all(std::vector<PendingCopy>& copies);
 
   hsa::Runtime& hsa_;
   ProgramBinary program_;
@@ -222,6 +260,11 @@ class OffloadRuntime {
   /// where another thread maps the same range between the two.
   sim::GuardedBy<adapt::PolicyEngine> adapt_;
   sim::GuardedBy<trace::DecisionTrace> decisions_;
+  /// Sticky per-device memory-pressure flags (char: vector<bool> has no
+  /// addressable elements), set by the first pool-OOM fallback and fed to
+  /// the Adaptive Maps cost model as a feature. Shares `table_mutex_`: the
+  /// flag is read and written inside present-table transactions.
+  sim::GuardedBy<std::vector<char>> pressure_;
   bool image_load_started_ = false;
   bool image_loaded_ = false;
   sim::Latch image_latch_;  // set once the image is fully loaded

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "zc/sim/time.hpp"
+
+namespace zc::fault {
+
+/// Raised by `parse_spec` on a malformed `OMPX_APU_FAULTS` value. Like
+/// `apu::EnvError`, the simulator refuses typos instead of silently running
+/// a fault-free experiment that claims to be a fault experiment.
+class FaultSpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Runtime call sites the engine can inject faults into.
+enum class Site {
+  PoolAlloc,    ///< hsa memory_pool_allocate: HBM out-of-memory
+  SvmPrefault,  ///< hsa svm_attributes_set: transient EINTR/EBUSY
+  AsyncCopy,    ///< hsa memory_async_copy: SDMA engine error
+  XnackReplay,  ///< kernel fault servicing: replay-storm latency spike
+};
+inline constexpr std::size_t kSiteCount = 4;
+
+[[nodiscard]] constexpr const char* to_string(Site s) {
+  switch (s) {
+    case Site::PoolAlloc:
+      return "pool-alloc";
+    case Site::SvmPrefault:
+      return "svm-prefault";
+    case Site::AsyncCopy:
+      return "async-copy";
+    case Site::XnackReplay:
+      return "xnack-replay";
+  }
+  return "?";
+}
+
+/// What an injection does at its site.
+enum class Kind {
+  None,         ///< no fault
+  Oom,          ///< pool allocation fails with out-of-memory
+  Eintr,        ///< prefault syscall returns EINTR (retryable)
+  Ebusy,        ///< prefault syscall returns EBUSY (retryable)
+  CopyError,    ///< async copy's signal completes with an error payload
+  ReplayStorm,  ///< XNACK fault servicing slowed by a latency factor
+};
+
+[[nodiscard]] constexpr const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::None:
+      return "none";
+    case Kind::Oom:
+      return "oom";
+    case Kind::Eintr:
+      return "eintr";
+    case Kind::Ebusy:
+      return "ebusy";
+    case Kind::CopyError:
+      return "sdma";
+    case Kind::ReplayStorm:
+      return "xnack";
+  }
+  return "?";
+}
+
+/// When a clause fires: an inclusive 1-based call-count window at its site,
+/// a virtual-time window, or an independent per-call probability.
+struct Trigger {
+  enum class Mode { CallRange, TimeWindow, Probability };
+  Mode mode = Mode::CallRange;
+  std::uint64_t call_from = 0;  ///< CallRange: first firing call (1-based)
+  std::uint64_t call_to = 0;    ///< CallRange: last firing call (inclusive)
+  sim::TimePoint t_from;        ///< TimeWindow: window start
+  sim::TimePoint t_to;          ///< TimeWindow: window end (inclusive)
+  double probability = 0.0;     ///< Probability: per-call Bernoulli p
+};
+
+/// One `site@trigger[:xF]` clause of a fault spec.
+struct Clause {
+  Site site = Site::PoolAlloc;
+  Kind kind = Kind::Oom;
+  Trigger trigger;
+  double factor = 8.0;  ///< replay-storm latency multiplier (xnack only)
+};
+
+/// A parsed fault schedule; empty means fault-free.
+struct Schedule {
+  std::vector<Clause> clauses;
+  [[nodiscard]] bool empty() const { return clauses.empty(); }
+};
+
+/// Parse an `OMPX_APU_FAULTS` spec. Grammar (whitespace-free):
+///
+///   spec    := clause (';' clause)*          | ""  (fault-free)
+///   clause  := site '@' trigger (':' option)*
+///   site    := 'oom' | 'eintr' | 'ebusy' | 'sdma' | 'xnack'
+///   trigger := 'call=' N | 'call=' N '..' M   (1-based inclusive window)
+///            | 't=' A 'us' ('..' B 'us')?     (virtual-time window)
+///            | 'p=' F                         (per-call probability)
+///   option  := 'x' F                          (replay latency factor)
+///
+/// Each site token fixes the fault kind: oom -> pool allocation OOM,
+/// eintr/ebusy -> transient prefault syscall errors, sdma -> async-copy
+/// error signal, xnack -> replay-storm latency spike. A `t=A us` window
+/// without an end extends to the end of the run. Throws `FaultSpecError`
+/// on anything it cannot parse.
+[[nodiscard]] Schedule parse_spec(const std::string& spec);
+
+/// Render a schedule back to spec syntax (logs, error messages).
+[[nodiscard]] std::string to_string(const Schedule& schedule);
+
+}  // namespace zc::fault

@@ -5,12 +5,14 @@
 #include <string>
 
 #include "zc/apu/machine.hpp"
+#include "zc/fault/spec.hpp"
 #include "zc/hsa/kernel.hpp"
 #include "zc/hsa/signal.hpp"
 #include "zc/mem/memory_system.hpp"
 #include "zc/sim/scheduler.hpp"
 #include "zc/trace/call_stats.hpp"
 #include "zc/trace/call_trace.hpp"
+#include "zc/trace/fault_trace.hpp"
 #include "zc/trace/kernel_trace.hpp"
 #include "zc/trace/overhead_ledger.hpp"
 
@@ -21,6 +23,50 @@ namespace zc::hsa {
 class GpuMemoryFault : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Raised by the throwing convenience wrappers (`memory_pool_allocate`,
+/// `svm_attributes_set_prefault`) when the underlying `try_` call fails.
+/// Callers with a degradation path use the `try_` variants instead.
+class HsaError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// `hsa_status_t`-style result codes for the calls that can fail.
+enum class Status {
+  Ok,
+  OutOfMemory,  ///< pool allocation: HBM exhausted (organic or injected)
+  Interrupted,  ///< prefault syscall: transient EINTR
+  Busy,         ///< prefault syscall: transient EBUSY
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::Ok:
+      return "ok";
+    case Status::OutOfMemory:
+      return "out-of-memory";
+    case Status::Interrupted:
+      return "interrupted";
+    case Status::Busy:
+      return "busy";
+  }
+  return "?";
+}
+
+/// Result of `try_memory_pool_allocate`.
+struct PoolAllocResult {
+  Status status = Status::Ok;
+  mem::VirtAddr addr;
+  [[nodiscard]] bool ok() const { return status == Status::Ok; }
+};
+
+/// Result of `try_svm_attributes_set_prefault`.
+struct PrefaultResult {
+  Status status = Status::Ok;
+  mem::PrefaultOutcome outcome;
+  [[nodiscard]] bool ok() const { return status == Status::Ok; }
 };
 
 /// The simulated ROCr/HSA runtime: the API surface the OpenMP offload
@@ -49,6 +95,16 @@ class Runtime {
   /// translatable on return. `count_in_ledger=false` exempts one-time
   /// image-load/init work from the Table III steady-state MM accounting
   /// (call statistics always record).
+  ///
+  /// Failure surface: returns `Status::OutOfMemory` when the fault engine
+  /// injects an OOM or the socket's HBM capacity is exhausted; the failed
+  /// driver round trip still costs `pool_alloc_base` and is recorded in
+  /// the call stats, the fault trace, and the event log.
+  [[nodiscard]] PoolAllocResult try_memory_pool_allocate(
+      std::uint64_t bytes, std::string name, bool count_in_ledger = true,
+      int device = 0);
+
+  /// Throwing wrapper (HsaError on OOM) for callers with no degraded mode.
   mem::VirtAddr memory_pool_allocate(std::uint64_t bytes, std::string name,
                                      bool count_in_ledger = true,
                                      int device = 0);
@@ -61,6 +117,11 @@ class Runtime {
   /// `with_handler` models registering a host completion callback
   /// (`signal_async_handler`), as the OpenMP Copy configuration does for
   /// device-to-host transfers.
+  ///
+  /// Failure surface: when the fault engine injects an SDMA error the
+  /// functional transfer is suppressed (no bytes delivered) and the signal
+  /// completes *with an error payload* at the same time a successful copy
+  /// would have — callers must check `Signal::errored()` and resubmit.
   Signal memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
                            std::uint64_t bytes, bool with_handler = false,
                            bool count_in_ledger = true, int device = 0);
@@ -68,6 +129,17 @@ class Runtime {
   /// Host-issued GPU page-table prefault (`svm_attributes_set`): a syscall
   /// serialized on the driver lock; newly inserted pages pay the insert
   /// cost, already-present pages only a verification.
+  ///
+  /// Failure surface: `Status::Interrupted`/`Status::Busy` when the fault
+  /// engine injects a transient syscall error; no page-table mutation
+  /// happens, the failed syscall costs its base latency on the driver
+  /// lock, and the caller may retry (EINTR semantics). Misuse — a range
+  /// outside any live allocation — still throws std::invalid_argument.
+  [[nodiscard]] PrefaultResult try_svm_attributes_set_prefault(
+      mem::AddrRange range, int device = 0);
+
+  /// Throwing wrapper (HsaError on a transient fault) for callers with no
+  /// retry ladder.
   mem::PrefaultOutcome svm_attributes_set_prefault(mem::AddrRange range,
                                                    int device = 0);
 
@@ -102,6 +174,15 @@ class Runtime {
   /// Per-call timeline trace (opt-in; aggregate stats are always on).
   [[nodiscard]] trace::CallTrace& call_trace() { return ctrace_.unguarded(); }
   [[nodiscard]] trace::OverheadLedger& ledger() { return ledger_.unguarded(); }
+  [[nodiscard]] const trace::FaultTrace& fault_trace() const {
+    return ftrace_.unguarded();
+  }
+
+  /// Record a fault-handling event (takes the trace mutex internally; also
+  /// mirrored to the event log when enabled). Public so the OpenMP layer
+  /// can record its degraded-mode reactions into the same trace the
+  /// injections land in.
+  void record_fault(trace::FaultRecord r);
 
  private:
   [[nodiscard]] sim::Scheduler& sched() { return machine_.sched(); }
@@ -121,6 +202,7 @@ class Runtime {
   sim::GuardedBy<trace::CallTrace> ctrace_;
   sim::GuardedBy<trace::KernelTrace> ktrace_;
   sim::GuardedBy<trace::OverheadLedger> ledger_;
+  sim::GuardedBy<trace::FaultTrace> ftrace_;
 };
 
 }  // namespace zc::hsa

@@ -28,6 +28,16 @@ class Signal {
     state_->waiters.notify_all(sched, t);
   }
 
+  /// Mark complete *with an error payload* at virtual time `t` (HSA signals
+  /// carry a negative value when the async operation failed — e.g. an SDMA
+  /// engine error). Waiters wake normally; they must check `errored()`.
+  void complete_error(sim::Scheduler& sched, sim::TimePoint t) {
+    state_->errored = true;
+    complete(sched, t);
+  }
+
+  [[nodiscard]] bool errored() const { return state_->errored; }
+
   [[nodiscard]] bool is_complete() const {
     return state_->complete_at.has_value();
   }
@@ -49,6 +59,7 @@ class Signal {
  private:
   struct State {
     std::optional<sim::TimePoint> complete_at;
+    bool errored = false;
     sim::WaitList waiters;
   };
   std::shared_ptr<State> state_;

@@ -50,6 +50,16 @@ struct FaultOutcome {
 ///    re-allocated addresses fault again — though the bump address space
 ///    never reuses addresses anyway, matching the paper's stack-buffer
 ///    observation for 457.spC / 470.bt.
+///
+/// The system also accounts *physical* HBM occupancy per socket — the
+/// finite shared store that is the paper's whole premise. On an APU a page
+/// consumes HBM when it materializes (host touch, GPU demand fault, bulk
+/// population) and is credited back when its allocation is freed; on a
+/// discrete node pool allocations charge their full footprint against the
+/// device memory. Capacity is *enforced* only on the pool-allocation path
+/// (`try_pool_alloc` returns nullptr): real drivers fail allocations
+/// first, while host page overcommit OOM-kills the process — a failure
+/// mode outside this model.
 class MemorySystem {
  public:
   explicit MemorySystem(apu::Machine& machine);
@@ -61,8 +71,15 @@ class MemorySystem {
   void os_free(VirtAddr base);
 
   /// ROCr memory-pool ("device") allocation owned by one socket's GPU.
+  /// Throws std::runtime_error when the socket's HBM capacity is exhausted.
   Allocation& pool_alloc(std::uint64_t bytes, std::string name,
                          int socket = 0);
+  /// Error-carrying variant: nullptr when the socket's HBM cannot hold the
+  /// page-rounded footprint (the caller decides how to degrade).
+  [[nodiscard]] Allocation* try_pool_alloc(std::uint64_t bytes,
+                                           std::string name, int socket = 0);
+  /// Whether a pool allocation of `bytes` would fit right now.
+  [[nodiscard]] bool pool_fits(std::uint64_t bytes, int socket = 0) const;
   void pool_free(VirtAddr base);
 
   /// CPU first touch: materialize CPU pages; returns newly created count.
@@ -102,14 +119,26 @@ class MemorySystem {
     return space_.page_bytes();
   }
 
+  /// Physical HBM occupancy of one socket / the per-socket capacity.
+  [[nodiscard]] std::uint64_t hbm_used(int socket = 0) const {
+    return hbm_used_.at(static_cast<std::size_t>(socket));
+  }
+  [[nodiscard]] std::uint64_t hbm_capacity() const { return hbm_capacity_; }
+
  private:
   void release(VirtAddr base, MemKind expected);
+  /// Home socket of the allocation containing `a` (HBM attribution).
+  [[nodiscard]] int home_of(VirtAddr a) const;
+  void charge(int socket, std::uint64_t bytes);
+  void credit(int socket, std::uint64_t bytes);
 
   apu::Machine& machine_;
   AddressSpace space_;
   PageTable cpu_pt_;
   std::vector<PageTable> gpu_pt_;
   std::vector<Tlb> tlb_;
+  std::vector<std::uint64_t> hbm_used_;
+  std::uint64_t hbm_capacity_ = 0;
 };
 
 }  // namespace zc::mem

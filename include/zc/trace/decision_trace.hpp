@@ -28,6 +28,9 @@ struct DecisionRecord {
   double predicted_eager_us = 0.0;
   /// True when a hysteresis re-evaluation changed an earlier decision.
   bool revised = false;
+  /// True when the device was under memory pressure (a pool allocation had
+  /// failed) at evaluation time — DmaCopy was priced out.
+  bool memory_pressure = false;
 };
 
 /// Record of every *fresh* policy evaluation (cache misses and hysteresis

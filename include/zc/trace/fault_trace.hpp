@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "zc/sim/time.hpp"
+
+namespace zc::trace {
+
+/// What happened at a fault-handling point: injections (the fault engine or
+/// the capacity model made an operation fail) and the runtime's degraded-
+/// mode reactions to them. Raw address values for the same reason as
+/// `DecisionRecord`: the trace layer depends on nothing above `zc::sim`.
+enum class FaultEvent {
+  // -- injected / organic failures ---------------------------------------
+  OomInjected,         ///< fault engine failed a pool allocation
+  HbmExhausted,        ///< capacity accounting failed a pool allocation
+  EintrInjected,       ///< fault engine EINTR'd a prefault syscall
+  EbusyInjected,       ///< fault engine EBUSY'd a prefault syscall
+  SdmaErrorInjected,   ///< fault engine errored an async copy's signal
+  ReplayStormInjected, ///< fault engine inflated XNACK fault servicing
+  // -- degraded-mode reactions -------------------------------------------
+  OomFallbackZeroCopy,   ///< Copy map degraded to a zero-copy mapping
+  PrefaultRetry,         ///< prefault retried after a transient error
+  PrefaultRetrySucceeded,///< a retried prefault eventually succeeded
+  PrefaultFallbackXnack, ///< retries exhausted; relying on XNACK replay
+  CopyRetry,             ///< errored async copy was resubmitted
+  CopyRetrySucceeded,    ///< the resubmitted copy completed cleanly
+  RegionFailed,          ///< degradation exhausted; OffloadError raised
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultEvent e) {
+  switch (e) {
+    case FaultEvent::OomInjected:
+      return "oom-injected";
+    case FaultEvent::HbmExhausted:
+      return "hbm-exhausted";
+    case FaultEvent::EintrInjected:
+      return "eintr-injected";
+    case FaultEvent::EbusyInjected:
+      return "ebusy-injected";
+    case FaultEvent::SdmaErrorInjected:
+      return "sdma-error-injected";
+    case FaultEvent::ReplayStormInjected:
+      return "replay-storm-injected";
+    case FaultEvent::OomFallbackZeroCopy:
+      return "oom-fallback-zero-copy";
+    case FaultEvent::PrefaultRetry:
+      return "prefault-retry";
+    case FaultEvent::PrefaultRetrySucceeded:
+      return "prefault-retry-succeeded";
+    case FaultEvent::PrefaultFallbackXnack:
+      return "prefault-fallback-xnack";
+    case FaultEvent::CopyRetry:
+      return "copy-retry";
+    case FaultEvent::CopyRetrySucceeded:
+      return "copy-retry-succeeded";
+    case FaultEvent::RegionFailed:
+      return "region-failed";
+  }
+  return "?";
+}
+
+/// One fault-handling event.
+struct FaultRecord {
+  FaultEvent event = FaultEvent::OomInjected;
+  int device = 0;
+  sim::TimePoint time;
+  std::uint64_t host_base = 0;  ///< affected host range (0 when n/a)
+  std::uint64_t bytes = 0;
+  int attempt = 0;       ///< retry ordinal (retries/successes)
+  double factor = 1.0;   ///< replay-storm latency multiplier
+};
+
+/// Record of every injected fault and degraded-mode reaction in a run.
+/// Always on: faults are rare by construction (fault-free runs record
+/// nothing), so the trace stays small even on full-fidelity runs.
+class FaultTrace {
+ public:
+  void record(const FaultRecord& r) { records_.push_back(r); }
+
+  [[nodiscard]] const std::vector<FaultRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t count(FaultEvent e) const {
+    std::uint64_t n = 0;
+    for (const FaultRecord& r : records_) {
+      if (r.event == e) {
+        ++n;
+      }
+    }
+    return n;
+  }
+  [[nodiscard]] bool any(FaultEvent e) const { return count(e) > 0; }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<FaultRecord> records_;
+};
+
+}  // namespace zc::trace

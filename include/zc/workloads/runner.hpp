@@ -3,12 +3,14 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "zc/core/offload_stack.hpp"
 #include "zc/sim/jitter.hpp"
 #include "zc/stats/repetition.hpp"
 #include "zc/trace/call_stats.hpp"
 #include "zc/trace/decision_trace.hpp"
+#include "zc/trace/fault_trace.hpp"
 #include "zc/trace/kernel_trace.hpp"
 #include "zc/trace/overhead_ledger.hpp"
 
@@ -43,6 +45,10 @@ struct RunOptions {
   std::optional<apu::CostParams> costs;
   std::optional<apu::Topology> topology;
   std::optional<bool> transparent_huge_pages;
+
+  /// Deterministic fault schedule (OMPX_APU_FAULTS grammar); empty runs
+  /// fault-free. Validated at machine construction.
+  std::string fault_spec;
 };
 
 /// Everything one run produces.
@@ -57,6 +63,8 @@ struct RunResult {
   std::vector<trace::KernelRecord> kernel_records;
   /// Adaptive Maps policy decisions (empty for the static configurations).
   trace::DecisionTrace decisions;
+  /// Fault injections and degraded-mode reactions (empty on fault-free runs).
+  trace::FaultTrace faults;
 };
 
 /// Build the stack, run the program to completion, snapshot the telemetry.

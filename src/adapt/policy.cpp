@@ -57,6 +57,12 @@ PredictedCosts PolicyEngine::predict(const RegionFeatures& f) const {
   out.copy_us = costs_.pool_alloc_base.us() +
                 static_cast<double>(f.pages) * costs_.bulk_page_populate.us() +
                 (f.copies_in ? copy_us : 0.0) + (f.copies_out ? copy_us : 0.0);
+  // Under memory pressure the pool allocation would likely fail and the
+  // runtime would degrade to zero-copy anyway — after paying the failed
+  // driver round trip. Price DmaCopy out entirely.
+  if (f.memory_pressure) {
+    out.copy_us = std::numeric_limits<double>::infinity();
+  }
 
   return out;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "zc/fault/spec.hpp"
+
 namespace zc::apu {
 
 namespace {
@@ -49,6 +51,14 @@ RunEnvironment RunEnvironment::from_env(
   if (auto it = env.find("THP"); it != env.end()) {
     out.transparent_huge_pages = truthy(it->first, it->second);
   }
+  if (auto it = env.find("OMPX_APU_FAULTS"); it != env.end()) {
+    try {
+      (void)fault::parse_spec(it->second);
+    } catch (const fault::FaultSpecError& e) {
+      throw EnvError(std::string{"OMPX_APU_FAULTS: "} + e.what());
+    }
+    out.ompx_apu_faults = it->second;
+  }
   return out;
 }
 
@@ -63,6 +73,10 @@ std::string RunEnvironment::to_string() const {
   s += flag(ompx_eager_maps);
   s += " THP=";
   s += flag(transparent_huge_pages);
+  if (!ompx_apu_faults.empty()) {
+    s += " OMPX_APU_FAULTS=";
+    s += ompx_apu_faults;
+  }
   return s;
 }
 

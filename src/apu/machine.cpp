@@ -28,6 +28,8 @@ sim::JitterParams without_outliers(sim::JitterParams p) {
 
 Machine::Machine(Config config)
     : config_{std::move(config)},
+      faults_{fault::parse_spec(config_.env.ompx_apu_faults),
+              config_.seed ^ 0xfa0171edULL},
       jitter_{without_outliers(config_.jitter), config_.seed},
       syscall_jitter_{config_.jitter, config_.seed ^ 0x5ca1ab1eULL},
       runtime_lock_{"runtime-lock", 1} {

@@ -19,7 +19,10 @@ OffloadRuntime::OffloadRuntime(hsa::Runtime& hsa, ProgramBinary program)
              hsa.machine().costs(), hsa.machine().adapt_params(),
              hsa.machine().sockets(), hsa.machine().page_bytes(),
              hsa.machine().env().hsa_xnack},
-      decisions_{table_mutex_, "DecisionTrace"} {}
+      decisions_{table_mutex_, "DecisionTrace"},
+      pressure_{table_mutex_, "MemPressure",
+                std::vector<char>(
+                    static_cast<std::size_t>(hsa.machine().sockets()), 0)} {}
 
 int OffloadRuntime::device_count() const {
   return hsa_.machine().sockets();
@@ -28,8 +31,9 @@ int OffloadRuntime::device_count() const {
 void OffloadRuntime::check_device(int device) const {
   if (device < 0 || device >= device_count()) {
     throw MappingError("device " + std::to_string(device) +
-                       " out of range (have " +
-                       std::to_string(device_count()) + ")");
+                           " out of range (have " +
+                           std::to_string(device_count()) + ")",
+                       ErrorCode::DeviceOutOfRange, device);
   }
 }
 
@@ -79,11 +83,12 @@ void OffloadRuntime::load_image() {
   // Upload the code object and device environment (the few DMA copies the
   // zero-copy configurations still show in HSA traces).
   mem::Allocation& staging = hsa_.memory().os_alloc(256 << 10, "omp-image-staging");
-  std::vector<hsa::Signal> uploads;
+  std::vector<PendingCopy> uploads;
   for (int i = 0; i < kImageLoadCopies; ++i) {
-    uploads.push_back(hsa_.memory_async_copy(image_allocs_[0], staging.base(),
-                                             64 << 10, /*with_handler=*/false,
-                                             /*count_in_ledger=*/false));
+    uploads.push_back(submit_copy(image_allocs_[0], staging.base(), 64 << 10,
+                                  mem::AddrRange{staging.base(), 64 << 10},
+                                  /*with_handler=*/false,
+                                  /*count_in_ledger=*/false, /*device=*/0));
   }
   wait_all(uploads);
 
@@ -91,7 +96,8 @@ void OffloadRuntime::load_image() {
   // runtime cost); the device side depends on the configuration.
   for (const GlobalVar& g : program_.globals) {
     if (g.bytes == 0) {
-      throw std::invalid_argument("global '" + g.name + "' has zero size");
+      throw OffloadError(ErrorCode::InvalidArgument,
+                         "global '" + g.name + "' has zero size");
     }
     mem::Allocation& host =
         hsa_.memory().os_alloc(g.bytes, "global:" + g.name);
@@ -120,7 +126,8 @@ mem::VirtAddr OffloadRuntime::global_host_addr(const std::string& name) {
   ensure_initialized();
   auto it = global_host_.find(name);
   if (it == global_host_.end()) {
-    throw std::invalid_argument("unknown declare-target global '" + name + "'");
+    throw OffloadError(ErrorCode::UnknownGlobal,
+                       "unknown declare-target global '" + name + "'");
   }
   return it->second;
 }
@@ -136,19 +143,27 @@ mem::VirtAddr OffloadRuntime::host_alloc(std::uint64_t bytes,
 void OffloadRuntime::host_free(mem::VirtAddr base) {
   // Map sanitizer: freeing host memory that is still mapped into a device
   // data environment leaves the runtime holding a dangling shadow copy —
-  // a use-after-free on real systems. Catch it loudly here.
+  // a use-after-free on real systems. Catch it loudly here. Ordering
+  // discipline: *every* check (all devices' tables, then the allocation's
+  // own validity) completes before any bookkeeping is mutated, so a
+  // rejected free — including one `os_free` below would reject — leaves
+  // the Adaptive Maps cache exactly as it was.
+  const mem::Allocation* const a = hsa_.memory().space().find(base);
   {
     sim::LockGuard lock{table_mutex_, hsa_.machine().sched()};
     auto& tables = tables_.get(hsa_.machine().sched());
     for (int d = 0; d < device_count(); ++d) {
       if (tables[static_cast<std::size_t>(d)].lookup(base) != nullptr) {
         throw MappingError("host_free of memory still mapped on device " +
-                           std::to_string(d) + " at " + base.to_string());
+                               std::to_string(d) + " at " + base.to_string(),
+                           ErrorCode::MappingViolation, d,
+                           mem::AddrRange{base, a != nullptr ? a->bytes() : 0});
       }
     }
     // Addresses can be recycled by later allocations: drop any cached
-    // Adaptive Maps decision for the freed range.
-    if (const mem::Allocation* a = hsa_.memory().space().find(base)) {
+    // Adaptive Maps decision for the freed range — but only for a free
+    // os_free will actually accept (exact base, host-OS kind).
+    if (a != nullptr && a->base() == base && a->kind() == mem::MemKind::HostOs) {
       adapt_.get(hsa_.machine().sched()).forget(a->range());
     }
   }
@@ -194,29 +209,186 @@ bool OffloadRuntime::engine_managed(const MapEntry& entry) const {
   return config_ == RuntimeConfig::AdaptiveMaps && !copy_managed(entry);
 }
 
-void OffloadRuntime::wait_all(std::vector<hsa::Signal>& sigs) {
-  if (sigs.empty()) {
+OffloadRuntime::PendingCopy OffloadRuntime::submit_copy(
+    mem::VirtAddr dst, mem::VirtAddr src, std::uint64_t bytes,
+    mem::AddrRange host, bool with_handler, bool count_in_ledger, int device) {
+  return PendingCopy{
+      hsa_.memory_async_copy(dst, src, bytes, with_handler, count_in_ledger,
+                             device),
+      dst, src, bytes, host, with_handler, count_in_ledger, device};
+}
+
+void OffloadRuntime::wait_all(std::vector<PendingCopy>& copies) {
+  if (copies.empty()) {
     return;
   }
+  apu::Machine& m = hsa_.machine();
   // The runtime batches: one wait on the transfer that completes last
   // (engine FIFO ordering makes every earlier submission complete earlier
   // or on another engine no later than observed here).
-  auto latest = std::max_element(
-      sigs.begin(), sigs.end(), [](const hsa::Signal& a, const hsa::Signal& b) {
-        return a.complete_at() < b.complete_at();
-      });
-  hsa_.signal_wait_scacquire(*latest);
-  sigs.clear();
+  auto latest = std::max_element(copies.begin(), copies.end(),
+                                 [](const PendingCopy& a, const PendingCopy& b) {
+                                   return a.signal.complete_at() <
+                                          b.signal.complete_at();
+                                 });
+  hsa_.signal_wait_scacquire(latest->signal);
+  // Retry ladder: each copy whose signal carries an error payload is
+  // resubmitted a bounded number of times; if the last resubmission also
+  // fails, only the offending region fails — with a structured error, not
+  // an abort — and the runtime stays usable.
+  for (PendingCopy& pc : copies) {
+    if (!pc.signal.errored()) {
+      continue;
+    }
+    const int max_retries = m.degrade_params().copy_max_retries;
+    bool recovered = false;
+    for (int attempt = 1; attempt <= max_retries; ++attempt) {
+      hsa_.record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::CopyRetry,
+                             .device = pc.device,
+                             .time = m.sched().now(),
+                             .host_base = pc.host.base.value,
+                             .bytes = pc.bytes,
+                             .attempt = attempt});
+      hsa::Signal retry =
+          hsa_.memory_async_copy(pc.dst, pc.src, pc.bytes, pc.with_handler,
+                                 pc.count_in_ledger, pc.device);
+      hsa_.signal_wait_scacquire(retry);
+      if (!retry.errored()) {
+        hsa_.record_fault(
+            trace::FaultRecord{.event = trace::FaultEvent::CopyRetrySucceeded,
+                               .device = pc.device,
+                               .time = m.sched().now(),
+                               .host_base = pc.host.base.value,
+                               .bytes = pc.bytes,
+                               .attempt = attempt});
+        recovered = true;
+        break;
+      }
+    }
+    if (!recovered) {
+      hsa_.record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::RegionFailed,
+                             .device = pc.device,
+                             .time = m.sched().now(),
+                             .host_base = pc.host.base.value,
+                             .bytes = pc.bytes});
+      const mem::AddrRange host = pc.host;
+      const int device = pc.device;
+      copies.clear();
+      throw OffloadError(ErrorCode::CopyFailed,
+                         "async copy of " + std::to_string(host.bytes) +
+                             "B at " + host.base.to_string() +
+                             " failed after retry",
+                         device, host);
+    }
+  }
+  copies.clear();
+}
+
+void OffloadRuntime::prefault_with_retry(mem::AddrRange range, int device) {
+  apu::Machine& m = hsa_.machine();
+  const apu::DegradeParams& dp = m.degrade_params();
+  sim::Duration backoff = dp.prefault_backoff_base;
+  for (int attempt = 1;; ++attempt) {
+    const hsa::PrefaultResult r =
+        hsa_.try_svm_attributes_set_prefault(range, device);
+    if (r.ok()) {
+      if (attempt > 1) {
+        hsa_.record_fault(trace::FaultRecord{
+            .event = trace::FaultEvent::PrefaultRetrySucceeded,
+            .device = device,
+            .time = m.sched().now(),
+            .host_base = range.base.value,
+            .bytes = range.bytes,
+            .attempt = attempt});
+      }
+      return;
+    }
+    if (attempt > dp.prefault_max_retries) {
+      if (m.env().hsa_xnack) {
+        // Prefault was an optimization: XNACK demand faulting still makes
+        // the range translatable, just one page at a time.
+        hsa_.record_fault(
+            trace::FaultRecord{.event = trace::FaultEvent::PrefaultFallbackXnack,
+                               .device = device,
+                               .time = m.sched().now(),
+                               .host_base = range.base.value,
+                               .bytes = range.bytes,
+                               .attempt = attempt});
+        return;
+      }
+      hsa_.record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::RegionFailed,
+                             .device = device,
+                             .time = m.sched().now(),
+                             .host_base = range.base.value,
+                             .bytes = range.bytes,
+                             .attempt = attempt});
+      throw OffloadError(ErrorCode::PrefaultFailed,
+                         "svm_attributes_set prefault of " +
+                             std::to_string(range.bytes) + "B at " +
+                             range.base.to_string() + " failed after " +
+                             std::to_string(attempt) +
+                             " attempts with XNACK disabled",
+                         device, range);
+    }
+    // Transient EINTR/EBUSY: back off exponentially in virtual time and
+    // retry. The sleep yields the CPU — any state read before it must be
+    // re-validated after.
+    hsa_.record_fault(trace::FaultRecord{.event = trace::FaultEvent::PrefaultRetry,
+                                         .device = device,
+                                         .time = m.sched().now(),
+                                         .host_base = range.base.value,
+                                         .bytes = range.bytes,
+                                         .attempt = attempt});
+    m.sched().advance(backoff);
+    backoff = backoff * dp.prefault_backoff_factor;
+  }
+}
+
+void OffloadRuntime::fallback_map_zero_copy(const MapEntry& entry, int device) {
+  apu::Machine& m = hsa_.machine();
+  hsa_.record_fault(
+      trace::FaultRecord{.event = trace::FaultEvent::OomFallbackZeroCopy,
+                         .device = device,
+                         .time = m.sched().now(),
+                         .host_base = entry.host_ptr.value,
+                         .bytes = entry.bytes});
+  if (!m.env().hsa_xnack) {
+    // XNACK disabled (Legacy Copy): the GPU cannot demand-fault host
+    // pages, so the whole range must be translatable BEFORE the degraded
+    // entry is published — the prefault below yields (backoff, driver
+    // lock), and another thread may dispatch a kernel on this range the
+    // instant it appears in the table.
+    prefault_with_retry(entry.host_range(), device);
+  }
+  sim::LockGuard lock{table_mutex_, m.sched()};
+  PresentTable& table = tables_.get(m.sched())[static_cast<std::size_t>(device)];
+  // Double-checked: another thread may have mapped the range while this
+  // one was prefaulting.
+  if (PresentEntry* e = table.lookup_range(entry.host_range()); e != nullptr) {
+    if (!e->pinned) {
+      ++e->refcount;
+    }
+    return;
+  }
+  PresentEntry& e = table.insert(entry.host_range(), entry.host_ptr);
+  e.refcount = 1;
+  e.degraded = true;
 }
 
 void OffloadRuntime::begin_one(const MapEntry& entry, int device,
-                               std::vector<hsa::Signal>& copies) {
+                               std::vector<PendingCopy>& copies) {
   if (entry.bytes == 0) {
-    throw std::invalid_argument("map entry with zero size");
+    throw OffloadError(ErrorCode::InvalidArgument, "map entry with zero size",
+                       device, entry.host_range());
   }
   if (exit_only(entry.type)) {
     throw MappingError(std::string{"map type '"} + to_string(entry.type) +
-                       "' is only valid on target exit data");
+                           "' is only valid on target exit data",
+                       ErrorCode::MappingViolation, device,
+                       entry.host_range());
   }
   apu::Machine& m = hsa_.machine();
   m.sched().advance(m.costs().map_bookkeeping);
@@ -227,14 +399,16 @@ void OffloadRuntime::begin_one(const MapEntry& entry, int device,
       return;
     }
     // Zero-copy: no storage operation. Eager Maps additionally prefaults
-    // the GPU page table for the mapped range on every map.
+    // the GPU page table for the mapped range on every map (with the
+    // backoff ladder against transient syscall faults).
     if (config_ == RuntimeConfig::EagerMaps) {
-      (void)hsa_.svm_attributes_set_prefault(entry.host_range(), device);
+      prefault_with_retry(entry.host_range(), device);
     }
     return;
   }
 
   bool do_copy = false;
+  bool need_fallback = false;
   mem::VirtAddr dev_dst;
   {
     // Mapping-table transaction: the lookup and the insert (with the device
@@ -249,31 +423,46 @@ void OffloadRuntime::begin_one(const MapEntry& entry, int device,
       if (!e->pinned) {
         ++e->refcount;
       }
-      do_copy = entry.always && copies_to_device(entry.type);
+      do_copy = !e->degraded && entry.always && copies_to_device(entry.type);
+      dev_dst = e->device_addr(entry.host_ptr);
     } else {
-      const mem::VirtAddr dev = hsa_.memory_pool_allocate(
+      const hsa::PoolAllocResult r = hsa_.try_memory_pool_allocate(
           entry.bytes, "omp-map:" + entry.host_ptr.to_string(),
           /*count_in_ledger=*/true, device);
-      e = &table.insert(entry.host_range(), dev);
-      e->refcount = 1;
-      do_copy = copies_to_device(entry.type);
+      if (!r.ok()) {
+        // Device pool exhausted: remember the pressure (sticky, feeds the
+        // Adaptive Maps cost model) and degrade this region to zero-copy
+        // outside the lock.
+        pressure_.get(m.sched())[static_cast<std::size_t>(device)] = 1;
+        need_fallback = true;
+      } else {
+        e = &table.insert(entry.host_range(), r.addr);
+        e->refcount = 1;
+        do_copy = copies_to_device(entry.type);
+        dev_dst = e->device_addr(entry.host_ptr);
+      }
     }
-    dev_dst = e->device_addr(entry.host_ptr);
+  }
+  if (need_fallback) {
+    fallback_map_zero_copy(entry, device);
+    return;
   }
   if (do_copy) {
     // Safe outside the lock: this thread holds a reference (refcount or
     // pin), so no concurrent release can free the device storage.
-    copies.push_back(hsa_.memory_async_copy(
-        dev_dst, entry.host_ptr, entry.bytes,
-        /*with_handler=*/false, /*count_in_ledger=*/true, device));
+    copies.push_back(submit_copy(dev_dst, entry.host_ptr, entry.bytes,
+                                 entry.host_range(),
+                                 /*with_handler=*/false,
+                                 /*count_in_ledger=*/true, device));
   }
 }
 
 void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
-                                        std::vector<hsa::Signal>& copies) {
+                                        std::vector<PendingCopy>& copies) {
   apu::Machine& m = hsa_.machine();
   bool do_copy = false;
   bool do_prefault = false;
+  bool need_fallback = false;
   mem::VirtAddr dev_dst;
   {
     // The classification is part of the mapping-table transaction: the
@@ -289,7 +478,7 @@ void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
       if (!e->pinned) {
         ++e->refcount;
       }
-      do_copy = entry.always && copies_to_device(entry.type);
+      do_copy = !e->degraded && entry.always && copies_to_device(entry.type);
       dev_dst = e->device_addr(entry.host_ptr);
     } else {
       const mem::AddrRange range = entry.host_range();
@@ -301,6 +490,8 @@ void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
           hsa_.memory().gpu_absent_pages(range, device);
       features.copies_in = copies_to_device(entry.type);
       features.copies_out = copies_to_host(entry.type);
+      features.memory_pressure =
+          pressure_.get(m.sched())[static_cast<std::size_t>(device)] != 0;
       const adapt::Outcome out =
           adapt_.get(m.sched()).decide(device, features);
       trace::DecisionTrace& dtrace = decisions_.get(m.sched());
@@ -319,17 +510,23 @@ void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
             .predicted_copy_us = out.costs.copy_us,
             .predicted_zero_copy_us = out.costs.zero_copy_us,
             .predicted_eager_us = out.costs.eager_us,
-            .revised = out.revised});
+            .revised = out.revised,
+            .memory_pressure = features.memory_pressure});
       } else {
         m.sched().advance(m.adapt_params().cache_hit_cost);
         dtrace.note_cache_hit();
       }
       switch (out.decision) {
         case adapt::Decision::DmaCopy: {
-          const mem::VirtAddr dev = hsa_.memory_pool_allocate(
+          const hsa::PoolAllocResult r = hsa_.try_memory_pool_allocate(
               entry.bytes, "omp-map:" + entry.host_ptr.to_string(),
               /*count_in_ledger=*/true, device);
-          e = &table.insert(range, dev);
+          if (!r.ok()) {
+            pressure_.get(m.sched())[static_cast<std::size_t>(device)] = 1;
+            need_fallback = true;
+            break;
+          }
+          e = &table.insert(range, r.addr);
           e->refcount = 1;
           do_copy = copies_to_device(entry.type);
           dev_dst = e->device_addr(entry.host_ptr);
@@ -346,18 +543,23 @@ void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
   // Like the static configurations, the expensive realizations run outside
   // the mapping lock: the DMA target is pinned by the refcount we hold,
   // and the prefault only touches the driver's page tables.
+  if (need_fallback) {
+    fallback_map_zero_copy(entry, device);
+    return;
+  }
   if (do_prefault) {
-    (void)hsa_.svm_attributes_set_prefault(entry.host_range(), device);
+    prefault_with_retry(entry.host_range(), device);
   }
   if (do_copy) {
-    copies.push_back(hsa_.memory_async_copy(
-        dev_dst, entry.host_ptr, entry.bytes,
-        /*with_handler=*/false, /*count_in_ledger=*/true, device));
+    copies.push_back(submit_copy(dev_dst, entry.host_ptr, entry.bytes,
+                                 entry.host_range(),
+                                 /*with_handler=*/false,
+                                 /*count_in_ledger=*/true, device));
   }
 }
 
 void OffloadRuntime::end_copy_one(const MapEntry& entry, int device,
-                                  std::vector<hsa::Signal>& copies) {
+                                  std::vector<PendingCopy>& copies) {
   apu::Machine& m = hsa_.machine();
   m.sched().advance(m.costs().map_bookkeeping);
   if (!copy_managed(entry) && !engine_managed(entry)) {
@@ -383,7 +585,12 @@ void OffloadRuntime::end_copy_one(const MapEntry& entry, int device,
         return;  // release/delete of absent data is a no-op (OpenMP 5.x)
       }
       throw MappingError("target_data_end for unmapped range at " +
-                         entry.host_ptr.to_string());
+                             entry.host_ptr.to_string(),
+                         ErrorCode::MappingViolation, device,
+                         entry.host_range());
+    }
+    if (e->degraded) {
+      return;  // host memory is the single copy: nothing to transfer back
     }
     const bool last_ref = !e->pinned && e->refcount == 1;
     do_copy = copies_to_host(entry.type) && (entry.always || last_ref);
@@ -392,9 +599,10 @@ void OffloadRuntime::end_copy_one(const MapEntry& entry, int device,
   if (do_copy) {
     // Outside the lock: the caller still holds its reference until the
     // release pass of this same target_data_end, so the storage is live.
-    copies.push_back(hsa_.memory_async_copy(
-        entry.host_ptr, dev_src, entry.bytes,
-        /*with_handler=*/true, /*count_in_ledger=*/true, device));
+    copies.push_back(submit_copy(entry.host_ptr, dev_src, entry.bytes,
+                                 entry.host_range(),
+                                 /*with_handler=*/true,
+                                 /*count_in_ledger=*/true, device));
   }
 }
 
@@ -427,7 +635,12 @@ void OffloadRuntime::end_release_one(const MapEntry& entry, int device) {
   if (e->refcount == 0) {
     const mem::VirtAddr dev = e->device_base;
     const mem::VirtAddr host_base = e->host.base;
-    hsa_.memory_pool_free(dev);
+    const bool degraded = e->degraded;
+    if (!degraded) {
+      // Degraded entries alias the host allocation — there is no pool
+      // storage to return (and pool_free of host memory would throw).
+      hsa_.memory_pool_free(dev);
+    }
     table.erase(host_base);
     if (adaptive) {
       // The DmaCopy classification's lifetime ends with the table entry.
@@ -459,7 +672,7 @@ void OffloadRuntime::target_data_begin(std::span<const MapEntry> maps,
   ensure_initialized();
   check_device(device);
   check_distinct(maps);
-  std::vector<hsa::Signal> copies;
+  std::vector<PendingCopy> copies;
   for (const MapEntry& entry : maps) {
     begin_one(entry, device, copies);
   }
@@ -471,7 +684,7 @@ void OffloadRuntime::target_data_end(std::span<const MapEntry> maps,
   ensure_initialized();
   check_device(device);
   check_distinct(maps);
-  std::vector<hsa::Signal> copies;
+  std::vector<PendingCopy> copies;
   for (const MapEntry& entry : maps) {
     end_copy_one(entry, device, copies);
   }
@@ -520,13 +733,20 @@ void OffloadRuntime::target_update_to(const MapEntry& entry, int device) {
         return;  // zero-copy-classified: kernels read host memory directly
       }
       throw MappingError("target update to() of unmapped range at " +
-                         entry.host_ptr.to_string());
+                             entry.host_ptr.to_string(),
+                         ErrorCode::MappingViolation, device,
+                         entry.host_range());
+    }
+    if (e->degraded) {
+      return;  // degraded to zero-copy: host memory is the single copy
     }
     dev_dst = e->device_addr(entry.host_ptr);
   }
-  hsa_.signal_wait_scacquire(hsa_.memory_async_copy(
-      dev_dst, entry.host_ptr, entry.bytes,
-      /*with_handler=*/false, /*count_in_ledger=*/true, device));
+  std::vector<PendingCopy> copies;
+  copies.push_back(submit_copy(dev_dst, entry.host_ptr, entry.bytes,
+                               entry.host_range(), /*with_handler=*/false,
+                               /*count_in_ledger=*/true, device));
+  wait_all(copies);
 }
 
 void OffloadRuntime::target_update_from(const MapEntry& entry, int device) {
@@ -549,13 +769,20 @@ void OffloadRuntime::target_update_from(const MapEntry& entry, int device) {
         return;  // zero-copy-classified: host memory is the single copy
       }
       throw MappingError("target update from() of unmapped range at " +
-                         entry.host_ptr.to_string());
+                             entry.host_ptr.to_string(),
+                         ErrorCode::MappingViolation, device,
+                         entry.host_range());
+    }
+    if (e->degraded) {
+      return;  // degraded to zero-copy: host memory is the single copy
     }
     dev_src = e->device_addr(entry.host_ptr);
   }
-  hsa_.signal_wait_scacquire(hsa_.memory_async_copy(
-      entry.host_ptr, dev_src, entry.bytes,
-      /*with_handler=*/true, /*count_in_ledger=*/true, device));
+  std::vector<PendingCopy> copies;
+  copies.push_back(submit_copy(entry.host_ptr, dev_src, entry.bytes,
+                               entry.host_range(), /*with_handler=*/true,
+                               /*count_in_ledger=*/true, device));
+  wait_all(copies);
 }
 
 namespace {
@@ -627,7 +854,8 @@ TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
   sim::TimePoint not_before;
   for (const TargetTask* dep : depends) {
     if (dep == nullptr || !dep->valid()) {
-      throw MappingError("target_nowait: invalid dependence");
+      throw MappingError("target_nowait: invalid dependence",
+                         ErrorCode::TaskMisuse, region.device);
     }
     not_before = max(not_before, dep->signal_.complete_at());
   }
@@ -656,10 +884,11 @@ TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
 
 void OffloadRuntime::target_wait(TargetTask& task) {
   if (task.completed_) {
-    throw MappingError("target_wait: task already completed");
+    throw MappingError("target_wait: task already completed",
+                       ErrorCode::TaskMisuse, task.device_);
   }
   if (!task.valid()) {
-    throw MappingError("target_wait: empty task");
+    throw MappingError("target_wait: empty task", ErrorCode::TaskMisuse);
   }
   hsa_.signal_wait_scacquire(task.signal_);
   target_data_end(task.maps_, task.device_);
@@ -682,8 +911,11 @@ void OffloadRuntime::device_free(mem::VirtAddr ptr) {
 void OffloadRuntime::target_memcpy(mem::VirtAddr dst, mem::VirtAddr src,
                                    std::uint64_t bytes) {
   ensure_initialized();
-  hsa_.signal_wait_scacquire(
-      hsa_.memory_async_copy(dst, src, bytes, /*with_handler=*/true));
+  std::vector<PendingCopy> copies;
+  copies.push_back(submit_copy(dst, src, bytes, mem::AddrRange{dst, bytes},
+                               /*with_handler=*/true, /*count_in_ledger=*/true,
+                               /*device=*/0));
+  wait_all(copies);
 }
 
 }  // namespace zc::omp

@@ -14,7 +14,8 @@ Runtime::Runtime(apu::Machine& machine, mem::MemorySystem& mem)
       stats_{trace_mutex_, "CallStats"},
       ctrace_{trace_mutex_, "CallTrace"},
       ktrace_{trace_mutex_, "KernelTrace"},
-      ledger_{trace_mutex_, "OverheadLedger"} {}
+      ledger_{trace_mutex_, "OverheadLedger"},
+      ftrace_{trace_mutex_, "FaultTrace"} {}
 
 void Runtime::record_call(trace::HsaCall call, TimePoint start,
                           Duration latency) {
@@ -23,6 +24,19 @@ void Runtime::record_call(trace::HsaCall call, TimePoint start,
   trace::CallTrace& ctrace = ctrace_.get(sched());
   if (ctrace.enabled()) {
     ctrace.record(call, sched().current().id(), start, latency);
+  }
+}
+
+void Runtime::record_fault(trace::FaultRecord r) {
+  {
+    sim::LockGuard lock{trace_mutex_, sched()};
+    ftrace_.get(sched()).record(r);
+  }
+  if (machine_.log().enabled()) {
+    machine_.log().add(r.time, "fault",
+                       std::string{trace::to_string(r.event)} + " dev" +
+                           std::to_string(r.device) + " " +
+                           std::to_string(r.bytes) + "B");
   }
 }
 
@@ -42,17 +56,58 @@ void Runtime::signal_wait_scacquire(Signal s) {
   record_call(trace::HsaCall::SignalWaitScacquire, start, blocked + overhead);
 }
 
-mem::VirtAddr Runtime::memory_pool_allocate(std::uint64_t bytes,
-                                            std::string name,
-                                            bool count_in_ledger, int device) {
+PoolAllocResult Runtime::try_memory_pool_allocate(std::uint64_t bytes,
+                                                  std::string name,
+                                                  bool count_in_ledger,
+                                                  int device) {
   const apu::CostParams& c = machine_.costs();
-  mem::Allocation& a = mem_.pool_alloc(bytes, std::move(name), device);
+
+  // Failure check first: an injected OOM (the fault engine emulating a
+  // fragmented or contended driver) or the socket's HBM genuinely full.
+  const fault::Injection inj =
+      machine_.faults().consult(fault::Site::PoolAlloc, sched().now());
+  trace::FaultEvent failure = trace::FaultEvent::OomInjected;
+  bool failed = inj.kind == fault::Kind::Oom;
+  if (!failed && !mem_.pool_fits(bytes, device)) {
+    failed = true;
+    failure = trace::FaultEvent::HbmExhausted;
+  }
+  if (failed) {
+    // The failed driver round trip costs the base latency (the driver
+    // discovers the shortage before any page population) and is a real
+    // call in the stats.
+    const Duration dur = machine_.jittered(c.pool_alloc_base);
+    const TimePoint start = sched().now();
+    const sim::Interval iv = machine_.driver(device).reserve(start, dur);
+    sched().advance_to(iv.end);
+    record_call(trace::HsaCall::MemoryPoolAllocate, start, dur);
+    if (count_in_ledger) {
+      sim::LockGuard lock{trace_mutex_, sched()};
+      ledger_.get(sched()).add_alloc(dur);
+    }
+    record_fault(trace::FaultRecord{.event = failure,
+                                    .device = device,
+                                    .time = sched().now(),
+                                    .host_base = 0,
+                                    .bytes = bytes});
+    if (machine_.log().enabled()) {
+      machine_.log().add(sched().now(), "hsa",
+                         "pool_allocate " + std::to_string(bytes) +
+                             "B FAILED (" +
+                             trace::to_string(failure) + std::string{")"});
+    }
+    return PoolAllocResult{Status::OutOfMemory, {}};
+  }
+
+  mem::Allocation* const a = mem_.try_pool_alloc(bytes, std::move(name), device);
+  // pool_fits was checked above and no yield happened since (cooperative
+  // scheduling): the allocation cannot fail here.
   // Small requests are served from already-populated slabs; only large
   // allocations pay per-page creation and bulk GPU page-table population.
   // The whole operation holds the driver lock.
   const bool slab = bytes < mem_.page_bytes() / 2;
   const std::uint64_t pages =
-      slab ? 0 : a.range().page_count(mem_.page_bytes());
+      slab ? 0 : a->range().page_count(mem_.page_bytes());
   const Duration dur = machine_.jittered(
       c.pool_alloc_base + c.bulk_page_populate * static_cast<double>(pages));
   const TimePoint start = sched().now();
@@ -67,7 +122,20 @@ mem::VirtAddr Runtime::memory_pool_allocate(std::uint64_t bytes,
     machine_.log().add(sched().now(), "hsa",
                        "pool_allocate " + std::to_string(bytes) + "B");
   }
-  return a.base();
+  return PoolAllocResult{Status::Ok, a->base()};
+}
+
+mem::VirtAddr Runtime::memory_pool_allocate(std::uint64_t bytes,
+                                            std::string name,
+                                            bool count_in_ledger, int device) {
+  const PoolAllocResult r =
+      try_memory_pool_allocate(bytes, std::move(name), count_in_ledger, device);
+  if (!r.ok()) {
+    throw HsaError("memory_pool_allocate: " + std::to_string(bytes) +
+                   "B on device " + std::to_string(device) + " failed: " +
+                   to_string(r.status));
+  }
+  return r.addr;
 }
 
 void Runtime::memory_pool_free(mem::VirtAddr base) {
@@ -111,10 +179,18 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
     throw std::out_of_range("memory_async_copy: bad destination range at " +
                             dst.to_string());
   }
-  if (src_alloc->materialized()) {
-    std::memmove(dst_alloc->translate(dst), src_alloc->translate(src), bytes);
-  } else if (dst_alloc->materialized()) {
-    std::memset(dst_alloc->translate(dst), 0, bytes);
+  // An injected SDMA engine error aborts the transfer mid-flight: no bytes
+  // are delivered, but the engine is occupied for the same interval and the
+  // signal completes with an error payload (negative HSA signal value).
+  const fault::Injection inj =
+      machine_.faults().consult(fault::Site::AsyncCopy, sched().now());
+  const bool sdma_error = inj.kind == fault::Kind::CopyError;
+  if (!sdma_error) {
+    if (src_alloc->materialized()) {
+      std::memmove(dst_alloc->translate(dst), src_alloc->translate(src), bytes);
+    } else if (dst_alloc->materialized()) {
+      std::memset(dst_alloc->translate(dst), 0, bytes);
+    }
   }
 
   const Duration setup = machine_.jittered(c.copy_setup);
@@ -131,7 +207,16 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
       machine_.sdma(device).reserve(sched().now(), engine_time);
 
   Signal sig;
-  sig.complete(sched(), iv.end);
+  if (sdma_error) {
+    sig.complete_error(sched(), iv.end);
+    record_fault(trace::FaultRecord{.event = trace::FaultEvent::SdmaErrorInjected,
+                                    .device = device,
+                                    .time = sched().now(),
+                                    .host_base = dst.value,
+                                    .bytes = bytes});
+  } else {
+    sig.complete(sched(), iv.end);
+  }
   record_call(trace::HsaCall::MemoryAsyncCopy, start, setup + engine_time);
   if (count_in_ledger) {
     sim::LockGuard lock{trace_mutex_, sched()};
@@ -145,8 +230,8 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
   return sig;
 }
 
-mem::PrefaultOutcome Runtime::svm_attributes_set_prefault(
-    mem::AddrRange range, int device) {
+PrefaultResult Runtime::try_svm_attributes_set_prefault(mem::AddrRange range,
+                                                        int device) {
   // The real syscall faults (EFAULT) on addresses outside any mapping;
   // catch the misuse instead of inventing page-table entries for it.
   const mem::Allocation* a = mem_.space().find(range.base);
@@ -157,6 +242,33 @@ mem::PrefaultOutcome Runtime::svm_attributes_set_prefault(
         " is not within a live allocation");
   }
   const apu::CostParams& c = machine_.costs();
+
+  const fault::Injection inj =
+      machine_.faults().consult(fault::Site::SvmPrefault, sched().now());
+  if (inj.kind == fault::Kind::Eintr || inj.kind == fault::Kind::Ebusy) {
+    // Transient syscall failure: the kernel bails before mutating any page
+    // table, so only the base syscall latency is paid (still serialized on
+    // the driver lock) and the caller sees EINTR/EBUSY.
+    const Duration dur = machine_.jittered_syscall(c.prefault_syscall_base);
+    const TimePoint start = sched().now();
+    const sim::Interval iv = machine_.driver(device).reserve(start, dur);
+    sched().advance_to(iv.end);
+    record_call(trace::HsaCall::SvmAttributesSet, start, dur);
+    const bool eintr = inj.kind == fault::Kind::Eintr;
+    record_fault(trace::FaultRecord{
+        .event = eintr ? trace::FaultEvent::EintrInjected
+                       : trace::FaultEvent::EbusyInjected,
+        .device = device,
+        .time = sched().now(),
+        .host_base = range.base.value,
+        .bytes = range.bytes});
+    {
+      sim::LockGuard lock{trace_mutex_, sched()};
+      ledger_.get(sched()).add_prefault(dur);
+    }
+    return PrefaultResult{eintr ? Status::Interrupted : Status::Busy, {}};
+  }
+
   const mem::PrefaultOutcome out = mem_.prefault(range, device);
   const Duration dur = machine_.jittered_syscall(
       c.prefault_syscall_base +
@@ -170,7 +282,17 @@ mem::PrefaultOutcome Runtime::svm_attributes_set_prefault(
   record_call(trace::HsaCall::SvmAttributesSet, start, dur);
   sim::LockGuard lock{trace_mutex_, sched()};
   ledger_.get(sched()).add_prefault(dur);
-  return out;
+  return PrefaultResult{Status::Ok, out};
+}
+
+mem::PrefaultOutcome Runtime::svm_attributes_set_prefault(mem::AddrRange range,
+                                                          int device) {
+  const PrefaultResult r = try_svm_attributes_set_prefault(range, device);
+  if (!r.ok()) {
+    throw HsaError("svm_attributes_set: prefault at " +
+                   range.base.to_string() + " failed: " + to_string(r.status));
+  }
+  return r.outcome;
 }
 
 Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
@@ -219,6 +341,21 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
             static_cast<double>(faults - non_resident) +
         machine_.fault_service_duration(false) *
             static_cast<double>(non_resident));
+    // A replay storm (interrupt-handler contention amplifying XNACK retry
+    // rounds) multiplies the fault-servicing stall.
+    const fault::Injection inj =
+        machine_.faults().consult(fault::Site::XnackReplay, sched().now());
+    if (inj.kind == fault::Kind::ReplayStorm) {
+      fault_time = fault_time * inj.factor;
+      record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::ReplayStormInjected,
+                             .device = launch.device,
+                             .time = sched().now(),
+                             .host_base = 0,
+                             .bytes = faults,
+                             .attempt = 0,
+                             .factor = inj.factor});
+    }
   }
 
   // TLB behaviour of the streamed ranges.

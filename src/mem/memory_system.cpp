@@ -1,5 +1,6 @@
 #include "zc/mem/memory_system.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -8,11 +9,27 @@ namespace zc::mem {
 MemorySystem::MemorySystem(apu::Machine& machine)
     : machine_{machine},
       space_{machine.page_bytes()},
-      cpu_pt_{machine.page_bytes()} {
+      cpu_pt_{machine.page_bytes()},
+      hbm_capacity_{machine.topology().hbm_bytes} {
   for (int s = 0; s < machine.sockets(); ++s) {
     gpu_pt_.emplace_back(machine.page_bytes());
     tlb_.emplace_back(machine.costs().tlb_entries, machine.page_bytes());
+    hbm_used_.push_back(0);
   }
+}
+
+int MemorySystem::home_of(VirtAddr a) const {
+  const Allocation* alloc = space_.find(a);
+  return alloc != nullptr ? alloc->home_socket() : 0;
+}
+
+void MemorySystem::charge(int socket, std::uint64_t bytes) {
+  hbm_used_.at(static_cast<std::size_t>(socket)) += bytes;
+}
+
+void MemorySystem::credit(int socket, std::uint64_t bytes) {
+  std::uint64_t& used = hbm_used_.at(static_cast<std::size_t>(socket));
+  used -= std::min(used, bytes);
 }
 
 Allocation& MemorySystem::os_alloc(std::uint64_t bytes, std::string name,
@@ -24,18 +41,45 @@ Allocation& MemorySystem::os_alloc(std::uint64_t bytes, std::string name,
 
 void MemorySystem::os_free(VirtAddr base) { release(base, MemKind::HostOs); }
 
-Allocation& MemorySystem::pool_alloc(std::uint64_t bytes, std::string name,
-                                     int socket) {
+bool MemorySystem::pool_fits(std::uint64_t bytes, int socket) const {
+  const std::uint64_t pb = space_.page_bytes();
+  const std::uint64_t footprint = (bytes + pb - 1) / pb * pb;
+  return hbm_used_.at(static_cast<std::size_t>(socket)) + footprint <=
+         hbm_capacity_;
+}
+
+Allocation* MemorySystem::try_pool_alloc(std::uint64_t bytes, std::string name,
+                                         int socket) {
+  // Pool allocations consume physical pages immediately (bulk creation),
+  // so this is where the finite shared HBM store pushes back first.
+  if (!pool_fits(bytes, socket)) {
+    return nullptr;
+  }
   Allocation& a = space_.allocate(bytes, MemKind::DevicePool, std::move(name));
   a.set_home_socket(socket);
   // Pool allocations are mapped in bulk at creation: the owning GPU can
   // translate them immediately (no XNACK), and on an APU the CPU can as
   // well, because the driver fulfilled the request from shared storage.
   gpu_pt(socket).insert_range(a.range());
+  std::uint64_t created_pages = a.range().page_count(space_.page_bytes());
   if (machine_.is_apu()) {
-    cpu_pt_.insert_range(a.range());
+    created_pages = cpu_pt_.insert_range(a.range());
   }
-  return a;
+  charge(socket, created_pages * space_.page_bytes());
+  return &a;
+}
+
+Allocation& MemorySystem::pool_alloc(std::uint64_t bytes, std::string name,
+                                     int socket) {
+  Allocation* const a = try_pool_alloc(bytes, std::move(name), socket);
+  if (a == nullptr) {
+    throw std::runtime_error(
+        "MemorySystem: socket " + std::to_string(socket) +
+        " HBM exhausted (" + std::to_string(hbm_used(socket)) + " of " +
+        std::to_string(hbm_capacity_) + " bytes used, pool request " +
+        std::to_string(bytes) + ")");
+  }
+  return *a;
 }
 
 void MemorySystem::pool_free(VirtAddr base) {
@@ -55,6 +99,14 @@ void MemorySystem::release(VirtAddr base, MemKind expected) {
                                 " API");
   }
   const AddrRange range = a->range();
+  // Credit the physical pages this allocation held: on an APU that is its
+  // CPU-resident page count (materialized pages, whatever path created
+  // them); on a discrete node only pool (VRAM) allocations charged.
+  if (machine_.is_apu()) {
+    credit(a->home_socket(), cpu_pt_.count_present(range) * page_bytes());
+  } else if (a->kind() == MemKind::DevicePool) {
+    credit(a->home_socket(), range.page_count(page_bytes()) * page_bytes());
+  }
   cpu_pt_.remove_range(range);
   for (std::size_t s = 0; s < gpu_pt_.size(); ++s) {
     gpu_pt_[s].remove_range(range);
@@ -64,7 +116,11 @@ void MemorySystem::release(VirtAddr base, MemKind expected) {
 }
 
 std::uint64_t MemorySystem::host_touch(AddrRange range) {
-  return cpu_pt_.insert_range(range);
+  const std::uint64_t created = cpu_pt_.insert_range(range);
+  if (machine_.is_apu() && created > 0) {
+    charge(home_of(range.base), created * page_bytes());
+  }
+  return created;
 }
 
 std::uint64_t MemorySystem::gpu_absent_pages(AddrRange range,
@@ -93,6 +149,9 @@ FaultOutcome MemorySystem::gpu_fault_in(AddrRange range, int socket) {
       ++out.non_resident;
     }
   }
+  if (machine_.is_apu() && out.non_resident > 0) {
+    charge(home_of(range.base), out.non_resident * pb);
+  }
   return out;
 }
 
@@ -113,6 +172,9 @@ PrefaultOutcome MemorySystem::prefault(AddrRange range, int socket) {
     if (cpu_pt_.insert(p)) {
       ++out.materialized;
     }
+  }
+  if (machine_.is_apu() && out.materialized > 0) {
+    charge(home_of(range.base), out.materialized * pb);
   }
   return out;
 }

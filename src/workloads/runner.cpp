@@ -19,6 +19,9 @@ RunResult run_program(const Program& program, const RunOptions& options) {
   if (options.transparent_huge_pages) {
     machine_config.env.transparent_huge_pages = *options.transparent_huge_pages;
   }
+  if (!options.fault_spec.empty()) {
+    machine_config.env.ompx_apu_faults = options.fault_spec;
+  }
   omp::OffloadStack stack{
       std::move(machine_config),
       omp::OffloadStack::program_for(options.config, program.binary)};
@@ -40,6 +43,7 @@ RunResult run_program(const Program& program, const RunOptions& options) {
     result.kernel_records = stack.hsa().kernel_trace().records();
   }
   result.decisions = stack.omp().decision_trace();
+  result.faults = stack.hsa().fault_trace();
   if (program.finalize) {
     result.checksum = program.finalize(stack);
   }

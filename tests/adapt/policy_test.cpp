@@ -98,6 +98,24 @@ TEST(PolicyDecide, DmaCopyWinsWhenPrefaultPathIsExpensive) {
             Decision::DmaCopy);
 }
 
+TEST(PolicyDecide, MemoryPressurePricesDmaCopyOut) {
+  // Same pathological-prefault profile as above, but the device pool has
+  // already failed an allocation this run: DmaCopy would likely fail and
+  // degrade anyway, so the predictor prices it at infinity and the engine
+  // picks the best non-copy handling.
+  apu::CostParams costs = apu::mi300a_costs();
+  costs.prefault_insert_per_page = sim::Duration::from_us(5000.0);
+  costs.prefault_populate_per_page = sim::Duration::from_us(5000.0);
+  PolicyEngine e = engine(true, {}, costs);
+  RegionFeatures f = features(0x1000000, 4, 0, 4, true, true);
+  f.memory_pressure = true;
+  const Outcome o = e.decide(0, f);
+  EXPECT_NE(o.decision, Decision::DmaCopy);
+  EXPECT_TRUE(std::isinf(o.costs.copy_us));
+  // Without pressure the same profile still picks DmaCopy (see above).
+  EXPECT_FALSE(std::isinf(o.costs.zero_copy_us));
+}
+
 TEST(PolicyCache, RepeatAndSubRangeHitWithoutReEvaluation) {
   PolicyEngine e = engine();
   const auto full = features(0x1000000, 16, 16, 16);

@@ -118,6 +118,46 @@ TEST(RunEnvironment, AdaptiveIsOnlyValidForApuMaps) {
                EnvError);
 }
 
+// --- OMPX_APU_FAULTS --------------------------------------------------------
+
+TEST(RunEnvironment, FaultScheduleDefaultsToEmpty) {
+  const RunEnvironment env;
+  EXPECT_TRUE(env.ompx_apu_faults.empty());
+}
+
+TEST(RunEnvironment, FromEnvStoresValidFaultSchedule) {
+  const auto env = RunEnvironment::from_env(
+      {{"OMPX_APU_FAULTS", "oom@call=1;eintr@call=2..4"}});
+  EXPECT_EQ(env.ompx_apu_faults, "oom@call=1;eintr@call=2..4");
+}
+
+TEST(RunEnvironment, FromEnvValidatesFaultScheduleGrammar) {
+  EXPECT_THROW(
+      (void)RunEnvironment::from_env({{"OMPX_APU_FAULTS", "oom@call=0"}}),
+      EnvError);
+  EXPECT_THROW(
+      (void)RunEnvironment::from_env({{"OMPX_APU_FAULTS", "nonsense"}}),
+      EnvError);
+}
+
+TEST(RunEnvironment, FaultScheduleErrorNamesVariableAndReason) {
+  try {
+    (void)RunEnvironment::from_env({{"OMPX_APU_FAULTS", "blorp@call=1"}});
+    FAIL() << "expected EnvError";
+  } catch (const EnvError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("OMPX_APU_FAULTS"), std::string::npos);
+    EXPECT_NE(what.find("blorp"), std::string::npos);
+  }
+}
+
+TEST(RunEnvironment, ToStringRendersFaultSchedule) {
+  RunEnvironment env;
+  env.ompx_apu_faults = "sdma@call=2";
+  EXPECT_NE(env.to_string().find("OMPX_APU_FAULTS=sdma@call=2"),
+            std::string::npos);
+}
+
 TEST(RunEnvironment, ErrorMessageNamesTheOffendingVariable) {
   try {
     (void)RunEnvironment::from_env({{"OMPX_APU_MAPS", "maybe"}});

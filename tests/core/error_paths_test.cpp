@@ -1,0 +1,285 @@
+// Coverage for every structured error path of the offload runtime: the
+// unified ErrorCode taxonomy must identify what failed, implicate the right
+// device and host range, and leave the runtime's tables consistent enough
+// to keep issuing work.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "zc/core/host_array.hpp"
+#include "zc/core/offload_runtime.hpp"
+#include "zc/core/offload_stack.hpp"
+
+namespace zc::omp {
+namespace {
+
+using namespace zc::sim::literals;
+
+std::unique_ptr<OffloadStack> make_stack(RuntimeConfig cfg,
+                                         ProgramBinary prog = {}) {
+  return std::make_unique<OffloadStack>(
+      OffloadStack::machine_config_for(cfg),
+      OffloadStack::program_for(cfg, std::move(prog)));
+}
+
+template <typename Err, typename Body>
+Err capture(OffloadStack& stack, Body body) {
+  try {
+    stack.sched().run_single(std::move(body));
+  } catch (const Err& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected exception was not thrown";
+  return Err{ErrorCode::InvalidArgument, "unreached"};
+}
+
+template <typename Body>
+MappingError capture_mapping(OffloadStack& stack, Body body) {
+  try {
+    stack.sched().run_single(std::move(body));
+  } catch (const MappingError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected MappingError was not thrown";
+  return MappingError{"unreached"};
+}
+
+TEST(ErrorTaxonomy, WhatStringCarriesTheCode) {
+  const OffloadError e{ErrorCode::CopyFailed, "boom", 2,
+                       mem::AddrRange{mem::VirtAddr{0x1000}, 64}};
+  EXPECT_EQ(std::string{e.what()}, "[copy-failed] boom");
+  EXPECT_EQ(e.code(), ErrorCode::CopyFailed);
+  EXPECT_EQ(e.device(), 2);
+  EXPECT_EQ(e.host_range().base.value, 0x1000u);
+  EXPECT_EQ(e.host_range().bytes, 64u);
+}
+
+TEST(ErrorTaxonomy, MappingErrorIsPartOfTheTaxonomy) {
+  const MappingError e{"bad map"};
+  const OffloadError& base = e;  // catchable as OffloadError
+  EXPECT_EQ(base.code(), ErrorCode::MappingViolation);
+  EXPECT_EQ(base.device(), -1);
+  EXPECT_TRUE(base.host_range().empty());
+}
+
+TEST(ErrorPaths, DeviceOutOfRangeNamesTheDevice) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  const MappingError e = capture_mapping(
+      *stack, [&] { stack->omp().target_data_begin({}, /*device=*/7); });
+  EXPECT_EQ(e.code(), ErrorCode::DeviceOutOfRange);
+  EXPECT_EQ(e.device(), 7);
+}
+
+TEST(ErrorPaths, ZeroSizeGlobalIsInvalidArgument) {
+  ProgramBinary prog;
+  prog.globals.push_back(GlobalVar{"empty", 0});
+  auto stack = make_stack(RuntimeConfig::LegacyCopy, prog);
+  const OffloadError e = capture<OffloadError>(
+      *stack, [&] { stack->omp().target_data_begin({}); });
+  EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+}
+
+TEST(ErrorPaths, UnknownGlobalCarriesItsCode) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  const OffloadError e = capture<OffloadError>(
+      *stack, [&] { (void)stack->omp().global_host_addr("nope"); });
+  EXPECT_EQ(e.code(), ErrorCode::UnknownGlobal);
+  EXPECT_NE(std::string{e.what()}.find("nope"), std::string::npos);
+}
+
+TEST(ErrorPaths, ZeroSizeMapEntryImplicatesDeviceAndRange) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  const OffloadError e = capture<OffloadError>(*stack, [&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 8, "x"};
+    const MapEntry empty = MapEntry::to(x.addr(), 0);
+    rt.target_data_begin({&empty, 1});
+  });
+  EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+  EXPECT_EQ(e.device(), 0);
+}
+
+TEST(ErrorPaths, DataEndOfUnmappedRangeCarriesTheRange) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  mem::VirtAddr expected;
+  const MappingError e = capture_mapping(*stack, [&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 8, "x"};
+    expected = x.addr();
+    const MapEntry entry = x.from();
+    rt.target_data_end({&entry, 1});
+  });
+  EXPECT_EQ(e.code(), ErrorCode::MappingViolation);
+  EXPECT_EQ(e.device(), 0);
+  EXPECT_EQ(e.host_range().base, expected);
+  EXPECT_EQ(e.host_range().bytes, 8 * sizeof(double));
+}
+
+TEST(ErrorPaths, OverlappingMapEntriesOnOneConstructRejected) {
+  for (RuntimeConfig cfg :
+       {RuntimeConfig::LegacyCopy, RuntimeConfig::ImplicitZeroCopy}) {
+    auto stack = make_stack(cfg);
+    const MappingError e = capture_mapping(*stack, [&] {
+      OffloadRuntime& rt = stack->omp();
+      HostArray<double> x{rt, 16, "x"};
+      const MapEntry whole = x.tofrom();
+      const MapEntry tail = MapEntry::to(x.addr() + 8, 32);
+      const MapEntry maps[] = {whole, tail};
+      rt.target_data_begin({maps, 2});
+    });
+    EXPECT_EQ(e.code(), ErrorCode::MappingViolation) << to_string(cfg);
+  }
+}
+
+TEST(ErrorPaths, ExitOnlyMapTypeRejectedOnEntryConstructs) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  const MappingError e = capture_mapping(*stack, [&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 8, "x"};
+    const MapEntry rel = MapEntry::release(x.addr(), x.bytes());
+    rt.target_enter_data({&rel, 1});
+  });
+  EXPECT_EQ(e.code(), ErrorCode::MappingViolation);
+}
+
+TEST(ErrorPaths, TargetUpdateOfUnmappedRangeThrowsBothDirections) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 8, "x"};
+    try {
+      rt.target_update_to(x.to());
+      ADD_FAILURE() << "update to() of unmapped range must throw";
+    } catch (const MappingError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::MappingViolation);
+      EXPECT_EQ(e.host_range().base, x.addr());
+    }
+    try {
+      rt.target_update_from(x.from());
+      ADD_FAILURE() << "update from() of unmapped range must throw";
+    } catch (const MappingError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::MappingViolation);
+    }
+  });
+}
+
+TEST(ErrorPaths, InvalidNowaitDependenceIsTaskMisuse) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 8, "x"};
+    TargetRegion region{
+        .name = "k", .maps = {x.tofrom()}, .compute = 1_us, .body = {}};
+    const TargetTask never_started;  // invalid: no kernel in flight
+    const TargetTask* deps[] = {&never_started};
+    try {
+      (void)rt.target_nowait(region, {deps, 1});
+      ADD_FAILURE() << "invalid dependence must throw";
+    } catch (const MappingError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::TaskMisuse);
+    }
+  });
+}
+
+TEST(ErrorPaths, DoubleTargetWaitIsTaskMisuse) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 8, "x"};
+    TargetRegion region{
+        .name = "k", .maps = {x.tofrom()}, .compute = 1_us, .body = {}};
+    TargetTask task = rt.target_nowait(region);
+    rt.target_wait(task);
+    try {
+      rt.target_wait(task);
+      ADD_FAILURE() << "second wait must throw";
+    } catch (const MappingError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::TaskMisuse);
+    }
+    // An empty (default) task was never started at all.
+    TargetTask empty;
+    try {
+      rt.target_wait(empty);
+      ADD_FAILURE() << "waiting an empty task must throw";
+    } catch (const MappingError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::TaskMisuse);
+    }
+  });
+}
+
+TEST(ErrorPaths, HostFreeOfMappedMemoryIsRefused) {
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 8, "x"};
+    const MapEntry entry = x.to();
+    rt.target_data_begin({&entry, 1});
+    try {
+      rt.host_free(x.addr());
+      ADD_FAILURE() << "freeing mapped memory must throw";
+    } catch (const MappingError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::MappingViolation);
+      EXPECT_EQ(e.device(), 0);
+      EXPECT_EQ(e.host_range().base, x.addr());
+    }
+    // The refused free must not have disturbed the mapping.
+    rt.target_data_end({&entry, 1});
+  });
+}
+
+TEST(ErrorPaths, RejectedHostFreeLeavesAdaptiveCacheIntact) {
+  // Regression: host_free used to forget the Adaptive Maps decision before
+  // validating the free itself, so a free os_free would reject (interior
+  // pointer) dropped cached state for memory that remained live.
+  auto stack = make_stack(RuntimeConfig::AdaptiveMaps);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 1024, "x"};
+    x.first_touch();
+    const MapEntry entry = x.tofrom();
+    rt.target_data_begin({&entry, 1});
+    rt.target_data_end({&entry, 1});
+    const std::size_t cached = rt.policy_engine().cache_size(0);
+    ASSERT_GE(cached, 1u);
+    EXPECT_THROW(rt.host_free(x.addr() + sizeof(double)),
+                 std::invalid_argument);
+    EXPECT_EQ(rt.policy_engine().cache_size(0), cached);
+    // A proper free of the exact base still works and forgets the decision.
+    x.release();
+    EXPECT_EQ(rt.policy_engine().cache_size(0), cached - 1);
+  });
+}
+
+TEST(ErrorPaths, FailedConstructDoesNotPoisonTheRuntime) {
+  // After a structured mapping failure the same runtime must keep serving
+  // well-formed constructs (tables stayed consistent).
+  auto stack = make_stack(RuntimeConfig::LegacyCopy);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    HostArray<double> x{rt, 16, "x"};
+    const MapEntry bogus = x.from();
+    EXPECT_THROW(rt.target_data_end({&bogus, 1}), MappingError);
+    for (int i = 0; i < 16; ++i) {
+      x[i] = 1.0;
+    }
+    const mem::VirtAddr xv = x.addr();
+    TargetRegion region{
+        .name = "incr",
+        .maps = {x.tofrom()},
+        .compute = 1_us,
+        .body = [xv](hsa::KernelContext& ctx, const ArgTranslator& tr) {
+          double* xd = ctx.ptr<double>(tr.device(xv));
+          for (int i = 0; i < 16; ++i) {
+            xd[i] += 1.0;
+          }
+        },
+    };
+    rt.target(region);
+    EXPECT_DOUBLE_EQ(x[0], 2.0);
+    EXPECT_EQ(rt.present_table(0).size(), 0u);
+  });
+}
+
+}  // namespace
+}  // namespace zc::omp

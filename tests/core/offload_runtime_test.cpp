@@ -409,7 +409,7 @@ TEST(OffloadRuntimeGlobals, UnknownGlobalNameThrows) {
   auto stack = make_stack(RuntimeConfig::ImplicitZeroCopy);
   EXPECT_THROW(stack->sched().run_single(
                    [&] { (void)stack->omp().global_host_addr("nope"); }),
-               std::invalid_argument);
+               OffloadError);
 }
 
 TEST(OffloadRuntimeInit, ImageLoadAndThreadInitAllocCounts) {
@@ -498,7 +498,7 @@ TEST(OffloadRuntime, ZeroSizeMapRejected) {
                  const MapEntry bad{x.addr(), 0, MapType::To, false};
                  rt.target_data_begin({&bad, 1});
                }),
-               std::invalid_argument);
+               OffloadError);
 }
 
 TEST(OffloadRuntime, HostArrayMoveAndRelease) {

@@ -1,0 +1,114 @@
+#include "zc/fault/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace zc::fault {
+namespace {
+
+using namespace zc::sim::literals;
+
+TEST(FaultSpec, EmptySpecIsFaultFree) {
+  EXPECT_TRUE(parse_spec("").empty());
+}
+
+TEST(FaultSpec, SingleCallTrigger) {
+  const Schedule s = parse_spec("oom@call=3");
+  ASSERT_EQ(s.clauses.size(), 1u);
+  const Clause& c = s.clauses[0];
+  EXPECT_EQ(c.site, Site::PoolAlloc);
+  EXPECT_EQ(c.kind, Kind::Oom);
+  EXPECT_EQ(c.trigger.mode, Trigger::Mode::CallRange);
+  EXPECT_EQ(c.trigger.call_from, 3u);
+  EXPECT_EQ(c.trigger.call_to, 3u);
+}
+
+TEST(FaultSpec, CallWindowTrigger) {
+  const Schedule s = parse_spec("eintr@call=1..4");
+  ASSERT_EQ(s.clauses.size(), 1u);
+  EXPECT_EQ(s.clauses[0].site, Site::SvmPrefault);
+  EXPECT_EQ(s.clauses[0].kind, Kind::Eintr);
+  EXPECT_EQ(s.clauses[0].trigger.call_from, 1u);
+  EXPECT_EQ(s.clauses[0].trigger.call_to, 4u);
+}
+
+TEST(FaultSpec, TimeWindowTrigger) {
+  const Schedule s = parse_spec("sdma@t=100us..200us");
+  ASSERT_EQ(s.clauses.size(), 1u);
+  EXPECT_EQ(s.clauses[0].site, Site::AsyncCopy);
+  EXPECT_EQ(s.clauses[0].kind, Kind::CopyError);
+  EXPECT_EQ(s.clauses[0].trigger.mode, Trigger::Mode::TimeWindow);
+  EXPECT_EQ(s.clauses[0].trigger.t_from.since_start(), 100_us);
+  EXPECT_EQ(s.clauses[0].trigger.t_to.since_start(), 200_us);
+}
+
+TEST(FaultSpec, OpenTimeWindowExtendsToRunEnd) {
+  const Schedule s = parse_spec("ebusy@t=50us");
+  ASSERT_EQ(s.clauses.size(), 1u);
+  EXPECT_EQ(s.clauses[0].kind, Kind::Ebusy);
+  EXPECT_EQ(s.clauses[0].trigger.t_from.since_start(), 50_us);
+  EXPECT_EQ(s.clauses[0].trigger.t_to, sim::TimePoint::max());
+}
+
+TEST(FaultSpec, ProbabilityTrigger) {
+  const Schedule s = parse_spec("oom@p=0.25");
+  ASSERT_EQ(s.clauses.size(), 1u);
+  EXPECT_EQ(s.clauses[0].trigger.mode, Trigger::Mode::Probability);
+  EXPECT_DOUBLE_EQ(s.clauses[0].trigger.probability, 0.25);
+}
+
+TEST(FaultSpec, ReplayStormFactorOption) {
+  const Schedule s = parse_spec("xnack@call=1:x16");
+  ASSERT_EQ(s.clauses.size(), 1u);
+  EXPECT_EQ(s.clauses[0].site, Site::XnackReplay);
+  EXPECT_EQ(s.clauses[0].kind, Kind::ReplayStorm);
+  EXPECT_DOUBLE_EQ(s.clauses[0].factor, 16.0);
+}
+
+TEST(FaultSpec, MultipleClauses) {
+  const Schedule s = parse_spec("oom@call=2;eintr@call=1..3;sdma@p=0.1");
+  ASSERT_EQ(s.clauses.size(), 3u);
+  EXPECT_EQ(s.clauses[0].site, Site::PoolAlloc);
+  EXPECT_EQ(s.clauses[1].site, Site::SvmPrefault);
+  EXPECT_EQ(s.clauses[2].site, Site::AsyncCopy);
+}
+
+TEST(FaultSpec, ToStringRoundTrips) {
+  for (const char* spec :
+       {"oom@call=3", "eintr@call=1..4", "sdma@p=0.5", "xnack@call=1:x16",
+        "oom@call=2;eintr@call=1..3"}) {
+    const Schedule s = parse_spec(spec);
+    const Schedule again = parse_spec(to_string(s));
+    ASSERT_EQ(again.clauses.size(), s.clauses.size()) << spec;
+    for (std::size_t i = 0; i < s.clauses.size(); ++i) {
+      EXPECT_EQ(again.clauses[i].site, s.clauses[i].site) << spec;
+      EXPECT_EQ(again.clauses[i].kind, s.clauses[i].kind) << spec;
+      EXPECT_EQ(again.clauses[i].trigger.mode, s.clauses[i].trigger.mode)
+          << spec;
+    }
+  }
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  for (const char* bad : {
+           "bogus@call=1",    // unknown site
+           "oom",             // missing trigger
+           "oom@",            // empty trigger
+           "oom@call=0",      // call counts are 1-based
+           "oom@call=5..2",   // empty window
+           "oom@t=9us..3us",  // empty time window
+           "oom@p=1.5",       // probability out of range
+           "oom@p=-0.1",      // probability out of range
+           "oom@call=x",      // not a number
+           "xnack@call=1:y2", // unknown option
+           "xnack@call=1:x0", // factor must be positive
+           "oom@call=1;;",    // empty clause
+           ";",               // empty clause
+       }) {
+    EXPECT_THROW((void)parse_spec(bad), FaultSpecError) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace zc::fault

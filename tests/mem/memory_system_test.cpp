@@ -126,6 +126,90 @@ TEST_F(MemorySystemTest, TlbAccessGoesThroughSharedTlb) {
   EXPECT_EQ(second.hits, 3u);
 }
 
+class MemoryCapacityTest : public ::testing::Test {
+ protected:
+  static apu::Machine small_machine() {
+    apu::Machine::Config config;
+    config.topology.hbm_bytes = 16ULL << 21;  // 16 huge pages per socket
+    return apu::Machine{std::move(config)};
+  }
+
+  apu::Machine machine_ = small_machine();
+  MemorySystem mem_{machine_};
+  std::uint64_t page_ = machine_.page_bytes();
+};
+
+TEST_F(MemoryCapacityTest, HbmChargedOnMaterializationNotReservation) {
+  Allocation& a = mem_.os_alloc(8 * page_, "buf");
+  EXPECT_EQ(mem_.hbm_used(0), 0u);  // virtual reservation is free
+  (void)mem_.host_touch(AddrRange{a.base(), 3 * page_});
+  EXPECT_EQ(mem_.hbm_used(0), 3 * page_);
+  (void)mem_.host_touch(AddrRange{a.base(), 3 * page_});  // idempotent
+  EXPECT_EQ(mem_.hbm_used(0), 3 * page_);
+  // GPU demand fault-in materializes the remaining five pages.
+  (void)mem_.gpu_fault_in(a.range());
+  EXPECT_EQ(mem_.hbm_used(0), 8 * page_);
+  mem_.os_free(a.base());
+  EXPECT_EQ(mem_.hbm_used(0), 0u);
+}
+
+TEST_F(MemoryCapacityTest, PrefaultChargesOnlyMaterializedPages) {
+  Allocation& a = mem_.os_alloc(4 * page_, "buf");
+  (void)mem_.host_touch(AddrRange{a.base(), page_});
+  EXPECT_EQ(mem_.hbm_used(0), page_);
+  (void)mem_.prefault(a.range());  // 1 resident insert + 3 materializations
+  EXPECT_EQ(mem_.hbm_used(0), 4 * page_);
+}
+
+TEST_F(MemoryCapacityTest, PoolAllocChargesFootprintAndFreeCredits) {
+  Allocation& a = mem_.pool_alloc(4 * page_, "dev");
+  EXPECT_EQ(mem_.hbm_used(0), 4 * page_);
+  mem_.pool_free(a.base());
+  EXPECT_EQ(mem_.hbm_used(0), 0u);
+}
+
+TEST_F(MemoryCapacityTest, PoolAllocationIsRefusedBeyondCapacity) {
+  EXPECT_TRUE(mem_.pool_fits(16 * page_));
+  EXPECT_FALSE(mem_.pool_fits(17 * page_));
+  EXPECT_EQ(mem_.try_pool_alloc(17 * page_, "big"), nullptr);
+  Allocation* a = mem_.try_pool_alloc(12 * page_, "a");
+  ASSERT_NE(a, nullptr);
+  // 4 pages left: 5 no longer fit, and the throwing wrapper agrees.
+  EXPECT_FALSE(mem_.pool_fits(5 * page_));
+  EXPECT_EQ(mem_.try_pool_alloc(5 * page_, "b"), nullptr);
+  EXPECT_THROW(mem_.pool_alloc(5 * page_, "c"), std::runtime_error);
+  EXPECT_TRUE(mem_.pool_fits(4 * page_));
+}
+
+TEST_F(MemoryCapacityTest, HostMaterializationCompetesWithPoolForHbm) {
+  // The paper's premise: one physical store. CPU-resident pages shrink
+  // what the ROCr pool can hand out.
+  Allocation& a = mem_.os_alloc(10 * page_, "host");
+  (void)mem_.host_touch(a.range());
+  EXPECT_FALSE(mem_.pool_fits(7 * page_));
+  EXPECT_TRUE(mem_.pool_fits(6 * page_));
+}
+
+TEST(MemoryCapacityDiscrete, DiscretePoolChargesDeviceMemoryOnly) {
+  apu::Machine::Config config;
+  config.kind = apu::MachineKind::DiscreteGpu;
+  config.topology.hbm_bytes = 8ULL << 21;
+  apu::Machine machine{std::move(config)};
+  MemorySystem mem{machine};
+  const std::uint64_t page = machine.page_bytes();
+  // Host-side materialization does not consume device memory on a
+  // discrete node...
+  Allocation& host = mem.os_alloc(8 * page, "host");
+  (void)mem.host_touch(host.range());
+  EXPECT_EQ(mem.hbm_used(0), 0u);
+  // ...but pool allocations charge their full footprint against it.
+  Allocation& dev = mem.pool_alloc(6 * page, "dev");
+  EXPECT_EQ(mem.hbm_used(0), 6 * page);
+  EXPECT_FALSE(mem.pool_fits(3 * page));
+  mem.pool_free(dev.base());
+  EXPECT_EQ(mem.hbm_used(0), 0u);
+}
+
 TEST_F(MemorySystemTest, ThpOffMultipliesPageCounts) {
   apu::RunEnvironment env;
   env.transparent_huge_pages = false;
