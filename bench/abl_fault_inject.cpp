@@ -12,7 +12,19 @@
 //                  three times and recovers through the backoff ladder;
 //   * sdma-err     sdma@call=5 — one errored async copy mid-batch,
 //                  recovered by resubmission;
-//   * combined     all of the above in one run.
+//   * combined     all of the above in one run;
+//   * kernel-hang  kernel_hang@call=3 — a kernel's completion signal never
+//                  fires; the watchdog (OMPX_APU_WATCHDOG=500us:recover)
+//                  tears the queue down and the runtime replays it;
+//   * sdma-stall   sdma_stall@call=2 — a stalled async copy, aborted by
+//                  the watchdog and resubmitted;
+//   * pf-hang      prefault_hang@call=1 — a hung prefault syscall,
+//                  recovered through the retry ladder after the abort;
+//   * xnack-lock   xnack_livelock@call=1 — fault servicing never
+//                  converges; the kernel is aborted and replayed.
+//
+// The hang rows measure the watchdog-recovery overhead per configuration:
+// budget wait + queue teardown/rebuild + replay, relative to fault-free.
 //
 // Acceptance bars (the binary exits 1 if any is violated):
 //   * every faulted run computes the exact checksum of its configuration's
@@ -55,6 +67,8 @@ struct Schedule {
   bool capped = false;
   /// Degraded-mode event that must appear, and in which configuration.
   std::optional<std::pair<RuntimeConfig, FaultEvent>> must_record;
+  /// OMPX_APU_WATCHDOG value (hang schedules need one to be survivable).
+  std::string watchdog;
 };
 
 apu::Topology capped_topology() {
@@ -93,6 +107,18 @@ int main(int argc, char** argv) {
        {{RuntimeConfig::LegacyCopy, FaultEvent::CopyRetrySucceeded}}},
       {"combined", "eintr@call=1..3;sdma@call=5", /*capped=*/true,
        std::nullopt},
+      {"kernel-hang", "kernel_hang@call=3", /*capped=*/false,
+       {{RuntimeConfig::LegacyCopy, FaultEvent::WatchdogRecovered}},
+       "500us:recover"},
+      {"sdma-stall", "sdma_stall@call=2", /*capped=*/false,
+       {{RuntimeConfig::LegacyCopy, FaultEvent::WatchdogRecovered}},
+       "500us:recover"},
+      {"pf-hang", "prefault_hang@call=1", /*capped=*/false,
+       {{RuntimeConfig::EagerMaps, FaultEvent::WatchdogRecovered}},
+       "500us:recover"},
+      {"xnack-lock", "xnack_livelock@call=1", /*capped=*/false,
+       {{RuntimeConfig::ImplicitZeroCopy, FaultEvent::WatchdogRecovered}},
+       "500us:recover"},
   };
 
   std::vector<std::string> header{"Configuration", "fault-free (ms)"};
@@ -121,6 +147,7 @@ int main(int argc, char** argv) {
       opts.config = config;
       opts.seed = args.seed;
       opts.fault_spec = s.spec;
+      opts.watchdog_spec = s.watchdog;
       if (s.capped) {
         opts.topology = capped_topology();
       }

@@ -24,6 +24,12 @@ struct RegionFeatures {
   /// by the runtime's OOM fallback): DmaCopy would likely fail again and
   /// degrade anyway, so the predictor prices it out.
   bool memory_pressure = false;
+  /// The device's circuit breaker is open (watchdog trips / degraded-mode
+  /// events crossed the threshold): the predictor prices out both DmaCopy
+  /// (the SDMA engines are suspect) and demand faulting (XNACK-replay
+  /// storms are a hang site), leaving eager prefault — the device's safest
+  /// handling — as the only finite choice.
+  bool breaker_open = false;
 };
 
 /// Predicted first-use cost of each handling, in virtual microseconds.

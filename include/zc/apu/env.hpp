@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "zc/sim/time.hpp"
+
 namespace zc::apu {
 
 /// Raised by `RunEnvironment::from_env` when a recognized environment
@@ -38,6 +40,25 @@ enum class ApuMapsMode {
   return "?";
 }
 
+/// Parsed `OMPX_APU_WATCHDOG=<budget>[:abort|recover]`: the virtual-time
+/// budget an in-flight device operation may stay outstanding before the
+/// runtime's watchdog tears down its queue, and what happens afterwards
+/// (replay the operation, or raise a structured `OffloadError`). A zero
+/// budget means no watchdog — a hung operation becomes a simulation
+/// deadlock, as on a machine with no driver timeout configured.
+struct WatchdogConfig {
+  sim::Duration budget{};  ///< zero = watchdog disabled
+  bool recover = true;     ///< replay after the trip (vs abort the region)
+
+  [[nodiscard]] bool enabled() const { return budget > sim::Duration::zero(); }
+};
+
+/// Parse an `OMPX_APU_WATCHDOG` value: an integer budget with an optional
+/// `ns`/`us`/`ms` unit suffix (default ns), optionally followed by
+/// `:abort` or `:recover` (default recover). "0" disables the watchdog.
+/// Throws `EnvError` on anything else.
+[[nodiscard]] WatchdogConfig parse_watchdog(const std::string& raw);
+
 /// The run environment knobs that steer configuration selection, mirroring
 /// the environment variables the paper describes:
 ///
@@ -53,13 +74,17 @@ enum class ApuMapsMode {
 ///                        work on 2 MB pages;
 ///  * `OMPX_APU_FAULTS` — deterministic fault schedule for the `zc::fault`
 ///                        engine (see zc/fault/spec.hpp for the grammar);
-///                        empty means fault-free.
+///                        empty means fault-free;
+///  * `OMPX_APU_WATCHDOG` — hang-detection budget and policy for in-flight
+///                        device operations (see `WatchdogConfig`); unset
+///                        means no watchdog.
 struct RunEnvironment {
   bool hsa_xnack = true;
   ApuMapsMode ompx_apu_maps = ApuMapsMode::Off;
   bool ompx_eager_maps = false;
   bool transparent_huge_pages = true;
   std::string ompx_apu_faults;
+  WatchdogConfig watchdog;
 
   /// Page size implied by the THP setting: 2 MB when on, 4 KB when off.
   [[nodiscard]] std::uint64_t page_bytes() const {
@@ -72,7 +97,8 @@ struct RunEnvironment {
   /// additionally accepts "adaptive". Any other value for a recognized key
   /// throws `EnvError`. Keys: HSA_XNACK, OMPX_APU_MAPS,
   /// OMPX_EAGER_ZERO_COPY_MAPS, THP, OMPX_APU_FAULTS (whose value is
-  /// validated against the fault-spec grammar).
+  /// validated against the fault-spec grammar), OMPX_APU_WATCHDOG (parsed
+  /// via `parse_watchdog`).
   [[nodiscard]] static RunEnvironment from_env(
       const std::map<std::string, std::string>& env);
 

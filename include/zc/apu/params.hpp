@@ -130,6 +130,13 @@ struct CostParams {
   /// Bandwidth factor for DMA copies that cross the socket fabric.
   double remote_copy_bandwidth_factor = 0.55;
 
+  // -- queue error handling -------------------------------------------------
+  /// Driver-side cost of tearing down an HSA queue whose in-flight
+  /// operation the watchdog aborted (drain, CP reset, unmap doorbell).
+  sim::Duration queue_teardown = sim::Duration::from_us(15.0);
+  /// Driver-side cost of rebuilding the queue before replaying.
+  sim::Duration queue_rebuild = sim::Duration::from_us(25.0);
+
   // -- discrete-GPU specifics (MachineKind::DiscreteGpu only) --------------
   /// Host<->device link bandwidth (PCIe-style) for discrete nodes.
   double pcie_bandwidth_bytes_per_s = 12e9;
@@ -172,6 +179,17 @@ struct DegradeParams {
   double prefault_backoff_factor = 2.0;
   /// Resubmissions of an async copy whose signal completed with an error.
   int copy_max_retries = 1;
+  /// Replays of an operation the watchdog aborted (recover mode) before
+  /// the region is failed; also bounds resubmissions of a stalled copy.
+  int watchdog_max_replays = 2;
+  /// Watchdog trips / degraded-mode events within `breaker_window` that
+  /// open a device's circuit breaker.
+  int breaker_trip_threshold = 3;
+  /// Sliding virtual-time window the breaker counts trips over.
+  sim::Duration breaker_window = sim::Duration::milliseconds(50);
+  /// Quiet period after which an open breaker half-opens; a further equal
+  /// quiet period with no trips closes it again.
+  sim::Duration breaker_cooldown = sim::Duration::milliseconds(20);
 };
 
 /// MI300A-flavoured defaults.

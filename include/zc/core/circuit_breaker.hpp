@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "zc/sim/time.hpp"
+
+namespace zc::omp {
+
+/// Per-device circuit breaker over watchdog trips and degraded-mode events.
+///
+/// Classic three-state breaker in virtual time: `Closed` (healthy) counts
+/// events in a sliding window and opens when they cross the threshold;
+/// `Open` pins the device to its safest mapping configuration (zero-copy
+/// with eager prefault — no DMA engines, no demand paging storms to hang
+/// in) until a quiet `cooldown` has passed; `HalfOpen` probes normal
+/// behaviour, re-opening on the first further event and closing after a
+/// second quiet cooldown. Transitions are applied lazily by `advance_to`
+/// (there is no background fiber); the caller records the returned
+/// transitions into the fault trace.
+///
+/// Not internally synchronized: the owner (OffloadRuntime) guards it with
+/// its table mutex, like the rest of the per-device bookkeeping.
+class CircuitBreaker {
+ public:
+  enum class State { Closed, Open, HalfOpen };
+
+  CircuitBreaker(int trip_threshold, sim::Duration window,
+                 sim::Duration cooldown)
+      : threshold_{trip_threshold}, window_{window}, cooldown_{cooldown} {}
+
+  struct Transition {
+    State to = State::Closed;
+    sim::TimePoint at;
+  };
+
+  /// Apply the time-based transitions (Open -> HalfOpen -> Closed) that
+  /// became due by `now`; returns them in order (possibly empty).
+  [[nodiscard]] std::vector<Transition> advance_to(sim::TimePoint now);
+
+  /// Record one watchdog trip or degraded-mode event at `now`. May open
+  /// (or re-open) the breaker; returns every transition that occurred,
+  /// including time-based ones that were due first.
+  [[nodiscard]] std::vector<Transition> record_trip(sim::TimePoint now);
+
+  /// State as of the last `advance_to`/`record_trip` (no lazy update).
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool open() const { return state_ == State::Open; }
+
+  [[nodiscard]] std::uint64_t total_trips() const { return total_trips_; }
+  [[nodiscard]] std::uint64_t times_opened() const { return times_opened_; }
+
+ private:
+  int threshold_;
+  sim::Duration window_;
+  sim::Duration cooldown_;
+  State state_ = State::Closed;
+  sim::TimePoint opened_at_;
+  std::vector<sim::TimePoint> recent_;  // trips within the sliding window
+  std::uint64_t total_trips_ = 0;
+  std::uint64_t times_opened_ = 0;
+};
+
+[[nodiscard]] constexpr const char* to_string(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::Closed:
+      return "closed";
+    case CircuitBreaker::State::Open:
+      return "open";
+    case CircuitBreaker::State::HalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace zc::omp

@@ -21,6 +21,7 @@ enum class ErrorCode {
   OutOfMemory,       ///< device pool exhausted with no degraded mode left
   PrefaultFailed,    ///< svm_attributes_set retries exhausted, XNACK off
   CopyFailed,        ///< async DMA copy failed after the bounded retry
+  OperationHung,     ///< watchdog aborted a hung op; no replay budget left
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode c) {
@@ -41,6 +42,8 @@ enum class ErrorCode {
       return "prefault-failed";
     case ErrorCode::CopyFailed:
       return "copy-failed";
+    case ErrorCode::OperationHung:
+      return "operation-hung";
   }
   return "?";
 }

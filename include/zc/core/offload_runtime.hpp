@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "zc/adapt/policy.hpp"
+#include "zc/core/circuit_breaker.hpp"
 #include "zc/core/config.hpp"
 #include "zc/core/mapping.hpp"
 #include "zc/core/offload_error.hpp"
@@ -33,6 +34,10 @@ class TargetTask {
   friend class OffloadRuntime;
   hsa::Signal signal_;
   std::vector<MapEntry> maps_;
+  /// The dispatched launch, value-captured body included, kept so
+  /// `target_wait` can replay the kernel if the watchdog aborts it.
+  hsa::KernelLaunch launch_;
+  int host_thread_ = 0;
   int device_ = 0;
   bool kernel_named_ = false;
   bool completed_ = false;
@@ -158,6 +163,13 @@ class OffloadRuntime {
     return pressure_.unguarded().at(static_cast<std::size_t>(device)) != 0;
   }
 
+  /// One device's circuit breaker (watchdog trips + degraded-mode events in
+  /// a sliding virtual-time window; open pins the device to zero-copy with
+  /// eager prefault). Quiescent-reader accessor.
+  [[nodiscard]] const CircuitBreaker& breaker(int device = 0) const {
+    return breakers_.unguarded().at(static_cast<std::size_t>(device));
+  }
+
   /// Number of pool allocations modeled for image load and per-thread
   /// initialization (chosen to echo the initialization call counts visible
   /// in the paper's Table I).
@@ -207,13 +219,18 @@ class OffloadRuntime {
   /// Second pass of data-end: decrement refcounts, free device storage.
   void end_release_one(const MapEntry& entry, int device);
 
-  /// Degraded-mode reaction to a device-pool OOM on a Copy-managed map:
-  /// fall back to zero-copy for this region. With XNACK disabled the range
-  /// is prefaulted into the GPU page table *before* the degraded entry
-  /// becomes visible in the present table — another thread could dispatch
-  /// a kernel on the range the moment it is published, and an
+  /// Degraded-mode mapping of one Copy-managed entry as zero-copy, used
+  /// both as the reaction to a device-pool OOM (`reason` =
+  /// OomFallbackZeroCopy, which also counts as a breaker trip) and as the
+  /// open-breaker pinning path (`reason` = BreakerPinnedMap, which must NOT
+  /// feed the breaker — pinned maps are the breaker's own output, and
+  /// counting them would hold it open forever). With XNACK disabled the
+  /// range is prefaulted into the GPU page table *before* the degraded
+  /// entry becomes visible in the present table — another thread could
+  /// dispatch a kernel on the range the moment it is published, and an
   /// untranslatable page would then be a fatal GpuMemoryFault.
-  void fallback_map_zero_copy(const MapEntry& entry, int device);
+  void fallback_map_zero_copy(const MapEntry& entry, int device,
+                              trace::FaultEvent reason, bool counts_as_trip);
 
   /// `svm_attributes_set` with bounded exponential backoff (virtual time)
   /// against injected EINTR/EBUSY. On exhaustion: falls back to XNACK
@@ -239,8 +256,38 @@ class OffloadRuntime {
 
   /// Wait for a batch of copies; each errored copy is resubmitted (up to
   /// `DegradeParams::copy_max_retries` times) before the offending region
-  /// fails with OffloadError(CopyFailed). Clears `copies`.
+  /// fails with OffloadError(CopyFailed). A copy the watchdog aborted
+  /// (sdma_stall) is replayed up to `DegradeParams::watchdog_max_replays`
+  /// times before failing with OffloadError(OperationHung). Clears
+  /// `copies`.
   void wait_all(std::vector<PendingCopy>& copies);
+
+  /// Wait for a dispatched kernel's signal; if the watchdog aborted it,
+  /// replay the dispatch up to `DegradeParams::watchdog_max_replays` times
+  /// (recover mode) before raising OffloadError(OperationHung). In abort
+  /// mode the first abort raises immediately. Shared by `target` and
+  /// `target_wait`.
+  void await_kernel(hsa::Signal sig, const hsa::KernelLaunch& launch,
+                    int host_thread);
+
+  /// One watchdog trip or degraded-mode event on `device`: feed the
+  /// breaker, record its transitions, refresh the attention flag. Takes
+  /// `table_mutex_`; also the watchdog fiber's trip listener.
+  void note_breaker_trip(int device);
+
+  /// Whether the breaker currently pins `device` to zero-copy + eager
+  /// prefault. The common (closed) case is a lock-free flag read so the
+  /// zero-copy hot path stays lock-free; only a non-closed breaker takes
+  /// `table_mutex_` to apply due time-based transitions.
+  [[nodiscard]] bool breaker_pinned(int device);
+  /// Same, for callers already inside a `table_mutex_` transaction.
+  [[nodiscard]] bool breaker_pinned_locked(int device);
+
+  /// Record BreakerOpened/BreakerHalfOpened/BreakerClosed fault events for
+  /// the transitions a breaker call returned. Call with `table_mutex_`
+  /// held (the trace mutex nests inside it).
+  void record_breaker_transitions(
+      const std::vector<CircuitBreaker::Transition>& transitions, int device);
 
   hsa::Runtime& hsa_;
   ProgramBinary program_;
@@ -265,6 +312,16 @@ class OffloadRuntime {
   /// the Adaptive Maps cost model as a feature. Shares `table_mutex_`: the
   /// flag is read and written inside present-table transactions.
   sim::GuardedBy<std::vector<char>> pressure_;
+  /// Per-device circuit breakers over watchdog trips and degraded-mode
+  /// events; shares `table_mutex_` because open/closed state is consumed
+  /// inside present-table transactions (and by the Adaptive Maps policy).
+  sim::GuardedBy<std::vector<CircuitBreaker>> breakers_;
+  /// Per-device "breaker not closed" flags, written only under
+  /// `table_mutex_` but read without it by `breaker_pinned`: under
+  /// cooperative scheduling a plain byte read is safe, and it keeps the
+  /// zero-copy hot path lock-free when every breaker is closed (the
+  /// steady state — `table_mutex_` stays a Copy-path-only lock).
+  std::vector<char> breaker_attention_;
   bool image_load_started_ = false;
   bool image_loaded_ = false;
   sim::Latch image_latch_;  // set once the image is fully loaded

@@ -19,12 +19,13 @@ class FaultSpecError : public std::runtime_error {
 
 /// Runtime call sites the engine can inject faults into.
 enum class Site {
-  PoolAlloc,    ///< hsa memory_pool_allocate: HBM out-of-memory
-  SvmPrefault,  ///< hsa svm_attributes_set: transient EINTR/EBUSY
-  AsyncCopy,    ///< hsa memory_async_copy: SDMA engine error
-  XnackReplay,  ///< kernel fault servicing: replay-storm latency spike
+  PoolAlloc,     ///< hsa memory_pool_allocate: HBM out-of-memory
+  SvmPrefault,   ///< hsa svm_attributes_set: transient EINTR/EBUSY or hang
+  AsyncCopy,     ///< hsa memory_async_copy: SDMA engine error or stall
+  XnackReplay,   ///< kernel fault servicing: replay storm or livelock
+  KernelLaunch,  ///< hsa queue dispatch: kernel completion signal hangs
 };
-inline constexpr std::size_t kSiteCount = 4;
+inline constexpr std::size_t kSiteCount = 5;
 
 [[nodiscard]] constexpr const char* to_string(Site s) {
   switch (s) {
@@ -36,18 +37,24 @@ inline constexpr std::size_t kSiteCount = 4;
       return "async-copy";
     case Site::XnackReplay:
       return "xnack-replay";
+    case Site::KernelLaunch:
+      return "kernel-launch";
   }
   return "?";
 }
 
 /// What an injection does at its site.
 enum class Kind {
-  None,         ///< no fault
-  Oom,          ///< pool allocation fails with out-of-memory
-  Eintr,        ///< prefault syscall returns EINTR (retryable)
-  Ebusy,        ///< prefault syscall returns EBUSY (retryable)
-  CopyError,    ///< async copy's signal completes with an error payload
-  ReplayStorm,  ///< XNACK fault servicing slowed by a latency factor
+  None,           ///< no fault
+  Oom,            ///< pool allocation fails with out-of-memory
+  Eintr,          ///< prefault syscall returns EINTR (retryable)
+  Ebusy,          ///< prefault syscall returns EBUSY (retryable)
+  CopyError,      ///< async copy's signal completes with an error payload
+  ReplayStorm,    ///< XNACK fault servicing slowed by a latency factor
+  KernelHang,     ///< kernel completion signal never completes
+  SdmaStall,      ///< async copy's signal never completes
+  PrefaultHang,   ///< prefault syscall never returns
+  XnackLivelock,  ///< fault servicing replays forever; kernel never signals
 };
 
 [[nodiscard]] constexpr const char* to_string(Kind k) {
@@ -64,8 +71,23 @@ enum class Kind {
       return "sdma";
     case Kind::ReplayStorm:
       return "xnack";
+    case Kind::KernelHang:
+      return "kernel_hang";
+    case Kind::SdmaStall:
+      return "sdma_stall";
+    case Kind::PrefaultHang:
+      return "prefault_hang";
+    case Kind::XnackLivelock:
+      return "xnack_livelock";
   }
   return "?";
+}
+
+/// True for the kinds that make an operation's completion signal never
+/// complete (the hang family a watchdog must bound).
+[[nodiscard]] constexpr bool is_hang(Kind k) {
+  return k == Kind::KernelHang || k == Kind::SdmaStall ||
+         k == Kind::PrefaultHang || k == Kind::XnackLivelock;
 }
 
 /// When a clause fires: an inclusive 1-based call-count window at its site,
@@ -99,6 +121,8 @@ struct Schedule {
 ///   spec    := clause (';' clause)*          | ""  (fault-free)
 ///   clause  := site '@' trigger (':' option)*
 ///   site    := 'oom' | 'eintr' | 'ebusy' | 'sdma' | 'xnack'
+///            | 'kernel_hang' | 'sdma_stall' | 'prefault_hang'
+///            | 'xnack_livelock'
 ///   trigger := 'call=' N | 'call=' N '..' M   (1-based inclusive window)
 ///            | 't=' A 'us' ('..' B 'us')?     (virtual-time window)
 ///            | 'p=' F                         (per-call probability)
@@ -106,7 +130,10 @@ struct Schedule {
 ///
 /// Each site token fixes the fault kind: oom -> pool allocation OOM,
 /// eintr/ebusy -> transient prefault syscall errors, sdma -> async-copy
-/// error signal, xnack -> replay-storm latency spike. A `t=A us` window
+/// error signal, xnack -> replay-storm latency spike. The hang family
+/// (kernel_hang, sdma_stall, prefault_hang, xnack_livelock) makes the
+/// operation's completion signal never complete — survivable only when a
+/// watchdog (`OMPX_APU_WATCHDOG`) bounds the wait. A `t=A us` window
 /// without an end extends to the end of the run. Throws `FaultSpecError`
 /// on anything it cannot parse.
 [[nodiscard]] Schedule parse_spec(const std::string& spec);

@@ -8,6 +8,7 @@
 #include "zc/fault/spec.hpp"
 #include "zc/hsa/kernel.hpp"
 #include "zc/hsa/signal.hpp"
+#include "zc/hsa/watchdog.hpp"
 #include "zc/mem/memory_system.hpp"
 #include "zc/sim/scheduler.hpp"
 #include "zc/trace/call_stats.hpp"
@@ -39,6 +40,7 @@ enum class Status {
   OutOfMemory,  ///< pool allocation: HBM exhausted (organic or injected)
   Interrupted,  ///< prefault syscall: transient EINTR
   Busy,         ///< prefault syscall: transient EBUSY
+  TimedOut,     ///< prefault syscall hung; the watchdog aborted it
 };
 
 [[nodiscard]] constexpr const char* to_string(Status s) {
@@ -51,6 +53,8 @@ enum class Status {
       return "interrupted";
     case Status::Busy:
       return "busy";
+    case Status::TimedOut:
+      return "timed-out";
   }
   return "?";
 }
@@ -121,7 +125,11 @@ class Runtime {
   /// Failure surface: when the fault engine injects an SDMA error the
   /// functional transfer is suppressed (no bytes delivered) and the signal
   /// completes *with an error payload* at the same time a successful copy
-  /// would have — callers must check `Signal::errored()` and resubmit.
+  /// would have — callers must check `Signal::errored()` and resubmit. An
+  /// injected `sdma_stall` also suppresses the transfer but leaves the
+  /// signal forever incomplete (watched by the watchdog when configured);
+  /// waiters unblocked by a watchdog abort must check `Signal::aborted()`
+  /// and resubmit.
   Signal memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
                            std::uint64_t bytes, bool with_handler = false,
                            bool count_in_ledger = true, int device = 0);
@@ -133,8 +141,11 @@ class Runtime {
   /// Failure surface: `Status::Interrupted`/`Status::Busy` when the fault
   /// engine injects a transient syscall error; no page-table mutation
   /// happens, the failed syscall costs its base latency on the driver
-  /// lock, and the caller may retry (EINTR semantics). Misuse — a range
-  /// outside any live allocation — still throws std::invalid_argument.
+  /// lock, and the caller may retry (EINTR semantics). An injected
+  /// `prefault_hang` blocks the calling thread inside the syscall until
+  /// the watchdog aborts it (`Status::TimedOut`) — or forever when no
+  /// watchdog is configured. Misuse — a range outside any live allocation
+  /// — still throws std::invalid_argument.
   [[nodiscard]] PrefaultResult try_svm_attributes_set_prefault(
       mem::AddrRange range, int device = 0);
 
@@ -150,6 +161,12 @@ class Runtime {
   /// serialized on the driver); with XNACK disabled, touching an absent
   /// page throws GpuMemoryFault. `not_before` delays the GPU-side start
   /// (dependence on earlier asynchronous work) without blocking the host.
+  ///
+  /// Failure surface: an injected `kernel_hang` (queue error before the
+  /// kernel executes) or `xnack_livelock` (fault servicing never converges)
+  /// suppresses the kernel's functional execution and returns a signal that
+  /// never completes; the watchdog, when configured, eventually aborts it
+  /// and the caller replays the dispatch.
   Signal dispatch_kernel(const KernelLaunch& launch, int host_thread = 0,
                          sim::TimePoint not_before = sim::TimePoint::zero());
 
@@ -177,6 +194,11 @@ class Runtime {
   [[nodiscard]] const trace::FaultTrace& fault_trace() const {
     return ftrace_.unguarded();
   }
+  /// The hang detector; configured from the environment's
+  /// `OMPX_APU_WATCHDOG`. The core layer subscribes its circuit breaker to
+  /// trips via `Watchdog::set_trip_listener`.
+  [[nodiscard]] Watchdog& watchdog() { return watchdog_; }
+  [[nodiscard]] const Watchdog& watchdog() const { return watchdog_; }
 
   /// Record a fault-handling event (takes the trace mutex internally; also
   /// mirrored to the event log when enabled). Public so the OpenMP layer
@@ -192,8 +214,15 @@ class Runtime {
   void record_call(trace::HsaCall call, sim::TimePoint start,
                    sim::Duration latency);
 
+  /// Build the forever-incomplete signal of a hang-injected operation:
+  /// name it, record the injection, and register it with the watchdog.
+  Signal hung_signal(std::string name, trace::FaultEvent event,
+                     fault::Site site, int device, std::uint64_t host_base,
+                     std::uint64_t bytes);
+
   apu::Machine& machine_;
   mem::MemorySystem& mem_;
+  Watchdog watchdog_;
   /// Guards all instrumentation accumulators against concurrent host
   /// threads — the equivalent of libomptarget/rocprof keeping their stats
   /// behind a mutex (or atomics). Taking it costs no simulated time.

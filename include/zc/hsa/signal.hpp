@@ -2,6 +2,8 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 
 #include "zc/sim/scheduler.hpp"
 #include "zc/sim/time.hpp"
@@ -15,12 +17,19 @@ namespace zc::hsa {
 /// timestamp; waiting advances the waiter's clock. A signal can also be
 /// awaited before any operation has been bound to it (cross-thread
 /// synchronization), in which case the waiter blocks until `complete()` is
-/// called.
+/// called. A hung operation (fault injection) simply never binds a
+/// completion time; the watchdog may then `complete_abort` the signal to
+/// unblock its waiters.
 ///
 /// Handles are cheap shared references; copying a `Signal` shares state.
 class Signal {
  public:
   Signal() : state_{std::make_shared<State>()} {}
+
+  /// Label the signal with the operation it tracks (e.g. "kernel:vmc").
+  /// Used by deadlock diagnostics and watchdog trip reports.
+  void set_name(std::string name) { state_->name = std::move(name); }
+  [[nodiscard]] const std::string& name() const { return state_->name; }
 
   /// Mark complete at virtual time `t` and wake blocked waiters.
   void complete(sim::Scheduler& sched, sim::TimePoint t) {
@@ -36,7 +45,16 @@ class Signal {
     complete(sched, t);
   }
 
+  /// Mark the tracked operation aborted at virtual time `t` (the watchdog
+  /// tore down its queue). Waiters wake normally; they must check
+  /// `aborted()` and decide whether to replay or raise.
+  void complete_abort(sim::Scheduler& sched, sim::TimePoint t) {
+    state_->aborted = true;
+    complete(sched, t);
+  }
+
   [[nodiscard]] bool errored() const { return state_->errored; }
+  [[nodiscard]] bool aborted() const { return state_->aborted; }
 
   [[nodiscard]] bool is_complete() const {
     return state_->complete_at.has_value();
@@ -50,18 +68,44 @@ class Signal {
   sim::Duration wait(sim::Scheduler& sched) {
     const sim::TimePoint before = sched.now();
     if (!state_->complete_at.has_value()) {
-      state_->waiters.wait(sched);
+      state_->waiters.wait(sched, label());
     }
     sched.advance_to(*state_->complete_at);
     return sched.now() - before;
+  }
+
+  /// Block/advance like `wait`, but give up after `timeout` of virtual
+  /// time. Returns true when the signal completed (caller's clock >= the
+  /// completion time), false on timeout (caller's clock at the deadline).
+  /// A signal already bound to a time at or before the deadline never
+  /// times out; completion at exactly the deadline counts as completed.
+  [[nodiscard]] bool wait_for(sim::Scheduler& sched, sim::Duration timeout) {
+    if (!state_->complete_at.has_value()) {
+      if (!state_->waiters.wait_for(sched, timeout, label())) {
+        return false;
+      }
+    } else if (*state_->complete_at > sched.now() + timeout) {
+      sched.advance(timeout);
+      return false;
+    }
+    sched.advance_to(*state_->complete_at);
+    return true;
   }
 
  private:
   struct State {
     std::optional<sim::TimePoint> complete_at;
     bool errored = false;
+    bool aborted = false;
+    std::string name;
     sim::WaitList waiters;
   };
+
+  [[nodiscard]] std::string label() const {
+    return "Signal(" + (state_->name.empty() ? "unnamed" : state_->name) +
+           ")";
+  }
+
   std::shared_ptr<State> state_;
 };
 

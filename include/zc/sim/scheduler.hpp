@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "zc/sim/fiber.hpp"
@@ -15,6 +17,7 @@ namespace zc::sim {
 
 class Scheduler;
 class Mutex;
+class WaitList;
 
 /// Error raised for simulation misuse (deadlock, op outside a thread, ...).
 class SimError : public std::runtime_error {
@@ -46,6 +49,11 @@ class VirtualThread {
   }
   [[nodiscard]] bool holds(const Mutex& m) const;
 
+  /// While blocked, a short label for the primitive this thread waits on
+  /// (e.g. "Mutex(present-table)", "Signal(kernel:vmc)"); empty otherwise.
+  /// Surfaced by the deadlock diagnostic in `Scheduler::run`.
+  [[nodiscard]] const std::string& waiting_on() const { return wait_what_; }
+
  private:
   friend class Scheduler;
   friend class WaitList;
@@ -60,6 +68,11 @@ class VirtualThread {
   TimePoint clock_;
   State state_ = State::Runnable;
   bool deprioritized_ = false;  // one-shot, set by Scheduler::reschedule
+  // --- timed-wait bookkeeping (the scheduler's timer wheel) ---
+  std::optional<TimePoint> wake_at_;  // armed deadline while blocked
+  bool timed_out_ = false;            // set when the deadline fired
+  WaitList* waiting_in_ = nullptr;    // list to drop out of on timeout
+  std::string wait_what_;             // diagnostic label while blocked
   std::vector<const Mutex*> held_;
   std::unique_ptr<Fiber> fiber_;
 };
@@ -116,6 +129,12 @@ class Scheduler {
   /// Move the current thread's clock to `t` if `t` is later.
   void advance_to(TimePoint t);
 
+  /// Block the current thread until virtual time `now() + d`; other threads
+  /// run in the meantime. Equivalent to `advance(d)` for the caller's clock,
+  /// but routed through the timer wheel, so it composes with timed waits
+  /// and never starves lower-clock peers.
+  void sleep_for(Duration d);
+
   /// Give other threads with equal clocks a chance to run.
   void reschedule();
 
@@ -154,6 +173,9 @@ class Scheduler {
   void wake(VirtualThread& t, TimePoint at_least);
   void maybe_yield();
   [[nodiscard]] VirtualThread* pick_next();
+  /// Wake every timed-blocked thread whose deadline is due (no runnable
+  /// thread has a strictly smaller clock). Returns true if any fired.
+  bool fire_due_timers();
 
   std::vector<std::unique_ptr<VirtualThread>> threads_;
   VirtualThread* running_ = nullptr;
@@ -171,7 +193,16 @@ class WaitList {
  public:
   /// Block the current thread until `notify_all` is called.
   /// On wakeup the thread's clock is at least the notifier-supplied time.
-  void wait(Scheduler& sched);
+  /// `what` labels the wait in deadlock diagnostics.
+  void wait(Scheduler& sched, std::string_view what = "WaitList");
+
+  /// Block like `wait`, but give up after `timeout` of virtual time.
+  /// Returns true when notified, false when the deadline fired first (the
+  /// caller's clock is then exactly at the deadline, and it no longer
+  /// occupies a slot in the list). A non-positive timeout returns false
+  /// immediately without blocking.
+  [[nodiscard]] bool wait_for(Scheduler& sched, Duration timeout,
+                              std::string_view what = "WaitList");
 
   /// Wake all waiters; each resumes with clock >= `at_least`.
   void notify_all(Scheduler& sched, TimePoint at_least);
@@ -180,6 +211,8 @@ class WaitList {
   [[nodiscard]] std::size_t size() const { return waiters_.size(); }
 
  private:
+  friend class Scheduler;  // timeout path removes the waiter in-place
+
   std::vector<VirtualThread*> waiters_;
 };
 
@@ -196,10 +229,23 @@ class Latch {
 
   /// Block until set; on return the caller's clock is >= the set time.
   void wait(Scheduler& sched) {
+    sched.stress_point();  // latch waits are schedule-divergence points too
     if (!set_) {
-      waiters_.wait(sched);
+      waiters_.wait(sched, "Latch");
     }
     sched.advance_to(at_);
+  }
+
+  /// Block until set or until `timeout` elapses. Returns true when the
+  /// latch was set (clock >= set time), false on timeout (clock exactly at
+  /// the deadline).
+  [[nodiscard]] bool wait_for(Scheduler& sched, Duration timeout) {
+    sched.stress_point();
+    if (!set_ && !waiters_.wait_for(sched, timeout, "Latch")) {
+      return false;
+    }
+    sched.advance_to(at_);
+    return true;
   }
 
   [[nodiscard]] bool is_set() const { return set_; }
@@ -222,6 +268,10 @@ class Latch {
 /// guard — see `assert_held` / `GuardedBy`) hard runtime errors.
 class Mutex {
  public:
+  /// `name` labels the mutex in deadlock diagnostics; it must outlive the
+  /// mutex (string literals do).
+  explicit Mutex(const char* name = "mutex") : name_{name} {}
+
   void lock(Scheduler& sched) {
     sched.stress_point();
     VirtualThread& self = sched.current();
@@ -230,10 +280,37 @@ class Mutex {
                                 self.name() + "'");
     }
     while (owner_ != nullptr) {
-      waiters_.wait(sched);
+      waiters_.wait(sched, label());
     }
     owner_ = &self;
     self.held_.push_back(this);
+  }
+
+  /// Try to acquire the lock, giving up after `timeout` of virtual time.
+  /// Returns true with the lock held, or false with the caller's clock at
+  /// the deadline and the lock not held. Recursive acquisition is still a
+  /// lock-discipline error.
+  [[nodiscard]] bool try_lock_for(Scheduler& sched, Duration timeout) {
+    sched.stress_point();
+    VirtualThread& self = sched.current();
+    if (owner_ == &self) {
+      throw LockDisciplineError(
+          "Mutex::try_lock_for: recursive lock by thread '" + self.name() +
+          "'");
+    }
+    const TimePoint deadline = sched.now() + timeout;
+    while (owner_ != nullptr) {
+      const Duration left = deadline - sched.now();
+      // A wakeup only means the previous owner released; another waiter may
+      // have grabbed the lock first, so re-check with the remaining budget.
+      if (left <= Duration::zero() ||
+          !waiters_.wait_for(sched, left, label())) {
+        return false;
+      }
+    }
+    owner_ = &self;
+    self.held_.push_back(this);
+    return true;
   }
 
   void unlock(Scheduler& sched) {
@@ -257,8 +334,14 @@ class Mutex {
   }
   /// Owning thread, or nullptr when unlocked.
   [[nodiscard]] const VirtualThread* owner() const { return owner_; }
+  [[nodiscard]] const char* name() const { return name_; }
 
  private:
+  [[nodiscard]] std::string label() const {
+    return std::string{"Mutex("} + name_ + ")";
+  }
+
+  const char* name_;
   VirtualThread* owner_ = nullptr;
   WaitList waiters_;
 };
@@ -359,9 +442,10 @@ class Barrier {
   }
 
   void arrive_and_wait(Scheduler& sched) {
+    sched.stress_point();  // barrier arrivals are schedule-divergence points
     latest_ = max(latest_, sched.now());
     if (++arrived_ < parties_) {
-      waiters_.wait(sched);
+      waiters_.wait(sched, "Barrier");
       return;
     }
     // Last arrival releases the round and resets for the next one.

@@ -31,6 +31,9 @@ struct DecisionRecord {
   /// True when the device was under memory pressure (a pool allocation had
   /// failed) at evaluation time — DmaCopy was priced out.
   bool memory_pressure = false;
+  /// True when the device's circuit breaker was open at evaluation time —
+  /// only eager prefault was priced finite.
+  bool breaker_open = false;
 };
 
 /// Record of every *fresh* policy evaluation (cache misses and hysteresis

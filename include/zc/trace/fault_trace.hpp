@@ -19,6 +19,10 @@ enum class FaultEvent {
   EbusyInjected,       ///< fault engine EBUSY'd a prefault syscall
   SdmaErrorInjected,   ///< fault engine errored an async copy's signal
   ReplayStormInjected, ///< fault engine inflated XNACK fault servicing
+  KernelHangInjected,  ///< fault engine hung a kernel's completion signal
+  SdmaStallInjected,   ///< fault engine stalled an async copy's signal
+  PrefaultHangInjected,///< fault engine hung a prefault syscall
+  XnackLivelockInjected,///< fault engine livelocked XNACK fault servicing
   // -- degraded-mode reactions -------------------------------------------
   OomFallbackZeroCopy,   ///< Copy map degraded to a zero-copy mapping
   PrefaultRetry,         ///< prefault retried after a transient error
@@ -27,6 +31,14 @@ enum class FaultEvent {
   CopyRetry,             ///< errored async copy was resubmitted
   CopyRetrySucceeded,    ///< the resubmitted copy completed cleanly
   RegionFailed,          ///< degradation exhausted; OffloadError raised
+  // -- watchdog / circuit breaker -----------------------------------------
+  WatchdogTrip,          ///< watchdog aborted a hung op via queue teardown
+  WatchdogReplay,        ///< runtime replayed the aborted operation
+  WatchdogRecovered,     ///< a replayed operation completed cleanly
+  BreakerOpened,         ///< device breaker opened (trips over threshold)
+  BreakerHalfOpened,     ///< breaker probing again after the cooldown
+  BreakerClosed,         ///< breaker closed after a quiet period
+  BreakerPinnedMap,      ///< open breaker pinned a map to eager zero-copy
 };
 
 [[nodiscard]] constexpr const char* to_string(FaultEvent e) {
@@ -57,6 +69,28 @@ enum class FaultEvent {
       return "copy-retry-succeeded";
     case FaultEvent::RegionFailed:
       return "region-failed";
+    case FaultEvent::KernelHangInjected:
+      return "kernel-hang-injected";
+    case FaultEvent::SdmaStallInjected:
+      return "sdma-stall-injected";
+    case FaultEvent::PrefaultHangInjected:
+      return "prefault-hang-injected";
+    case FaultEvent::XnackLivelockInjected:
+      return "xnack-livelock-injected";
+    case FaultEvent::WatchdogTrip:
+      return "watchdog-trip";
+    case FaultEvent::WatchdogReplay:
+      return "watchdog-replay";
+    case FaultEvent::WatchdogRecovered:
+      return "watchdog-recovered";
+    case FaultEvent::BreakerOpened:
+      return "breaker-opened";
+    case FaultEvent::BreakerHalfOpened:
+      return "breaker-half-opened";
+    case FaultEvent::BreakerClosed:
+      return "breaker-closed";
+    case FaultEvent::BreakerPinnedMap:
+      return "breaker-pinned-map";
   }
   return "?";
 }

@@ -49,6 +49,11 @@ struct RunOptions {
   /// Deterministic fault schedule (OMPX_APU_FAULTS grammar); empty runs
   /// fault-free. Validated at machine construction.
   std::string fault_spec;
+
+  /// Hang-detection budget (OMPX_APU_WATCHDOG grammar, e.g. "200us" or
+  /// "1ms:abort"); empty runs with no watchdog — a hang then deadlocks the
+  /// simulation with a diagnostic naming the stuck signal.
+  std::string watchdog_spec;
 };
 
 /// Everything one run produces.

@@ -63,6 +63,12 @@ PredictedCosts PolicyEngine::predict(const RegionFeatures& f) const {
   if (f.memory_pressure) {
     out.copy_us = std::numeric_limits<double>::infinity();
   }
+  // An open circuit breaker pins the device to its safest handling: no DMA
+  // engines, no demand-fault storms — eager prefault only.
+  if (f.breaker_open) {
+    out.copy_us = std::numeric_limits<double>::infinity();
+    out.zero_copy_us = std::numeric_limits<double>::infinity();
+  }
 
   return out;
 }

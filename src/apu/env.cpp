@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 
 #include "zc/fault/spec.hpp"
 
@@ -36,6 +37,56 @@ ApuMapsMode apu_maps_mode(const std::string& key, const std::string& raw) {
 
 }  // namespace
 
+WatchdogConfig parse_watchdog(const std::string& raw) {
+  const std::string err_prefix = "OMPX_APU_WATCHDOG=" + raw + ": ";
+  std::string_view text{raw};
+  std::string_view budget = text;
+  std::string_view mode;
+  if (const std::size_t colon = text.find(':');
+      colon != std::string_view::npos) {
+    budget = text.substr(0, colon);
+    mode = text.substr(colon + 1);
+  }
+
+  std::int64_t scale = 1;  // default unit: nanoseconds
+  if (budget.size() >= 2) {
+    const std::string_view suffix = budget.substr(budget.size() - 2);
+    if (suffix == "ns") {
+      budget.remove_suffix(2);
+    } else if (suffix == "us") {
+      scale = 1000;
+      budget.remove_suffix(2);
+    } else if (suffix == "ms") {
+      scale = 1000 * 1000;
+      budget.remove_suffix(2);
+    }
+  }
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(budget.data(), budget.data() + budget.size(), value);
+  if (ec != std::errc{} || ptr != budget.data() + budget.size() ||
+      budget.empty()) {
+    throw EnvError(err_prefix + "budget must be an integer with an optional "
+                                "ns/us/ms suffix");
+  }
+  if (value < 0) {
+    throw EnvError(err_prefix + "budget must be non-negative");
+  }
+
+  WatchdogConfig out;
+  out.budget = sim::Duration::nanoseconds(value * scale);
+  if (!mode.empty()) {
+    if (mode == "abort") {
+      out.recover = false;
+    } else if (mode == "recover") {
+      out.recover = true;
+    } else {
+      throw EnvError(err_prefix + "mode must be 'abort' or 'recover'");
+    }
+  }
+  return out;
+}
+
 RunEnvironment RunEnvironment::from_env(
     const std::map<std::string, std::string>& env) {
   RunEnvironment out;
@@ -59,6 +110,9 @@ RunEnvironment RunEnvironment::from_env(
     }
     out.ompx_apu_faults = it->second;
   }
+  if (auto it = env.find("OMPX_APU_WATCHDOG"); it != env.end()) {
+    out.watchdog = parse_watchdog(it->second);
+  }
   return out;
 }
 
@@ -76,6 +130,11 @@ std::string RunEnvironment::to_string() const {
   if (!ompx_apu_faults.empty()) {
     s += " OMPX_APU_FAULTS=";
     s += ompx_apu_faults;
+  }
+  if (watchdog.enabled()) {
+    s += " OMPX_APU_WATCHDOG=";
+    s += std::to_string(watchdog.budget.ns());
+    s += watchdog.recover ? ":recover" : ":abort";
   }
   return s;
 }

@@ -1,0 +1,65 @@
+#include "zc/core/circuit_breaker.hpp"
+
+#include <algorithm>
+
+namespace zc::omp {
+
+using sim::Duration;
+using sim::TimePoint;
+
+std::vector<CircuitBreaker::Transition> CircuitBreaker::advance_to(
+    TimePoint now) {
+  std::vector<Transition> out;
+  if (state_ == State::Open) {
+    const TimePoint half_open_at = opened_at_ + cooldown_;
+    if (now >= half_open_at) {
+      state_ = State::HalfOpen;
+      out.push_back({State::HalfOpen, half_open_at});
+    }
+  }
+  if (state_ == State::HalfOpen) {
+    // A full further cooldown of quiet closes the breaker.
+    const TimePoint close_at = opened_at_ + cooldown_ + cooldown_;
+    if (now >= close_at) {
+      state_ = State::Closed;
+      recent_.clear();
+      out.push_back({State::Closed, close_at});
+    }
+  }
+  return out;
+}
+
+std::vector<CircuitBreaker::Transition> CircuitBreaker::record_trip(
+    TimePoint now) {
+  std::vector<Transition> out = advance_to(now);
+  ++total_trips_;
+  switch (state_) {
+    case State::Closed: {
+      std::erase_if(recent_,
+                    [&](TimePoint t) { return now - t > window_; });
+      recent_.push_back(now);
+      if (static_cast<int>(recent_.size()) >= threshold_) {
+        state_ = State::Open;
+        opened_at_ = now;
+        recent_.clear();
+        ++times_opened_;
+        out.push_back({State::Open, now});
+      }
+      break;
+    }
+    case State::Open:
+      // Still tripping while open: push the quiet period out.
+      opened_at_ = now;
+      break;
+    case State::HalfOpen:
+      // The probe failed; re-open immediately.
+      state_ = State::Open;
+      opened_at_ = now;
+      ++times_opened_;
+      out.push_back({State::Open, now});
+      break;
+  }
+  return out;
+}
+
+}  // namespace zc::omp

@@ -22,7 +22,21 @@ OffloadRuntime::OffloadRuntime(hsa::Runtime& hsa, ProgramBinary program)
       decisions_{table_mutex_, "DecisionTrace"},
       pressure_{table_mutex_, "MemPressure",
                 std::vector<char>(
-                    static_cast<std::size_t>(hsa.machine().sockets()), 0)} {}
+                    static_cast<std::size_t>(hsa.machine().sockets()), 0)},
+      breakers_{table_mutex_, "CircuitBreaker",
+                std::vector<CircuitBreaker>(
+                    static_cast<std::size_t>(hsa.machine().sockets()),
+                    CircuitBreaker{
+                        hsa.machine().degrade_params().breaker_trip_threshold,
+                        hsa.machine().degrade_params().breaker_window,
+                        hsa.machine().degrade_params().breaker_cooldown})},
+      breaker_attention_(static_cast<std::size_t>(hsa.machine().sockets()),
+                         0) {
+  // Every watchdog trip — regardless of which construct hung — feeds the
+  // hung device's breaker.
+  hsa_.watchdog().set_trip_listener(
+      [this](int device, sim::TimePoint) { note_breaker_trip(device); });
+}
 
 int OffloadRuntime::device_count() const {
   return hsa_.machine().sockets();
@@ -225,13 +239,83 @@ void OffloadRuntime::wait_all(std::vector<PendingCopy>& copies) {
   apu::Machine& m = hsa_.machine();
   // The runtime batches: one wait on the transfer that completes last
   // (engine FIFO ordering makes every earlier submission complete earlier
-  // or on another engine no later than observed here).
-  auto latest = std::max_element(copies.begin(), copies.end(),
-                                 [](const PendingCopy& a, const PendingCopy& b) {
-                                   return a.signal.complete_at() <
-                                          b.signal.complete_at();
-                                 });
+  // or on another engine no later than observed here). A stalled copy's
+  // signal is unbound — sort it last and wait on it anyway: the wait
+  // blocks until the watchdog aborts it (or, with no watchdog, deadlocks
+  // with a diagnostic naming the stuck signal).
+  auto completes_at = [](const PendingCopy& p) {
+    return p.signal.is_complete() ? p.signal.complete_at()
+                                  : sim::TimePoint::max();
+  };
+  auto latest =
+      std::max_element(copies.begin(), copies.end(),
+                       [&](const PendingCopy& a, const PendingCopy& b) {
+                         return completes_at(a) < completes_at(b);
+                       });
   hsa_.signal_wait_scacquire(latest->signal);
+  for (PendingCopy& pc : copies) {
+    if (!pc.signal.is_complete()) {
+      // More than one stall in the batch: each tripped at its own deadline.
+      hsa_.signal_wait_scacquire(pc.signal);
+    }
+  }
+  // Watchdog-abort ladder: a copy whose queue was torn down delivered no
+  // bytes; replay it (recover mode) up to the replay budget. A replay can
+  // itself stall (repeat injection) — its wait then blocks until the next
+  // trip — or complete with an error payload, which the error ladder
+  // below handles.
+  const apu::WatchdogConfig& wd = hsa_.watchdog().config();
+  for (PendingCopy& pc : copies) {
+    if (!pc.signal.aborted()) {
+      continue;
+    }
+    const int max_replays = m.degrade_params().watchdog_max_replays;
+    bool recovered = false;
+    for (int attempt = 1; wd.recover && attempt <= max_replays; ++attempt) {
+      hsa_.record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::WatchdogReplay,
+                             .device = pc.device,
+                             .time = m.sched().now(),
+                             .host_base = pc.host.base.value,
+                             .bytes = pc.bytes,
+                             .attempt = attempt});
+      hsa::Signal retry =
+          hsa_.memory_async_copy(pc.dst, pc.src, pc.bytes, pc.with_handler,
+                                 pc.count_in_ledger, pc.device);
+      hsa_.signal_wait_scacquire(retry);
+      if (retry.aborted()) {
+        continue;
+      }
+      pc.signal = retry;
+      hsa_.record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::WatchdogRecovered,
+                             .device = pc.device,
+                             .time = m.sched().now(),
+                             .host_base = pc.host.base.value,
+                             .bytes = pc.bytes,
+                             .attempt = attempt});
+      recovered = true;
+      break;
+    }
+    if (!recovered) {
+      hsa_.record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::RegionFailed,
+                             .device = pc.device,
+                             .time = m.sched().now(),
+                             .host_base = pc.host.base.value,
+                             .bytes = pc.bytes});
+      const mem::AddrRange host = pc.host;
+      const int device = pc.device;
+      copies.clear();
+      throw OffloadError(ErrorCode::OperationHung,
+                         "async copy of " + std::to_string(host.bytes) +
+                             "B at " + host.base.to_string() +
+                             " hung; the watchdog aborted it" +
+                             (wd.recover ? " and replays were exhausted"
+                                         : " (abort mode)"),
+                         device, host);
+    }
+  }
   // Retry ladder: each copy whose signal carries an error payload is
   // resubmitted a bounded number of times; if the last resubmission also
   // fails, only the offending region fails — with a structured error, not
@@ -290,21 +374,65 @@ void OffloadRuntime::prefault_with_retry(mem::AddrRange range, int device) {
   apu::Machine& m = hsa_.machine();
   const apu::DegradeParams& dp = m.degrade_params();
   sim::Duration backoff = dp.prefault_backoff_base;
-  for (int attempt = 1;; ++attempt) {
+  int attempt = 0;  // transient (EINTR/EBUSY) failures observed so far
+  int hangs = 0;    // watchdog-aborted attempts observed so far
+  while (true) {
     const hsa::PrefaultResult r =
         hsa_.try_svm_attributes_set_prefault(range, device);
     if (r.ok()) {
-      if (attempt > 1) {
+      if (hangs > 0) {
+        hsa_.record_fault(
+            trace::FaultRecord{.event = trace::FaultEvent::WatchdogRecovered,
+                               .device = device,
+                               .time = m.sched().now(),
+                               .host_base = range.base.value,
+                               .bytes = range.bytes,
+                               .attempt = hangs});
+      }
+      if (attempt > 0) {
         hsa_.record_fault(trace::FaultRecord{
             .event = trace::FaultEvent::PrefaultRetrySucceeded,
             .device = device,
             .time = m.sched().now(),
             .host_base = range.base.value,
             .bytes = range.bytes,
-            .attempt = attempt});
+            .attempt = attempt + 1});
       }
       return;
     }
+    if (r.status == hsa::Status::TimedOut) {
+      // The syscall hung and the watchdog aborted it (the queue rebuild is
+      // already paid). Replay immediately — the injection's call counter
+      // has advanced, so a one-shot hang does not refire.
+      const apu::WatchdogConfig& wd = hsa_.watchdog().config();
+      ++hangs;
+      if (!wd.recover || hangs > dp.watchdog_max_replays) {
+        hsa_.record_fault(
+            trace::FaultRecord{.event = trace::FaultEvent::RegionFailed,
+                               .device = device,
+                               .time = m.sched().now(),
+                               .host_base = range.base.value,
+                               .bytes = range.bytes,
+                               .attempt = hangs});
+        throw OffloadError(ErrorCode::OperationHung,
+                           "svm_attributes_set prefault of " +
+                               std::to_string(range.bytes) + "B at " +
+                               range.base.to_string() +
+                               " hung; the watchdog aborted it" +
+                               (wd.recover ? " and replays were exhausted"
+                                           : " (abort mode)"),
+                           device, range);
+      }
+      hsa_.record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::WatchdogReplay,
+                             .device = device,
+                             .time = m.sched().now(),
+                             .host_base = range.base.value,
+                             .bytes = range.bytes,
+                             .attempt = hangs});
+      continue;
+    }
+    ++attempt;
     if (attempt > dp.prefault_max_retries) {
       if (m.env().hsa_xnack) {
         // Prefault was an optimization: XNACK demand faulting still makes
@@ -347,14 +475,72 @@ void OffloadRuntime::prefault_with_retry(mem::AddrRange range, int device) {
   }
 }
 
-void OffloadRuntime::fallback_map_zero_copy(const MapEntry& entry, int device) {
+void OffloadRuntime::record_breaker_transitions(
+    const std::vector<CircuitBreaker::Transition>& transitions, int device) {
+  for (const CircuitBreaker::Transition& t : transitions) {
+    trace::FaultEvent event = trace::FaultEvent::BreakerClosed;
+    switch (t.to) {
+      case CircuitBreaker::State::Open:
+        event = trace::FaultEvent::BreakerOpened;
+        break;
+      case CircuitBreaker::State::HalfOpen:
+        event = trace::FaultEvent::BreakerHalfOpened;
+        break;
+      case CircuitBreaker::State::Closed:
+        event = trace::FaultEvent::BreakerClosed;
+        break;
+    }
+    hsa_.record_fault(trace::FaultRecord{
+        .event = event, .device = device, .time = t.at});
+  }
+}
+
+void OffloadRuntime::note_breaker_trip(int device) {
+  sim::Scheduler& sched = hsa_.machine().sched();
+  sim::LockGuard lock{table_mutex_, sched};
+  CircuitBreaker& b =
+      breakers_.get(sched)[static_cast<std::size_t>(device)];
+  record_breaker_transitions(b.record_trip(sched.now()), device);
+  breaker_attention_[static_cast<std::size_t>(device)] =
+      b.state() != CircuitBreaker::State::Closed ? 1 : 0;
+}
+
+bool OffloadRuntime::breaker_pinned(int device) {
+  if (breaker_attention_[static_cast<std::size_t>(device)] == 0) {
+    return false;  // closed (the steady state): no lock on the hot path
+  }
+  sim::Scheduler& sched = hsa_.machine().sched();
+  sim::LockGuard lock{table_mutex_, sched};
+  return breaker_pinned_locked(device);
+}
+
+bool OffloadRuntime::breaker_pinned_locked(int device) {
+  if (breaker_attention_[static_cast<std::size_t>(device)] == 0) {
+    return false;
+  }
+  sim::Scheduler& sched = hsa_.machine().sched();
+  CircuitBreaker& b =
+      breakers_.get(sched)[static_cast<std::size_t>(device)];
+  record_breaker_transitions(b.advance_to(sched.now()), device);
+  breaker_attention_[static_cast<std::size_t>(device)] =
+      b.state() != CircuitBreaker::State::Closed ? 1 : 0;
+  return b.open();
+}
+
+void OffloadRuntime::fallback_map_zero_copy(const MapEntry& entry, int device,
+                                            trace::FaultEvent reason,
+                                            bool counts_as_trip) {
   apu::Machine& m = hsa_.machine();
-  hsa_.record_fault(
-      trace::FaultRecord{.event = trace::FaultEvent::OomFallbackZeroCopy,
-                         .device = device,
-                         .time = m.sched().now(),
-                         .host_base = entry.host_ptr.value,
-                         .bytes = entry.bytes});
+  hsa_.record_fault(trace::FaultRecord{.event = reason,
+                                       .device = device,
+                                       .time = m.sched().now(),
+                                       .host_base = entry.host_ptr.value,
+                                       .bytes = entry.bytes});
+  if (counts_as_trip) {
+    // Degraded-mode events feed the breaker alongside watchdog trips; the
+    // breaker's own pinned maps must not, or it would never close.
+    note_breaker_trip(device);
+  }
   if (!m.env().hsa_xnack) {
     // XNACK disabled (Legacy Copy): the GPU cannot demand-fault host
     // pages, so the whole range must be translatable BEFORE the degraded
@@ -400,8 +586,19 @@ void OffloadRuntime::begin_one(const MapEntry& entry, int device,
     }
     // Zero-copy: no storage operation. Eager Maps additionally prefaults
     // the GPU page table for the mapped range on every map (with the
-    // backoff ladder against transient syscall faults).
+    // backoff ladder against transient syscall faults). An open breaker
+    // forces the same eager prefault on the plain zero-copy
+    // configurations: demand-fault storms are a hang site, so the pinned
+    // device fronts the page-table work here instead.
     if (config_ == RuntimeConfig::EagerMaps) {
+      prefault_with_retry(entry.host_range(), device);
+    } else if (breaker_pinned(device)) {
+      hsa_.record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::BreakerPinnedMap,
+                             .device = device,
+                             .time = m.sched().now(),
+                             .host_base = entry.host_ptr.value,
+                             .bytes = entry.bytes});
       prefault_with_retry(entry.host_range(), device);
     }
     return;
@@ -409,6 +606,7 @@ void OffloadRuntime::begin_one(const MapEntry& entry, int device,
 
   bool do_copy = false;
   bool need_fallback = false;
+  bool pinned_fallback = false;
   mem::VirtAddr dev_dst;
   {
     // Mapping-table transaction: the lookup and the insert (with the device
@@ -425,6 +623,11 @@ void OffloadRuntime::begin_one(const MapEntry& entry, int device,
       }
       do_copy = !e->degraded && entry.always && copies_to_device(entry.type);
       dev_dst = e->device_addr(entry.host_ptr);
+    } else if (breaker_pinned_locked(device)) {
+      // Open breaker: new mappings skip the pool + DMA entirely (already-
+      // mapped ranges above keep their device storage and semantics).
+      need_fallback = true;
+      pinned_fallback = true;
     } else {
       const hsa::PoolAllocResult r = hsa_.try_memory_pool_allocate(
           entry.bytes, "omp-map:" + entry.host_ptr.to_string(),
@@ -444,7 +647,11 @@ void OffloadRuntime::begin_one(const MapEntry& entry, int device,
     }
   }
   if (need_fallback) {
-    fallback_map_zero_copy(entry, device);
+    fallback_map_zero_copy(entry, device,
+                           pinned_fallback
+                               ? trace::FaultEvent::BreakerPinnedMap
+                               : trace::FaultEvent::OomFallbackZeroCopy,
+                           /*counts_as_trip=*/!pinned_fallback);
     return;
   }
   if (do_copy) {
@@ -492,6 +699,7 @@ void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
       features.copies_out = copies_to_host(entry.type);
       features.memory_pressure =
           pressure_.get(m.sched())[static_cast<std::size_t>(device)] != 0;
+      features.breaker_open = breaker_pinned_locked(device);
       const adapt::Outcome out =
           adapt_.get(m.sched()).decide(device, features);
       trace::DecisionTrace& dtrace = decisions_.get(m.sched());
@@ -511,7 +719,8 @@ void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
             .predicted_zero_copy_us = out.costs.zero_copy_us,
             .predicted_eager_us = out.costs.eager_us,
             .revised = out.revised,
-            .memory_pressure = features.memory_pressure});
+            .memory_pressure = features.memory_pressure,
+            .breaker_open = features.breaker_open});
       } else {
         m.sched().advance(m.adapt_params().cache_hit_cost);
         dtrace.note_cache_hit();
@@ -544,7 +753,9 @@ void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
   // the mapping lock: the DMA target is pinned by the refcount we hold,
   // and the prefault only touches the driver's page tables.
   if (need_fallback) {
-    fallback_map_zero_copy(entry, device);
+    fallback_map_zero_copy(entry, device,
+                           trace::FaultEvent::OomFallbackZeroCopy,
+                           /*counts_as_trip=*/true);
     return;
   }
   if (do_prefault) {
@@ -823,6 +1034,50 @@ hsa::KernelLaunch build_launch(const TargetRegion& region,
 
 }  // namespace
 
+void OffloadRuntime::await_kernel(hsa::Signal sig,
+                                  const hsa::KernelLaunch& launch,
+                                  int host_thread) {
+  hsa_.signal_wait_scacquire(sig);
+  if (!sig.aborted()) {
+    return;
+  }
+  // The kernel hung and the watchdog tore down its queue. The hung attempt
+  // executed nothing (all-or-nothing), so a replay reproduces the
+  // fault-free run's functional effects exactly once.
+  apu::Machine& m = hsa_.machine();
+  const apu::WatchdogConfig& wd = hsa_.watchdog().config();
+  const int max_replays = m.degrade_params().watchdog_max_replays;
+  for (int attempt = 1; sig.aborted(); ++attempt) {
+    if (!wd.recover || attempt > max_replays) {
+      hsa_.record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::RegionFailed,
+                             .device = launch.device,
+                             .time = m.sched().now(),
+                             .attempt = attempt - 1});
+      throw OffloadError(ErrorCode::OperationHung,
+                         "kernel '" + launch.name +
+                             "' hung; the watchdog aborted it" +
+                             (wd.recover ? " and replays were exhausted"
+                                         : " (abort mode)"),
+                         launch.device);
+    }
+    hsa_.record_fault(
+        trace::FaultRecord{.event = trace::FaultEvent::WatchdogReplay,
+                           .device = launch.device,
+                           .time = m.sched().now(),
+                           .attempt = attempt});
+    sig = hsa_.dispatch_kernel(launch, host_thread);
+    hsa_.signal_wait_scacquire(sig);
+    if (!sig.aborted()) {
+      hsa_.record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::WatchdogRecovered,
+                             .device = launch.device,
+                             .time = m.sched().now(),
+                             .attempt = attempt});
+    }
+  }
+}
+
 void OffloadRuntime::target(const TargetRegion& region) {
   ensure_initialized();
   check_device(region.device);
@@ -842,7 +1097,9 @@ void OffloadRuntime::target(const TargetRegion& region) {
       region.body(ctx, translator);
     };
   }
-  hsa_.run_kernel(launch, hsa_.machine().sched().current().id());
+  const int host_thread = hsa_.machine().sched().current().id();
+  await_kernel(hsa_.dispatch_kernel(launch, host_thread), launch,
+               host_thread);
 
   target_data_end(region.maps, region.device);
 }
@@ -857,6 +1114,13 @@ TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
       throw MappingError("target_nowait: invalid dependence",
                          ErrorCode::TaskMisuse, region.device);
     }
+    if (!dep->signal_.is_complete()) {
+      // The dependence is hung in flight (fault injection): its completion
+      // time does not exist yet, so block until the watchdog resolves it —
+      // or, with no watchdog, deadlock with a diagnostic naming the stuck
+      // signal. The dependence's own replay happens at its target_wait.
+      hsa_.signal_wait_scacquire(dep->signal_);
+    }
     not_before = max(not_before, dep->signal_.complete_at());
   }
   target_data_begin(region.maps, region.device);
@@ -868,14 +1132,17 @@ TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
   hsa::KernelLaunch launch = build_launch(region, translator);
   if (region.body) {
     // The functional body runs at dispatch; a conforming program does not
-    // observe the results before target_wait anyway.
-    launch.body = [&region, &translator](hsa::KernelContext& ctx) {
-      region.body(ctx, translator);
+    // observe the results before target_wait anyway. Captured by value
+    // (body copy + translator copy): the launch outlives this frame inside
+    // the task, where target_wait may replay it after a watchdog abort.
+    launch.body = [body = region.body, translator](hsa::KernelContext& ctx) {
+      body(ctx, translator);
     };
   }
   TargetTask task;
-  task.signal_ = hsa_.dispatch_kernel(
-      launch, hsa_.machine().sched().current().id(), not_before);
+  task.host_thread_ = hsa_.machine().sched().current().id();
+  task.signal_ = hsa_.dispatch_kernel(launch, task.host_thread_, not_before);
+  task.launch_ = std::move(launch);
   task.maps_.assign(region.maps.begin(), region.maps.end());
   task.device_ = region.device;
   task.kernel_named_ = true;
@@ -890,7 +1157,7 @@ void OffloadRuntime::target_wait(TargetTask& task) {
   if (!task.valid()) {
     throw MappingError("target_wait: empty task", ErrorCode::TaskMisuse);
   }
-  hsa_.signal_wait_scacquire(task.signal_);
+  await_kernel(task.signal_, task.launch_, task.host_thread_);
   target_data_end(task.maps_, task.device_);
   task.completed_ = true;
 }

@@ -28,8 +28,22 @@ SiteKind site_kind(const std::string& token, const std::string& clause) {
   if (token == "xnack") {
     return {Site::XnackReplay, Kind::ReplayStorm};
   }
+  if (token == "kernel_hang") {
+    return {Site::KernelLaunch, Kind::KernelHang};
+  }
+  if (token == "sdma_stall") {
+    return {Site::AsyncCopy, Kind::SdmaStall};
+  }
+  if (token == "prefault_hang") {
+    return {Site::SvmPrefault, Kind::PrefaultHang};
+  }
+  if (token == "xnack_livelock") {
+    return {Site::XnackReplay, Kind::XnackLivelock};
+  }
   throw FaultSpecError("fault spec: unknown site '" + token + "' in clause '" +
-                       clause + "' (expected oom|eintr|ebusy|sdma|xnack)");
+                       clause +
+                       "' (expected oom|eintr|ebusy|sdma|xnack|kernel_hang|"
+                       "sdma_stall|prefault_hang|xnack_livelock)");
 }
 
 std::uint64_t parse_u64(std::string_view text, const std::string& clause) {
@@ -168,6 +182,14 @@ std::string site_token(const Clause& c) {
       return "sdma";
     case Kind::ReplayStorm:
       return "xnack";
+    case Kind::KernelHang:
+      return "kernel_hang";
+    case Kind::SdmaStall:
+      return "sdma_stall";
+    case Kind::PrefaultHang:
+      return "prefault_hang";
+    case Kind::XnackLivelock:
+      return "xnack_livelock";
     case Kind::None:
       break;
   }

@@ -11,11 +11,28 @@ using sim::TimePoint;
 Runtime::Runtime(apu::Machine& machine, mem::MemorySystem& mem)
     : machine_{machine},
       mem_{mem},
+      watchdog_{machine, machine.env().watchdog,
+                [this](trace::FaultRecord r) { record_fault(r); }},
+      trace_mutex_{"hsa-trace"},
       stats_{trace_mutex_, "CallStats"},
       ctrace_{trace_mutex_, "CallTrace"},
       ktrace_{trace_mutex_, "KernelTrace"},
       ledger_{trace_mutex_, "OverheadLedger"},
       ftrace_{trace_mutex_, "FaultTrace"} {}
+
+Signal Runtime::hung_signal(std::string name, trace::FaultEvent event,
+                            fault::Site site, int device,
+                            std::uint64_t host_base, std::uint64_t bytes) {
+  Signal sig;
+  sig.set_name(name);
+  record_fault(trace::FaultRecord{.event = event,
+                                  .device = device,
+                                  .time = sched().now(),
+                                  .host_base = host_base,
+                                  .bytes = bytes});
+  watchdog_.watch(sig, site, device, std::move(name));
+  return sig;
+}
 
 void Runtime::record_call(trace::HsaCall call, TimePoint start,
                           Duration latency) {
@@ -181,11 +198,13 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
   }
   // An injected SDMA engine error aborts the transfer mid-flight: no bytes
   // are delivered, but the engine is occupied for the same interval and the
-  // signal completes with an error payload (negative HSA signal value).
+  // signal completes with an error payload (negative HSA signal value). An
+  // injected stall also delivers nothing, but the signal never completes.
   const fault::Injection inj =
       machine_.faults().consult(fault::Site::AsyncCopy, sched().now());
   const bool sdma_error = inj.kind == fault::Kind::CopyError;
-  if (!sdma_error) {
+  const bool sdma_stall = inj.kind == fault::Kind::SdmaStall;
+  if (!sdma_error && !sdma_stall) {
     if (src_alloc->materialized()) {
       std::memmove(dst_alloc->translate(dst), src_alloc->translate(src), bytes);
     } else if (dst_alloc->materialized()) {
@@ -207,7 +226,14 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
       machine_.sdma(device).reserve(sched().now(), engine_time);
 
   Signal sig;
-  if (sdma_error) {
+  if (sdma_stall) {
+    // The engine wedges on this transfer: it stays occupied, but the
+    // completion signal never fires. The watchdog (when configured) aborts
+    // the operation after its budget; the caller then resubmits.
+    sig = hung_signal("sdma-copy@" + dst.to_string(),
+                      trace::FaultEvent::SdmaStallInjected,
+                      fault::Site::AsyncCopy, device, dst.value, bytes);
+  } else if (sdma_error) {
     sig.complete_error(sched(), iv.end);
     record_fault(trace::FaultRecord{.event = trace::FaultEvent::SdmaErrorInjected,
                                     .device = device,
@@ -215,6 +241,7 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
                                     .host_base = dst.value,
                                     .bytes = bytes});
   } else {
+    sig.set_name("sdma-copy@" + dst.to_string());
     sig.complete(sched(), iv.end);
   }
   record_call(trace::HsaCall::MemoryAsyncCopy, start, setup + engine_time);
@@ -222,8 +249,9 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
     sim::LockGuard lock{trace_mutex_, sched()};
     ledger_.get(sched()).add_copy(setup + engine_time);
   }
-  if (with_handler) {
-    // Host-side completion callback bookkeeping.
+  if (with_handler && !sdma_stall) {
+    // Host-side completion callback bookkeeping (a stalled copy's handler
+    // never fires).
     const Duration handler_cost = Duration::from_us(1.0);
     record_call(trace::HsaCall::SignalAsyncHandler, iv.end, handler_cost);
   }
@@ -245,6 +273,27 @@ PrefaultResult Runtime::try_svm_attributes_set_prefault(mem::AddrRange range,
 
   const fault::Injection inj =
       machine_.faults().consult(fault::Site::SvmPrefault, sched().now());
+  if (inj.kind == fault::Kind::PrefaultHang) {
+    // The syscall enters the driver and never returns: the calling thread
+    // is stuck inside it until the watchdog (when configured) tears the
+    // queue down, or — with no watchdog — the simulation deadlocks with
+    // the stuck signal named in the diagnostic. No page table mutates.
+    const Duration dur = machine_.jittered_syscall(c.prefault_syscall_base);
+    const TimePoint start = sched().now();
+    const sim::Interval iv = machine_.driver(device).reserve(start, dur);
+    sched().advance_to(iv.end);
+    record_call(trace::HsaCall::SvmAttributesSet, start, dur);
+    {
+      sim::LockGuard lock{trace_mutex_, sched()};
+      ledger_.get(sched()).add_prefault(dur);
+    }
+    Signal stuck = hung_signal("svm-prefault@" + range.base.to_string(),
+                               trace::FaultEvent::PrefaultHangInjected,
+                               fault::Site::SvmPrefault, device,
+                               range.base.value, range.bytes);
+    stuck.wait(sched());
+    return PrefaultResult{Status::TimedOut, {}};
+  }
   if (inj.kind == fault::Kind::Eintr || inj.kind == fault::Kind::Ebusy) {
     // Transient syscall failure: the kernel bails before mutating any page
     // table, so only the base syscall latency is paid (still serialized on
@@ -309,6 +358,18 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
   record_call(trace::HsaCall::QueueDispatch, submit, dispatch_cost);
   const TimePoint dispatched = max(sched().now(), not_before);
 
+  // An injected queue error hangs the dispatch before the kernel executes:
+  // nothing runs, no page table mutates, and the completion signal never
+  // fires. The attempt is all-or-nothing so a later replay reproduces the
+  // fault-free run's functional effects exactly once.
+  const fault::Injection kinj =
+      machine_.faults().consult(fault::Site::KernelLaunch, sched().now());
+  if (kinj.kind == fault::Kind::KernelHang) {
+    return hung_signal("kernel:" + launch.name,
+                       trace::FaultEvent::KernelHangInjected,
+                       fault::Site::KernelLaunch, launch.device, 0, 0);
+  }
+
   // Page-fault accounting for every buffer the kernel touches. Faults on
   // CPU-resident pages only mirror the translation; faults on untouched
   // pages additionally materialize them (GPU-side first touch).
@@ -342,9 +403,17 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
         machine_.fault_service_duration(false) *
             static_cast<double>(non_resident));
     // A replay storm (interrupt-handler contention amplifying XNACK retry
-    // rounds) multiplies the fault-servicing stall.
+    // rounds) multiplies the fault-servicing stall. A livelock never
+    // converges at all: fault servicing replays forever and the kernel's
+    // completion signal never fires (the pages faulted in above stay in —
+    // a replay finds them resident and skips this consult entirely).
     const fault::Injection inj =
         machine_.faults().consult(fault::Site::XnackReplay, sched().now());
+    if (inj.kind == fault::Kind::XnackLivelock) {
+      return hung_signal("kernel:" + launch.name,
+                         trace::FaultEvent::XnackLivelockInjected,
+                         fault::Site::XnackReplay, launch.device, 0, faults);
+    }
     if (inj.kind == fault::Kind::ReplayStorm) {
       fault_time = fault_time * inj.factor;
       record_fault(
@@ -419,6 +488,7 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
   }
 
   Signal sig;
+  sig.set_name("kernel:" + launch.name);
   sig.complete(sched(), gi.end);
   return sig;
 }

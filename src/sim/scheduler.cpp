@@ -86,29 +86,78 @@ void Scheduler::stress_point() {
   }
 }
 
+bool Scheduler::fire_due_timers() {
+  // A timer may only fire when no runnable thread has a strictly smaller
+  // clock — otherwise that thread must run first to keep the schedule
+  // time-ordered. Wake every timed-blocked thread sharing the earliest due
+  // deadline; ties among the woken threads are then broken by the normal
+  // pick_next policy.
+  bool any_runnable = false;
+  TimePoint min_run;
+  bool any_timer = false;
+  TimePoint min_wake;
+  for (const auto& t : threads_) {
+    if (t->state_ == VirtualThread::State::Runnable &&
+        (!any_runnable || t->clock_ < min_run)) {
+      min_run = t->clock_;
+      any_runnable = true;
+    }
+    if (t->state_ == VirtualThread::State::Blocked && t->wake_at_ &&
+        (!any_timer || *t->wake_at_ < min_wake)) {
+      min_wake = *t->wake_at_;
+      any_timer = true;
+    }
+  }
+  if (!any_timer || (any_runnable && min_run < min_wake)) {
+    return false;
+  }
+  bool fired = false;
+  for (const auto& t : threads_) {
+    if (t->state_ != VirtualThread::State::Blocked || !t->wake_at_ ||
+        *t->wake_at_ != min_wake) {
+      continue;
+    }
+    t->state_ = VirtualThread::State::Runnable;
+    t->timed_out_ = true;
+    t->clock_ = max(t->clock_, min_wake);
+    t->wake_at_.reset();
+    if (t->waiting_in_ != nullptr) {
+      std::erase(t->waiting_in_->waiters_, t.get());
+      t->waiting_in_ = nullptr;
+    }
+    t->wait_what_.clear();
+    horizon_ = max(horizon_, t->clock_);
+    fired = true;
+  }
+  return fired;
+}
+
 void Scheduler::run() {
   if (in_run_) {
     throw SimError("Scheduler::run is not reentrant");
   }
   in_run_ = true;
   while (true) {
+    fire_due_timers();
     VirtualThread* const next = pick_next();
     if (next == nullptr) {
       bool any_blocked = false;
-      std::string blocked_names;
+      std::string blocked;
       for (const auto& t : threads_) {
         if (t->state_ == VirtualThread::State::Blocked) {
           any_blocked = true;
-          if (!blocked_names.empty()) {
-            blocked_names += ", ";
+          if (!blocked.empty()) {
+            blocked += "; ";
           }
-          blocked_names += t->name_;
+          blocked += "'" + t->name_ + "' on " +
+                     (t->wait_what_.empty() ? std::string{"<unknown>"}
+                                            : t->wait_what_);
         }
       }
       in_run_ = false;
       if (any_blocked) {
         throw SimError("simulation deadlock: blocked threads remain (" +
-                       blocked_names + ")");
+                       blocked + ")");
       }
       return;  // all finished
     }
@@ -160,6 +209,21 @@ void Scheduler::advance_to(TimePoint t) {
   maybe_yield();
 }
 
+void Scheduler::sleep_for(Duration d) {
+  if (d.is_negative()) {
+    throw SimError("Scheduler::sleep_for: negative duration");
+  }
+  VirtualThread& self = current();
+  if (d.is_zero()) {
+    maybe_yield();
+    return;
+  }
+  self.wake_at_ = self.clock_ + d;
+  self.wait_what_ = "sleep_for";
+  block_current();
+  self.timed_out_ = false;  // the deadline firing *is* the normal wakeup
+}
+
 void Scheduler::reschedule() {
   VirtualThread& self = current();
   self.deprioritized_ = true;
@@ -174,7 +238,17 @@ void Scheduler::maybe_yield() {
   VirtualThread& self = current();
   bool tie = false;
   for (const auto& t : threads_) {
-    if (t.get() == &self || t->state_ != VirtualThread::State::Runnable) {
+    if (t.get() == &self) {
+      continue;
+    }
+    // A timed-blocked thread whose deadline is due must be woken by the
+    // run loop before we may proceed past it in time.
+    if (t->state_ == VirtualThread::State::Blocked && t->wake_at_ &&
+        *t->wake_at_ <= self.clock_) {
+      Fiber::yield();
+      return;
+    }
+    if (t->state_ != VirtualThread::State::Runnable) {
       continue;
     }
     if (t->clock_ < self.clock_) {
@@ -207,14 +281,38 @@ void Scheduler::wake(VirtualThread& t, TimePoint at_least) {
   }
   t.state_ = VirtualThread::State::Runnable;
   t.clock_ = max(t.clock_, at_least);
+  // Signaled before any armed deadline fired: disarm the timer.
+  t.wake_at_.reset();
+  t.waiting_in_ = nullptr;
+  t.wait_what_.clear();
   horizon_ = max(horizon_, t.clock_);
 }
 
-void WaitList::wait(Scheduler& sched) {
+void WaitList::wait(Scheduler& sched, std::string_view what) {
   sched.stress_point();  // wait points are where real schedules diverge
   VirtualThread& self = sched.current();
+  self.waiting_in_ = this;
+  self.wait_what_ = what;
   waiters_.push_back(&self);
   sched.block_current();
+}
+
+bool WaitList::wait_for(Scheduler& sched, Duration timeout,
+                        std::string_view what) {
+  sched.stress_point();
+  VirtualThread& self = sched.current();
+  if (timeout <= Duration::zero()) {
+    return false;  // deadline already passed; do not block
+  }
+  self.waiting_in_ = this;
+  self.wait_what_ = what;
+  self.wake_at_ = sched.now() + timeout;
+  self.timed_out_ = false;
+  waiters_.push_back(&self);
+  sched.block_current();
+  const bool timed_out = self.timed_out_;
+  self.timed_out_ = false;
+  return !timed_out;
 }
 
 void WaitList::notify_all(Scheduler& sched, TimePoint at_least) {

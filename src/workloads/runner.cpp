@@ -22,6 +22,9 @@ RunResult run_program(const Program& program, const RunOptions& options) {
   if (!options.fault_spec.empty()) {
     machine_config.env.ompx_apu_faults = options.fault_spec;
   }
+  if (!options.watchdog_spec.empty()) {
+    machine_config.env.watchdog = apu::parse_watchdog(options.watchdog_spec);
+  }
   omp::OffloadStack stack{
       std::move(machine_config),
       omp::OffloadStack::program_for(options.config, program.binary)};

@@ -158,6 +158,72 @@ TEST(RunEnvironment, ToStringRendersFaultSchedule) {
             std::string::npos);
 }
 
+// --- OMPX_APU_WATCHDOG ------------------------------------------------------
+
+TEST(ParseWatchdog, DefaultsToNanosecondsAndRecover) {
+  const WatchdogConfig w = parse_watchdog("5000");
+  EXPECT_EQ(w.budget, sim::Duration::nanoseconds(5000));
+  EXPECT_TRUE(w.recover);
+  EXPECT_TRUE(w.enabled());
+}
+
+TEST(ParseWatchdog, UnitSuffixes) {
+  EXPECT_EQ(parse_watchdog("7ns").budget, sim::Duration::nanoseconds(7));
+  EXPECT_EQ(parse_watchdog("200us").budget, sim::Duration::from_us(200.0));
+  EXPECT_EQ(parse_watchdog("3ms").budget, sim::Duration::milliseconds(3));
+}
+
+TEST(ParseWatchdog, ModeSelectsAbortOrRecover) {
+  EXPECT_FALSE(parse_watchdog("1ms:abort").recover);
+  EXPECT_TRUE(parse_watchdog("1ms:recover").recover);
+}
+
+TEST(ParseWatchdog, ZeroBudgetDisables) {
+  const WatchdogConfig w = parse_watchdog("0");
+  EXPECT_FALSE(w.enabled());
+}
+
+TEST(ParseWatchdog, RejectsGarbage) {
+  EXPECT_THROW((void)parse_watchdog(""), EnvError);
+  EXPECT_THROW((void)parse_watchdog("fast"), EnvError);
+  EXPECT_THROW((void)parse_watchdog("10s"), EnvError);    // unknown unit
+  EXPECT_THROW((void)parse_watchdog("-5us"), EnvError);   // negative
+  EXPECT_THROW((void)parse_watchdog("1ms:maybe"), EnvError);
+}
+
+TEST(ParseWatchdog, ErrorNamesTheVariableAndValue) {
+  try {
+    (void)parse_watchdog("1ms:maybe");
+    FAIL() << "expected EnvError";
+  } catch (const EnvError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("OMPX_APU_WATCHDOG=1ms:maybe"), std::string::npos);
+  }
+}
+
+TEST(RunEnvironment, WatchdogDefaultsToDisabled) {
+  const RunEnvironment env;
+  EXPECT_FALSE(env.watchdog.enabled());
+}
+
+TEST(RunEnvironment, FromEnvParsesWatchdog) {
+  const auto env =
+      RunEnvironment::from_env({{"OMPX_APU_WATCHDOG", "250us:abort"}});
+  EXPECT_EQ(env.watchdog.budget, sim::Duration::from_us(250.0));
+  EXPECT_FALSE(env.watchdog.recover);
+  EXPECT_THROW(
+      (void)RunEnvironment::from_env({{"OMPX_APU_WATCHDOG", "soon"}}),
+      EnvError);
+}
+
+TEST(RunEnvironment, ToStringRendersWatchdogOnlyWhenEnabled) {
+  RunEnvironment env;
+  EXPECT_EQ(env.to_string().find("OMPX_APU_WATCHDOG"), std::string::npos);
+  env.watchdog = parse_watchdog("200us:recover");
+  EXPECT_NE(env.to_string().find("OMPX_APU_WATCHDOG=200000:recover"),
+            std::string::npos);
+}
+
 TEST(RunEnvironment, ErrorMessageNamesTheOffendingVariable) {
   try {
     (void)RunEnvironment::from_env({{"OMPX_APU_MAPS", "maybe"}});

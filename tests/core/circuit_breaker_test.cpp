@@ -1,0 +1,148 @@
+// The per-device circuit breaker's state machine, isolated from the
+// runtime: trips within a sliding virtual-time window open it, a quiet
+// cooldown half-opens it, a further quiet cooldown closes it, and a trip
+// while probing snaps it back open.
+#include "zc/core/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "zc/sim/time.hpp"
+
+namespace zc::omp {
+namespace {
+
+using namespace zc::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+using State = CircuitBreaker::State;
+using Transition = CircuitBreaker::Transition;
+
+constexpr Duration kWindow = 100_us;
+constexpr Duration kCooldown = 40_us;
+
+TimePoint at(std::int64_t us) {
+  return TimePoint::zero() + Duration::from_us(static_cast<double>(us));
+}
+
+TEST(CircuitBreaker, StartsClosedAndStaysClosedBelowThreshold) {
+  CircuitBreaker b{3, kWindow, kCooldown};
+  EXPECT_EQ(b.state(), State::Closed);
+  EXPECT_TRUE(b.record_trip(at(10)).empty());
+  EXPECT_TRUE(b.record_trip(at(20)).empty());
+  EXPECT_EQ(b.state(), State::Closed);
+  EXPECT_FALSE(b.open());
+  EXPECT_EQ(b.total_trips(), 2u);
+  EXPECT_EQ(b.times_opened(), 0u);
+}
+
+TEST(CircuitBreaker, ThresholdTripsWithinTheWindowOpenIt) {
+  CircuitBreaker b{3, kWindow, kCooldown};
+  (void)b.record_trip(at(10));
+  (void)b.record_trip(at(20));
+  const std::vector<Transition> t = b.record_trip(at(30));
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].to, State::Open);
+  EXPECT_EQ(t[0].at, at(30));
+  EXPECT_TRUE(b.open());
+  EXPECT_EQ(b.times_opened(), 1u);
+}
+
+TEST(CircuitBreaker, WindowSlidesOldTripsExpire) {
+  CircuitBreaker b{3, kWindow, kCooldown};
+  (void)b.record_trip(at(10));
+  (void)b.record_trip(at(20));
+  // The third trip lands after the first fell out of the 100us window:
+  // only two trips are recent, the breaker stays closed.
+  EXPECT_TRUE(b.record_trip(at(150)).empty());
+  EXPECT_EQ(b.state(), State::Closed);
+  // But two more within the window of the surviving ones open it.
+  EXPECT_TRUE(b.record_trip(at(160)).empty());
+  EXPECT_FALSE(b.record_trip(at(170)).empty());
+  EXPECT_TRUE(b.open());
+}
+
+TEST(CircuitBreaker, QuietCooldownHalfOpensThenCloses) {
+  CircuitBreaker b{2, kWindow, kCooldown};
+  (void)b.record_trip(at(0));
+  (void)b.record_trip(at(1));  // opens at t=1us
+  ASSERT_TRUE(b.open());
+
+  // Before the cooldown elapses nothing changes.
+  EXPECT_TRUE(b.advance_to(at(40)).empty());
+  EXPECT_EQ(b.state(), State::Open);
+
+  // At opened_at + cooldown the breaker half-opens; at opened_at +
+  // 2*cooldown it closes. A single late advance reports both, in order,
+  // stamped with the virtual times they logically happened.
+  const std::vector<Transition> t = b.advance_to(at(200));
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].to, State::HalfOpen);
+  EXPECT_EQ(t[0].at, at(41));
+  EXPECT_EQ(t[1].to, State::Closed);
+  EXPECT_EQ(t[1].at, at(81));
+  EXPECT_EQ(b.state(), State::Closed);
+  EXPECT_FALSE(b.open());
+}
+
+TEST(CircuitBreaker, TripWhileHalfOpenReopens) {
+  CircuitBreaker b{2, kWindow, kCooldown};
+  (void)b.record_trip(at(0));
+  (void)b.record_trip(at(1));  // opens
+  // Half-open at 41us; a trip at 50us reopens immediately.
+  const std::vector<Transition> t = b.record_trip(at(50));
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].to, State::HalfOpen);
+  EXPECT_EQ(t[1].to, State::Open);
+  EXPECT_EQ(t[1].at, at(50));
+  EXPECT_EQ(b.times_opened(), 2u);
+  // The cooldown restarts from the reopening.
+  EXPECT_TRUE(b.advance_to(at(89)).empty());
+  EXPECT_EQ(b.advance_to(at(90)).size(), 1u);  // 50 + 40
+  EXPECT_EQ(b.state(), State::HalfOpen);
+}
+
+TEST(CircuitBreaker, TripWhileOpenExtendsTheOutage) {
+  CircuitBreaker b{2, kWindow, kCooldown};
+  (void)b.record_trip(at(0));
+  (void)b.record_trip(at(1));  // opens at 1us
+  // A trip at 30us while already open produces no transition but pushes
+  // the half-open point to 70us.
+  EXPECT_TRUE(b.record_trip(at(30)).empty());
+  EXPECT_EQ(b.state(), State::Open);
+  EXPECT_TRUE(b.advance_to(at(69)).empty());
+  const std::vector<Transition> t = b.advance_to(at(70));
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].to, State::HalfOpen);
+}
+
+TEST(CircuitBreaker, ClosingClearsTheTripHistory) {
+  CircuitBreaker b{2, kWindow, kCooldown};
+  (void)b.record_trip(at(0));
+  (void)b.record_trip(at(1));            // opens
+  (void)b.advance_to(at(1000));          // closes again
+  ASSERT_EQ(b.state(), State::Closed);
+  // One fresh trip must not reopen it — the pre-outage history is gone.
+  EXPECT_TRUE(b.record_trip(at(1001)).empty());
+  EXPECT_EQ(b.state(), State::Closed);
+  EXPECT_FALSE(b.record_trip(at(1002)).empty());  // threshold again
+}
+
+TEST(CircuitBreaker, CountersAccumulateAcrossTheWholeRun) {
+  CircuitBreaker b{1, kWindow, kCooldown};
+  (void)b.record_trip(at(0));      // opens (1st)
+  (void)b.advance_to(at(1000));    // closes
+  (void)b.record_trip(at(1001));   // opens (2nd)
+  EXPECT_EQ(b.total_trips(), 2u);
+  EXPECT_EQ(b.times_opened(), 2u);
+}
+
+TEST(CircuitBreaker, StateNames) {
+  EXPECT_STREQ(to_string(State::Closed), "closed");
+  EXPECT_STREQ(to_string(State::Open), "open");
+  EXPECT_STREQ(to_string(State::HalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace zc::omp

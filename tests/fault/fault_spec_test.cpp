@@ -90,6 +90,40 @@ TEST(FaultSpec, ToStringRoundTrips) {
   }
 }
 
+TEST(FaultSpec, HangFamilyTokensMapToSitesAndKinds) {
+  const struct {
+    const char* token;
+    Site site;
+    Kind kind;
+  } cases[] = {
+      {"kernel_hang", Site::KernelLaunch, Kind::KernelHang},
+      {"sdma_stall", Site::AsyncCopy, Kind::SdmaStall},
+      {"prefault_hang", Site::SvmPrefault, Kind::PrefaultHang},
+      {"xnack_livelock", Site::XnackReplay, Kind::XnackLivelock},
+  };
+  for (const auto& c : cases) {
+    const Schedule s = parse_spec(std::string{c.token} + "@call=3");
+    ASSERT_EQ(s.clauses.size(), 1u) << c.token;
+    EXPECT_EQ(s.clauses[0].site, c.site) << c.token;
+    EXPECT_EQ(s.clauses[0].kind, c.kind) << c.token;
+    EXPECT_TRUE(is_hang(s.clauses[0].kind)) << c.token;
+    // site_token round-trips through the renderer.
+    const Schedule again = parse_spec(to_string(s));
+    EXPECT_EQ(again.clauses[0].kind, c.kind) << c.token;
+  }
+}
+
+TEST(FaultSpec, NonHangKindsAreNotHangs) {
+  for (Kind k : {Kind::None, Kind::Oom, Kind::Eintr, Kind::Ebusy,
+                 Kind::CopyError, Kind::ReplayStorm}) {
+    EXPECT_FALSE(is_hang(k));
+  }
+}
+
+TEST(FaultSpec, KernelLaunchSiteHasAName) {
+  EXPECT_STREQ(to_string(Site::KernelLaunch), "kernel-launch");
+}
+
 TEST(FaultSpec, RejectsMalformedSpecs) {
   for (const char* bad : {
            "bogus@call=1",    // unknown site
