@@ -1,0 +1,110 @@
+// Ablation: host-side cost of OMPX_APU_RACE_CHECK=report vs off.
+//
+// The detector rides the scheduler's concurrency hooks: with the mode off
+// the hook pointer is null and every instrumented site is a single branch;
+// in report mode each sync edge joins vector clocks and each access runs a
+// FastTrack epoch check. Neither adds *simulated* time — the gate below
+// asserts that wall_time and checksums are bit-identical between modes —
+// so the interesting number is real host time per run, reported here for
+// QMCPack (multi-threaded, table-heavy) and 457.spC (map/unmap churn,
+// page-heavy).
+
+#include <chrono>
+#include <string>
+
+#include "common.hpp"
+#include "zc/workloads/qmcpack.hpp"
+#include "zc/workloads/spec.hpp"
+
+namespace {
+
+struct Timed {
+  zc::workloads::RunResult result;
+  double host_ms = 0.0;
+};
+
+Timed run_timed(const zc::workloads::Program& program,
+                zc::workloads::RunOptions options) {
+  const auto start = std::chrono::steady_clock::now();
+  Timed t{zc::workloads::run_program(program, options), 0.0};
+  t.host_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zc;
+  using omp::RuntimeConfig;
+
+  const bench::Args args = bench::Args::parse(argc, argv);
+  bench::print_banner("Ablation — race-detector overhead (off vs report)",
+                      "zc::race instrumentation cost; correctness-gated",
+                      args);
+
+  struct Workload {
+    std::string name;
+    workloads::Program program;
+  };
+  workloads::QmcpackParams qp;
+  qp.size = 2;
+  qp.threads = args.fidelity_min ? 2 : 4;
+  qp.steps = args.steps_or(60, 20, 300);
+  workloads::SpcParams sp;
+  sp.cycles = args.fidelity_min ? 3 : args.level(10, 4, 40);
+  const Workload kWorkloads[] = {
+      {"qmcpack", workloads::make_qmcpack(qp)},
+      {"457.spC", workloads::make_spc(sp)},
+  };
+  constexpr RuntimeConfig kConfigs[] = {
+      RuntimeConfig::LegacyCopy,       RuntimeConfig::UnifiedSharedMemory,
+      RuntimeConfig::ImplicitZeroCopy, RuntimeConfig::EagerMaps,
+      RuntimeConfig::AdaptiveMaps,
+  };
+
+  stats::TextTable table{{"workload", "config", "off (host ms)",
+                          "report (host ms)", "overhead", "reports"}};
+  bool ok = true;
+  for (const Workload& w : kWorkloads) {
+    for (const RuntimeConfig config : kConfigs) {
+      workloads::RunOptions opts{.config = config, .seed = args.seed};
+      const Timed off = run_timed(w.program, opts);
+      opts.race_check_spec = "report";
+      const Timed report = run_timed(w.program, opts);
+      // Gate: the detector must be a pure observer. Any checksum or
+      // simulated-makespan drift (or any report on these fault-free,
+      // correctly synchronized runs) voids the measurement.
+      if (report.result.checksum != off.result.checksum ||
+          report.result.wall_time != off.result.wall_time ||
+          !report.result.races.empty()) {
+        ok = false;
+        std::cout << "GATE FAILURE " << w.name << "/" << omp::to_string(config)
+                  << ": checksum " << off.result.checksum << " -> "
+                  << report.result.checksum << ", reports="
+                  << report.result.races.size() << "\n";
+        if (!report.result.races.empty()) {
+          std::cout << "  first: "
+                    << report.result.races.records().front().message << "\n";
+        }
+      }
+      table.add_row({w.name, omp::to_string(config),
+                     stats::TextTable::num(off.host_ms),
+                     stats::TextTable::num(report.host_ms),
+                     stats::TextTable::num(report.host_ms / off.host_ms) + "x",
+                     std::to_string(report.result.races.size())});
+    }
+  }
+  table.print(std::cout);
+  args.maybe_write_csv("abl_race_check", table);
+
+  std::cout << "\nCorrectness gate (bit-identical checksums + makespans, "
+               "zero reports): "
+            << (ok ? "passed" : "FAILED") << "\n"
+            << "Expected shape: report mode costs a modest constant factor "
+               "of host time\n(vector-clock joins on every sync edge, epoch "
+               "checks per instrumented access)\nand exactly zero simulated "
+               "time in every configuration.\n";
+  return ok ? 0 : 1;
+}

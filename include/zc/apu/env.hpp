@@ -40,6 +40,28 @@ enum class ApuMapsMode {
   return "?";
 }
 
+/// The three states of `OMPX_APU_RACE_CHECK`: detection off (the default —
+/// no vector clocks, zero overhead), report (record every race in
+/// `trace::RaceTrace` and keep running), and abort (raise a structured
+/// `OffloadError` on the first race).
+enum class RaceCheckMode {
+  Off,
+  Report,
+  Abort,
+};
+
+[[nodiscard]] constexpr const char* to_string(RaceCheckMode m) {
+  switch (m) {
+    case RaceCheckMode::Off:
+      return "off";
+    case RaceCheckMode::Report:
+      return "report";
+    case RaceCheckMode::Abort:
+      return "abort";
+  }
+  return "?";
+}
+
 /// Parsed `OMPX_APU_WATCHDOG=<budget>[:abort|recover]`: the virtual-time
 /// budget an in-flight device operation may stay outstanding before the
 /// runtime's watchdog tears down its queue, and what happens afterwards
@@ -77,7 +99,9 @@ struct WatchdogConfig {
 ///                        empty means fault-free;
 ///  * `OMPX_APU_WATCHDOG` — hang-detection budget and policy for in-flight
 ///                        device operations (see `WatchdogConfig`); unset
-///                        means no watchdog.
+///                        means no watchdog;
+///  * `OMPX_APU_RACE_CHECK` — the happens-before race detector
+///                        (`zc::race`): off, report, or abort.
 struct RunEnvironment {
   bool hsa_xnack = true;
   ApuMapsMode ompx_apu_maps = ApuMapsMode::Off;
@@ -85,6 +109,7 @@ struct RunEnvironment {
   bool transparent_huge_pages = true;
   std::string ompx_apu_faults;
   WatchdogConfig watchdog;
+  RaceCheckMode race_check = RaceCheckMode::Off;
 
   /// Page size implied by the THP setting: 2 MB when on, 4 KB when off.
   [[nodiscard]] std::uint64_t page_bytes() const {
@@ -98,7 +123,8 @@ struct RunEnvironment {
   /// throws `EnvError`. Keys: HSA_XNACK, OMPX_APU_MAPS,
   /// OMPX_EAGER_ZERO_COPY_MAPS, THP, OMPX_APU_FAULTS (whose value is
   /// validated against the fault-spec grammar), OMPX_APU_WATCHDOG (parsed
-  /// via `parse_watchdog`).
+  /// via `parse_watchdog`), OMPX_APU_RACE_CHECK (exactly "off", "report",
+  /// or "abort", case-insensitive).
   [[nodiscard]] static RunEnvironment from_env(
       const std::map<std::string, std::string>& env);
 

@@ -67,7 +67,18 @@ class Machine {
   }
 
   [[nodiscard]] sim::Scheduler& sched() { return sched_; }
-  [[nodiscard]] sim::EventLog& log() { return log_; }
+  /// Unguarded log reference for quiescent phases only: enabling before
+  /// threads start, snapshots/dumps after the scheduler drains. Concurrent
+  /// appends go through `log_add`, which takes the log mutex.
+  [[nodiscard]] sim::EventLog& log() { return log_.unguarded(); }
+
+  /// Append a diagnostic event; safe from any virtual thread (serializes
+  /// on the log mutex — the event log is shared by every layer). Callers
+  /// keep the `log().enabled()` pre-check to skip string building.
+  void log_add(sim::TimePoint t, std::string category, std::string text) {
+    sim::LockGuard lock{log_mutex_, sched_};
+    log_.get(sched_).add(t, std::move(category), std::move(text));
+  }
   /// The deterministic fault-injection engine, built from the environment's
   /// `OMPX_APU_FAULTS` schedule and the machine seed. Consulted from the
   /// HSA layer; fault-free runs carry an empty (disabled) engine.
@@ -125,7 +136,10 @@ class Machine {
 
   Config config_;
   sim::Scheduler sched_;
-  sim::EventLog log_;
+  /// Guards event-log appends from concurrent virtual threads (HSA calls,
+  /// the watchdog fiber, degradation paths all log).
+  sim::Mutex log_mutex_{"machine-log"};
+  sim::GuardedBy<sim::EventLog> log_{log_mutex_, "EventLog"};
   fault::FaultEngine faults_;
   sim::JitterModel jitter_;
   sim::JitterModel syscall_jitter_;

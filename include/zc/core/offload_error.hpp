@@ -22,6 +22,7 @@ enum class ErrorCode {
   PrefaultFailed,    ///< svm_attributes_set retries exhausted, XNACK off
   CopyFailed,        ///< async DMA copy failed after the bounded retry
   OperationHung,     ///< watchdog aborted a hung op; no replay budget left
+  DataRace,          ///< race detector in abort mode flagged an access pair
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode c) {
@@ -44,6 +45,8 @@ enum class ErrorCode {
       return "copy-failed";
     case ErrorCode::OperationHung:
       return "operation-hung";
+    case ErrorCode::DataRace:
+      return "data-race";
   }
   return "?";
 }

@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "zc/apu/machine.hpp"
+#include "zc/core/offload_error.hpp"
 #include "zc/core/offload_runtime.hpp"
 #include "zc/core/program.hpp"
 #include "zc/hsa/runtime.hpp"
 #include "zc/mem/memory_system.hpp"
+#include "zc/race/detector.hpp"
 
 namespace zc::omp {
 
@@ -19,9 +22,18 @@ class OffloadStack {
  public:
   OffloadStack(apu::Machine::Config machine_config, ProgramBinary program)
       : machine_{std::move(machine_config)},
+        race_{race::make_detector(machine_)},
         memory_{machine_},
         hsa_{machine_, memory_},
-        omp_{hsa_, std::move(program)} {}
+        omp_{hsa_, std::move(program)} {
+    if (race_ != nullptr && race_->mode() == race::Detector::Mode::Abort) {
+      // Abort mode surfaces the first race through the runtime's own error
+      // taxonomy so callers dispatch on it like any other offload failure.
+      race_->set_abort_handler([](const trace::RaceReport& r) {
+        throw OffloadError(ErrorCode::DataRace, r.message);
+      });
+    }
+  }
 
   OffloadStack(const OffloadStack&) = delete;
   OffloadStack& operator=(const OffloadStack&) = delete;
@@ -46,8 +58,19 @@ class OffloadStack {
   [[nodiscard]] OffloadRuntime& omp() { return omp_; }
   [[nodiscard]] sim::Scheduler& sched() { return machine_.sched(); }
 
+  /// The happens-before race detector, or null when
+  /// `OMPX_APU_RACE_CHECK=off` (the default).
+  [[nodiscard]] race::Detector* race_detector() { return race_.get(); }
+  [[nodiscard]] const race::Detector* race_detector() const {
+    return race_.get();
+  }
+
  private:
   apu::Machine machine_;
+  /// Constructed (and attached to the scheduler) before any other layer so
+  /// every sync edge and instrumented access is observed from time zero;
+  /// destroyed last among the layers that emit into it.
+  std::unique_ptr<race::Detector> race_;
   mem::MemorySystem memory_;
   hsa::Runtime hsa_;
   OffloadRuntime omp_;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -167,8 +168,16 @@ class Runtime {
   /// suppresses the kernel's functional execution and returns a signal that
   /// never completes; the watchdog, when configured, eventually aborts it
   /// and the caller replays the dispatch.
+  ///
+  /// `depends` lists the completion signals of earlier asynchronous work
+  /// this kernel is ordered after *in-queue* (the `not_before` timestamp
+  /// chain). The host never waits on them, so the race detector needs them
+  /// spelled out to give the kernel's device task a happens-before edge
+  /// from each dependence; a hung dependence is resolved by the caller
+  /// before dispatch, so every entry is complete by the time it is read.
   Signal dispatch_kernel(const KernelLaunch& launch, int host_thread = 0,
-                         sim::TimePoint not_before = sim::TimePoint::zero());
+                         sim::TimePoint not_before = sim::TimePoint::zero(),
+                         std::span<const Signal> depends = {});
 
   /// Dispatch and immediately wait (synchronous kernel execution).
   void run_kernel(const KernelLaunch& launch, int host_thread = 0);

@@ -31,9 +31,20 @@ class Signal {
   void set_name(std::string name) { state_->name = std::move(name); }
   [[nodiscard]] const std::string& name() const { return state_->name; }
 
+  /// Stable identity of the shared signal state: the object release/acquire
+  /// edges are keyed on (`complete*` releases into it, successful waits
+  /// acquire from it, and a device task's clock is released into it at
+  /// `on_task_end`).
+  [[nodiscard]] const void* id() const { return state_.get(); }
+
   /// Mark complete at virtual time `t` and wake blocked waiters.
   void complete(sim::Scheduler& sched, sim::TimePoint t) {
     state_->complete_at = t;
+    if (sim::ConcurrencyHooks* h = sched.hooks()) {
+      if (sched.in_thread()) {
+        h->on_release(state_.get(), sim::SyncKind::Signal);
+      }
+    }
     state_->waiters.notify_all(sched, t);
   }
 
@@ -71,6 +82,9 @@ class Signal {
       state_->waiters.wait(sched, label());
     }
     sched.advance_to(*state_->complete_at);
+    if (sim::ConcurrencyHooks* h = sched.hooks()) {
+      h->on_acquire(state_.get(), sim::SyncKind::Signal);
+    }
     return sched.now() - before;
   }
 
@@ -89,6 +103,9 @@ class Signal {
       return false;
     }
     sched.advance_to(*state_->complete_at);
+    if (sim::ConcurrencyHooks* h = sched.hooks()) {
+      h->on_acquire(state_.get(), sim::SyncKind::Signal);
+    }
     return true;
   }
 

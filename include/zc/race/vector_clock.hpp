@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace zc::race {
+
+/// One component of a vector clock: actor `slot` at logical time `value`.
+/// FastTrack's "epoch" — the O(1) representation of a single access when no
+/// concurrent readers exist.
+struct Epoch {
+  int slot = -1;  ///< -1 = no access recorded yet
+  std::uint64_t value = 0;
+
+  [[nodiscard]] bool valid() const { return slot >= 0; }
+};
+
+/// A sparse vector clock over actor slots (virtual threads and logical
+/// device tasks). Components never decrease; absent components are zero.
+class VectorClock {
+ public:
+  [[nodiscard]] std::uint64_t of(int slot) const {
+    const auto it = clock_.find(slot);
+    return it == clock_.end() ? 0 : it->second;
+  }
+
+  void set(int slot, std::uint64_t value) {
+    std::uint64_t& c = clock_[slot];
+    if (value > c) {
+      c = value;
+    }
+  }
+
+  void tick(int slot) { ++clock_[slot]; }
+
+  /// Componentwise maximum (the join of two happens-before frontiers).
+  void join(const VectorClock& other) {
+    for (const auto& [slot, value] : other.clock_) {
+      set(slot, value);
+    }
+  }
+
+  /// Whether every component of *this is <= the matching one in `other`
+  /// (i.e. everything known here happened-before `other`'s frontier).
+  [[nodiscard]] bool leq(const VectorClock& other) const {
+    for (const auto& [slot, value] : clock_) {
+      if (value > other.of(slot)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Whether the access stamped `e` happened-before this frontier.
+  [[nodiscard]] bool covers(Epoch e) const {
+    return e.valid() && e.value <= of(e.slot);
+  }
+
+  [[nodiscard]] bool empty() const { return clock_.empty(); }
+  [[nodiscard]] std::size_t size() const { return clock_.size(); }
+
+  /// Render as "{0:3, 2:7}" for race reports.
+  [[nodiscard]] std::string render() const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [slot, value] : clock_) {
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      out += std::to_string(slot) + ":" + std::to_string(value);
+    }
+    out += "}";
+    return out;
+  }
+
+  [[nodiscard]] const std::map<int, std::uint64_t>& components() const {
+    return clock_;
+  }
+
+  /// Drop every component whose slot satisfies `dead`. Used by the
+  /// detector's slot garbage collection: once no shadow epoch references a
+  /// retired device task's slot, that component can never influence a
+  /// covers() check again and only bloats joins/copies.
+  template <typename Pred>
+  std::size_t prune(Pred dead) {
+    return std::erase_if(clock_,
+                         [&dead](const auto& kv) { return dead(kv.first); });
+  }
+
+ private:
+  std::map<int, std::uint64_t> clock_;
+};
+
+}  // namespace zc::race

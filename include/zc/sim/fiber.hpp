@@ -55,6 +55,10 @@ class Fiber {
   std::unique_ptr<char[]> stack_;
   ucontext_t ctx_{};
   ucontext_t resumer_{};
+  /// ThreadSanitizer fiber context for this stack and for the context that
+  /// last resumed it; null (and unused) outside TSan builds.
+  void* tsan_fiber_ = nullptr;
+  void* tsan_resumer_ = nullptr;
   bool started_ = false;
   bool finished_ = false;
   std::exception_ptr error_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "zc/sim/fiber.hpp"
+#include "zc/sim/hooks.hpp"
 #include "zc/sim/rng.hpp"
 #include "zc/sim/time.hpp"
 
@@ -156,6 +157,15 @@ class Scheduler {
   /// stress mode is off or no thread is running.
   void stress_point();
 
+  /// --- concurrency observation ---
+
+  /// Install (or clear, with nullptr) the observer notified of thread
+  /// lifecycle events, release/acquire edges, and instrumented accesses.
+  /// The observer must outlive the scheduler's use of it. Null — the
+  /// default — keeps every primitive on its uninstrumented fast path.
+  void set_hooks(ConcurrencyHooks* hooks) { hooks_ = hooks; }
+  [[nodiscard]] ConcurrencyHooks* hooks() const { return hooks_; }
+
   /// --- whole-simulation queries ---
 
   /// Max clock over all threads ever run (the simulation makespan so far).
@@ -183,6 +193,7 @@ class Scheduler {
   bool in_run_ = false;
   bool stress_ = false;
   Rng stress_rng_{0};
+  ConcurrencyHooks* hooks_ = nullptr;
 };
 
 /// A list of threads blocked waiting for an event another thread will post.
@@ -224,6 +235,9 @@ class Latch {
   void set(Scheduler& sched) {
     set_ = true;
     at_ = sched.now();
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_release(this, SyncKind::Latch);
+    }
     waiters_.notify_all(sched, at_);
   }
 
@@ -234,6 +248,9 @@ class Latch {
       waiters_.wait(sched, "Latch");
     }
     sched.advance_to(at_);
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_acquire(this, SyncKind::Latch);
+    }
   }
 
   /// Block until set or until `timeout` elapses. Returns true when the
@@ -245,6 +262,9 @@ class Latch {
       return false;
     }
     sched.advance_to(at_);
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_acquire(this, SyncKind::Latch);
+    }
     return true;
   }
 
@@ -284,6 +304,10 @@ class Mutex {
     }
     owner_ = &self;
     self.held_.push_back(this);
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_acquire(this, SyncKind::Mutex);
+      h->on_lock_acquired(*this);
+    }
   }
 
   /// Try to acquire the lock, giving up after `timeout` of virtual time.
@@ -310,6 +334,10 @@ class Mutex {
     }
     owner_ = &self;
     self.held_.push_back(this);
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_acquire(this, SyncKind::Mutex);
+      h->on_lock_acquired(*this);
+    }
     return true;
   }
 
@@ -322,6 +350,9 @@ class Mutex {
       throw LockDisciplineError("Mutex::unlock: thread '" + self.name() +
                                 "' is not the owner (held by '" +
                                 owner_->name() + "')");
+    }
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_release(this, SyncKind::Mutex);
     }
     owner_ = nullptr;
     std::erase(self.held_, this);
@@ -392,10 +423,16 @@ class GuardedBy {
 
   [[nodiscard]] T& get(Scheduler& sched) {
     assert_held(*m_, sched, what_);
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_access(&value_, sizeof(T), what_, /*is_write=*/true);
+    }
     return value_;
   }
   [[nodiscard]] const T& get(Scheduler& sched) const {
     assert_held(*m_, sched, what_);
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_access(&value_, sizeof(T), what_, /*is_write=*/false);
+    }
     return value_;
   }
 
@@ -444,8 +481,17 @@ class Barrier {
   void arrive_and_wait(Scheduler& sched) {
     sched.stress_point();  // barrier arrivals are schedule-divergence points
     latest_ = max(latest_, sched.now());
+    // Every arrival releases its clock into the barrier; every departure
+    // acquires it, so all pre-barrier work happens-before all post-barrier
+    // work (the all-to-all edge OpenMP `barrier` provides).
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_release(this, SyncKind::Barrier);
+    }
     if (++arrived_ < parties_) {
       waiters_.wait(sched, "Barrier");
+      if (ConcurrencyHooks* h = sched.hooks()) {
+        h->on_acquire(this, SyncKind::Barrier);
+      }
       return;
     }
     // Last arrival releases the round and resets for the next one.
@@ -454,6 +500,9 @@ class Barrier {
     latest_ = TimePoint::zero();
     waiters_.notify_all(sched, release);
     sched.advance_to(release);
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_acquire(this, SyncKind::Barrier);
+    }
   }
 
   [[nodiscard]] int parties() const { return parties_; }

@@ -13,6 +13,7 @@
 #include "zc/trace/fault_trace.hpp"
 #include "zc/trace/kernel_trace.hpp"
 #include "zc/trace/overhead_ledger.hpp"
+#include "zc/trace/race_trace.hpp"
 
 namespace zc::workloads {
 
@@ -54,6 +55,10 @@ struct RunOptions {
   /// "1ms:abort"); empty runs with no watchdog — a hang then deadlocks the
   /// simulation with a diagnostic naming the stuck signal.
   std::string watchdog_spec;
+
+  /// Happens-before race detection (OMPX_APU_RACE_CHECK grammar: "off",
+  /// "report", or "abort"); empty runs with the detector off.
+  std::string race_check_spec;
 };
 
 /// Everything one run produces.
@@ -70,6 +75,9 @@ struct RunResult {
   trace::DecisionTrace decisions;
   /// Fault injections and degraded-mode reactions (empty on fault-free runs).
   trace::FaultTrace faults;
+  /// Race reports (empty unless RunOptions::race_check_spec enabled the
+  /// detector — and, on a correctly synchronized program, empty even then).
+  trace::RaceTrace races;
 };
 
 /// Build the stack, run the program to completion, snapshot the telemetry.

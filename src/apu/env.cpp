@@ -35,6 +35,20 @@ ApuMapsMode apu_maps_mode(const std::string& key, const std::string& raw) {
   return truthy(key, raw) ? ApuMapsMode::On : ApuMapsMode::Off;
 }
 
+RaceCheckMode race_check_mode(const std::string& key, const std::string& raw) {
+  const std::string v = lowered(raw);
+  if (v == "off") {
+    return RaceCheckMode::Off;
+  }
+  if (v == "report") {
+    return RaceCheckMode::Report;
+  }
+  if (v == "abort") {
+    return RaceCheckMode::Abort;
+  }
+  throw EnvError(key + "=" + raw + " must be 'off', 'report', or 'abort'");
+}
+
 }  // namespace
 
 WatchdogConfig parse_watchdog(const std::string& raw) {
@@ -113,6 +127,9 @@ RunEnvironment RunEnvironment::from_env(
   if (auto it = env.find("OMPX_APU_WATCHDOG"); it != env.end()) {
     out.watchdog = parse_watchdog(it->second);
   }
+  if (auto it = env.find("OMPX_APU_RACE_CHECK"); it != env.end()) {
+    out.race_check = race_check_mode(it->first, it->second);
+  }
   return out;
 }
 
@@ -135,6 +152,10 @@ std::string RunEnvironment::to_string() const {
     s += " OMPX_APU_WATCHDOG=";
     s += std::to_string(watchdog.budget.ns());
     s += watchdog.recover ? ":recover" : ":abort";
+  }
+  if (race_check != RaceCheckMode::Off) {
+    s += " OMPX_APU_RACE_CHECK=";
+    s += apu::to_string(race_check);
   }
   return s;
 }

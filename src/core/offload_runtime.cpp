@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "zc/race/api.hpp"
+
 namespace zc::omp {
 
 using sim::Duration;
@@ -503,9 +505,16 @@ void OffloadRuntime::note_breaker_trip(int device) {
   record_breaker_transitions(b.record_trip(sched.now()), device);
   breaker_attention_[static_cast<std::size_t>(device)] =
       b.state() != CircuitBreaker::State::Closed ? 1 : 0;
+  // The attention flag is modeled as a release-store/acquire-load atomic:
+  // the lock-free fast-path read below is intentional, so the flag itself
+  // is exempt from data-access checking but still publishes an ordering
+  // edge to readers that observe it.
+  race::atomic_store(sched, &breaker_attention_[static_cast<std::size_t>(device)]);
 }
 
 bool OffloadRuntime::breaker_pinned(int device) {
+  race::atomic_load(hsa_.machine().sched(),
+                    &breaker_attention_[static_cast<std::size_t>(device)]);
   if (breaker_attention_[static_cast<std::size_t>(device)] == 0) {
     return false;  // closed (the steady state): no lock on the hot path
   }
@@ -524,6 +533,7 @@ bool OffloadRuntime::breaker_pinned_locked(int device) {
   record_breaker_transitions(b.advance_to(sched.now()), device);
   breaker_attention_[static_cast<std::size_t>(device)] =
       b.state() != CircuitBreaker::State::Closed ? 1 : 0;
+  race::atomic_store(sched, &breaker_attention_[static_cast<std::size_t>(device)]);
   return b.open();
 }
 
@@ -1109,11 +1119,14 @@ TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
   ensure_initialized();
   check_device(region.device);
   sim::TimePoint not_before;
+  std::vector<hsa::Signal> dep_signals;
+  dep_signals.reserve(depends.size());
   for (const TargetTask* dep : depends) {
     if (dep == nullptr || !dep->valid()) {
       throw MappingError("target_nowait: invalid dependence",
                          ErrorCode::TaskMisuse, region.device);
     }
+    dep_signals.push_back(dep->signal_);
     if (!dep->signal_.is_complete()) {
       // The dependence is hung in flight (fault injection): its completion
       // time does not exist yet, so block until the watchdog resolves it —
@@ -1141,7 +1154,8 @@ TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
   }
   TargetTask task;
   task.host_thread_ = hsa_.machine().sched().current().id();
-  task.signal_ = hsa_.dispatch_kernel(launch, task.host_thread_, not_before);
+  task.signal_ =
+      hsa_.dispatch_kernel(launch, task.host_thread_, not_before, dep_signals);
   task.launch_ = std::move(launch);
   task.maps_.assign(region.maps.begin(), region.maps.end());
   task.device_ = region.device;

@@ -50,10 +50,10 @@ void Runtime::record_fault(trace::FaultRecord r) {
     ftrace_.get(sched()).record(r);
   }
   if (machine_.log().enabled()) {
-    machine_.log().add(r.time, "fault",
-                       std::string{trace::to_string(r.event)} + " dev" +
-                           std::to_string(r.device) + " " +
-                           std::to_string(r.bytes) + "B");
+    machine_.log_add(r.time, "fault",
+                     std::string{trace::to_string(r.event)} + " dev" +
+                         std::to_string(r.device) + " " +
+                         std::to_string(r.bytes) + "B");
   }
 }
 
@@ -108,10 +108,10 @@ PoolAllocResult Runtime::try_memory_pool_allocate(std::uint64_t bytes,
                                     .host_base = 0,
                                     .bytes = bytes});
     if (machine_.log().enabled()) {
-      machine_.log().add(sched().now(), "hsa",
-                         "pool_allocate " + std::to_string(bytes) +
-                             "B FAILED (" +
-                             trace::to_string(failure) + std::string{")"});
+      machine_.log_add(sched().now(), "hsa",
+                       "pool_allocate " + std::to_string(bytes) +
+                           "B FAILED (" +
+                           trace::to_string(failure) + std::string{")"});
     }
     return PoolAllocResult{Status::OutOfMemory, {}};
   }
@@ -136,8 +136,8 @@ PoolAllocResult Runtime::try_memory_pool_allocate(std::uint64_t bytes,
     ledger_.get(sched()).add_alloc(dur);
   }
   if (machine_.log().enabled()) {
-    machine_.log().add(sched().now(), "hsa",
-                       "pool_allocate " + std::to_string(bytes) + "B");
+    machine_.log_add(sched().now(), "hsa",
+                     "pool_allocate " + std::to_string(bytes) + "B");
   }
   return PoolAllocResult{Status::Ok, a->base()};
 }
@@ -205,6 +205,26 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
   const bool sdma_error = inj.kind == fault::Kind::CopyError;
   const bool sdma_stall = inj.kind == fault::Kind::SdmaStall;
   if (!sdma_error && !sdma_stall) {
+    // Race model: a DMA copy is a host-attributed page access at submit
+    // time (the functional transfer happens here, in program order on the
+    // issuing thread), not a separate task — so D2H copies of kernel
+    // results are safe exactly when the issuing thread acquired the
+    // kernel's completion signal first, which is what the detector then
+    // checks. Suppressed transfers deliver nothing and record nothing; the
+    // resubmission records the accesses.
+    if (sim::ConcurrencyHooks* h = sched().hooks()) {
+      const std::uint64_t pb = mem_.page_bytes();
+      const mem::AddrRange srange{src, bytes};
+      const mem::AddrRange drange{dst, bytes};
+      h->on_host_pages(srange.first_page(pb),
+                       srange.end_page(pb) - srange.first_page(pb),
+                       /*is_write=*/false,
+                       "dma-copy-read('" + src_alloc->name() + "')");
+      h->on_host_pages(drange.first_page(pb),
+                       drange.end_page(pb) - drange.first_page(pb),
+                       /*is_write=*/true,
+                       "dma-copy-write('" + dst_alloc->name() + "')");
+    }
     if (src_alloc->materialized()) {
       std::memmove(dst_alloc->translate(dst), src_alloc->translate(src), bytes);
     } else if (dst_alloc->materialized()) {
@@ -345,7 +365,8 @@ mem::PrefaultOutcome Runtime::svm_attributes_set_prefault(mem::AddrRange range,
 }
 
 Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
-                                sim::TimePoint not_before) {
+                                sim::TimePoint not_before,
+                                std::span<const Signal> depends) {
   const apu::CostParams& c = machine_.costs();
   const bool xnack = machine_.env().hsa_xnack;
 
@@ -460,6 +481,34 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
   const Duration total = launch_lat + compute + tlb_time + fault_term;
   const sim::Interval gi = machine_.gpu(launch.device).reserve(dispatched, total);
 
+  // Race model: the kernel is a device-side task forked from the
+  // dispatching thread's clock, with an extra happens-before edge from
+  // each in-queue dependence signal (target_nowait chains on `not_before`
+  // without a host-side wait, so those edges exist only here). Every
+  // buffer the kernel streams is a page-granularity access attributed to
+  // the task; the task's clock is released into the completion signal so
+  // waiters (and later D2H copies) are ordered after it. Hung dispatches
+  // (kernel_hang, xnack_livelock) return above having executed nothing,
+  // so they deliberately record no task and no accesses.
+  int race_task = -1;
+  if (sim::ConcurrencyHooks* h = sched().hooks()) {
+    race_task = h->on_task_begin("kernel:" + launch.name, launch.device);
+    for (const Signal& dep : depends) {
+      h->on_task_acquire(race_task, dep.id());
+    }
+    const std::uint64_t pb = mem_.page_bytes();
+    for (const BufferAccess& b : launch.buffers) {
+      const mem::Allocation* a = mem_.space().find(b.addr);
+      const std::string site =
+          "kernel:" + launch.name + "(" +
+          (a != nullptr ? a->name() : std::string{"?"}) + ")";
+      const mem::AddrRange r = b.range();
+      h->on_task_pages(race_task, r.first_page(pb),
+                       r.end_page(pb) - r.first_page(pb),
+                       /*is_write=*/b.access != Access::Read, site);
+    }
+  }
+
   // Functional execution.
   if (launch.body) {
     KernelContext ctx{mem_.space()};
@@ -489,6 +538,11 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
 
   Signal sig;
   sig.set_name("kernel:" + launch.name);
+  if (race_task >= 0) {
+    if (sim::ConcurrencyHooks* h = sched().hooks()) {
+      h->on_task_end(race_task, sig.id());
+    }
+  }
   sig.complete(sched(), gi.end);
   return sig;
 }

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "zc/race/api.hpp"
+
 namespace zc::mem {
 
 MemorySystem::MemorySystem(apu::Machine& machine)
@@ -23,11 +25,25 @@ int MemorySystem::home_of(VirtAddr a) const {
   return alloc != nullptr ? alloc->home_socket() : 0;
 }
 
+// The physical-occupancy counters are mutated by every allocating thread and
+// by fault servicing; in a real driver the memory manager's lock orders
+// them. The simulator models that lock as a race-detector monitor keyed on
+// the counter vector — each counter operation is one bracketed section (the
+// sections are pure state, never advancing virtual time), so the detector
+// sees the ordering the mm lock provides while still checking every access.
 void MemorySystem::charge(int socket, std::uint64_t bytes) {
+  sim::Scheduler& sched = machine_.sched();
+  race::MonitorGuard mm{sched, &hbm_used_};
+  race::on_write(sched, &hbm_used_.at(static_cast<std::size_t>(socket)),
+                 sizeof(std::uint64_t), "MemorySystem::hbm_used_");
   hbm_used_.at(static_cast<std::size_t>(socket)) += bytes;
 }
 
 void MemorySystem::credit(int socket, std::uint64_t bytes) {
+  sim::Scheduler& sched = machine_.sched();
+  race::MonitorGuard mm{sched, &hbm_used_};
+  race::on_write(sched, &hbm_used_.at(static_cast<std::size_t>(socket)),
+                 sizeof(std::uint64_t), "MemorySystem::hbm_used_");
   std::uint64_t& used = hbm_used_.at(static_cast<std::size_t>(socket));
   used -= std::min(used, bytes);
 }
@@ -42,6 +58,10 @@ Allocation& MemorySystem::os_alloc(std::uint64_t bytes, std::string name,
 void MemorySystem::os_free(VirtAddr base) { release(base, MemKind::HostOs); }
 
 bool MemorySystem::pool_fits(std::uint64_t bytes, int socket) const {
+  sim::Scheduler& sched = machine_.sched();
+  race::MonitorGuard mm{sched, &hbm_used_};
+  race::on_read(sched, &hbm_used_.at(static_cast<std::size_t>(socket)),
+                sizeof(std::uint64_t), "MemorySystem::hbm_used_");
   const std::uint64_t pb = space_.page_bytes();
   const std::uint64_t footprint = (bytes + pb - 1) / pb * pb;
   return hbm_used_.at(static_cast<std::size_t>(socket)) + footprint <=
@@ -116,6 +136,20 @@ void MemorySystem::release(VirtAddr base, MemKind expected) {
 }
 
 std::uint64_t MemorySystem::host_touch(AddrRange range) {
+  // Page-granularity race check: a host touch is a host-side write of every
+  // page in the range. Under zero-copy these are the same physical pages a
+  // kernel accesses, so a touch during an in-flight kernel with no
+  // interposed completion edge is exactly the unified-memory data race the
+  // detector exists to flag.
+  if (sim::ConcurrencyHooks* h = machine_.sched().hooks()) {
+    const Allocation* a = space_.find(range.base);
+    const std::string site =
+        "host_touch('" + (a != nullptr ? a->name() : std::string{"?"}) + "')";
+    const std::uint64_t pb = page_bytes();
+    h->on_host_pages(range.first_page(pb),
+                     range.end_page(pb) - range.first_page(pb),
+                     /*is_write=*/true, site);
+  }
   const std::uint64_t created = cpu_pt_.insert_range(range);
   if (machine_.is_apu() && created > 0) {
     charge(home_of(range.base), created * page_bytes());

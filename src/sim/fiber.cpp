@@ -4,6 +4,28 @@
 #include <stdexcept>
 #include <utility>
 
+// ThreadSanitizer models each ucontext stack as a distinct logical thread;
+// without these hooks it sees one OS thread hopping between stacks and
+// corrupts its shadow state (false reports or crashes). Every stack switch
+// below is announced with __tsan_switch_to_fiber immediately before the
+// swapcontext that performs it.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define APUZC_TSAN_FIBERS 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define APUZC_TSAN_FIBERS 1
+#endif
+
+#ifdef APUZC_TSAN_FIBERS
+extern "C" {
+void* __tsan_get_current_fiber();
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace zc::sim {
 
 namespace {
@@ -27,13 +49,22 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
   ctx_.uc_stack.ss_size = stack_bytes;
   ctx_.uc_link = nullptr;  // trampoline swaps back explicitly
   makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+#ifdef APUZC_TSAN_FIBERS
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 // Destroying a suspended (started, unfinished) fiber releases the stack
 // without unwinding it, so destructors of the fiber's live locals do not
 // run. This only happens on error paths (e.g. tearing down a deadlocked
 // simulation), where leaking those locals is preferable to aborting.
-Fiber::~Fiber() = default;
+Fiber::~Fiber() {
+#ifdef APUZC_TSAN_FIBERS
+  if (tsan_fiber_ != nullptr) {
+    __tsan_destroy_fiber(tsan_fiber_);
+  }
+#endif
+}
 
 void Fiber::trampoline() {
   Fiber* self = g_starting;
@@ -45,6 +76,9 @@ void Fiber::trampoline() {
   }
   self->finished_ = true;
   g_current = nullptr;
+#ifdef APUZC_TSAN_FIBERS
+  __tsan_switch_to_fiber(self->tsan_resumer_, 0);
+#endif
   swapcontext(&self->ctx_, &self->resumer_);
   // Never reached: a finished fiber is never resumed.
   std::abort();
@@ -60,7 +94,14 @@ void Fiber::resume() {
     started_ = true;
     g_starting = this;
   }
+#ifdef APUZC_TSAN_FIBERS
+  tsan_resumer_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   if (swapcontext(&resumer_, &ctx_) != 0) {
+#ifdef APUZC_TSAN_FIBERS
+    __tsan_switch_to_fiber(tsan_resumer_, 0);
+#endif
     g_current = prev;
     throw std::runtime_error("Fiber: swapcontext failed");
   }
@@ -77,6 +118,9 @@ void Fiber::yield() {
     throw std::logic_error("Fiber::yield outside any fiber");
   }
   g_current = nullptr;
+#ifdef APUZC_TSAN_FIBERS
+  __tsan_switch_to_fiber(self->tsan_resumer_, 0);
+#endif
   swapcontext(&self->ctx_, &self->resumer_);
 }
 

@@ -23,10 +23,16 @@ VirtualThread& Scheduler::spawn(std::string name, std::function<void()> body) {
           "thread '" + raw->name_ + "' finished while holding " +
           std::to_string(raw->held_.size()) + " lock(s)");
     }
+    if (hooks_ != nullptr) {
+      hooks_->on_finish(raw->id_);
+    }
     raw->state_ = VirtualThread::State::Finished;
     horizon_ = max(horizon_, raw->clock_);
   });
   threads_.push_back(std::move(vt));
+  if (hooks_ != nullptr) {
+    hooks_->on_spawn(running_ != nullptr ? running_->id_ : -1, id);
+  }
   return *raw;
 }
 
@@ -295,6 +301,9 @@ void WaitList::wait(Scheduler& sched, std::string_view what) {
   self.wait_what_ = what;
   waiters_.push_back(&self);
   sched.block_current();
+  if (ConcurrencyHooks* h = sched.hooks()) {
+    h->on_acquire(this, SyncKind::WaitList);
+  }
 }
 
 bool WaitList::wait_for(Scheduler& sched, Duration timeout,
@@ -312,10 +321,20 @@ bool WaitList::wait_for(Scheduler& sched, Duration timeout,
   sched.block_current();
   const bool timed_out = self.timed_out_;
   self.timed_out_ = false;
+  if (!timed_out) {
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_acquire(this, SyncKind::WaitList);
+    }
+  }
   return !timed_out;
 }
 
 void WaitList::notify_all(Scheduler& sched, TimePoint at_least) {
+  if (sched.in_thread()) {
+    if (ConcurrencyHooks* h = sched.hooks()) {
+      h->on_release(this, SyncKind::WaitList);
+    }
+  }
   std::vector<VirtualThread*> waiters = std::move(waiters_);
   waiters_.clear();
   for (VirtualThread* w : waiters) {

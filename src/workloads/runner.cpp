@@ -25,6 +25,12 @@ RunResult run_program(const Program& program, const RunOptions& options) {
   if (!options.watchdog_spec.empty()) {
     machine_config.env.watchdog = apu::parse_watchdog(options.watchdog_spec);
   }
+  if (!options.race_check_spec.empty()) {
+    machine_config.env.race_check =
+        apu::RunEnvironment::from_env(
+            {{"OMPX_APU_RACE_CHECK", options.race_check_spec}})
+            .race_check;
+  }
   omp::OffloadStack stack{
       std::move(machine_config),
       omp::OffloadStack::program_for(options.config, program.binary)};
@@ -47,6 +53,9 @@ RunResult run_program(const Program& program, const RunOptions& options) {
   }
   result.decisions = stack.omp().decision_trace();
   result.faults = stack.hsa().fault_trace();
+  if (const race::Detector* d = stack.race_detector()) {
+    result.races = d->trace();
+  }
   if (program.finalize) {
     result.checksum = program.finalize(stack);
   }

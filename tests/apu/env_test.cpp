@@ -224,6 +224,56 @@ TEST(RunEnvironment, ToStringRendersWatchdogOnlyWhenEnabled) {
             std::string::npos);
 }
 
+// --- OMPX_APU_RACE_CHECK ----------------------------------------------------
+
+TEST(RunEnvironment, RaceCheckDefaultsToOff) {
+  const RunEnvironment env;
+  EXPECT_EQ(env.race_check, RaceCheckMode::Off);
+}
+
+TEST(RunEnvironment, FromEnvParsesRaceCheckModes) {
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_RACE_CHECK", "off"}})
+                .race_check,
+            RaceCheckMode::Off);
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_RACE_CHECK", "report"}})
+                .race_check,
+            RaceCheckMode::Report);
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_RACE_CHECK", "abort"}})
+                .race_check,
+            RaceCheckMode::Abort);
+  // Spellings are case-insensitive like the other variables.
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_RACE_CHECK", "REPORT"}})
+                .race_check,
+            RaceCheckMode::Report);
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_RACE_CHECK", "Abort"}})
+                .race_check,
+            RaceCheckMode::Abort);
+}
+
+TEST(RunEnvironment, RaceCheckRejectsGarbageNamingTheVariable) {
+  // Not a boolean: "1"/"on" must throw, not silently enable a mode.
+  for (const char* bad : {"", "1", "on", "true", "warn", "bogus"}) {
+    try {
+      (void)RunEnvironment::from_env({{"OMPX_APU_RACE_CHECK", bad}});
+      FAIL() << "expected EnvError for OMPX_APU_RACE_CHECK=" << bad;
+    } catch (const EnvError& e) {
+      EXPECT_NE(std::string{e.what()}.find("OMPX_APU_RACE_CHECK"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(RunEnvironment, ToStringRendersRaceCheckOnlyWhenEnabled) {
+  RunEnvironment env;
+  EXPECT_EQ(env.to_string().find("OMPX_APU_RACE_CHECK"), std::string::npos);
+  env.race_check = RaceCheckMode::Report;
+  EXPECT_NE(env.to_string().find("OMPX_APU_RACE_CHECK=report"),
+            std::string::npos);
+  env.race_check = RaceCheckMode::Abort;
+  EXPECT_NE(env.to_string().find("OMPX_APU_RACE_CHECK=abort"),
+            std::string::npos);
+}
+
 TEST(RunEnvironment, ErrorMessageNamesTheOffendingVariable) {
   try {
     (void)RunEnvironment::from_env({{"OMPX_APU_MAPS", "maybe"}});

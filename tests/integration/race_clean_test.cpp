@@ -1,0 +1,161 @@
+// End-to-end race-detector runs over the full stack. Three claims:
+//
+//  1. Report-mode, fault-free runs of all five runtime configurations are
+//     clean — zero reports — and bit-identical to the same run with the
+//     detector off (the detector observes, it never perturbs).
+//  2. A synthetic zero-copy bug (host touch of a mapped buffer while the
+//     kernel is still in flight) yields exactly one page-race report in
+//     report mode, and exactly one OffloadError(DataRace) in abort mode.
+//  3. Clean runs stay clean under interleaving stress seeds: detection is
+//     a property of the synchronization, not of the schedule that ran.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "zc/core/host_array.hpp"
+#include "zc/core/offload_stack.hpp"
+#include "zc/race/detector.hpp"
+#include "zc/sim/scheduler.hpp"
+#include "zc/trace/race_trace.hpp"
+#include "zc/workloads/qmcpack.hpp"
+#include "zc/workloads/runner.hpp"
+
+namespace zc::workloads {
+namespace {
+
+using sim::literals::operator""_us;
+
+constexpr omp::RuntimeConfig kAllConfigs[] = {
+    omp::RuntimeConfig::LegacyCopy,
+    omp::RuntimeConfig::UnifiedSharedMemory,
+    omp::RuntimeConfig::ImplicitZeroCopy,
+    omp::RuntimeConfig::EagerMaps,
+    omp::RuntimeConfig::AdaptiveMaps,
+};
+
+QmcpackParams small_params() {
+  QmcpackParams p;
+  p.size = 2;
+  p.threads = 3;  // multiple host threads contending on the shared tables
+  p.steps = 25;
+  return p;
+}
+
+RunResult run_once(omp::RuntimeConfig config, const std::string& race_check,
+                   std::optional<std::uint64_t> stress_seed = std::nullopt) {
+  RunOptions options;
+  options.config = config;
+  options.race_check_spec = race_check;
+  options.stress_seed = stress_seed;
+  return run_program(make_qmcpack(small_params()), options);
+}
+
+TEST(RaceClean, AllConfigsReportFreeAndBitIdenticalToDetectorOff) {
+  for (omp::RuntimeConfig config : kAllConfigs) {
+    const RunResult off = run_once(config, "");
+    const RunResult report = run_once(config, "report");
+    EXPECT_TRUE(off.races.empty());
+    EXPECT_TRUE(report.races.empty())
+        << to_string(config) << ": "
+        << (report.races.empty() ? ""
+                                 : report.races.records().front().message);
+    EXPECT_EQ(report.checksum, off.checksum) << to_string(config);
+    EXPECT_EQ(report.wall_time, off.wall_time) << to_string(config);
+  }
+}
+
+TEST(RaceClean, ReportModeStaysCleanUnderStressSeeds) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    const RunResult r =
+        run_once(omp::RuntimeConfig::ImplicitZeroCopy, "report", seed);
+    EXPECT_TRUE(r.races.empty())
+        << "seed " << seed << ": "
+        << (r.races.empty() ? "" : r.races.records().front().message);
+  }
+}
+
+TEST(RaceClean, AbortModeIsInertOnACleanRun) {
+  const RunResult r = run_once(omp::RuntimeConfig::AdaptiveMaps, "abort");
+  EXPECT_TRUE(r.races.empty());
+  EXPECT_EQ(r.checksum, run_once(omp::RuntimeConfig::AdaptiveMaps, "").checksum);
+}
+
+/// The synthetic bug: dispatch a nowait kernel over a zero-copy-mapped
+/// buffer, then touch the buffer's pages from the host before waiting.
+void run_host_write_during_kernel(omp::OffloadStack& stack) {
+  stack.sched().run_single([&] {
+    omp::OffloadRuntime& rt = stack.omp();
+    omp::HostArray<double> x{rt, 4096, "x"};
+    x.first_touch();
+    omp::TargetRegion region{.name = "inflight",
+                             .maps = {x.tofrom()},
+                             .compute = 50_us,
+                             .body = {}};
+    omp::TargetTask task = rt.target_nowait(region);
+    // The kernel is still in flight: this touch has no happens-before
+    // path from the kernel's page accesses.
+    rt.host_first_touch(x.range());
+    rt.target_wait(task);
+    x.release();
+  });
+}
+
+TEST(RaceClean, HostWriteDuringKernelYieldsExactlyOnePageRaceReport) {
+  apu::Machine::Config mc =
+      omp::OffloadStack::machine_config_for(omp::RuntimeConfig::ImplicitZeroCopy);
+  mc.env.race_check = apu::RaceCheckMode::Report;
+  omp::OffloadStack stack{std::move(mc), {}};
+  run_host_write_during_kernel(stack);
+  ASSERT_NE(stack.race_detector(), nullptr);
+  const trace::RaceTrace& races = stack.race_detector()->trace();
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(races.count(trace::RaceKind::Page), 1u);
+  const trace::RaceReport& r = races.records().front();
+  EXPECT_NE(r.first.actor.find("kernel:inflight"), std::string::npos);
+  EXPECT_NE(r.second.site.find("host_touch('x')"), std::string::npos);
+}
+
+TEST(RaceClean, HostWriteDuringKernelAbortsWithDataRaceError) {
+  apu::Machine::Config mc =
+      omp::OffloadStack::machine_config_for(omp::RuntimeConfig::ImplicitZeroCopy);
+  mc.env.race_check = apu::RaceCheckMode::Abort;
+  omp::OffloadStack stack{std::move(mc), {}};
+  try {
+    run_host_write_during_kernel(stack);
+    FAIL() << "expected OffloadError(DataRace)";
+  } catch (const omp::OffloadError& e) {
+    EXPECT_EQ(e.code(), omp::ErrorCode::DataRace);
+  }
+  // Exactly one report was recorded before the abort fired.
+  ASSERT_NE(stack.race_detector(), nullptr);
+  EXPECT_EQ(stack.race_detector()->trace().size(), 1u);
+}
+
+TEST(RaceClean, WaitingBeforeTheTouchIsClean) {
+  // The fixed version of the same program: target_wait interposes the
+  // kernel-completion edge before the host touch.
+  apu::Machine::Config mc =
+      omp::OffloadStack::machine_config_for(omp::RuntimeConfig::ImplicitZeroCopy);
+  mc.env.race_check = apu::RaceCheckMode::Abort;
+  omp::OffloadStack stack{std::move(mc), {}};
+  stack.sched().run_single([&] {
+    omp::OffloadRuntime& rt = stack.omp();
+    omp::HostArray<double> x{rt, 4096, "x"};
+    x.first_touch();
+    omp::TargetRegion region{.name = "inflight",
+                             .maps = {x.tofrom()},
+                             .compute = 50_us,
+                             .body = {}};
+    omp::TargetTask task = rt.target_nowait(region);
+    rt.target_wait(task);
+    rt.host_first_touch(x.range());
+    x.release();
+  });
+  ASSERT_NE(stack.race_detector(), nullptr);
+  EXPECT_TRUE(stack.race_detector()->trace().empty());
+}
+
+}  // namespace
+}  // namespace zc::workloads

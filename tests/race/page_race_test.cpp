@@ -1,0 +1,175 @@
+// Page-granularity host/GPU race checking at the hook level: a device task
+// forks from its dispatcher, its page accesses are concurrent with the
+// dispatching thread's subsequent host touches until someone acquires the
+// task's completion signal, and in-queue dependence edges order task chains
+// that the host never waits on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "zc/hsa/signal.hpp"
+#include "zc/race/detector.hpp"
+#include "zc/sim/hooks.hpp"
+#include "zc/sim/scheduler.hpp"
+#include "zc/trace/race_trace.hpp"
+
+namespace zc::race {
+namespace {
+
+using sim::Duration;
+using sim::Scheduler;
+
+constexpr std::uint64_t kPage = 2ULL << 20;
+
+TEST(PageRace, HostWriteDuringInFlightKernelRaces) {
+  // The canonical zero-copy bug: dispatch a kernel that writes pages 0..3,
+  // then touch page 1 from the host without waiting for completion.
+  Scheduler s;
+  Detector d{Detector::Mode::Report, kPage};
+  d.attach(s);
+  s.run_single([&] {
+    sim::ConcurrencyHooks* h = s.hooks();
+    ASSERT_NE(h, nullptr);
+    hsa::Signal sig;
+    const int task = h->on_task_begin("kernel:axpy", 0);
+    h->on_task_pages(task, 0, 4, /*is_write=*/true, "kernel:axpy(x)");
+    h->on_task_end(task, sig.id());
+    sig.complete(s, s.now());
+    // No wait on sig: the host touch is unordered with the kernel's write.
+    h->on_host_pages(1, 1, /*is_write=*/true, "host_touch('x')");
+  });
+  ASSERT_EQ(d.trace().count(trace::RaceKind::Page), 1u);
+  const trace::RaceReport& r = d.trace().records().front();
+  EXPECT_EQ(r.what, "page@" + std::to_string(kPage) + "[" +
+                        std::to_string(kPage) + "]");
+  EXPECT_NE(r.first.actor.find("kernel:axpy@dev0"), std::string::npos);
+  EXPECT_EQ(r.second.site, "host_touch('x')");
+}
+
+TEST(PageRace, SignalWaitOrdersKernelBeforeHostTouch) {
+  Scheduler s;
+  Detector d{Detector::Mode::Report, kPage};
+  d.attach(s);
+  s.run_single([&] {
+    sim::ConcurrencyHooks* h = s.hooks();
+    hsa::Signal sig;
+    const int task = h->on_task_begin("kernel:axpy", 0);
+    h->on_task_pages(task, 0, 4, /*is_write=*/true, "kernel:axpy(x)");
+    h->on_task_end(task, sig.id());
+    sig.complete(s, s.now());
+    sig.wait(s);  // completion edge: task happens-before everything after
+    h->on_host_pages(0, 4, /*is_write=*/true, "host_touch('x')");
+  });
+  EXPECT_TRUE(d.trace().empty());
+}
+
+TEST(PageRace, HostWriteBeforeDispatchIsOrderedByTheFork) {
+  Scheduler s;
+  Detector d{Detector::Mode::Report, kPage};
+  d.attach(s);
+  s.run_single([&] {
+    sim::ConcurrencyHooks* h = s.hooks();
+    h->on_host_pages(0, 4, /*is_write=*/true, "host-init('x')");
+    hsa::Signal sig;
+    const int task = h->on_task_begin("kernel:reads-x", 0);
+    h->on_task_pages(task, 0, 4, /*is_write=*/false, "kernel:reads-x(x)");
+    h->on_task_end(task, sig.id());
+    sig.complete(s, s.now());
+    sig.wait(s);
+  });
+  EXPECT_TRUE(d.trace().empty());
+}
+
+TEST(PageRace, ConcurrentKernelReadsDoNotRace) {
+  // Two kernels from two host threads reading the same pages: read-read.
+  Scheduler s;
+  Detector d{Detector::Mode::Report, kPage};
+  d.attach(s);
+  for (int t = 0; t < 2; ++t) {
+    s.spawn("host" + std::to_string(t), [&s, t] {
+      sim::ConcurrencyHooks* h = s.hooks();
+      hsa::Signal sig;
+      const int task = h->on_task_begin("kernel:r" + std::to_string(t), 0);
+      h->on_task_pages(task, 0, 8, /*is_write=*/false, "kernel(r)");
+      h->on_task_end(task, sig.id());
+      sig.complete(s, s.now());
+      sig.wait(s);
+    });
+  }
+  s.run();
+  EXPECT_TRUE(d.trace().empty());
+}
+
+TEST(PageRace, KernelsFromDifferentThreadsWritingSamePageRace) {
+  Scheduler s;
+  Detector d{Detector::Mode::Report, kPage};
+  d.attach(s);
+  for (int t = 0; t < 2; ++t) {
+    s.spawn("host" + std::to_string(t), [&s, t] {
+      sim::ConcurrencyHooks* h = s.hooks();
+      hsa::Signal sig;
+      const int task = h->on_task_begin("kernel:w" + std::to_string(t), 0);
+      h->on_task_pages(task, 5, 1, /*is_write=*/true, "kernel(w)");
+      h->on_task_end(task, sig.id());
+      sig.complete(s, s.now());
+      sig.wait(s);  // each thread waits on its own kernel only
+    });
+  }
+  s.run();
+  EXPECT_EQ(d.trace().count(trace::RaceKind::Page), 1u);
+}
+
+TEST(PageRace, InQueueDependenceEdgeOrdersChainedKernels) {
+  // target_nowait chains kernels by timestamp without a host-side wait;
+  // the dependence signal handed to dispatch gives the consumer task a
+  // happens-before edge from the producer task.
+  Scheduler s;
+  Detector d{Detector::Mode::Report, kPage};
+  d.attach(s);
+  s.run_single([&] {
+    sim::ConcurrencyHooks* h = s.hooks();
+    hsa::Signal produced;
+    const int producer = h->on_task_begin("kernel:produce", 0);
+    h->on_task_pages(producer, 0, 2, /*is_write=*/true, "produce(buf)");
+    h->on_task_end(producer, produced.id());
+    produced.complete(s, s.now());
+    // Consumer dispatched with `produced` as an in-queue dependence; the
+    // host never waits on `produced` itself.
+    hsa::Signal consumed;
+    const int consumer = h->on_task_begin("kernel:consume", 0);
+    h->on_task_acquire(consumer, produced.id());
+    h->on_task_pages(consumer, 0, 2, /*is_write=*/false, "consume(buf)");
+    h->on_task_end(consumer, consumed.id());
+    consumed.complete(s, s.now());
+    consumed.wait(s);
+  });
+  EXPECT_TRUE(d.trace().empty());
+}
+
+TEST(PageRace, MissingDependenceEdgeIsARace) {
+  // The same chain without the dependence edge: producer write and
+  // consumer read are unordered. One page -> exactly one report (pages are
+  // poisoned individually).
+  Scheduler s;
+  Detector d{Detector::Mode::Report, kPage};
+  d.attach(s);
+  s.run_single([&] {
+    sim::ConcurrencyHooks* h = s.hooks();
+    hsa::Signal produced;
+    const int producer = h->on_task_begin("kernel:produce", 0);
+    h->on_task_pages(producer, 0, 1, /*is_write=*/true, "produce(buf)");
+    h->on_task_end(producer, produced.id());
+    produced.complete(s, s.now());
+    hsa::Signal consumed;
+    const int consumer = h->on_task_begin("kernel:consume", 0);
+    h->on_task_pages(consumer, 0, 1, /*is_write=*/false, "consume(buf)");
+    h->on_task_end(consumer, consumed.id());
+    consumed.complete(s, s.now());
+    consumed.wait(s);
+  });
+  EXPECT_EQ(d.trace().count(trace::RaceKind::Page), 1u);
+}
+
+}  // namespace
+}  // namespace zc::race

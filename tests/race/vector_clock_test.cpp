@@ -1,0 +1,106 @@
+// The vector-clock algebra the detector's happens-before relation is built
+// on: join/tick/leq/covers and the FastTrack epoch compression invariants.
+
+#include "zc/race/vector_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zc::race {
+namespace {
+
+TEST(VectorClock, AbsentComponentsReadAsZero) {
+  VectorClock c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.of(0), 0u);
+  EXPECT_EQ(c.of(42), 0u);
+}
+
+TEST(VectorClock, SetKeepsTheMaximum) {
+  VectorClock c;
+  c.set(1, 5);
+  c.set(1, 3);  // components never decrease
+  EXPECT_EQ(c.of(1), 5u);
+  c.set(1, 9);
+  EXPECT_EQ(c.of(1), 9u);
+}
+
+TEST(VectorClock, TickIncrementsOneComponent) {
+  VectorClock c;
+  c.tick(2);
+  c.tick(2);
+  EXPECT_EQ(c.of(2), 2u);
+  EXPECT_EQ(c.of(0), 0u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(VectorClock, JoinIsComponentwiseMax) {
+  VectorClock a;
+  a.set(0, 3);
+  a.set(1, 1);
+  VectorClock b;
+  b.set(1, 4);
+  b.set(2, 2);
+  a.join(b);
+  EXPECT_EQ(a.of(0), 3u);
+  EXPECT_EQ(a.of(1), 4u);
+  EXPECT_EQ(a.of(2), 2u);
+}
+
+TEST(VectorClock, LeqDefinesHappensBefore) {
+  VectorClock a;
+  a.set(0, 2);
+  VectorClock b;
+  b.set(0, 3);
+  b.set(1, 1);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  // Incomparable frontiers: concurrent.
+  VectorClock c;
+  c.set(1, 5);
+  EXPECT_FALSE(b.leq(c));
+  EXPECT_FALSE(c.leq(b));
+}
+
+TEST(VectorClock, CoversComparesOneEpochInConstantTime) {
+  VectorClock c;
+  c.set(3, 7);
+  EXPECT_TRUE(c.covers(Epoch{3, 7}));
+  EXPECT_TRUE(c.covers(Epoch{3, 1}));
+  EXPECT_FALSE(c.covers(Epoch{3, 8}));
+  EXPECT_FALSE(c.covers(Epoch{4, 1}));  // unseen slot is at zero
+}
+
+TEST(VectorClock, InvalidEpochIsNeverCovered) {
+  VectorClock c;
+  c.set(0, 1);
+  EXPECT_FALSE(c.covers(Epoch{}));
+  EXPECT_FALSE(Epoch{}.valid());
+  EXPECT_TRUE((Epoch{0, 0}).valid());
+}
+
+TEST(VectorClock, RenderIsDeterministicAndSorted) {
+  VectorClock c;
+  c.set(2, 7);
+  c.set(0, 3);
+  EXPECT_EQ(c.render(), "{0:3, 2:7}");
+  EXPECT_EQ(VectorClock{}.render(), "{}");
+}
+
+TEST(VectorClock, ForkJoinRoundTripOrdersChildAfterParentPrefix) {
+  // The spawn protocol: child = parent's frontier + {child:1}, parent
+  // ticks. Work the parent does after the fork is NOT covered by the
+  // child; everything before is.
+  VectorClock parent;
+  parent.set(0, 4);
+  VectorClock child = parent;
+  child.set(1, 1);
+  parent.tick(0);  // post-fork parent work at epoch {0:5}
+  EXPECT_TRUE(child.covers(Epoch{0, 4}));
+  EXPECT_FALSE(child.covers(Epoch{0, 5}));
+  // Join (thread join / signal wait) restores coverage.
+  child.join(parent);
+  EXPECT_TRUE(child.covers(Epoch{0, 5}));
+}
+
+}  // namespace
+}  // namespace zc::race
