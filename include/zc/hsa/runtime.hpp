@@ -4,6 +4,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "zc/apu/machine.hpp"
 #include "zc/fault/spec.hpp"
@@ -190,8 +191,14 @@ class Runtime {
   /// `trace_mutex_` and is enforced by the sim lock-discipline checker.
   [[nodiscard]] apu::Machine& machine() { return machine_; }
   [[nodiscard]] mem::MemorySystem& memory() { return mem_; }
-  [[nodiscard]] trace::CallStats& stats() { return stats_.unguarded(); }
+  [[nodiscard]] trace::CallStats& stats() {
+    flush_pending_calls();
+    return stats_.unguarded();
+  }
   [[nodiscard]] const trace::CallStats& stats() const {
+    // Reading drains the batched sink first so the aggregate is complete;
+    // the drain only moves buffered records into the guarded accumulator.
+    const_cast<Runtime*>(this)->flush_pending_calls();
     return stats_.unguarded();
   }
   [[nodiscard]] trace::KernelTrace& kernel_trace() {
@@ -218,10 +225,21 @@ class Runtime {
  private:
   [[nodiscard]] sim::Scheduler& sched() { return machine_.sched(); }
 
-  /// Record into the aggregate stats and (when enabled) the call trace;
-  /// takes `trace_mutex_` internally.
+  /// Record into the aggregate stats and (when enabled) the call trace.
+  /// Batched sink: with no concurrency observer installed and the per-call
+  /// trace disabled, records accumulate in `pending_calls_` and are folded
+  /// into the guarded stats in blocks (one `trace_mutex_` acquisition per
+  /// `kCallFlushThreshold` records instead of one per call — the aggregate
+  /// is order-insensitive, so the result is identical). With hooks active
+  /// or the call trace on, every record takes the lock as before, so the
+  /// race detector sees the exact same release/acquire edges.
   void record_call(trace::HsaCall call, sim::TimePoint start,
                    sim::Duration latency);
+
+  /// Drain `pending_calls_` into the guarded stats (under `trace_mutex_`
+  /// when called from inside a virtual thread; directly during post-run
+  /// introspection, when no concurrency exists).
+  void flush_pending_calls();
 
   /// Build the forever-incomplete signal of a hang-injected operation:
   /// name it, record the injection, and register it with the watchdog.
@@ -241,6 +259,19 @@ class Runtime {
   sim::GuardedBy<trace::KernelTrace> ktrace_;
   sim::GuardedBy<trace::OverheadLedger> ledger_;
   sim::GuardedBy<trace::FaultTrace> ftrace_;
+
+  /// Batched trace sink (see `record_call`). The simulator runs all fibers
+  /// on one OS thread, so appends need no host-side synchronization; the
+  /// sim-level mutex only matters for the modeled concurrency the race
+  /// detector observes, and the fast path is taken only when no observer
+  /// is installed.
+  struct PendingCall {
+    trace::HsaCall call;
+    sim::TimePoint start;
+    sim::Duration latency;
+  };
+  static constexpr std::size_t kCallFlushThreshold = 256;
+  std::vector<PendingCall> pending_calls_;
 };
 
 }  // namespace zc::hsa

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "zc/mem/address.hpp"
 
@@ -36,6 +38,32 @@ class Allocation {
   /// True once real backing storage exists.
   [[nodiscard]] bool materialized() const { return backing_ != nullptr; }
 
+  /// Residency summary, maintained by MemorySystem: how many pages of
+  /// this allocation socket `s`'s GPU cannot yet translate. Zero means
+  /// fully mapped, which answers any subrange absence query O(1) — the
+  /// steady state of every launch-loop buffer, including sliding-window
+  /// accesses whose subrange changes each step. GPU translations are only
+  /// removed when the allocation itself is freed, so a zero can never go
+  /// stale. An uninitialized summary (empty vector) means "unknown" and
+  /// falls back to the exact page-table count.
+  [[nodiscard]] bool gpu_fully_mapped(int s) const {
+    return s >= 0 && static_cast<std::size_t>(s) < gpu_absent_.size() &&
+           gpu_absent_[static_cast<std::size_t>(s)] == 0;
+  }
+  /// First-use init: one counter per socket, all pages absent.
+  void gpu_absent_init(std::size_t sockets, std::uint64_t pages) {
+    if (gpu_absent_.empty()) {
+      gpu_absent_.assign(sockets, pages);
+    }
+  }
+  /// `n` pages of this allocation became GPU-mapped on socket `s`.
+  void gpu_absent_sub(int s, std::uint64_t n) {
+    if (s >= 0 && static_cast<std::size_t>(s) < gpu_absent_.size()) {
+      std::uint64_t& a = gpu_absent_[static_cast<std::size_t>(s)];
+      a -= n <= a ? n : a;
+    }
+  }
+
   /// Real backing storage (zero-initialized; materializes on first use).
   [[nodiscard]] std::span<std::byte> data() {
     ensure_backing();
@@ -53,6 +81,7 @@ class Allocation {
   MemKind kind_;
   std::string name_;
   int home_socket_ = 0;
+  std::vector<std::uint64_t> gpu_absent_;  ///< per-socket absent pages
   std::unique_ptr<std::byte[]> backing_;
 };
 
@@ -99,6 +128,20 @@ class AddressSpace {
   std::uint64_t page_bytes_;
   std::uint64_t next_ = 0;  // next base offset (page-aligned)
   std::map<std::uint64_t, std::unique_ptr<Allocation>> allocs_;  // by base
+  /// Recently-found allocations: a kernel launch cycles through a handful
+  /// of buffers (positions, psi, gradients, ...), so a few slots catch
+  /// nearly every `find` before the O(log n) map walk. The range bounds
+  /// are stored inline so a probe never dereferences the Allocation
+  /// (pure cache-local scan); a hit transposes one slot toward the front
+  /// so hot buffers drift to the first probes. Slots are invalidated on
+  /// `free`.
+  struct FindSlot {
+    std::uint64_t base = 0;
+    std::uint64_t end = 0;  // base == end: empty slot
+    Allocation* alloc = nullptr;
+  };
+  static constexpr std::size_t kFindCacheSlots = 8;
+  std::array<FindSlot, kFindCacheSlots> find_cache_{};
   std::uint64_t live_bytes_ = 0;
   std::uint64_t total_bytes_ = 0;
 };

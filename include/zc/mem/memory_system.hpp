@@ -89,6 +89,15 @@ class MemorySystem {
   [[nodiscard]] std::uint64_t gpu_absent_pages(AddrRange range,
                                                int socket = 0) const;
 
+  /// Same query with an allocation hint (the allocation containing
+  /// `range`, as returned by `space().find`). Answers O(1) once the whole
+  /// allocation is GPU-mapped — the steady state of every launch-loop
+  /// buffer — via the allocation's residency summary, which this call
+  /// also maintains. Exact: falls back to the page-table count whenever
+  /// the summary cannot prove full residency.
+  [[nodiscard]] std::uint64_t gpu_absent_pages(AddrRange range, int socket,
+                                               Allocation* hint) const;
+
   /// Pages of `range` the CPU has materialized (host first touch or bulk
   /// population). Pure state read — feeds the Adaptive Maps policy.
   [[nodiscard]] std::uint64_t cpu_resident_pages(AddrRange range) const;
@@ -127,6 +136,10 @@ class MemorySystem {
 
  private:
   void release(VirtAddr base, MemKind expected);
+  /// Debit the owning allocation's per-socket absent-page counter after
+  /// `mapped_pages` of `range` entered socket `socket`'s GPU page table.
+  void update_residency_summary(AddrRange range, int socket,
+                                std::uint64_t mapped_pages);
   /// Home socket of the allocation containing `a` (HBM attribution).
   [[nodiscard]] int home_of(VirtAddr a) const;
   void charge(int socket, std::uint64_t bytes);

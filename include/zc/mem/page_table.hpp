@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_set>
 
@@ -28,7 +29,7 @@ class PageTable {
 
   /// Insert one page; returns true if it was newly inserted.
   bool insert(std::uint64_t page_index) {
-    return pages_.insert(page_index).second;
+    return insert_pages(page_index, page_index + 1) == 1;
   }
 
   /// Insert every page of the range; returns how many were new.
@@ -45,12 +46,70 @@ class PageTable {
     return range.page_count(page_bytes_) - count_absent(range);
   }
 
+  /// Insert pages [first, end); returns how many were new.
+  std::uint64_t insert_pages(std::uint64_t first, std::uint64_t end);
+
+  /// Call `f(a, b)` for each maximal run of *absent* pages within
+  /// [first, end), in ascending order. `f` must not mutate this table.
+  template <typename F>
+  void for_each_absent_run(std::uint64_t first, std::uint64_t end,
+                           F&& f) const {
+    std::uint64_t run_start = 0;
+    bool in_run = false;
+    for (std::uint64_t p = first; p < end; ++p) {
+      if (!pages_.contains(p)) {
+        if (!in_run) {
+          run_start = p;
+          in_run = true;
+        }
+      } else if (in_run) {
+        f(run_start, p);
+        in_run = false;
+      }
+    }
+    if (in_run) {
+      f(run_start, end);
+    }
+  }
+
   [[nodiscard]] std::uint64_t size() const { return pages_.size(); }
-  void clear() { pages_.clear(); }
+  void clear() {
+    pages_.clear();
+    qcache_used_ = 0;
+  }
 
  private:
+  /// Memoized `count_absent` answers. A kernel launch queries the same
+  /// handful of buffer ranges on every dispatch while mutations touch
+  /// *other* ranges (fresh scratch faulting in, freed scratch unmapping),
+  /// so invalidating only the cached entries that overlap a mutation
+  /// keeps the steady-state buffers answered in O(1) — exactly, since a
+  /// disjoint mutation cannot change a range's absent count.
+  struct CachedQuery {
+    std::uint64_t first;
+    std::uint64_t end;
+    std::uint64_t absent;
+  };
+  static constexpr std::uint32_t kQueryCacheSlots = 16;
+
+  void invalidate_queries(std::uint64_t first, std::uint64_t end) {
+    for (std::uint32_t i = 0; i < qcache_used_;) {
+      if (qcache_[i].first < end && first < qcache_[i].end) {
+        qcache_[i] = qcache_[--qcache_used_];  // swap-remove
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count_absent_pages(std::uint64_t first,
+                                                 std::uint64_t end) const;
+
   std::uint64_t page_bytes_;
   std::unordered_set<std::uint64_t> pages_;
+  mutable std::array<CachedQuery, kQueryCacheSlots> qcache_{};
+  mutable std::uint32_t qcache_used_ = 0;
+  mutable std::uint32_t qcache_next_ = 0;  ///< ring replacement cursor
 };
 
 }  // namespace zc::mem

@@ -1,8 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "zc/mem/address.hpp"
 
@@ -22,6 +21,15 @@ struct TlbAccessResult {
 /// through `access_range`; working sets larger than the capacity thrash,
 /// which is the mechanism the paper suspects behind the Eager Maps S128
 /// variability.
+///
+/// Implementation: exact LRU over fixed-size slots. The recency order is a
+/// doubly-linked list threaded through slot indices (no per-access node
+/// allocation), and page -> slot lookup is an open-addressing hash table
+/// with linear probing and backward-shift deletion. Both arrays are sized
+/// once at construction; the hot `access` path allocates nothing. The
+/// eviction policy is bit-identical to the std::list/unordered_map LRU it
+/// replaced: every access sequence produces the same hit/miss counts and
+/// the same resident set.
 class Tlb {
  public:
   explicit Tlb(std::uint32_t capacity, std::uint64_t page_bytes);
@@ -39,16 +47,43 @@ class Tlb {
   void invalidate_all();
 
   [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
-  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] std::uint64_t page_bytes() const { return page_bytes_; }
   [[nodiscard]] std::uint64_t total_hits() const { return hits_; }
   [[nodiscard]] std::uint64_t total_misses() const { return misses_; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// One cached translation plus its recency-list links (slot indices).
+  struct Slot {
+    std::uint64_t page;
+    std::uint32_t prev;
+    std::uint32_t next;
+  };
+
+  [[nodiscard]] std::uint32_t home(std::uint64_t page) const;
+  /// Probe position of `page` in `table_`, or kNil.
+  [[nodiscard]] std::uint32_t find_pos(std::uint64_t page) const;
+  /// Backward-shift deletion at table position `pos`.
+  void table_erase(std::uint32_t pos);
+  /// Unlink `slot` from the recency list.
+  void unlink(std::uint32_t slot);
+  /// Link `slot` at the most-recent end.
+  void link_front(std::uint32_t slot);
+  /// Insert a not-present `page` as most recent, evicting LRU when full.
+  void insert_new(std::uint64_t page);
+
   std::uint32_t capacity_;
   std::uint64_t page_bytes_;
-  std::list<std::uint64_t> lru_;  // front = most recent
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::vector<Slot> slots_;           // capacity_ entries
+  std::vector<std::uint32_t> table_;  // open addressing: slot index + 1, 0 = empty
+  std::uint32_t mask_ = 0;            // table_.size() - 1 (power of two)
+  std::uint32_t head_ = kNil;         // most recently used slot
+  std::uint32_t tail_ = kNil;         // least recently used slot
+  std::uint32_t free_ = kNil;         // freelist threaded through Slot::next
+  std::uint32_t count_ = 0;           // live translations
+  std::uint32_t used_slots_ = 0;      // high-water slot allocation mark
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

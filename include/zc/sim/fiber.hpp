@@ -4,7 +4,9 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <vector>
 
+#include <setjmp.h>
 #include <ucontext.h>
 
 namespace zc::sim {
@@ -22,10 +24,36 @@ namespace zc::sim {
 /// the body are captured and rethrown from the `resume()` that observed the
 /// fiber finish. Not thread-safe: all fibers of a simulation run on one OS
 /// thread.
+/// Recycles fixed-size fiber stacks. A simulation spawns and retires
+/// thousands of short-lived virtual threads (one per modeled host thread
+/// per run, plus helpers); without pooling every spawn pays a 256 KiB heap
+/// allocation and first-touch page faults. The scheduler returns a stack to
+/// its pool as soon as the owning fiber finishes — the stack is dead the
+/// moment `resume()` observes `finished()`, long before the Fiber object
+/// itself is destroyed. Not thread-safe (the simulator is single-threaded).
+class FiberStackPool {
+ public:
+  /// Pop a recycled stack of exactly `bytes` bytes, or allocate fresh.
+  [[nodiscard]] std::unique_ptr<char[]> acquire(std::size_t bytes);
+
+  /// Return a stack for reuse. Stacks whose size differs from the pool's
+  /// current block size are simply freed.
+  void release(std::unique_ptr<char[]> stack, std::size_t bytes);
+
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+
+ private:
+  std::size_t block_bytes_ = 0;
+  std::vector<std::unique_ptr<char[]>> free_;
+};
+
 class Fiber {
  public:
+  /// `pool`, when given, supplies the stack and receives it back via
+  /// `recycle_stack()`; it must outlive the fiber's stack use.
   explicit Fiber(std::function<void()> body,
-                 std::size_t stack_bytes = kDefaultStackBytes);
+                 std::size_t stack_bytes = kDefaultStackBytes,
+                 FiberStackPool* pool = nullptr);
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
@@ -43,6 +71,11 @@ class Fiber {
   /// True once the body has returned (or thrown).
   [[nodiscard]] bool finished() const { return finished_; }
 
+  /// Return the stack of a finished fiber to the pool it was drawn from
+  /// (no-op for unfinished fibers, pool-less fibers free the stack). The
+  /// context of a finished fiber is never resumed, so its stack is dead.
+  void recycle_stack();
+
   /// The fiber currently executing on this OS thread, or nullptr.
   [[nodiscard]] static Fiber* current();
 
@@ -53,8 +86,20 @@ class Fiber {
 
   std::function<void()> body_;
   std::unique_ptr<char[]> stack_;
+  FiberStackPool* pool_ = nullptr;
+  std::size_t stack_bytes_ = 0;
+  /// ucontext pair for a fiber's *first* entry only: makecontext is the one
+  /// portable way to start executing on a fresh stack. Every subsequent
+  /// switch uses the _setjmp/_longjmp pair below — glibc's swapcontext
+  /// performs a sigprocmask syscall per switch (~470 ns round trip measured
+  /// on the dev box vs ~12 ns for _setjmp/_longjmp), which dominated the
+  /// whole DES event loop. Sanitizer builds stay on swapcontext throughout:
+  /// ASan/TSan intercept it and model the stack switch, while a cross-stack
+  /// longjmp would bypass their bookkeeping (see fiber.cpp).
   ucontext_t ctx_{};
   ucontext_t resumer_{};
+  jmp_buf jmp_{};          // fiber's suspended point (valid once started)
+  jmp_buf resumer_jmp_{};  // resumer's point to return to on yield/finish
   /// ThreadSanitizer fiber context for this stack and for the context that
   /// last resumed it; null (and unused) outside TSan builds.
   void* tsan_fiber_ = nullptr;

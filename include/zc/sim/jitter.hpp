@@ -30,11 +30,21 @@ class JitterModel {
 
   /// Apply noise to a cost. Deterministic given construction seed and
   /// call sequence; identity when sigma == 0 and outlier_prob == 0.
-  [[nodiscard]] Duration apply(Duration d);
+  /// The disabled case consumes no RNG state, so taking it inline keeps
+  /// the stream bit-identical with the out-of-line path.
+  [[nodiscard]] Duration apply(Duration d) {
+    if (d.is_zero() ||
+        (params_.sigma <= 0.0 && params_.outlier_prob <= 0.0)) {
+      return d;
+    }
+    return apply_noise(d);
+  }
 
   [[nodiscard]] const JitterParams& params() const { return params_; }
 
  private:
+  [[nodiscard]] Duration apply_noise(Duration d);
+
   JitterParams params_;
   Rng rng_;
 };

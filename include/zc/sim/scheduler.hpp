@@ -68,7 +68,19 @@ class VirtualThread {
   int id_;
   TimePoint clock_;
   State state_ = State::Runnable;
-  bool deprioritized_ = false;  // one-shot, set by Scheduler::reschedule
+  /// Reschedule epoch: 0 while the thread has not called `reschedule()`
+  /// since it was last scheduled; otherwise the global epoch at which it
+  /// deprioritized itself. Equal-clock ties run never-rescheduled threads
+  /// first (spawn order), then rescheduled threads oldest-epoch-first, so
+  /// mutual `reschedule()` rotates the CPU fairly instead of letting spawn
+  /// order re-pick the same thread. One-shot: reset to 0 when scheduled.
+  std::uint64_t resched_seq_ = 0;
+  /// Generation counter for this thread's entry in the scheduler's timer
+  /// heap; bumping it lazily invalidates a stale heap entry (DESIGN.md §12).
+  std::uint64_t timer_gen_ = 0;
+  /// Index of this thread in waiting_in_->waiters_, kept current so a
+  /// timeout removes the waiter with one O(1) swap instead of an O(n) scan.
+  std::size_t wait_slot_ = 0;
   // --- timed-wait bookkeeping (the scheduler's timer wheel) ---
   std::optional<TimePoint> wake_at_;  // armed deadline while blocked
   bool timed_out_ = false;            // set when the deadline fired
@@ -117,18 +129,47 @@ class Scheduler {
   /// --- operations available inside virtual threads ---
 
   /// The currently executing virtual thread (throws if none).
-  [[nodiscard]] VirtualThread& current();
-  [[nodiscard]] const VirtualThread& current() const;
+  [[nodiscard]] VirtualThread& current() {
+    if (running_ == nullptr) {
+      throw SimError("no virtual thread is running");
+    }
+    return *running_;
+  }
+  [[nodiscard]] const VirtualThread& current() const {
+    if (running_ == nullptr) {
+      throw SimError("no virtual thread is running");
+    }
+    return *running_;
+  }
   [[nodiscard]] bool in_thread() const { return running_ != nullptr; }
 
   /// Clock of the current thread.
-  [[nodiscard]] TimePoint now() const;
+  [[nodiscard]] TimePoint now() const { return current().clock_; }
 
   /// Move the current thread's clock forward by `d` (>= 0).
-  void advance(Duration d);
+  void advance(Duration d) {
+    if (d.is_negative()) {
+      throw SimError("Scheduler::advance: negative duration");
+    }
+    VirtualThread& self = current();
+    self.clock_ += d;
+    if (self.clock_ > horizon_) {
+      horizon_ = self.clock_;
+    }
+    maybe_yield();
+  }
 
   /// Move the current thread's clock to `t` if `t` is later.
-  void advance_to(TimePoint t);
+  void advance_to(TimePoint t) {
+    VirtualThread& self = current();
+    if (t > self.clock_) {
+      self.clock_ = t;
+      if (self.clock_ > horizon_) {
+        horizon_ = self.clock_;
+      }
+    }
+    maybe_yield();
+  }
 
   /// Block the current thread until virtual time `now() + d`; other threads
   /// run in the meantime. Equivalent to `advance(d)` for the caller's clock,
@@ -151,6 +192,14 @@ class Scheduler {
   void enable_stress(std::uint64_t seed);
   [[nodiscard]] bool stress_enabled() const { return stress_; }
 
+  /// Debug cross-check for the ready-heap refactor: every scheduling
+  /// decision additionally runs the pre-refactor O(n) reference scan over
+  /// all threads and throws SimError if the heap disagrees — the online
+  /// half of the differential equivalence harness
+  /// (tests/sim/scheduler_equiv_test.cpp). Call before `run()`; costs the
+  /// old linear-scan time per switch, so never enable it in benchmarks.
+  void enable_policy_check() { policy_check_ = true; }
+
   /// Under stress mode, randomly hand the CPU to an equal-clock peer.
   /// Called by `Mutex::lock` and `WaitList::wait` to widen interleaving
   /// coverage exactly where real thread schedules diverge; a no-op when
@@ -171,6 +220,13 @@ class Scheduler {
   /// Max clock over all threads ever run (the simulation makespan so far).
   [[nodiscard]] TimePoint horizon() const { return horizon_; }
 
+  /// Count of discrete scheduler events so far: every context switch (a
+  /// fiber resume) and every timer firing. The `bench/micro_des` events/sec
+  /// metric divides this by host wall-clock — it is the DES analogue of
+  /// "committed instructions" and is schedule-deterministic, so identical
+  /// runs report identical event counts.
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+
   [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
   [[nodiscard]] const VirtualThread& thread(std::size_t i) const {
     return *threads_.at(i);
@@ -178,6 +234,16 @@ class Scheduler {
 
  private:
   friend class WaitList;
+
+  /// Entry in the lazy-deletion timer heap: `gen` snapshots the thread's
+  /// timer generation at arm time; a disarm (signal before deadline) bumps
+  /// the generation, turning this entry stale. Stale entries are skipped
+  /// when they surface at the top — no O(n) removal ever happens.
+  struct TimerEntry {
+    TimePoint due;
+    std::uint64_t gen;
+    VirtualThread* thread;
+  };
 
   void block_current();
   void wake(VirtualThread& t, TimePoint at_least);
@@ -187,10 +253,99 @@ class Scheduler {
   /// thread has a strictly smaller clock). Returns true if any fired.
   bool fire_due_timers();
 
+  /// Ready-heap entry. The ordering key (clock, resched_seq, id) — min
+  /// clock first, ties prefer never-rescheduled threads in spawn order,
+  /// then rescheduled threads oldest-epoch-first — is snapshotted at push
+  /// time so sift compares touch contiguous memory instead of chasing
+  /// thread pointers. The snapshot is exact, not approximate: all three
+  /// fields are immutable while a thread sits in the heap (only the
+  /// *running* thread mutates its own clock/seq, and it is never in the
+  /// heap), so no re-sift or refresh is ever needed.
+  struct ReadyEntry {
+    TimePoint clock;
+    std::uint64_t seq;
+    int id;
+    VirtualThread* thread;
+
+    [[nodiscard]] bool before(const ReadyEntry& o) const {
+      if (clock != o.clock) {
+        return clock < o.clock;
+      }
+      if (seq != o.seq) {
+        return seq < o.seq;
+      }
+      return id < o.id;
+    }
+  };
+
+  [[nodiscard]] static bool ready_before(const VirtualThread* a,
+                                         const VirtualThread* b) {
+    if (a->clock_ != b->clock_) {
+      return a->clock_ < b->clock_;
+    }
+    if (a->resched_seq_ != b->resched_seq_) {
+      return a->resched_seq_ < b->resched_seq_;
+    }
+    return a->id_ < b->id_;
+  }
+
+  void push_ready(VirtualThread* t);
+  VirtualThread* pop_ready();
+  /// True when no thread is ready in either lane.
+  [[nodiscard]] bool ready_empty() const {
+    return ready_.empty() && fifo_head_ == fifo_tail_;
+  }
+  /// Smallest ready entry across both lanes. Precondition: !ready_empty().
+  [[nodiscard]] const ReadyEntry& ready_top() const {
+    if (fifo_head_ == fifo_tail_) {
+      return ready_.front();
+    }
+    if (ready_.empty()) {
+      return ready_fifo_[fifo_head_];
+    }
+    const ReadyEntry& f = ready_fifo_[fifo_head_];
+    return f.before(ready_.front()) ? f : ready_.front();
+  }
+  /// Double the FIFO ring, preserving entry order.
+  void grow_fifo();
+  void push_timer(TimerEntry e);
+  void pop_timer();
+  /// Smallest live (non-stale) timer entry, or nullptr; pops stale entries.
+  [[nodiscard]] const TimerEntry* timer_top();
+
+  // --- policy-check reference implementations (pre-refactor O(n) scans) --
+  [[nodiscard]] VirtualThread* reference_pick() const;
+  void check_pick(VirtualThread* chosen) const;
+  void check_stress_bucket(const std::vector<VirtualThread*>& bucket) const;
+  void check_timer_decision(bool fired, TimePoint due) const;
+
+  FiberStackPool stack_pool_;  // declared first: outlives the fibers
   std::vector<std::unique_ptr<VirtualThread>> threads_;
+  // Two-lane ready structure. Cooperative schedules push in nearly
+  // nondecreasing key order (a yielded thread re-enters at the clock the
+  // run loop just advanced to), so most pushes append to a sorted FIFO
+  // lane and pop from its head in O(1); a push whose key is smaller than
+  // the FIFO's tail — a thread re-entering "from the past" — goes to the
+  // binary-heap lane instead. The global minimum is the smaller of the
+  // two lane heads (each lane is min-ordered), so the policy is exactly
+  // the heap's (clock, resched_seq, id) order — the differential and
+  // policy-check suites hold bit-for-bit.
+  std::vector<ReadyEntry> ready_;  // heap lane: binary min-heap
+  // FIFO lane: a power-of-two ring so steady-state churn (pop one thread,
+  // re-push it) reuses the same few cache lines instead of streaming
+  // through an ever-growing vector. head == tail means empty; one slot
+  // stays free to distinguish full from empty.
+  std::vector<ReadyEntry> ready_fifo_ = std::vector<ReadyEntry>(256);
+  std::size_t fifo_head_ = 0;  // ring index of the smallest live entry
+  std::size_t fifo_tail_ = 0;  // ring index one past the largest entry
+  std::vector<TimerEntry> timer_heap_;     // binary min-heap by due time
+  std::vector<VirtualThread*> tie_bucket_; // scratch for stress-mode picks
   VirtualThread* running_ = nullptr;
   TimePoint horizon_;
+  std::uint64_t events_ = 0;
   bool in_run_ = false;
+  bool policy_check_ = false;
+  std::uint64_t resched_epoch_ = 0;  // ticks on every reschedule() call
   bool stress_ = false;
   Rng stress_rng_{0};
   ConcurrencyHooks* hooks_ = nullptr;
@@ -218,11 +373,27 @@ class WaitList {
   /// Wake all waiters; each resumes with clock >= `at_least`.
   void notify_all(Scheduler& sched, TimePoint at_least);
 
+  /// Wake exactly `target` (which must be a current waiter), or nobody when
+  /// null. Emits the same release edge and runs the same post-notify
+  /// `maybe_yield` as `notify_all`, so an empty notify is still a
+  /// scheduling point. The wake-one half of the Mutex direct handoff.
+  void notify_one(Scheduler& sched, VirtualThread* target, TimePoint at_least);
+
+  /// Handoff policy: the waiter that would have won the pre-handoff barging
+  /// race — minimum (wake clock, id), where the wake clock is
+  /// max(waiter clock, `at`). Under stress mode a seeded uniform draw picks
+  /// instead. Null when no one waits. Does not modify the list.
+  [[nodiscard]] VirtualThread* pick_waiter(Scheduler& sched, TimePoint at);
+
   [[nodiscard]] bool empty() const { return waiters_.empty(); }
   [[nodiscard]] std::size_t size() const { return waiters_.size(); }
 
  private:
   friend class Scheduler;  // timeout path removes the waiter in-place
+
+  /// O(1) removal: swap the last waiter into `t`'s slot (wait_slot_ keeps
+  /// every waiter's index current).
+  void remove_waiter(VirtualThread& t);
 
   std::vector<VirtualThread*> waiters_;
 };
@@ -290,7 +461,8 @@ class Mutex {
  public:
   /// `name` labels the mutex in deadlock diagnostics; it must outlive the
   /// mutex (string literals do).
-  explicit Mutex(const char* name = "mutex") : name_{name} {}
+  explicit Mutex(const char* name = "mutex")
+      : name_{name}, label_{std::string{"Mutex("} + name + ")"} {}
 
   void lock(Scheduler& sched) {
     sched.stress_point();
@@ -299,10 +471,16 @@ class Mutex {
       throw LockDisciplineError("Mutex::lock: recursive lock by thread '" +
                                 self.name() + "'");
     }
-    while (owner_ != nullptr) {
-      waiters_.wait(sched, label());
+    if (owner_ != nullptr) {
+      // Direct handoff: unlock() transfers ownership to the waiter it
+      // wakes, so being woken means the lock is already ours — no re-check
+      // race against barging peers (the pre-handoff thundering herd).
+      do {
+        waiters_.wait(sched, label());
+      } while (owner_ != &self);
+    } else {
+      owner_ = &self;
     }
-    owner_ = &self;
     self.held_.push_back(this);
     if (ConcurrencyHooks* h = sched.hooks()) {
       h->on_acquire(this, SyncKind::Mutex);
@@ -322,17 +500,22 @@ class Mutex {
           "Mutex::try_lock_for: recursive lock by thread '" + self.name() +
           "'");
     }
-    const TimePoint deadline = sched.now() + timeout;
-    while (owner_ != nullptr) {
-      const Duration left = deadline - sched.now();
-      // A wakeup only means the previous owner released; another waiter may
-      // have grabbed the lock first, so re-check with the remaining budget.
-      if (left <= Duration::zero() ||
-          !waiters_.wait_for(sched, left, label())) {
-        return false;
-      }
+    if (owner_ != nullptr) {
+      const TimePoint deadline = sched.now() + timeout;
+      // A handoff can only reach us before our deadline fires (the timer
+      // wheel wakes expired waiters out of the list first), so waking with
+      // ownership and timing out are mutually exclusive; the loop guard is
+      // belt-and-braces against a stray notify.
+      do {
+        const Duration left = deadline - sched.now();
+        if (left <= Duration::zero() ||
+            !waiters_.wait_for(sched, left, label())) {
+          return false;
+        }
+      } while (owner_ != &self);
+    } else {
+      owner_ = &self;
     }
-    owner_ = &self;
     self.held_.push_back(this);
     if (ConcurrencyHooks* h = sched.hooks()) {
       h->on_acquire(this, SyncKind::Mutex);
@@ -354,9 +537,13 @@ class Mutex {
     if (ConcurrencyHooks* h = sched.hooks()) {
       h->on_release(this, SyncKind::Mutex);
     }
-    owner_ = nullptr;
     std::erase(self.held_, this);
-    waiters_.notify_all(sched, sched.now());
+    // Wake-one direct handoff: ownership transfers to the chosen waiter
+    // before it runs, so the herd of losers stays blocked instead of all
+    // waking to re-contend (the O(waiters²) churn this replaces).
+    VirtualThread* const next = waiters_.pick_waiter(sched, sched.now());
+    owner_ = next;  // nullptr when nobody waits
+    waiters_.notify_one(sched, next, sched.now());
   }
 
   [[nodiscard]] bool held() const { return owner_ != nullptr; }
@@ -368,11 +555,13 @@ class Mutex {
   [[nodiscard]] const char* name() const { return name_; }
 
  private:
-  [[nodiscard]] std::string label() const {
-    return std::string{"Mutex("} + name_ + ")";
-  }
+  /// Built once at construction: contended lock() assigns this into the
+  /// waiter's diagnostic label on every wait, and rebuilding the string
+  /// per wait was a measurable allocation cost on the DES hot path.
+  [[nodiscard]] const std::string& label() const { return label_; }
 
   const char* name_;
+  std::string label_;
   VirtualThread* owner_ = nullptr;
   WaitList waiters_;
 };

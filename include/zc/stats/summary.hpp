@@ -31,7 +31,32 @@ struct Summary {
 
 /// p-quantile (0 <= p <= 1) with linear interpolation between order
 /// statistics (throws on empty input or p outside [0,1]).
-[[nodiscard]] double percentile(std::vector<double> samples, double p);
+///
+/// One call costs two `nth_element` selections on a single internal copy
+/// (O(n)), not a full sort. Callers that query several percentiles of the
+/// same sample set should build one `SortedSamples` instead — the
+/// service-stats pattern (p50/p99/p999 per metric) pays one sort total
+/// rather than one selection pass per percentile.
+[[nodiscard]] double percentile(const std::vector<double>& samples, double p);
+
+/// A sample set sorted once, answering any number of quantile queries in
+/// O(1) each. This is the shared-copy API `percentile`'s doc comment points
+/// multi-percentile callers at.
+class SortedSamples {
+ public:
+  /// Takes ownership and sorts (throws std::invalid_argument on empty).
+  explicit SortedSamples(std::vector<double> samples);
+
+  /// p-quantile with the same interpolation rule as `percentile`.
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const { return sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.back(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
 
 /// Median execution time of repeated runs.
 [[nodiscard]] sim::Duration median(const std::vector<sim::Duration>& samples);

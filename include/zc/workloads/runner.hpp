@@ -65,6 +65,9 @@ struct RunOptions {
 struct RunResult {
   omp::RuntimeConfig config;
   sim::Duration wall_time;  ///< simulation makespan (max over host threads)
+  /// Discrete scheduler events executed (context switches + timer fires);
+  /// divided by host wall-clock this is the `bench/micro_des` events/sec.
+  std::uint64_t sim_events = 0;
   trace::CallStats stats;
   trace::KernelTraceSummary kernels;
   trace::OverheadLedger ledger;

@@ -32,6 +32,9 @@ PresentEntry& PresentTable::insert(mem::AddrRange host,
 }
 
 PresentEntry* PresentTable::lookup(mem::VirtAddr addr) {
+  if (mru_ != nullptr && mru_->host.contains(addr)) {
+    return mru_;
+  }
   if (entries_.empty()) {
     return nullptr;
   }
@@ -40,7 +43,11 @@ PresentEntry* PresentTable::lookup(mem::VirtAddr addr) {
     return nullptr;
   }
   --it;
-  return it->second.host.contains(addr) ? &it->second : nullptr;
+  if (!it->second.host.contains(addr)) {
+    return nullptr;
+  }
+  mru_ = &it->second;
+  return mru_;
 }
 
 const PresentEntry* PresentTable::lookup(mem::VirtAddr addr) const {
@@ -61,10 +68,15 @@ PresentEntry* PresentTable::lookup_range(mem::AddrRange range) {
 }
 
 void PresentTable::erase(mem::VirtAddr host_base) {
-  if (entries_.erase(host_base.value) == 0) {
+  auto it = entries_.find(host_base.value);
+  if (it == entries_.end()) {
     throw std::invalid_argument("PresentTable::erase: unknown base " +
                                 host_base.to_string());
   }
+  if (mru_ == &it->second) {
+    mru_ = nullptr;
+  }
+  entries_.erase(it);
 }
 
 }  // namespace zc::omp

@@ -49,7 +49,9 @@ Allocation& AddressSpace::allocate(std::uint64_t bytes, MemKind kind,
   auto alloc =
       std::make_unique<Allocation>(base, bytes, kind, std::move(name));
   Allocation& ref = *alloc;
-  allocs_.emplace(base.value, std::move(alloc));
+  // Bump allocation: `base` is strictly larger than every existing key,
+  // so hinting at end() makes the tree insert amortized O(1).
+  allocs_.emplace_hint(allocs_.end(), base.value, std::move(alloc));
   live_bytes_ += bytes;
   total_bytes_ += bytes;
   return ref;
@@ -61,21 +63,46 @@ void AddressSpace::free(VirtAddr base) {
     throw std::invalid_argument("AddressSpace::free: unknown base " +
                                 base.to_string());
   }
+  for (FindSlot& slot : find_cache_) {
+    if (slot.alloc == it->second.get()) {
+      slot = FindSlot{};
+    }
+  }
   live_bytes_ -= it->second->bytes();
   allocs_.erase(it);
 }
 
 Allocation* AddressSpace::find(VirtAddr a) {
+  const std::uint64_t v = a.value;
+  for (std::size_t i = 0; i < kFindCacheSlots; ++i) {
+    const FindSlot s = find_cache_[i];
+    if (v >= s.base && v < s.end) {
+      if (i > 0) {
+        // Transpose one step toward the front: O(1), and hot buffers
+        // still converge to the first probes.
+        std::swap(find_cache_[i], find_cache_[i - 1]);
+      }
+      return s.alloc;
+    }
+  }
   if (allocs_.empty()) {
     return nullptr;
   }
-  auto it = allocs_.upper_bound(a.value);
+  auto it = allocs_.upper_bound(v);
   if (it == allocs_.begin()) {
     return nullptr;
   }
   --it;
   Allocation* alloc = it->second.get();
-  return alloc->range().contains(a) ? alloc : nullptr;
+  if (!alloc->range().contains(a)) {
+    return nullptr;
+  }
+  for (std::size_t j = kFindCacheSlots - 1; j > 0; --j) {
+    find_cache_[j] = find_cache_[j - 1];
+  }
+  find_cache_[0] =
+      FindSlot{alloc->base().value, alloc->base().value + alloc->bytes(), alloc};
+  return alloc;
 }
 
 const Allocation* AddressSpace::find(VirtAddr a) const {

@@ -82,6 +82,8 @@ Allocation* MemorySystem::try_pool_alloc(std::uint64_t bytes, std::string name,
   // well, because the driver fulfilled the request from shared storage.
   gpu_pt(socket).insert_range(a.range());
   std::uint64_t created_pages = a.range().page_count(space_.page_bytes());
+  a.gpu_absent_init(gpu_pt_.size(), created_pages);
+  a.gpu_absent_sub(socket, created_pages);
   if (machine_.is_apu()) {
     created_pages = cpu_pt_.insert_range(a.range());
   }
@@ -162,6 +164,17 @@ std::uint64_t MemorySystem::gpu_absent_pages(AddrRange range,
   return gpu_pt_.at(static_cast<std::size_t>(socket)).count_absent(range);
 }
 
+std::uint64_t MemorySystem::gpu_absent_pages(AddrRange range, int socket,
+                                             Allocation* hint) const {
+  // A fully-mapped summary answers any subrange O(1); GPU translations
+  // are only ever removed by release(), which frees the allocation
+  // itself, so a zero counter can never go stale.
+  if (hint != nullptr && hint->gpu_fully_mapped(socket)) {
+    return 0;
+  }
+  return gpu_pt_.at(static_cast<std::size_t>(socket)).count_absent(range);
+}
+
 std::uint64_t MemorySystem::cpu_resident_pages(AddrRange range) const {
   return cpu_pt_.count_present(range);
 }
@@ -173,20 +186,40 @@ FaultOutcome MemorySystem::gpu_fault_in(AddrRange range, int socket) {
   FaultOutcome out;
   PageTable& pt = gpu_pt(socket);
   const std::uint64_t pb = space_.page_bytes();
+  const std::uint64_t first = range.first_page(pb);
   const std::uint64_t end = range.end_page(pb);
-  for (std::uint64_t p = range.first_page(pb); p < end; ++p) {
-    if (!pt.insert(p)) {
-      continue;  // already GPU-translatable: no fault
-    }
-    ++out.faulted;
-    if (cpu_pt_.insert(p)) {
-      ++out.non_resident;
-    }
-  }
+  // Pages the GPU cannot yet translate fault; of those, pages the host
+  // never materialized are additionally created (GPU-side first touch).
+  // Walking the absent *runs* gives the same counts as the page loop in
+  // O(runs), and only gpu-absent pages reach the host table — a page
+  // already GPU-mapped never re-touches host state.
+  pt.for_each_absent_run(first, end, [&](std::uint64_t a, std::uint64_t b) {
+    out.faulted += b - a;
+    out.non_resident += cpu_pt_.insert_pages(a, b);
+  });
+  pt.insert_pages(first, end);
+  update_residency_summary(range, socket, out.faulted);
   if (machine_.is_apu() && out.non_resident > 0) {
     charge(home_of(range.base), out.non_resident * pb);
   }
   return out;
+}
+
+void MemorySystem::update_residency_summary(AddrRange range, int socket,
+                                            std::uint64_t mapped_pages) {
+  if (mapped_pages == 0) {
+    return;
+  }
+  Allocation* const a = space_.find(range.base);
+  const std::uint64_t pb = space_.page_bytes();
+  if (a == nullptr || range.first_page(pb) < a->range().first_page(pb) ||
+      range.end_page(pb) > a->range().end_page(pb)) {
+    // Range not wholly inside one allocation: skip the summary (it stays
+    // conservative — "still absent" only costs the exact fallback query).
+    return;
+  }
+  a->gpu_absent_init(gpu_pt_.size(), a->range().page_count(pb));
+  a->gpu_absent_sub(socket, mapped_pages);
 }
 
 PrefaultOutcome MemorySystem::prefault(AddrRange range, int socket) {
@@ -196,17 +229,15 @@ PrefaultOutcome MemorySystem::prefault(AddrRange range, int socket) {
   PrefaultOutcome out;
   PageTable& pt = gpu_pt(socket);
   const std::uint64_t pb = space_.page_bytes();
+  const std::uint64_t first = range.first_page(pb);
   const std::uint64_t end = range.end_page(pb);
-  for (std::uint64_t p = range.first_page(pb); p < end; ++p) {
-    if (!pt.insert(p)) {
-      ++out.present;
-      continue;
-    }
-    ++out.inserted;
-    if (cpu_pt_.insert(p)) {
-      ++out.materialized;
-    }
-  }
+  pt.for_each_absent_run(first, end, [&](std::uint64_t a, std::uint64_t b) {
+    out.inserted += b - a;
+    out.materialized += cpu_pt_.insert_pages(a, b);
+  });
+  pt.insert_pages(first, end);
+  update_residency_summary(range, socket, out.inserted);
+  out.present = (end - first) - out.inserted;
   if (machine_.is_apu() && out.materialized > 0) {
     charge(home_of(range.base), out.materialized * pb);
   }

@@ -10,29 +10,89 @@ PageTable::PageTable(std::uint64_t page_bytes) : page_bytes_{page_bytes} {
   }
 }
 
-std::uint64_t PageTable::insert_range(AddrRange range) {
+std::uint64_t PageTable::insert_pages(std::uint64_t first, std::uint64_t end) {
+  if (first >= end) {
+    return 0;
+  }
+  invalidate_queries(first, end);
   std::uint64_t inserted = 0;
-  const std::uint64_t end = range.end_page(page_bytes_);
-  for (std::uint64_t p = range.first_page(page_bytes_); p < end; ++p) {
+  for (std::uint64_t p = first; p < end; ++p) {
     inserted += pages_.insert(p).second ? 1 : 0;
   }
   return inserted;
 }
 
+std::uint64_t PageTable::insert_range(AddrRange range) {
+  return insert_pages(range.first_page(page_bytes_),
+                      range.end_page(page_bytes_));
+}
+
 std::uint64_t PageTable::remove_range(AddrRange range) {
-  std::uint64_t removed = 0;
+  const std::uint64_t first = range.first_page(page_bytes_);
   const std::uint64_t end = range.end_page(page_bytes_);
-  for (std::uint64_t p = range.first_page(page_bytes_); p < end; ++p) {
-    removed += pages_.erase(p);
+  if (first >= end || pages_.empty()) {
+    return 0;
+  }
+  invalidate_queries(first, end);
+  if (end - first < pages_.size()) {
+    std::uint64_t removed = 0;
+    for (std::uint64_t p = first; p < end; ++p) {
+      removed += pages_.erase(p);
+    }
+    return removed;
+  }
+  // Range wider than the table: one pass over the set beats per-page probes.
+  std::uint64_t removed = 0;
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (*it >= first && *it < end) {
+      it = pages_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
   }
   return removed;
 }
 
+std::uint64_t PageTable::count_absent_pages(std::uint64_t first,
+                                            std::uint64_t end) const {
+  const std::uint64_t total = end - first;
+  if (pages_.empty()) {
+    return total;
+  }
+  if (total <= pages_.size()) {
+    std::uint64_t absent = 0;
+    for (std::uint64_t p = first; p < end; ++p) {
+      absent += pages_.contains(p) ? 0 : 1;
+    }
+    return absent;
+  }
+  // Range wider than the table: count members inside the range instead of
+  // probing every page of the range.
+  std::uint64_t present = 0;
+  for (const std::uint64_t p : pages_) {
+    present += (p >= first && p < end) ? 1 : 0;
+  }
+  return total - present;
+}
+
 std::uint64_t PageTable::count_absent(AddrRange range) const {
-  std::uint64_t absent = 0;
+  const std::uint64_t first = range.first_page(page_bytes_);
   const std::uint64_t end = range.end_page(page_bytes_);
-  for (std::uint64_t p = range.first_page(page_bytes_); p < end; ++p) {
-    absent += pages_.contains(p) ? 0 : 1;
+  if (first >= end) {
+    return 0;
+  }
+  for (std::uint32_t i = 0; i < qcache_used_; ++i) {
+    if (qcache_[i].first == first && qcache_[i].end == end) {
+      return qcache_[i].absent;
+    }
+  }
+  const std::uint64_t absent = count_absent_pages(first, end);
+  if (qcache_used_ < kQueryCacheSlots) {
+    qcache_[qcache_used_++] = CachedQuery{first, end, absent};
+  } else {
+    qcache_[qcache_next_] = CachedQuery{first, end, absent};
+    qcache_next_ = (qcache_next_ + 1) % kQueryCacheSlots;
   }
   return absent;
 }

@@ -1,8 +1,20 @@
 #include "zc/mem/tlb.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace zc::mem {
+
+namespace {
+/// splitmix64 finalizer: page indices are often small and sequential, so
+/// they need real mixing before masking down to a table position.
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
 
 Tlb::Tlb(std::uint32_t capacity, std::uint64_t page_bytes)
     : capacity_{capacity}, page_bytes_{page_bytes} {
@@ -12,23 +24,121 @@ Tlb::Tlb(std::uint32_t capacity, std::uint64_t page_bytes)
   if (page_bytes_ == 0 || (page_bytes_ & (page_bytes_ - 1)) != 0) {
     throw std::invalid_argument("Tlb: page size must be a power of two");
   }
+  slots_.resize(capacity_);
+  // Keep the load factor at or below 1/2 so linear probes stay short.
+  std::uint64_t table = 4;
+  while (table < 2ull * capacity_) {
+    table *= 2;
+  }
+  table_.assign(static_cast<std::size_t>(table), 0);
+  mask_ = static_cast<std::uint32_t>(table - 1);
+}
+
+std::uint32_t Tlb::home(std::uint64_t page) const {
+  return static_cast<std::uint32_t>(mix(page)) & mask_;
+}
+
+std::uint32_t Tlb::find_pos(std::uint64_t page) const {
+  std::uint32_t pos = home(page);
+  while (true) {
+    const std::uint32_t e = table_[pos];
+    if (e == 0) {
+      return kNil;
+    }
+    if (slots_[e - 1].page == page) {
+      return pos;
+    }
+    pos = (pos + 1) & mask_;
+  }
+}
+
+void Tlb::table_erase(std::uint32_t pos) {
+  // Backward-shift deletion: pull later probe-chain entries into the hole
+  // so lookups never need tombstones. An entry at j may fill the hole at
+  // pos iff its home position is not cyclically inside (pos, j].
+  std::uint32_t j = pos;
+  while (true) {
+    table_[pos] = 0;
+    while (true) {
+      j = (j + 1) & mask_;
+      const std::uint32_t e = table_[j];
+      if (e == 0) {
+        return;
+      }
+      const std::uint32_t h = home(slots_[e - 1].page);
+      if (((j - h) & mask_) >= ((j - pos) & mask_)) {
+        table_[pos] = e;
+        pos = j;
+        break;
+      }
+    }
+  }
+}
+
+void Tlb::unlink(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (s.prev != kNil) {
+    slots_[s.prev].next = s.next;
+  } else {
+    head_ = s.next;
+  }
+  if (s.next != kNil) {
+    slots_[s.next].prev = s.prev;
+  } else {
+    tail_ = s.prev;
+  }
+}
+
+void Tlb::link_front(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.prev = kNil;
+  s.next = head_;
+  if (head_ != kNil) {
+    slots_[head_].prev = slot;
+  }
+  head_ = slot;
+  if (tail_ == kNil) {
+    tail_ = slot;
+  }
+}
+
+void Tlb::insert_new(std::uint64_t page) {
+  std::uint32_t slot;
+  if (free_ != kNil) {
+    slot = free_;
+    free_ = slots_[slot].next;
+  } else if (used_slots_ < capacity_) {
+    slot = used_slots_++;
+  } else {
+    // Evict the least recently used translation and reuse its slot.
+    slot = tail_;
+    table_erase(find_pos(slots_[slot].page));
+    unlink(slot);
+    --count_;
+  }
+  slots_[slot].page = page;
+  link_front(slot);
+  std::uint32_t pos = home(page);
+  while (table_[pos] != 0) {
+    pos = (pos + 1) & mask_;
+  }
+  table_[pos] = slot + 1;
+  ++count_;
 }
 
 bool Tlb::access(std::uint64_t page_index) {
-  auto it = map_.find(page_index);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  const std::uint32_t pos = find_pos(page_index);
+  if (pos != kNil) {
+    const std::uint32_t slot = table_[pos] - 1;
+    if (head_ != slot) {
+      unlink(slot);
+      link_front(slot);
+    }
     ++hits_;
     return true;
   }
   ++misses_;
-  if (map_.size() >= capacity_) {
-    const std::uint64_t victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(victim);
-  }
-  lru_.push_front(page_index);
-  map_.emplace(page_index, lru_.begin());
+  insert_new(page_index);
   return false;
 }
 
@@ -45,8 +155,7 @@ TlbAccessResult Tlb::access_range(AddrRange range) {
     misses_ += r.misses;
     invalidate_all();
     for (std::uint64_t p = end - capacity_; p < end; ++p) {
-      lru_.push_front(p);
-      map_.emplace(p, lru_.begin());
+      insert_new(p);
     }
     return r;
   }
@@ -61,19 +170,50 @@ TlbAccessResult Tlb::access_range(AddrRange range) {
 }
 
 void Tlb::invalidate_range(AddrRange range) {
+  if (count_ == 0) {
+    return;
+  }
+  const std::uint64_t first = range.first_page(page_bytes_);
   const std::uint64_t end = range.end_page(page_bytes_);
-  for (std::uint64_t p = range.first_page(page_bytes_); p < end; ++p) {
-    auto it = map_.find(p);
-    if (it != map_.end()) {
-      lru_.erase(it->second);
-      map_.erase(it);
+  if (end - first < count_) {
+    // Narrow range: probe each page individually.
+    for (std::uint64_t p = first; p < end; ++p) {
+      const std::uint32_t pos = find_pos(p);
+      if (pos == kNil) {
+        continue;
+      }
+      const std::uint32_t slot = table_[pos] - 1;
+      table_erase(pos);
+      unlink(slot);
+      slots_[slot].next = free_;
+      free_ = slot;
+      --count_;
     }
+    return;
+  }
+  // Wide range: walk the resident set once instead of probing per page.
+  std::uint32_t slot = head_;
+  while (slot != kNil) {
+    const std::uint32_t next = slots_[slot].next;
+    const std::uint64_t p = slots_[slot].page;
+    if (p >= first && p < end) {
+      table_erase(find_pos(p));
+      unlink(slot);
+      slots_[slot].next = free_;
+      free_ = slot;
+      --count_;
+    }
+    slot = next;
   }
 }
 
 void Tlb::invalidate_all() {
-  lru_.clear();
-  map_.clear();
+  std::fill(table_.begin(), table_.end(), 0u);
+  head_ = kNil;
+  tail_ = kNil;
+  free_ = kNil;
+  used_slots_ = 0;
+  count_ = 0;
 }
 
 }  // namespace zc::mem

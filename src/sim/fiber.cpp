@@ -13,8 +13,24 @@
 #if __has_feature(thread_sanitizer)
 #define APUZC_TSAN_FIBERS 1
 #endif
+#if __has_feature(address_sanitizer)
+#define APUZC_ASAN_FIBERS 1
+#endif
 #elif defined(__SANITIZE_THREAD__)
 #define APUZC_TSAN_FIBERS 1
+#elif defined(__SANITIZE_ADDRESS__)
+#define APUZC_ASAN_FIBERS 1
+#endif
+
+// Steady-state switches use _setjmp/_longjmp (no sigprocmask syscall, ~40x
+// cheaper than swapcontext); makecontext/swapcontext only bootstraps each
+// fiber's first entry onto its fresh stack. Sanitizer builds keep
+// swapcontext for *every* switch: ASan's and TSan's interceptors model the
+// stack change there, whereas a cross-stack _longjmp would sidestep their
+// shadow bookkeeping (ASan's longjmp handler assumes the jump stays on the
+// current thread's stack).
+#if !defined(APUZC_TSAN_FIBERS) && !defined(APUZC_ASAN_FIBERS)
+#define APUZC_FAST_SWITCH 1
 #endif
 
 #ifdef APUZC_TSAN_FIBERS
@@ -37,8 +53,32 @@ Fiber* g_starting = nullptr;
 
 Fiber* Fiber::current() { return g_current; }
 
-Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
-    : body_{std::move(body)}, stack_{new char[stack_bytes]} {
+std::unique_ptr<char[]> FiberStackPool::acquire(std::size_t bytes) {
+  if (bytes == block_bytes_ && !free_.empty()) {
+    std::unique_ptr<char[]> stack = std::move(free_.back());
+    free_.pop_back();
+    return stack;
+  }
+  return std::unique_ptr<char[]>{new char[bytes]};
+}
+
+void FiberStackPool::release(std::unique_ptr<char[]> stack,
+                             std::size_t bytes) {
+  if (free_.empty()) {
+    block_bytes_ = bytes;  // first release fixes the pool's block size
+  } else if (bytes != block_bytes_) {
+    return;  // odd-sized stack: let unique_ptr free it
+  }
+  free_.push_back(std::move(stack));
+}
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes,
+             FiberStackPool* pool)
+    : body_{std::move(body)},
+      stack_{pool != nullptr ? pool->acquire(stack_bytes)
+                             : std::unique_ptr<char[]>{new char[stack_bytes]}},
+      pool_{pool},
+      stack_bytes_{stack_bytes} {
   if (!body_) {
     throw std::invalid_argument("Fiber: empty body");
   }
@@ -66,6 +106,17 @@ Fiber::~Fiber() {
 #endif
 }
 
+void Fiber::recycle_stack() {
+  if (!finished_ || stack_ == nullptr) {
+    return;
+  }
+  if (pool_ != nullptr) {
+    pool_->release(std::move(stack_), stack_bytes_);
+  } else {
+    stack_.reset();
+  }
+}
+
 void Fiber::trampoline() {
   Fiber* self = g_starting;
   g_starting = nullptr;
@@ -79,7 +130,11 @@ void Fiber::trampoline() {
 #ifdef APUZC_TSAN_FIBERS
   __tsan_switch_to_fiber(self->tsan_resumer_, 0);
 #endif
+#ifdef APUZC_FAST_SWITCH
+  _longjmp(self->resumer_jmp_, 1);
+#else
   swapcontext(&self->ctx_, &self->resumer_);
+#endif
   // Never reached: a finished fiber is never resumed.
   std::abort();
 }
@@ -90,7 +145,8 @@ void Fiber::resume() {
   }
   Fiber* const prev = g_current;
   g_current = this;
-  if (!started_) {
+  const bool first = !started_;
+  if (first) {
     started_ = true;
     g_starting = this;
   }
@@ -98,6 +154,18 @@ void Fiber::resume() {
   tsan_resumer_ = __tsan_get_current_fiber();
   __tsan_switch_to_fiber(tsan_fiber_, 0);
 #endif
+#ifdef APUZC_FAST_SWITCH
+  if (_setjmp(resumer_jmp_) == 0) {
+    if (first) {
+      // First entry must run on the fresh stack; makecontext/swapcontext
+      // is the only portable bootstrap. The fiber leaves via _longjmp to
+      // resumer_jmp_, so the swapcontext never returns normally.
+      swapcontext(&resumer_, &ctx_);
+      std::abort();  // unreachable
+    }
+    _longjmp(jmp_, 1);
+  }
+#else
   if (swapcontext(&resumer_, &ctx_) != 0) {
 #ifdef APUZC_TSAN_FIBERS
     __tsan_switch_to_fiber(tsan_resumer_, 0);
@@ -105,6 +173,7 @@ void Fiber::resume() {
     g_current = prev;
     throw std::runtime_error("Fiber: swapcontext failed");
   }
+#endif
   g_current = prev;
   if (finished_ && error_) {
     std::exception_ptr err = std::exchange(error_, nullptr);
@@ -121,7 +190,13 @@ void Fiber::yield() {
 #ifdef APUZC_TSAN_FIBERS
   __tsan_switch_to_fiber(self->tsan_resumer_, 0);
 #endif
+#ifdef APUZC_FAST_SWITCH
+  if (_setjmp(self->jmp_) == 0) {
+    _longjmp(self->resumer_jmp_, 1);
+  }
+#else
   swapcontext(&self->ctx_, &self->resumer_);
+#endif
 }
 
 }  // namespace zc::sim

@@ -2,10 +2,7 @@
 
 namespace zc::sim {
 
-Duration JitterModel::apply(Duration d) {
-  if (d.is_zero()) {
-    return d;
-  }
+Duration JitterModel::apply_noise(Duration d) {
   double factor = 1.0;
   if (params_.sigma > 0.0) {
     factor *= rng_.lognormal_unit_mean(params_.sigma);

@@ -21,21 +21,58 @@ double median(std::vector<double> samples) {
   return 0.5 * (lo + hi);
 }
 
-double percentile(std::vector<double> samples, double p) {
+namespace {
+
+/// Shared interpolation rule: `sorted` need only have its `lo`-th order
+/// statistic in place and the minimum of the tail right after it.
+double interpolate_sorted(const std::vector<double>& sorted, double p) {
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+void check_percentile_args(const std::vector<double>& samples, double p) {
   if (samples.empty()) {
     throw std::invalid_argument("percentile: empty sample set");
   }
   if (p < 0.0 || p > 1.0) {
     throw std::invalid_argument("percentile: p outside [0, 1]");
   }
-  std::sort(samples.begin(), samples.end());
-  const double pos = p * static_cast<double>(samples.size() - 1);
+}
+
+}  // namespace
+
+double percentile(const std::vector<double>& samples, double p) {
+  check_percentile_args(samples, p);
+  std::vector<double> work = samples;  // one copy, selected not sorted
+  const double pos = p * static_cast<double>(work.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
-  const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= samples.size()) {
-    return samples.back();
+  std::nth_element(work.begin(),
+                   work.begin() + static_cast<std::ptrdiff_t>(lo), work.end());
+  if (lo + 1 < work.size()) {
+    // The interpolation partner is the minimum of the tail nth_element left
+    // to the right of position lo.
+    const auto tail = work.begin() + static_cast<std::ptrdiff_t>(lo) + 1;
+    std::iter_swap(tail, std::min_element(tail, work.end()));
   }
-  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+  return interpolate_sorted(work, p);
+}
+
+SortedSamples::SortedSamples(std::vector<double> samples)
+    : sorted_{std::move(samples)} {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("SortedSamples: empty sample set");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double SortedSamples::quantile(double p) const {
+  check_percentile_args(sorted_, p);
+  return interpolate_sorted(sorted_, p);
 }
 
 sim::Duration median(const std::vector<sim::Duration>& samples) {

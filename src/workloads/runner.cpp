@@ -45,6 +45,7 @@ RunResult run_program(const Program& program, const RunOptions& options) {
   RunResult result;
   result.config = options.config;
   result.wall_time = stack.sched().horizon().since_start();
+  result.sim_events = stack.sched().events();
   result.stats = stack.hsa().stats();
   result.kernels = stack.hsa().kernel_trace().summary();
   result.ledger = stack.hsa().ledger();
