@@ -6,6 +6,9 @@
 //   sched_churn        pure scheduler micro: many threads, mutex churn,
 //                      reschedule ties, sleepers — the pick_next/timer path.
 //   qmcpack_s128_8t    the paper's big QMCPack cell (S128, 8 host threads).
+//   qmcpack_s128_8t_4apu
+//                      the same cell partitioned over a 4-socket xGMI
+//                      fabric (per-link timelines + NUMA placement path).
 //   spec_suite         all five SPECaccel proxies, one pass each.
 //   qmcpack_race_off / qmcpack_race_report
 //                      race-check overhead pair on a mid-size QMCPack run.
@@ -157,13 +160,20 @@ workloads::RunOptions qmc_options(const std::string& race_spec = {}) {
 }
 
 std::pair<std::uint64_t, double> run_qmcpack(int size, int threads, int steps,
-                                             const std::string& race_spec) {
+                                             const std::string& race_spec,
+                                             int sockets = 0) {
   workloads::QmcpackParams p;
   p.size = size;
   p.threads = threads;
   p.steps = steps;
+  workloads::RunOptions opt = qmc_options(race_spec);
+  if (sockets > 1) {
+    p.sockets = sockets;
+    opt.sockets = sockets;
+    opt.fabric_spec = "xgmi";
+  }
   const workloads::RunResult r =
-      workloads::run_program(workloads::make_qmcpack(p), qmc_options(race_spec));
+      workloads::run_program(workloads::make_qmcpack(p), opt);
   return {r.sim_events, r.wall_time.ms()};
 }
 
@@ -272,6 +282,14 @@ int main(int argc, char** argv) {
   if (wanted("qmcpack_s128_8t")) {
     cases.push_back(measure("qmcpack_s128_8t", opt.reps, [&] {
       return run_qmcpack(128, 8, qmc_steps, "");
+    }));
+  }
+  if (wanted("qmcpack_s128_8t_4apu")) {
+    // The same cell statically partitioned over a 4-socket xGMI fabric:
+    // exercises per-link timelines, NUMA placement, and the per-device
+    // counters on the hot path.
+    cases.push_back(measure("qmcpack_s128_8t_4apu", opt.reps, [&] {
+      return run_qmcpack(128, 8, qmc_steps, "", /*sockets=*/4);
     }));
   }
   if (wanted("spec_suite")) {

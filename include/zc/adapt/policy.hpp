@@ -18,6 +18,10 @@ struct RegionFeatures {
   std::uint64_t pages = 0;               ///< pages the range overlaps
   std::uint64_t cpu_resident_pages = 0;  ///< already created by host touch
   std::uint64_t gpu_absent_pages = 0;    ///< missing from the GPU page table
+  /// Pages homed on a socket other than the mapping device — zero-copy and
+  /// eager handling would stream them over the fabric on every kernel,
+  /// while DmaCopy pays the link once and then reads locally.
+  std::uint64_t remote_pages = 0;
   bool copies_in = false;   ///< map type transfers host->device on entry
   bool copies_out = false;  ///< map type transfers device->host on exit
   /// The device's pool has failed an allocation this run (sticky flag set

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "zc/fabric/fabric.hpp"
 #include "zc/sim/time.hpp"
 
 namespace zc::apu {
@@ -101,7 +102,13 @@ struct WatchdogConfig {
 ///                        device operations (see `WatchdogConfig`); unset
 ///                        means no watchdog;
 ///  * `OMPX_APU_RACE_CHECK` — the happens-before race detector
-///                        (`zc::race`): off, report, or abort.
+///                        (`zc::race`): off, report, or abort;
+///  * `OMPX_APU_SOCKETS` — number of APU sockets the node exposes; 0 (unset)
+///                        keeps the machine topology's own socket count;
+///  * `OMPX_APU_FABRIC` — how inter-socket traffic is priced: `off` (the
+///                        legacy flat remote factors), `xgmi` (the MI300A
+///                        wide/narrow link asymmetry), or `uniform` (every
+///                        pair wide). See `fabric::FabricMode`.
 struct RunEnvironment {
   bool hsa_xnack = true;
   ApuMapsMode ompx_apu_maps = ApuMapsMode::Off;
@@ -110,6 +117,8 @@ struct RunEnvironment {
   std::string ompx_apu_faults;
   WatchdogConfig watchdog;
   RaceCheckMode race_check = RaceCheckMode::Off;
+  int ompx_apu_sockets = 0;  ///< 0 = use the topology's socket count
+  fabric::FabricMode ompx_apu_fabric = fabric::FabricMode::Off;
 
   /// Page size implied by the THP setting: 2 MB when on, 4 KB when off.
   [[nodiscard]] std::uint64_t page_bytes() const {
@@ -124,7 +133,9 @@ struct RunEnvironment {
   /// OMPX_EAGER_ZERO_COPY_MAPS, THP, OMPX_APU_FAULTS (whose value is
   /// validated against the fault-spec grammar), OMPX_APU_WATCHDOG (parsed
   /// via `parse_watchdog`), OMPX_APU_RACE_CHECK (exactly "off", "report",
-  /// or "abort", case-insensitive).
+  /// or "abort", case-insensitive), OMPX_APU_SOCKETS (a positive integer),
+  /// OMPX_APU_FABRIC (exactly "off", "xgmi", or "uniform",
+  /// case-insensitive).
   [[nodiscard]] static RunEnvironment from_env(
       const std::map<std::string, std::string>& env);
 

@@ -5,6 +5,7 @@
 
 #include "zc/apu/env.hpp"
 #include "zc/apu/params.hpp"
+#include "zc/fabric/fabric.hpp"
 #include "zc/fault/engine.hpp"
 #include "zc/sim/event_log.hpp"
 #include "zc/sim/jitter.hpp"
@@ -37,6 +38,9 @@ class Machine {
     std::uint64_t seed = 1;
   };
 
+  /// `config.env` overrides are applied first: `OMPX_APU_SOCKETS` (when
+  /// positive) replaces `topology.sockets`, and `OMPX_APU_FABRIC` selects
+  /// the inter-socket pricing model (see `fabric::FabricMode`).
   explicit Machine(Config config);
 
   /// MI300A node with default topology/costs and the given environment.
@@ -88,6 +92,13 @@ class Machine {
   /// Number of APU sockets (each socket's GPU is one OpenMP device).
   [[nodiscard]] int sockets() const { return config_.topology.sockets; }
 
+  /// The node's modeled Infinity Fabric. Disabled (`!fabric().enabled()`)
+  /// unless the environment selects `OMPX_APU_FABRIC=xgmi|uniform` on a
+  /// multi-socket topology, in which case cross-socket SDMA and kernel
+  /// traffic is routed (and queued) over its per-pair links.
+  [[nodiscard]] fabric::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] const fabric::Fabric& fabric() const { return fabric_; }
+
   /// GPU kernel execution slots of one socket.
   [[nodiscard]] sim::ResourceTimeline& gpu(int socket = 0) {
     return per_socket(gpu_, socket);
@@ -133,6 +144,9 @@ class Machine {
  private:
   [[nodiscard]] sim::ResourceTimeline& per_socket(
       std::vector<sim::ResourceTimeline>& v, int socket);
+  /// Apply the environment's topology/fabric overrides before any member
+  /// that depends on the socket count is built.
+  [[nodiscard]] static Config normalized(Config config);
 
   Config config_;
   sim::Scheduler sched_;
@@ -147,6 +161,7 @@ class Machine {
   std::vector<sim::ResourceTimeline> sdma_;
   std::vector<sim::ResourceTimeline> driver_;
   sim::ResourceTimeline runtime_lock_;
+  fabric::Fabric fabric_;
 };
 
 }  // namespace zc::apu

@@ -125,10 +125,29 @@ struct CostParams {
 
   // -- multi-socket (NUMA) --------------------------------------------------
   /// Kernel-compute multiplier when a kernel's data is homed on another
-  /// socket's HBM (cross-socket fabric bandwidth/latency penalty).
+  /// socket's HBM (cross-socket fabric bandwidth/latency penalty). With the
+  /// fabric off this applies flat to any launch touching remote data; with
+  /// the fabric on it is scaled by the remote byte fraction and the width
+  /// of the link actually crossed.
   double remote_memory_penalty = 1.6;
-  /// Bandwidth factor for DMA copies that cross the socket fabric.
+  /// Bandwidth factor for DMA copies that cross the socket fabric
+  /// (legacy single-link model, `fabric::FabricMode::Off` only).
   double remote_copy_bandwidth_factor = 0.55;
+
+  // -- Infinity Fabric (xGMI) links (fabric::FabricMode != Off) -------------
+  /// Per-direction bandwidth of a wide xGMI bundle (socket pairs whose ids
+  /// differ in one bit). 13.2 GB/s = 0.55 x the local copy bandwidth, so
+  /// the wide path agrees with the legacy remote-copy factor.
+  double xgmi_wide_bandwidth_bytes_per_s = 13.2e9;
+  /// Per-direction bandwidth of the narrow diagonal bundle — the 4-APU
+  /// asymmetry the Inter-APU paper measures.
+  double xgmi_narrow_bandwidth_bytes_per_s = 6.0e9;
+  /// Fixed per-transfer latency of one link hop.
+  sim::Duration xgmi_link_latency = sim::Duration::from_us(1.5);
+  /// Driver cost to migrate one page between sockets (unmap, remap, TLB
+  /// shootdown on both sides); the data movement itself is additionally
+  /// priced over the link at its bandwidth.
+  sim::Duration page_migrate_per_page = sim::Duration::from_us(25.0);
 
   // -- queue error handling -------------------------------------------------
   /// Driver-side cost of tearing down an HSA queue whose in-flight

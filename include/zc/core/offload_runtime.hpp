@@ -82,11 +82,22 @@ class OffloadRuntime {
   /// Number of OpenMP devices (APU sockets) visible to this process.
   [[nodiscard]] int device_count() const;
 
+  /// Device number requesting automatic placement: `target` and
+  /// `target_nowait` resolve it to the socket homing the most mapped
+  /// bytes, sending compute to the data instead of the reverse.
+  static constexpr int kDeviceAuto = -1;
+
   /// --- host-side memory (timed helpers for workload code) ---------------
   /// `home_socket` is the NUMA placement of the allocation (the socket of
   /// the thread that will first-touch it).
   mem::VirtAddr host_alloc(std::uint64_t bytes, std::string name,
                            int home_socket = 0);
+  /// NUMA-policy variant: `FirstTouch` defers the home to the first
+  /// materializing access, `Interleaved` stripes page homes round-robin
+  /// across sockets (see `mem::Placement`).
+  mem::VirtAddr host_alloc_placed(std::uint64_t bytes, std::string name,
+                                  mem::Placement placement,
+                                  int home_socket = 0);
   void host_free(mem::VirtAddr base);
   /// CPU first touch of the range (page materialization cost).
   void host_first_touch(mem::AddrRange range);
@@ -132,9 +143,17 @@ class OffloadRuntime {
                              int device = 0);
   void device_free(mem::VirtAddr ptr);
   /// `omp_target_memcpy`: blocking DMA copy between any two simulated
-  /// addresses (host or device).
+  /// addresses (host or device). The copy runs on the SDMA engine of the
+  /// socket homing the destination.
   void target_memcpy(mem::VirtAddr dst, mem::VirtAddr src,
                      std::uint64_t bytes);
+
+  /// Migrate the allocation containing `range` onto `device`'s HBM
+  /// (`hsa_amd_svm_prefetch` semantics; see `hsa::Runtime::migrate_pages`
+  /// for timing and state effects). Cached Adaptive Maps decisions for the
+  /// range are dropped — their placement inputs changed. Returns the pages
+  /// that physically moved.
+  std::uint64_t migrate_to_device(mem::AddrRange range, int device);
 
   /// --- introspection -------------------------------------------------------
   /// Read-only snapshot of one device's mapping table. Unguarded by design:
@@ -203,6 +222,10 @@ class OffloadRuntime {
   static void check_distinct(std::span<const MapEntry> maps);
 
   void check_device(int device) const;
+
+  /// Resolve `kDeviceAuto`: bytes-weighted vote over the region's mapped
+  /// and used buffers by home socket; ties break to the lower socket.
+  [[nodiscard]] int resolve_device(const TargetRegion& region) const;
 
   /// Map semantics for one entry on region/data-begin; h2d copies are
   /// appended to `copies`.

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "zc/sim/time.hpp"
+#include "zc/sim/timeline.hpp"
+
+namespace zc::fabric {
+
+/// How inter-socket traffic is priced.
+///
+///  * `Off`     — single-link legacy model: the flat
+///                `remote_copy_bandwidth_factor` / `remote_memory_penalty`
+///                scalars in `apu::CostParams` apply and no link contention
+///                is accounted (the pre-fabric behavior, and the default).
+///  * `Uniform` — every socket pair is joined by an identical wide link;
+///                contention is accounted per directed link.
+///  * `Xgmi`    — the MI300A 4-APU node: socket pairs whose ids differ in
+///                exactly one bit share a wide xGMI bundle, the diagonal
+///                pairs only a narrow one ("Inter-APU Communication on AMD
+///                MI300A Systems via Infinity Fabric").
+enum class FabricMode {
+  Off,
+  Uniform,
+  Xgmi,
+};
+
+[[nodiscard]] constexpr const char* to_string(FabricMode m) {
+  switch (m) {
+    case FabricMode::Off:
+      return "off";
+    case FabricMode::Uniform:
+      return "uniform";
+    case FabricMode::Xgmi:
+      return "xgmi";
+  }
+  return "?";
+}
+
+/// Per-link physical parameters of one directed link.
+struct LinkParams {
+  double bandwidth_bytes_per_s = 0.0;
+  sim::Duration latency = sim::Duration::zero();
+};
+
+/// Node-level fabric parameters. The bandwidth defaults deliberately sit
+/// below the local SDMA copy bandwidth (24 GB/s in `apu::CostParams`): a
+/// wide link at 13.2 GB/s reproduces the legacy 0.55 remote-copy factor,
+/// and the narrow diagonal at 6 GB/s supplies the asymmetry the Inter-APU
+/// paper measures between direct and diagonal socket pairs.
+struct FabricConfig {
+  FabricMode mode = FabricMode::Off;
+  double wide_bandwidth_bytes_per_s = 13.2e9;
+  double narrow_bandwidth_bytes_per_s = 6.0e9;
+  sim::Duration link_latency = sim::Duration::from_us(1.5);
+  /// Concurrent transfers one directed link sustains before queuing.
+  int channels_per_link = 1;
+};
+
+/// Cumulative accounting for one directed link.
+struct LinkStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+  sim::Duration busy = sim::Duration::zero();
+  sim::Duration queued = sim::Duration::zero();
+};
+
+/// The modeled Infinity Fabric of one node: a complete graph over sockets
+/// where each directed link is a FIFO `sim::ResourceTimeline` carrying its
+/// own bandwidth/latency parameters. Pure topology + contention state — it
+/// never advances virtual time itself; the HSA layer computes (and jitters)
+/// durations, reserves link occupancy here, and advances its own fibers.
+class Fabric {
+ public:
+  Fabric(int sockets, FabricConfig config);
+
+  /// True when inter-socket traffic is link-routed (mode != Off and the
+  /// node actually has more than one socket).
+  [[nodiscard]] bool enabled() const {
+    return config_.mode != FabricMode::Off && sockets_ > 1;
+  }
+  [[nodiscard]] int sockets() const { return sockets_; }
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
+
+  /// Whether `src`/`dst` share a wide link (ids differing in exactly one
+  /// bit — the hypercube rule that yields the 4-APU wide/narrow split).
+  /// Uniform mode makes every pair wide. `src == dst` is never remote.
+  [[nodiscard]] bool wide_link(int src, int dst) const;
+
+  /// Physical parameters of the directed link; zero-bandwidth for local
+  /// (src == dst) or disabled fabrics.
+  [[nodiscard]] LinkParams link(int src, int dst) const;
+
+  /// Latency plus serialization time of `bytes` over the directed link.
+  /// Zero for local transfers or a disabled fabric.
+  [[nodiscard]] sim::Duration transfer_duration(int src, int dst,
+                                                std::uint64_t bytes) const;
+
+  /// Occupy the directed link for `dur` starting no earlier than `ready`
+  /// (FIFO queuing behind in-flight transfers) and account `bytes` against
+  /// it. For local transfers or a disabled fabric this is a no-op that
+  /// returns the empty interval [ready, ready].
+  sim::Interval reserve_transfer(int src, int dst, sim::TimePoint ready,
+                                 sim::Duration dur, std::uint64_t bytes);
+
+  /// Cumulative accounting for one directed link (zeros when local/off).
+  [[nodiscard]] LinkStats stats(int src, int dst) const;
+
+  /// Total transfers routed over any link since construction.
+  [[nodiscard]] std::uint64_t total_transfers() const;
+
+  /// Forget all reservations and statistics (topology retained).
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t index(int src, int dst) const;
+  void check_pair(int src, int dst) const;
+
+  int sockets_;
+  FabricConfig config_;
+  std::vector<sim::ResourceTimeline> links_;  ///< dense sockets×sockets
+  std::vector<std::uint64_t> transfers_;
+  std::vector<std::uint64_t> bytes_;
+};
+
+}  // namespace zc::fabric

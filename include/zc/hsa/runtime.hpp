@@ -15,6 +15,7 @@
 #include "zc/sim/scheduler.hpp"
 #include "zc/trace/call_stats.hpp"
 #include "zc/trace/call_trace.hpp"
+#include "zc/trace/copy_trace.hpp"
 #include "zc/trace/fault_trace.hpp"
 #include "zc/trace/kernel_trace.hpp"
 #include "zc/trace/overhead_ledger.hpp"
@@ -73,6 +74,22 @@ struct PrefaultResult {
   Status status = Status::Ok;
   mem::PrefaultOutcome outcome;
   [[nodiscard]] bool ok() const { return status == Status::Ok; }
+};
+
+/// Per-device (per-socket) accumulators, maintained by every API call under
+/// the trace mutex. They answer "what did each APU do" for multi-device
+/// runs: kernels and their faults from the dispatch path, copies from the
+/// SDMA path (attributed to the engine's device), migrations from
+/// `migrate_pages`.
+struct DeviceCounters {
+  std::uint64_t kernels = 0;
+  std::uint64_t remote_kernels = 0;  ///< launches touching remote-homed bytes
+  std::uint64_t page_faults = 0;
+  std::uint64_t tlb_misses = 0;
+  std::uint64_t copies = 0;
+  std::uint64_t copy_bytes = 0;
+  std::uint64_t cross_socket_copies = 0;
+  std::uint64_t migrated_pages = 0;  ///< pages migrated onto this device
 };
 
 /// The simulated ROCr/HSA runtime: the API surface the OpenMP offload
@@ -156,6 +173,16 @@ class Runtime {
   mem::PrefaultOutcome svm_attributes_set_prefault(mem::AddrRange range,
                                                    int device = 0);
 
+  /// Migrate the allocation containing `range` onto `device`'s HBM
+  /// (`hsa_amd_svm_prefetch` semantics; recorded as an SvmAttributesSet
+  /// call). The per-page unmap/remap work serializes on both sockets'
+  /// driver locks and the data crosses the fabric link (or moves at the
+  /// legacy remote copy bandwidth with the fabric off). Returns the pages
+  /// that physically moved; see `mem::MemorySystem::migrate_pages` for the
+  /// state semantics (GPU translations torn down, placement collapses to
+  /// the new fixed home).
+  std::uint64_t migrate_pages(mem::AddrRange range, int device);
+
   /// --- kernels -----------------------------------------------------------
   /// Dispatch a kernel. Fault accounting depends on the run environment:
   /// with XNACK enabled, absent pages of OS-allocated buffers are faulted
@@ -203,6 +230,11 @@ class Runtime {
   }
   [[nodiscard]] trace::KernelTrace& kernel_trace() {
     return ktrace_.unguarded();
+  }
+  [[nodiscard]] trace::CopyTrace& copy_trace() { return cptrace_.unguarded(); }
+  /// Per-device accumulators, indexed by socket (post-run snapshots).
+  [[nodiscard]] const std::vector<DeviceCounters>& device_counters() const {
+    return devstats_.unguarded();
   }
   /// Per-call timeline trace (opt-in; aggregate stats are always on).
   [[nodiscard]] trace::CallTrace& call_trace() { return ctrace_.unguarded(); }
@@ -257,8 +289,10 @@ class Runtime {
   sim::GuardedBy<trace::CallStats> stats_;
   sim::GuardedBy<trace::CallTrace> ctrace_;
   sim::GuardedBy<trace::KernelTrace> ktrace_;
+  sim::GuardedBy<trace::CopyTrace> cptrace_;
   sim::GuardedBy<trace::OverheadLedger> ledger_;
   sim::GuardedBy<trace::FaultTrace> ftrace_;
+  sim::GuardedBy<std::vector<DeviceCounters>> devstats_;
 
   /// Batched trace sink (see `record_call`). The simulator runs all fibers
   /// on one OS thread, so appends need no host-side synchronization; the

@@ -13,6 +13,34 @@
 
 namespace zc::mem {
 
+/// NUMA placement policy for an allocation's physical pages.
+///
+///  * `FixedHome`  — every page homed on one socket, chosen at allocation
+///                   time (the pre-fabric behavior, and what pool
+///                   allocations always use);
+///  * `FirstTouch` — the home is undecided until the first materializing
+///                   access (host touch, GPU fault, prefault) resolves it
+///                   to the toucher's socket — Linux first-touch policy;
+///  * `Interleaved` — page homes stripe round-robin across all sockets
+///                   (numactl --interleave).
+enum class Placement {
+  FixedHome,
+  FirstTouch,
+  Interleaved,
+};
+
+[[nodiscard]] constexpr const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::FixedHome:
+      return "fixed";
+    case Placement::FirstTouch:
+      return "first-touch";
+    case Placement::Interleaved:
+      return "interleaved";
+  }
+  return "?";
+}
+
 /// One live allocation: simulated address range plus real backing bytes.
 ///
 /// Backing storage is created lazily on first functional access, so
@@ -30,10 +58,46 @@ class Allocation {
   [[nodiscard]] MemKind kind() const { return kind_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
-  /// NUMA home: which socket's HBM backs this allocation (first-touch
-  /// placement for host memory; the owning device for pool memory).
+  /// NUMA home: which socket's HBM backs this allocation (the owning
+  /// device for pool memory). For `Placement::Interleaved` this is only
+  /// the stripe origin — use `page_home` for per-page homes; for a pending
+  /// `FirstTouch` it is the provisional answer until `resolve_home`.
   [[nodiscard]] int home_socket() const { return home_socket_; }
   void set_home_socket(int socket) { home_socket_ = socket; }
+
+  [[nodiscard]] Placement placement() const { return placement_; }
+  /// Configure the placement policy (allocation time only). `sockets` is
+  /// the stripe width for `Interleaved` and ignored otherwise.
+  void set_placement(Placement p, int sockets) {
+    placement_ = p;
+    placement_sockets_ = sockets > 0 ? sockets : 1;
+    home_resolved_ = p != Placement::FirstTouch;
+  }
+  /// True while a `FirstTouch` home is still undecided.
+  [[nodiscard]] bool home_pending() const { return !home_resolved_; }
+  /// First materializing access decides the home (first-touch semantics).
+  void resolve_home(int socket) {
+    home_socket_ = socket;
+    home_resolved_ = true;
+  }
+
+  /// Home socket of the page containing `a`: the per-page stripe for
+  /// `Interleaved`, the allocation home otherwise.
+  [[nodiscard]] int page_home(VirtAddr a, std::uint64_t page_bytes) const {
+    if (placement_ != Placement::Interleaved) {
+      return home_socket_;
+    }
+    const std::uint64_t rel =
+        a.value / page_bytes - base_.value / page_bytes;
+    return static_cast<int>(
+        rel % static_cast<std::uint64_t>(placement_sockets_));
+  }
+
+  /// Pages of `range` (clamped to this allocation) whose home is NOT
+  /// `socket`. A pending first-touch counts as local everywhere — whoever
+  /// touches first will home it.
+  [[nodiscard]] std::uint64_t remote_pages(AddrRange range, int socket,
+                                           std::uint64_t page_bytes) const;
 
   /// True once real backing storage exists.
   [[nodiscard]] bool materialized() const { return backing_ != nullptr; }
@@ -43,9 +107,10 @@ class Allocation {
   /// fully mapped, which answers any subrange absence query O(1) — the
   /// steady state of every launch-loop buffer, including sliding-window
   /// accesses whose subrange changes each step. GPU translations are only
-  /// removed when the allocation itself is freed, so a zero can never go
-  /// stale. An uninitialized summary (empty vector) means "unknown" and
-  /// falls back to the exact page-table count.
+  /// removed when the allocation is freed or its pages migrate between
+  /// sockets — the latter resets the summary via `gpu_absent_reset`, so a
+  /// zero can never go stale. An uninitialized summary (empty vector)
+  /// means "unknown" and falls back to the exact page-table count.
   [[nodiscard]] bool gpu_fully_mapped(int s) const {
     return s >= 0 && static_cast<std::size_t>(s) < gpu_absent_.size() &&
            gpu_absent_[static_cast<std::size_t>(s)] == 0;
@@ -63,6 +128,8 @@ class Allocation {
       a -= n <= a ? n : a;
     }
   }
+  /// Back to "unknown" after a migration tore down GPU translations.
+  void gpu_absent_reset() { gpu_absent_.clear(); }
 
   /// Real backing storage (zero-initialized; materializes on first use).
   [[nodiscard]] std::span<std::byte> data() {
@@ -81,6 +148,9 @@ class Allocation {
   MemKind kind_;
   std::string name_;
   int home_socket_ = 0;
+  Placement placement_ = Placement::FixedHome;
+  int placement_sockets_ = 1;  ///< stripe width for Interleaved
+  bool home_resolved_ = true;  ///< false while FirstTouch is pending
   std::vector<std::uint64_t> gpu_absent_;  ///< per-socket absent pages
   std::unique_ptr<std::byte[]> backing_;
 };

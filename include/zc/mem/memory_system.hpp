@@ -68,6 +68,12 @@ class MemorySystem {
   /// placement the first-touching thread would produce.
   Allocation& os_alloc(std::uint64_t bytes, std::string name,
                        int home_socket = 0);
+  /// Placement-policy variant: `FirstTouch` defers the home decision to
+  /// the first materializing access (host touch, GPU fault, prefault);
+  /// `Interleaved` stripes page homes round-robin across all sockets;
+  /// `FixedHome` behaves like plain `os_alloc(bytes, name, home_socket)`.
+  Allocation& os_alloc_placed(std::uint64_t bytes, std::string name,
+                              Placement placement, int home_socket = 0);
   void os_free(VirtAddr base);
 
   /// ROCr memory-pool ("device") allocation owned by one socket's GPU.
@@ -83,7 +89,9 @@ class MemorySystem {
   void pool_free(VirtAddr base);
 
   /// CPU first touch: materialize CPU pages; returns newly created count.
-  std::uint64_t host_touch(AddrRange range);
+  /// `toucher_socket` is the socket of the touching thread — it resolves a
+  /// pending `Placement::FirstTouch` home.
+  std::uint64_t host_touch(AddrRange range, int toucher_socket = 0);
 
   /// Pages of `range` the GPU of `socket` cannot currently translate.
   [[nodiscard]] std::uint64_t gpu_absent_pages(AddrRange range,
@@ -101,6 +109,28 @@ class MemorySystem {
   /// Pages of `range` the CPU has materialized (host first touch or bulk
   /// population). Pure state read — feeds the Adaptive Maps policy.
   [[nodiscard]] std::uint64_t cpu_resident_pages(AddrRange range) const;
+
+  /// Pages of `range` homed on a socket other than `device` — the pages a
+  /// kernel on `device` reaches over the fabric. Page-granular for
+  /// interleaved allocations; zero for addresses outside any allocation or
+  /// for a still-pending first-touch home. Pure state read — feeds the
+  /// Adaptive Maps policy and the kernel cost model.
+  [[nodiscard]] std::uint64_t remote_pages(AddrRange range, int device) const;
+
+  /// Migrate the allocation containing `range` to `to_socket`: CPU-resident
+  /// pages move their HBM attribution, the placement collapses to
+  /// `FixedHome` on `to_socket`, and every socket's GPU translations of the
+  /// allocation are torn down (they re-fault or re-prefault afterwards — a
+  /// migration remaps physical pages). Returns the number of resident pages
+  /// that physically moved; zero when the allocation was already homed
+  /// there. Throws for unknown addresses or pool allocations (only SVM
+  /// memory migrates). Pure state: the HSA layer prices the operation.
+  std::uint64_t migrate_pages(AddrRange range, int to_socket);
+
+  /// Cumulative pages migrated *onto* `socket` by `migrate_pages`.
+  [[nodiscard]] std::uint64_t migrated_pages(int socket) const {
+    return migrated_.at(static_cast<std::size_t>(socket));
+  }
 
   /// GPU-side fault-in (XNACK-replay) of all absent pages in `range` on
   /// one socket's GPU; also materializes the CPU pages backing them,
@@ -144,6 +174,12 @@ class MemorySystem {
   [[nodiscard]] int home_of(VirtAddr a) const;
   void charge(int socket, std::uint64_t bytes);
   void credit(int socket, std::uint64_t bytes);
+  /// Attribute `pages` newly created in the allocation containing `addr`:
+  /// an even split across sockets for interleaved placements, the home
+  /// socket otherwise.
+  void charge_created(VirtAddr addr, std::uint64_t pages);
+  /// Reverse attribution when an allocation's resident pages leave it.
+  void credit_released(const Allocation& a, std::uint64_t pages);
 
   apu::Machine& machine_;
   AddressSpace space_;
@@ -151,6 +187,7 @@ class MemorySystem {
   std::vector<PageTable> gpu_pt_;
   std::vector<Tlb> tlb_;
   std::vector<std::uint64_t> hbm_used_;
+  std::vector<std::uint64_t> migrated_;  ///< pages migrated onto each socket
   std::uint64_t hbm_capacity_ = 0;
 };
 

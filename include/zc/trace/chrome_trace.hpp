@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "zc/trace/call_trace.hpp"
+#include "zc/trace/copy_trace.hpp"
 #include "zc/trace/decision_trace.hpp"
+#include "zc/trace/fault_trace.hpp"
 #include "zc/trace/kernel_trace.hpp"
 
 namespace zc::trace {
@@ -14,17 +16,29 @@ namespace zc::trace {
 ///
 /// Host-side API calls (CallTrace records) appear as complete events on
 /// per-thread tracks (`pid` 1, `tid` = virtual host thread); kernel
-/// executions (KernelRecord) appear on GPU tracks (`pid` 2, `tid` = device),
-/// with fault/TLB stalls attached as arguments; Adaptive Maps decisions
-/// (DecisionRecord) appear as instant events on the host-thread track that
-/// took them, with the policy features and predicted costs as arguments.
+/// executions (KernelRecord) appear on per-device GPU tracks (`pid` 2,
+/// `tid` = device), with fault/TLB stalls attached as arguments; SDMA
+/// transfers (CopyRecord) on per-device engine tracks (`pid` 3, `tid` =
+/// device); fault events (FaultRecord) as instants on per-device tracks
+/// (`pid` 4, `tid` = device); Adaptive Maps decisions (DecisionRecord)
+/// as instant events on the host-thread track that took them, with the
+/// policy features and predicted costs as arguments. Process-name
+/// metadata events label the four lanes so a multi-device run never
+/// interleaves kernels, copies, or faults from different sockets on one
+/// track.
 class ChromeTraceWriter {
  public:
   /// Add every record of a host-side call trace.
   void add(const CallTrace& calls);
 
-  /// Add kernel launches (device-side track).
+  /// Add kernel launches (per-device GPU tracks).
   void add(const std::vector<KernelRecord>& kernels);
+
+  /// Add SDMA transfers (per-device engine tracks).
+  void add(const std::vector<CopyRecord>& copies);
+
+  /// Add fault events (instants, per-device fault tracks).
+  void add(const FaultTrace& faults);
 
   /// Add Adaptive Maps policy decisions (instant events, host tracks).
   void add(const DecisionTrace& decisions);
@@ -34,12 +48,15 @@ class ChromeTraceWriter {
 
   [[nodiscard]] std::size_t event_count() const {
     return call_events_.size() + kernel_events_.size() +
+           copy_events_.size() + fault_events_.size() +
            decision_events_.size();
   }
 
  private:
   std::vector<CallRecord> call_events_;
   std::vector<KernelRecord> kernel_events_;
+  std::vector<CopyRecord> copy_events_;
+  std::vector<FaultRecord> fault_events_;
   std::vector<DecisionRecord> decision_events_;
 };
 

@@ -13,6 +13,7 @@ namespace zc::trace {
 struct KernelRecord {
   std::string name;
   int host_thread = 0;
+  int device = 0;             ///< socket GPU the kernel ran on
   sim::TimePoint dispatch;    ///< CPU submitted the packet
   sim::TimePoint start;       ///< GPU began execution
   sim::TimePoint end;         ///< completion signal fired
@@ -21,6 +22,7 @@ struct KernelRecord {
   sim::Duration tlb_stall;    ///< page-table walk portion
   std::uint64_t page_faults = 0;
   std::uint64_t tlb_misses = 0;
+  std::uint64_t remote_bytes = 0;  ///< buffer bytes homed on other sockets
 
   [[nodiscard]] sim::Duration duration() const { return end - start; }
 };

@@ -9,6 +9,7 @@
 #include "zc/sim/jitter.hpp"
 #include "zc/stats/repetition.hpp"
 #include "zc/trace/call_stats.hpp"
+#include "zc/trace/copy_trace.hpp"
 #include "zc/trace/decision_trace.hpp"
 #include "zc/trace/fault_trace.hpp"
 #include "zc/trace/kernel_trace.hpp"
@@ -33,6 +34,14 @@ struct RunOptions {
   sim::JitterParams jitter{};
   std::uint64_t seed = 1;
   bool keep_kernel_records = false;
+
+  /// Number of APU sockets (OMPX_APU_SOCKETS); 0 keeps the topology's
+  /// count. Values > 1 model a multi-APU node.
+  int sockets = 0;
+  /// Fabric mode between sockets (OMPX_APU_FABRIC grammar: "off", "xgmi",
+  /// or "uniform"); empty keeps the fabric off — remote traffic then uses
+  /// the legacy flat bandwidth derating.
+  std::string fabric_spec;
 
   /// When set, run the scheduler in interleaving stress mode with this
   /// seed: ready-thread ties and lock/wait points are perturbed by a
@@ -61,6 +70,19 @@ struct RunOptions {
   std::string race_check_spec;
 };
 
+/// Per-device telemetry for one run (one entry per socket).
+struct DeviceStats {
+  /// Kernel/fault/copy/migration counters from the HSA layer.
+  hsa::DeviceCounters counters;
+  /// Physical HBM occupancy at the end of the run.
+  std::uint64_t hbm_used = 0;
+  /// Kernel-duration percentiles in microseconds, from the per-launch
+  /// records (0 unless RunOptions::keep_kernel_records and the device ran
+  /// at least one kernel).
+  double kernel_p50_us = 0.0;
+  double kernel_p95_us = 0.0;
+};
+
 /// Everything one run produces.
 struct RunResult {
   omp::RuntimeConfig config;
@@ -74,6 +96,11 @@ struct RunResult {
   double checksum = 0.0;
   /// Per-launch records (only when RunOptions::keep_kernel_records).
   std::vector<trace::KernelRecord> kernel_records;
+  /// SDMA transfer summary and (with keep_kernel_records) its records.
+  trace::CopyTraceSummary copies;
+  std::vector<trace::CopyRecord> copy_records;
+  /// One entry per socket; size 1 on single-APU runs.
+  std::vector<DeviceStats> devices;
   /// Adaptive Maps policy decisions (empty for the static configurations).
   trace::DecisionTrace decisions;
   /// Fault injections and degraded-mode reactions (empty on fault-free runs).

@@ -14,7 +14,14 @@ namespace zc::workloads {
 /// explain its Table II ratio; the scale knobs below carry ref-workload-
 /// flavoured defaults and are documented in EXPERIMENTS.md.
 ///
-/// All SPECaccel runs use a single host thread (no MPI).
+/// All SPECaccel runs use a single host thread (no MPI). Setting
+/// `devices > 1` on a param struct models a static multi-APU partitioning
+/// of the same problem: the arrays are split into `devices` equal shards,
+/// one offloading host thread per shard, with shard d homed on socket d
+/// and dispatched to device d. Per-kernel compute scales by 1/devices
+/// (perfect strong scaling of the compute phase — the interesting
+/// asymmetries are in the memory system). The run must be configured with
+/// at least `devices` sockets (RunOptions::sockets / OMPX_APU_SOCKETS).
 
 /// 403.stencil — two grids; one bulk copy in at start and one out at end
 /// (Copy config); steady-state kernels access the grids exclusively from
@@ -26,6 +33,7 @@ struct StencilParams {
   std::uint64_t grid_bytes = 3ULL << 30;  ///< per grid (in and out)
   int iterations = 3000;
   sim::Duration per_iter_compute = sim::Duration::from_us(60000);
+  int devices = 1;  ///< static partitioning across this many APUs
 };
 [[nodiscard]] Program make_stencil(const StencilParams& params = {});
 
@@ -37,6 +45,7 @@ struct LbmParams {
   std::uint64_t lattice_bytes = 1792ULL << 20;  ///< per lattice (two of them)
   int iterations = 1500;
   sim::Duration per_iter_compute = sim::Duration::from_us(4400);
+  int devices = 1;  ///< static partitioning across this many APUs
 };
 [[nodiscard]] Program make_lbm(const LbmParams& params = {});
 
@@ -49,6 +58,7 @@ struct EpParams {
   std::uint64_t arena_bytes = 16ULL << 30;
   int batches = 110;  ///< gaussian-pair generation batches after init
   sim::Duration per_batch_compute = sim::Duration::from_us(500000);
+  int devices = 1;  ///< static partitioning across this many APUs
 };
 [[nodiscard]] Program make_ep(const EpParams& params = {});
 
@@ -61,6 +71,7 @@ struct SpcParams {
   int cycles = 40;
   int kernels_per_cycle = 13;
   sim::Duration per_kernel_compute = sim::Duration::from_us(1500);
+  int devices = 1;  ///< static partitioning across this many APUs
 };
 [[nodiscard]] Program make_spc(const SpcParams& params = {});
 
@@ -73,6 +84,7 @@ struct BtParams {
   int kernels_per_cycle = 10;  ///< including the one dominant kernel
   sim::Duration per_kernel_compute = sim::Duration::from_us(5000);
   sim::Duration big_kernel_compute = sim::Duration::from_us(30000);
+  int devices = 1;  ///< static partitioning across this many APUs
 };
 [[nodiscard]] Program make_bt(const BtParams& params = {});
 

@@ -49,6 +49,19 @@ PredictedCosts PolicyEngine::predict(const RegionFeatures& f) const {
               .us() +
       static_cast<double>(present) * costs_.prefault_check_per_page.us();
 
+  // Remote-homed pages keep their cost under any zero-copy handling: every
+  // kernel streams them across the fabric at the wide-link bandwidth. A
+  // DMA copy pays the link once (already in copy_us via the map transfers)
+  // and then reads from local pool storage, so only the zero-copy-style
+  // predictions carry the recurring surcharge.
+  if (f.remote_pages > 0 && costs_.xgmi_wide_bandwidth_bytes_per_s > 0.0) {
+    const double remote_us =
+        static_cast<double>(f.remote_pages * page_bytes_) /
+        costs_.xgmi_wide_bandwidth_bytes_per_s * 1e6;
+    out.zero_copy_us += remote_us;
+    out.eager_us += remote_us;
+  }
+
   // DMA copy: a device pool allocation (bulk page population) plus the
   // transfers the map type implies.
   const double copy_us =

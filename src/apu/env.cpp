@@ -49,6 +49,33 @@ RaceCheckMode race_check_mode(const std::string& key, const std::string& raw) {
   throw EnvError(key + "=" + raw + " must be 'off', 'report', or 'abort'");
 }
 
+fabric::FabricMode fabric_mode(const std::string& key, const std::string& raw) {
+  const std::string v = lowered(raw);
+  if (v == "off") {
+    return fabric::FabricMode::Off;
+  }
+  if (v == "xgmi") {
+    return fabric::FabricMode::Xgmi;
+  }
+  if (v == "uniform") {
+    return fabric::FabricMode::Uniform;
+  }
+  throw EnvError(key + "=" + raw + " must be 'off', 'xgmi', or 'uniform'");
+}
+
+int socket_count(const std::string& key, const std::string& raw) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  if (ec != std::errc{} || ptr != raw.data() + raw.size() || raw.empty()) {
+    throw EnvError(key + "=" + raw + " must be a positive integer");
+  }
+  if (value <= 0) {
+    throw EnvError(key + "=" + raw + " must be a positive integer");
+  }
+  return value;
+}
+
 }  // namespace
 
 WatchdogConfig parse_watchdog(const std::string& raw) {
@@ -130,6 +157,12 @@ RunEnvironment RunEnvironment::from_env(
   if (auto it = env.find("OMPX_APU_RACE_CHECK"); it != env.end()) {
     out.race_check = race_check_mode(it->first, it->second);
   }
+  if (auto it = env.find("OMPX_APU_SOCKETS"); it != env.end()) {
+    out.ompx_apu_sockets = socket_count(it->first, it->second);
+  }
+  if (auto it = env.find("OMPX_APU_FABRIC"); it != env.end()) {
+    out.ompx_apu_fabric = fabric_mode(it->first, it->second);
+  }
   return out;
 }
 
@@ -156,6 +189,14 @@ std::string RunEnvironment::to_string() const {
   if (race_check != RaceCheckMode::Off) {
     s += " OMPX_APU_RACE_CHECK=";
     s += apu::to_string(race_check);
+  }
+  if (ompx_apu_sockets > 0) {
+    s += " OMPX_APU_SOCKETS=";
+    s += std::to_string(ompx_apu_sockets);
+  }
+  if (ompx_apu_fabric != fabric::FabricMode::Off) {
+    s += " OMPX_APU_FABRIC=";
+    s += fabric::to_string(ompx_apu_fabric);
   }
   return s;
 }

@@ -24,15 +24,36 @@ sim::JitterParams without_outliers(sim::JitterParams p) {
   return p;
 }
 
+/// The fabric's link parameters come from the cost model (CostParams is
+/// the single home of every modeled constant); the mode from the
+/// environment.
+fabric::FabricConfig fabric_config_for(const Machine::Config& c) {
+  fabric::FabricConfig f;
+  f.mode = c.env.ompx_apu_fabric;
+  f.wide_bandwidth_bytes_per_s = c.costs.xgmi_wide_bandwidth_bytes_per_s;
+  f.narrow_bandwidth_bytes_per_s = c.costs.xgmi_narrow_bandwidth_bytes_per_s;
+  f.link_latency = c.costs.xgmi_link_latency;
+  return f;
+}
+
 }  // namespace
 
+Machine::Config Machine::normalized(Config config) {
+  if (config.env.ompx_apu_sockets > 0) {
+    config.topology.sockets = config.env.ompx_apu_sockets;
+  }
+  return config;
+}
+
 Machine::Machine(Config config)
-    : config_{std::move(config)},
+    : config_{normalized(std::move(config))},
       faults_{fault::parse_spec(config_.env.ompx_apu_faults),
               config_.seed ^ 0xfa0171edULL},
       jitter_{without_outliers(config_.jitter), config_.seed},
       syscall_jitter_{config_.jitter, config_.seed ^ 0x5ca1ab1eULL},
-      runtime_lock_{"runtime-lock", 1} {
+      runtime_lock_{"runtime-lock", 1},
+      fabric_{config_.topology.sockets > 0 ? config_.topology.sockets : 1,
+              fabric_config_for(config_)} {
   if (config_.topology.sockets <= 0) {
     throw std::invalid_argument("Machine: sockets must be positive");
   }

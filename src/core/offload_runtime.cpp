@@ -163,6 +163,18 @@ mem::VirtAddr OffloadRuntime::host_alloc(std::uint64_t bytes,
   return hsa_.memory().os_alloc(bytes, std::move(name), home_socket).base();
 }
 
+mem::VirtAddr OffloadRuntime::host_alloc_placed(std::uint64_t bytes,
+                                                std::string name,
+                                                mem::Placement placement,
+                                                int home_socket) {
+  check_device(home_socket);
+  apu::Machine& m = hsa_.machine();
+  m.sched().advance(m.jittered(m.costs().os_alloc_base));
+  return hsa_.memory()
+      .os_alloc_placed(bytes, std::move(name), placement, home_socket)
+      .base();
+}
+
 void OffloadRuntime::host_free(mem::VirtAddr base) {
   // Map sanitizer: freeing host memory that is still mapped into a device
   // data environment leaves the runtime holding a dangling shadow copy —
@@ -712,6 +724,7 @@ void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
       features.cpu_resident_pages = hsa_.memory().cpu_resident_pages(range);
       features.gpu_absent_pages =
           hsa_.memory().gpu_absent_pages(range, device);
+      features.remote_pages = hsa_.memory().remote_pages(range, device);
       features.copies_in = copies_to_device(entry.type);
       features.copies_out = copies_to_host(entry.type);
       features.memory_pressure =
@@ -1031,12 +1044,13 @@ hsa::Access access_for(MapType t) {
 }
 
 /// Build the kernel launch for a region whose data has been entered.
+/// `device` is the region's device number with `kDeviceAuto` resolved.
 hsa::KernelLaunch build_launch(const TargetRegion& region,
-                               const ArgTranslator& translator) {
+                               const ArgTranslator& translator, int device) {
   hsa::KernelLaunch launch;
   launch.name = region.name;
   launch.compute = region.compute;
-  launch.device = region.device;
+  launch.device = device;
   launch.buffers.reserve(region.maps.size() + region.uses.size());
   for (const MapEntry& entry : region.maps) {
     launch.buffers.push_back(hsa::BufferAccess{
@@ -1095,10 +1109,44 @@ void OffloadRuntime::await_kernel(hsa::Signal sig,
   }
 }
 
+int OffloadRuntime::resolve_device(const TargetRegion& region) const {
+  // Bytes-weighted vote: the socket homing the most mapped data wins.
+  // Allocations with a pending first-touch home have no placement to vote
+  // with yet; interleaved allocations vote with their stripe origin.
+  std::vector<std::uint64_t> votes(static_cast<std::size_t>(device_count()),
+                                   0);
+  auto tally = [&](mem::VirtAddr addr, std::uint64_t bytes) {
+    const mem::Allocation* const a = hsa_.memory().space().find(addr);
+    if (a == nullptr || a->home_pending()) {
+      return;
+    }
+    const int home = a->home_socket();
+    if (home >= 0 && home < device_count()) {
+      votes[static_cast<std::size_t>(home)] += bytes;
+    }
+  };
+  for (const MapEntry& entry : region.maps) {
+    tally(entry.host_ptr, entry.bytes);
+  }
+  for (const BufferUse& use : region.uses) {
+    tally(use.addr, use.bytes);
+  }
+  int best = 0;
+  for (int d = 1; d < device_count(); ++d) {
+    if (votes[static_cast<std::size_t>(d)] >
+        votes[static_cast<std::size_t>(best)]) {
+      best = d;
+    }
+  }
+  return best;
+}
+
 void OffloadRuntime::target(const TargetRegion& region) {
   ensure_initialized();
-  check_device(region.device);
-  target_data_begin(region.maps, region.device);
+  const int device =
+      region.device == kDeviceAuto ? resolve_device(region) : region.device;
+  check_device(device);
+  target_data_begin(region.maps, device);
 
   // Unguarded table reference: argument translation only resolves entries
   // this thread's data-begin pinned (refcounts held until the data-end
@@ -1106,9 +1154,9 @@ void OffloadRuntime::target(const TargetRegion& region) {
   // inserted or erased concurrently — the same reasoning libomptarget uses
   // to translate args after dropping its mapping lock.
   const ArgTranslator translator{
-      tables_.unguarded()[static_cast<std::size_t>(region.device)],
+      tables_.unguarded()[static_cast<std::size_t>(device)],
       zero_copy(), &hsa_.memory().space()};
-  hsa::KernelLaunch launch = build_launch(region, translator);
+  hsa::KernelLaunch launch = build_launch(region, translator, device);
   if (region.body) {
     launch.body = [&region, &translator](hsa::KernelContext& ctx) {
       region.body(ctx, translator);
@@ -1118,13 +1166,15 @@ void OffloadRuntime::target(const TargetRegion& region) {
   await_kernel(hsa_.dispatch_kernel(launch, host_thread), launch,
                host_thread);
 
-  target_data_end(region.maps, region.device);
+  target_data_end(region.maps, device);
 }
 
 TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
                                          std::span<const TargetTask*> depends) {
   ensure_initialized();
-  check_device(region.device);
+  const int device =
+      region.device == kDeviceAuto ? resolve_device(region) : region.device;
+  check_device(device);
   sim::TimePoint not_before;
   std::vector<hsa::Signal> dep_signals;
   dep_signals.reserve(depends.size());
@@ -1143,13 +1193,13 @@ TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
     }
     not_before = max(not_before, dep->signal_.complete_at());
   }
-  target_data_begin(region.maps, region.device);
+  target_data_begin(region.maps, device);
 
   // Unguarded for the same refcount-pinning reason as in target().
   const ArgTranslator translator{
-      tables_.unguarded()[static_cast<std::size_t>(region.device)],
+      tables_.unguarded()[static_cast<std::size_t>(device)],
       zero_copy(), &hsa_.memory().space()};
-  hsa::KernelLaunch launch = build_launch(region, translator);
+  hsa::KernelLaunch launch = build_launch(region, translator, device);
   if (region.body) {
     // The functional body runs at dispatch; a conforming program does not
     // observe the results before target_wait anyway. Captured by value
@@ -1165,7 +1215,7 @@ TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
       hsa_.dispatch_kernel(launch, task.host_thread_, not_before, dep_signals);
   task.launch_ = std::move(launch);
   task.maps_.assign(region.maps.begin(), region.maps.end());
-  task.device_ = region.device;
+  task.device_ = device;
   task.kernel_named_ = true;
   return task;
 }
@@ -1199,11 +1249,34 @@ void OffloadRuntime::device_free(mem::VirtAddr ptr) {
 void OffloadRuntime::target_memcpy(mem::VirtAddr dst, mem::VirtAddr src,
                                    std::uint64_t bytes) {
   ensure_initialized();
+  // The copy runs on the SDMA engine of the socket homing the destination —
+  // writes stay local to the engine, reads cross the fabric.
+  int device = 0;
+  if (const mem::Allocation* const a = hsa_.memory().space().find(dst);
+      a != nullptr && !a->home_pending()) {
+    const int home = a->home_socket();
+    if (home >= 0 && home < device_count()) {
+      device = home;
+    }
+  }
   std::vector<PendingCopy> copies;
   copies.push_back(submit_copy(dst, src, bytes, mem::AddrRange{dst, bytes},
                                /*with_handler=*/true, /*count_in_ledger=*/true,
-                               /*device=*/0));
+                               device));
   wait_all(copies);
+}
+
+std::uint64_t OffloadRuntime::migrate_to_device(mem::AddrRange range,
+                                                int device) {
+  ensure_initialized();
+  check_device(device);
+  {
+    // Placement is a pricing input: cached Adaptive Maps decisions for the
+    // range are stale the moment the home moves.
+    sim::LockGuard lock{table_mutex_, hsa_.machine().sched()};
+    adapt_.get(hsa_.machine().sched()).forget(range);
+  }
+  return hsa_.migrate_pages(range, device);
 }
 
 }  // namespace zc::omp

@@ -1,0 +1,129 @@
+#include "zc/fabric/fabric.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace zc::fabric {
+
+using sim::Duration;
+using sim::Interval;
+using sim::ResourceTimeline;
+using sim::TimePoint;
+
+Fabric::Fabric(int sockets, FabricConfig config)
+    : sockets_{sockets}, config_{config} {
+  if (sockets_ <= 0) {
+    throw std::invalid_argument("Fabric: sockets must be positive");
+  }
+  if (config_.channels_per_link <= 0) {
+    throw std::invalid_argument("Fabric: channels_per_link must be positive");
+  }
+  if (!enabled()) {
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(sockets_);
+  links_.reserve(n * n);
+  for (int s = 0; s < sockets_; ++s) {
+    for (int d = 0; d < sockets_; ++d) {
+      // The diagonal slots exist only to keep indexing dense; they are
+      // never reserved (local transfers bypass the fabric entirely).
+      links_.emplace_back(
+          "xgmi-" + std::to_string(s) + "-" + std::to_string(d),
+          config_.channels_per_link);
+    }
+  }
+  transfers_.assign(n * n, 0);
+  bytes_.assign(n * n, 0);
+}
+
+std::size_t Fabric::index(int src, int dst) const {
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(sockets_) +
+         static_cast<std::size_t>(dst);
+}
+
+void Fabric::check_pair(int src, int dst) const {
+  if (src < 0 || src >= sockets_ || dst < 0 || dst >= sockets_) {
+    throw std::out_of_range("Fabric: socket pair (" + std::to_string(src) +
+                            ", " + std::to_string(dst) + ") out of range for " +
+                            std::to_string(sockets_) + " sockets");
+  }
+}
+
+bool Fabric::wide_link(int src, int dst) const {
+  check_pair(src, dst);
+  if (src == dst) {
+    return false;
+  }
+  if (config_.mode == FabricMode::Uniform) {
+    return true;
+  }
+  return std::popcount(static_cast<unsigned>(src ^ dst)) == 1;
+}
+
+LinkParams Fabric::link(int src, int dst) const {
+  check_pair(src, dst);
+  if (!enabled() || src == dst) {
+    return LinkParams{};
+  }
+  return LinkParams{
+      .bandwidth_bytes_per_s = wide_link(src, dst)
+                                   ? config_.wide_bandwidth_bytes_per_s
+                                   : config_.narrow_bandwidth_bytes_per_s,
+      .latency = config_.link_latency,
+  };
+}
+
+Duration Fabric::transfer_duration(int src, int dst,
+                                   std::uint64_t bytes) const {
+  const LinkParams p = link(src, dst);
+  if (p.bandwidth_bytes_per_s <= 0.0) {
+    return Duration::zero();
+  }
+  return p.latency + Duration::from_seconds(static_cast<double>(bytes) /
+                                            p.bandwidth_bytes_per_s);
+}
+
+Interval Fabric::reserve_transfer(int src, int dst, TimePoint ready,
+                                  Duration dur, std::uint64_t bytes) {
+  check_pair(src, dst);
+  if (!enabled() || src == dst) {
+    return Interval{ready, ready};
+  }
+  const std::size_t i = index(src, dst);
+  ++transfers_[i];
+  bytes_[i] += bytes;
+  return links_[i].reserve(ready, dur);
+}
+
+LinkStats Fabric::stats(int src, int dst) const {
+  check_pair(src, dst);
+  if (!enabled() || src == dst) {
+    return LinkStats{};
+  }
+  const std::size_t i = index(src, dst);
+  return LinkStats{
+      .transfers = transfers_[i],
+      .bytes = bytes_[i],
+      .busy = links_[i].busy_time(),
+      .queued = links_[i].queue_time(),
+  };
+}
+
+std::uint64_t Fabric::total_transfers() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t t : transfers_) {
+    total += t;
+  }
+  return total;
+}
+
+void Fabric::reset() {
+  for (ResourceTimeline& l : links_) {
+    l.reset();
+  }
+  transfers_.assign(transfers_.size(), 0);
+  bytes_.assign(bytes_.size(), 0);
+}
+
+}  // namespace zc::fabric

@@ -1,5 +1,6 @@
 #include "zc/hsa/runtime.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -17,8 +18,11 @@ Runtime::Runtime(apu::Machine& machine, mem::MemorySystem& mem)
       stats_{trace_mutex_, "CallStats"},
       ctrace_{trace_mutex_, "CallTrace"},
       ktrace_{trace_mutex_, "KernelTrace"},
+      cptrace_{trace_mutex_, "CopyTrace"},
       ledger_{trace_mutex_, "OverheadLedger"},
-      ftrace_{trace_mutex_, "FaultTrace"} {}
+      ftrace_{trace_mutex_, "FaultTrace"},
+      devstats_{trace_mutex_, "DeviceCounters",
+                static_cast<std::size_t>(mem.sockets())} {}
 
 Signal Runtime::hung_signal(std::string name, trace::FaultEvent event,
                             fault::Site site, int device,
@@ -267,14 +271,32 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
   const TimePoint start = sched().now();
   const sim::Interval lock_iv = machine_.runtime_lock().reserve(start, setup);
   sched().advance_to(lock_iv.end);
-  // Copies whose endpoints live on different sockets cross the fabric at
-  // reduced bandwidth.
+  // Copies whose endpoints live on different sockets cross the fabric.
+  // With the fabric modeled, the transfer runs at the connecting xGMI
+  // link's bandwidth (plus its hop latency) and occupies the link, so
+  // concurrent cross-socket traffic queues behind it; with the fabric
+  // off, the legacy flat bandwidth derating applies.
+  const std::uint64_t page = mem_.page_bytes();
+  const int src_sock = src_alloc->page_home(src, page);
+  const int dst_sock = dst_alloc->page_home(dst, page);
+  fabric::Fabric& fab = machine_.fabric();
   Duration engine_time = machine_.jittered(machine_.copy_duration(bytes));
-  if (src_alloc->home_socket() != dst_alloc->home_socket()) {
-    engine_time = engine_time * (1.0 / c.remote_copy_bandwidth_factor);
+  if (src_sock != dst_sock) {
+    if (fab.enabled()) {
+      engine_time = max(engine_time, machine_.jittered(fab.transfer_duration(
+                                         src_sock, dst_sock, bytes)));
+    } else {
+      engine_time = engine_time * (1.0 / c.remote_copy_bandwidth_factor);
+    }
   }
   const sim::Interval iv =
       machine_.sdma(device).reserve(sched().now(), engine_time);
+  TimePoint done = iv.end;
+  if (src_sock != dst_sock && fab.enabled()) {
+    const sim::Interval link_iv =
+        fab.reserve_transfer(src_sock, dst_sock, iv.start, engine_time, bytes);
+    done = max(done, link_iv.end);
+  }
 
   Signal sig;
   if (sdma_stall) {
@@ -285,7 +307,7 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
                       trace::FaultEvent::SdmaStallInjected,
                       fault::Site::AsyncCopy, device, dst.value, bytes);
   } else if (sdma_error) {
-    sig.complete_error(sched(), iv.end);
+    sig.complete_error(sched(), done);
     record_fault(trace::FaultRecord{.event = trace::FaultEvent::SdmaErrorInjected,
                                     .device = device,
                                     .time = sched().now(),
@@ -293,18 +315,34 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
                                     .bytes = bytes});
   } else {
     sig.set_name("sdma-copy@" + dst.to_string());
-    sig.complete(sched(), iv.end);
+    sig.complete(sched(), done);
   }
   record_call(trace::HsaCall::MemoryAsyncCopy, start, setup + engine_time);
-  if (count_in_ledger) {
+  {
     sim::LockGuard lock{trace_mutex_, sched()};
-    ledger_.get(sched()).add_copy(setup + engine_time);
+    if (count_in_ledger) {
+      ledger_.get(sched()).add_copy(setup + engine_time);
+    }
+    cptrace_.get(sched()).record(trace::CopyRecord{.device = device,
+                                                   .src_socket = src_sock,
+                                                   .dst_socket = dst_sock,
+                                                   .submit = start,
+                                                   .start = iv.start,
+                                                   .end = done,
+                                                   .bytes = bytes});
+    DeviceCounters& dc =
+        devstats_.get(sched()).at(static_cast<std::size_t>(device));
+    ++dc.copies;
+    dc.copy_bytes += bytes;
+    if (src_sock != dst_sock) {
+      ++dc.cross_socket_copies;
+    }
   }
   if (with_handler && !sdma_stall) {
     // Host-side completion callback bookkeeping (a stalled copy's handler
     // never fires).
     const Duration handler_cost = Duration::from_us(1.0);
-    record_call(trace::HsaCall::SignalAsyncHandler, iv.end, handler_cost);
+    record_call(trace::HsaCall::SignalAsyncHandler, done, handler_cost);
   }
   return sig;
 }
@@ -395,6 +433,61 @@ mem::PrefaultOutcome Runtime::svm_attributes_set_prefault(mem::AddrRange range,
   return r.outcome;
 }
 
+std::uint64_t Runtime::migrate_pages(mem::AddrRange range, int device) {
+  const apu::CostParams& c = machine_.costs();
+  const mem::Allocation* const a = mem_.space().find(range.base);
+  if (a == nullptr) {
+    throw std::invalid_argument("migrate_pages: no allocation at " +
+                                range.base.to_string());
+  }
+  const int from = a->home_socket();
+  const std::uint64_t moved = mem_.migrate_pages(range, device);
+  const TimePoint start = sched().now();
+  if (moved == 0) {
+    // Nothing physically moves (already home there, or a pending
+    // first-touch home just resolved): only the attribute-set syscall
+    // round trip is paid.
+    const Duration dur = machine_.jittered_syscall(c.prefault_syscall_base);
+    const sim::Interval iv = machine_.driver(device).reserve(start, dur);
+    sched().advance_to(iv.end);
+    record_call(trace::HsaCall::SvmAttributesSet, start, dur);
+    return 0;
+  }
+  // Per-page unmap on the old home, data movement across the fabric, then
+  // per-page remap on the new home — each driver phase serialized on its
+  // socket's driver lock, so a migration contends with both sockets'
+  // fault servicing and prefault syscalls.
+  const Duration per_side =
+      machine_.jittered(c.page_migrate_per_page * static_cast<double>(moved));
+  const sim::Interval s_iv = machine_.driver(from).reserve(start, per_side);
+  const std::uint64_t bytes = moved * mem_.page_bytes();
+  fabric::Fabric& fab = machine_.fabric();
+  sim::Interval x_iv{s_iv.end, s_iv.end};
+  if (fab.enabled()) {
+    x_iv = fab.reserve_transfer(
+        from, device, s_iv.end,
+        machine_.jittered(fab.transfer_duration(from, device, bytes)), bytes);
+  } else if (from != device) {
+    x_iv.end = s_iv.end + machine_.jittered(machine_.copy_duration(bytes) *
+                                            (1.0 / c.remote_copy_bandwidth_factor));
+  }
+  const sim::Interval d_iv = machine_.driver(device).reserve(x_iv.end, per_side);
+  sched().advance_to(d_iv.end);
+  record_call(trace::HsaCall::SvmAttributesSet, start, d_iv.end - start);
+  {
+    sim::LockGuard lock{trace_mutex_, sched()};
+    ledger_.get(sched()).add_prefault(d_iv.end - start);
+    devstats_.get(sched()).at(static_cast<std::size_t>(device)).migrated_pages +=
+        moved;
+  }
+  if (machine_.log().enabled()) {
+    machine_.log_add(sched().now(), "hsa",
+                     "migrate " + std::to_string(moved) + " page(s) " +
+                         std::to_string(from) + "->" + std::to_string(device));
+  }
+  return moved;
+}
+
 Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
                                 sim::TimePoint not_before,
                                 std::span<const Signal> depends) {
@@ -424,14 +517,49 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
 
   // Page-fault accounting for every buffer the kernel touches. Faults on
   // CPU-resident pages only mirror the translation; faults on untouched
-  // pages additionally materialize them (GPU-side first touch).
+  // pages additionally materialize them (GPU-side first touch). The same
+  // walk tallies remote bytes — pages homed on other sockets that this
+  // kernel reaches over the fabric — and, per remote home socket, the
+  // byte volume for link occupancy below.
   std::uint64_t faults = 0;
   std::uint64_t non_resident = 0;
-  bool remote_data = false;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t remote_bytes = 0;
+  double worst_link_bw = 0.0;  // slowest link crossed, bytes/s
+  const std::uint64_t page = mem_.page_bytes();
+  fabric::Fabric& fab = machine_.fabric();
+  std::vector<std::uint64_t> remote_by_home;
+  if (fab.enabled()) {
+    remote_by_home.assign(static_cast<std::size_t>(fab.sockets()), 0);
+  }
   for (const BufferAccess& b : launch.buffers) {
     mem::Allocation* const a = mem_.space().find(b.addr);
-    if (a != nullptr && a->home_socket() != launch.device) {
-      remote_data = true;
+    total_bytes += b.bytes;
+    if (a != nullptr) {
+      const std::uint64_t rp = a->remote_pages(b.range(), launch.device, page);
+      if (rp > 0) {
+        const std::uint64_t pages = b.range().page_count(page);
+        const std::uint64_t rb = std::max<std::uint64_t>(
+            pages > 0 ? b.bytes * rp / pages : b.bytes, 1);
+        remote_bytes += rb;
+        if (fab.enabled()) {
+          if (a->placement() == mem::Placement::Interleaved) {
+            // Striped traffic spreads across every link; charge the wide
+            // width for the penalty and skip per-link occupancy.
+            const double bw = fab.config().wide_bandwidth_bytes_per_s;
+            if (worst_link_bw == 0.0 || bw < worst_link_bw) {
+              worst_link_bw = bw;
+            }
+          } else {
+            const double bw =
+                fab.link(a->home_socket(), launch.device).bandwidth_bytes_per_s;
+            if (bw > 0.0 && (worst_link_bw == 0.0 || bw < worst_link_bw)) {
+              worst_link_bw = bw;
+            }
+            remote_by_home.at(static_cast<std::size_t>(a->home_socket())) += rb;
+          }
+        }
+      }
     }
     const std::uint64_t absent =
         mem_.gpu_absent_pages(b.range(), launch.device, a);
@@ -500,18 +628,50 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
   // XNACK-enabled processes pay a small uniform kernel-time penalty
   // (retry-capable code generation), independent of any faults. Kernels
   // whose data lives on another socket's HBM additionally pay the
-  // cross-socket fabric penalty.
+  // cross-socket fabric penalty: with the fabric modeled it scales with
+  // the fraction of bytes that are remote and the width of the slowest
+  // link crossed (narrow diagonal hops hurt more than wide direct ones);
+  // with the fabric off the legacy flat multiplier applies.
   Duration base_compute = launch.compute;
   if (xnack) {
     base_compute = base_compute * c.xnack_kernel_slowdown;
   }
-  if (remote_data) {
-    base_compute = base_compute * c.remote_memory_penalty;
+  if (remote_bytes > 0) {
+    if (fab.enabled()) {
+      const double frac = total_bytes > 0
+                              ? static_cast<double>(remote_bytes) /
+                                    static_cast<double>(total_bytes)
+                              : 1.0;
+      const double width =
+          worst_link_bw > 0.0 ? c.xgmi_wide_bandwidth_bytes_per_s / worst_link_bw
+                              : 1.0;
+      base_compute = base_compute *
+                     (1.0 + (c.remote_memory_penalty - 1.0) * frac * width);
+    } else {
+      base_compute = base_compute * c.remote_memory_penalty;
+    }
   }
   const Duration compute = machine_.jittered(base_compute);
   const Duration launch_lat = machine_.jittered(c.kernel_launch_latency);
   const Duration total = launch_lat + compute + tlb_time + fault_term;
   const sim::Interval gi = machine_.gpu(launch.device).reserve(dispatched, total);
+
+  // Remote-streaming kernels occupy the connecting links for their remote
+  // bytes' serialization time, so concurrent copies queue behind them.
+  // Link queueing does not extend the kernel itself — the penalty
+  // multiplier above is its cost.
+  if (fab.enabled()) {
+    for (std::size_t h = 0; h < remote_by_home.size(); ++h) {
+      if (remote_by_home[h] == 0) {
+        continue;
+      }
+      const int home = static_cast<int>(h);
+      fab.reserve_transfer(
+          home, launch.device, gi.start,
+          fab.transfer_duration(home, launch.device, remote_by_home[h]),
+          remote_by_home[h]);
+    }
+  }
 
   // Race model: the kernel is a device-side task forked from the
   // dispatching thread's clock, with an extra happens-before edge from
@@ -557,6 +717,7 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
     ktrace_.get(sched()).record(trace::KernelRecord{
         .name = launch.name,
         .host_thread = host_thread,
+        .device = launch.device,
         .dispatch = dispatched,
         .start = gi.start,
         .end = gi.end,
@@ -565,7 +726,16 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
         .tlb_stall = tlb_time,
         .page_faults = faults,
         .tlb_misses = tlb_misses,
+        .remote_bytes = remote_bytes,
     });
+    DeviceCounters& dc =
+        devstats_.get(sched()).at(static_cast<std::size_t>(launch.device));
+    ++dc.kernels;
+    dc.page_faults += faults;
+    dc.tlb_misses += tlb_misses;
+    if (remote_bytes > 0) {
+      ++dc.remote_kernels;
+    }
   }
 
   Signal sig;

@@ -22,6 +22,41 @@ void Allocation::ensure_backing() {
   }
 }
 
+std::uint64_t Allocation::remote_pages(AddrRange range, int socket,
+                                       std::uint64_t page_bytes) const {
+  if (home_pending()) {
+    return 0;
+  }
+  // Clamp to this allocation before counting.
+  const std::uint64_t lo =
+      range.base.value < base_.value ? base_.value : range.base.value;
+  const std::uint64_t alloc_end = base_.value + bytes_;
+  std::uint64_t hi = range.base.value + range.bytes;
+  hi = hi > alloc_end ? alloc_end : hi;
+  if (lo >= hi) {
+    return 0;
+  }
+  const std::uint64_t first = lo / page_bytes;
+  const std::uint64_t end = (hi + page_bytes - 1) / page_bytes;
+  const std::uint64_t total = end - first;
+  if (placement_ != Placement::Interleaved) {
+    return home_socket_ == socket ? 0 : total;
+  }
+  const std::uint64_t k = static_cast<std::uint64_t>(placement_sockets_);
+  if (socket < 0 || static_cast<std::uint64_t>(socket) >= k) {
+    return total;
+  }
+  // Count pages of [first, end) whose stripe residue equals `socket`,
+  // where residues are relative to the allocation's first page.
+  const std::uint64_t origin = base_.value / page_bytes;
+  const std::uint64_t r = static_cast<std::uint64_t>(socket);
+  auto locals_below = [&](std::uint64_t page) {
+    const std::uint64_t rel = page - origin;  // page >= origin by clamping
+    return rel > r ? (rel - r + k - 1) / k : 0;
+  };
+  return total - (locals_below(end) - locals_below(first));
+}
+
 std::byte* Allocation::translate(VirtAddr a) {
   if (!range().contains(a)) {
     throw std::out_of_range("Allocation::translate: address " + a.to_string() +

@@ -17,6 +17,7 @@ MemorySystem::MemorySystem(apu::Machine& machine)
     gpu_pt_.emplace_back(machine.page_bytes());
     tlb_.emplace_back(machine.costs().tlb_entries, machine.page_bytes());
     hbm_used_.push_back(0);
+    migrated_.push_back(0);
   }
 }
 
@@ -53,6 +54,56 @@ Allocation& MemorySystem::os_alloc(std::uint64_t bytes, std::string name,
   Allocation& a = space_.allocate(bytes, MemKind::HostOs, std::move(name));
   a.set_home_socket(home_socket);
   return a;
+}
+
+Allocation& MemorySystem::os_alloc_placed(std::uint64_t bytes,
+                                          std::string name,
+                                          Placement placement,
+                                          int home_socket) {
+  Allocation& a = os_alloc(bytes, std::move(name), home_socket);
+  a.set_placement(placement, static_cast<int>(gpu_pt_.size()));
+  return a;
+}
+
+void MemorySystem::charge_created(VirtAddr addr, std::uint64_t pages) {
+  if (pages == 0) {
+    return;
+  }
+  const std::uint64_t pb = page_bytes();
+  const Allocation* a = space_.find(addr);
+  if (a != nullptr && a->placement() == Placement::Interleaved) {
+    // Striped pages land on every socket; attribute an even split (exact
+    // per-page attribution would track which pages materialized — the
+    // even split keeps the counters right for whole-buffer touches, the
+    // overwhelmingly common shape).
+    const std::uint64_t k = hbm_used_.size();
+    for (std::uint64_t s = 0; s < k; ++s) {
+      const std::uint64_t share = pages / k + (s < pages % k ? 1 : 0);
+      if (share > 0) {
+        charge(static_cast<int>(s), share * pb);
+      }
+    }
+    return;
+  }
+  charge(a != nullptr ? a->home_socket() : 0, pages * pb);
+}
+
+void MemorySystem::credit_released(const Allocation& a, std::uint64_t pages) {
+  if (pages == 0) {
+    return;
+  }
+  const std::uint64_t pb = page_bytes();
+  if (a.placement() == Placement::Interleaved) {
+    const std::uint64_t k = hbm_used_.size();
+    for (std::uint64_t s = 0; s < k; ++s) {
+      const std::uint64_t share = pages / k + (s < pages % k ? 1 : 0);
+      if (share > 0) {
+        credit(static_cast<int>(s), share * pb);
+      }
+    }
+    return;
+  }
+  credit(a.home_socket(), pages * pb);
 }
 
 void MemorySystem::os_free(VirtAddr base) { release(base, MemKind::HostOs); }
@@ -125,7 +176,7 @@ void MemorySystem::release(VirtAddr base, MemKind expected) {
   // CPU-resident page count (materialized pages, whatever path created
   // them); on a discrete node only pool (VRAM) allocations charged.
   if (machine_.is_apu()) {
-    credit(a->home_socket(), cpu_pt_.count_present(range) * page_bytes());
+    credit_released(*a, cpu_pt_.count_present(range));
   } else if (a->kind() == MemKind::DevicePool) {
     credit(a->home_socket(), range.page_count(page_bytes()) * page_bytes());
   }
@@ -137,7 +188,7 @@ void MemorySystem::release(VirtAddr base, MemKind expected) {
   space_.free(base);
 }
 
-std::uint64_t MemorySystem::host_touch(AddrRange range) {
+std::uint64_t MemorySystem::host_touch(AddrRange range, int toucher_socket) {
   // Page-granularity race check: a host touch is a host-side write of every
   // page in the range. Under zero-copy these are the same physical pages a
   // kernel accesses, so a touch during an in-flight kernel with no
@@ -152,9 +203,13 @@ std::uint64_t MemorySystem::host_touch(AddrRange range) {
                      range.end_page(pb) - range.first_page(pb),
                      /*is_write=*/true, site);
   }
+  if (Allocation* a = space_.find(range.base);
+      a != nullptr && a->home_pending()) {
+    a->resolve_home(toucher_socket);
+  }
   const std::uint64_t created = cpu_pt_.insert_range(range);
   if (machine_.is_apu() && created > 0) {
-    charge(home_of(range.base), created * page_bytes());
+    charge_created(range.base, created);
   }
   return created;
 }
@@ -182,7 +237,12 @@ std::uint64_t MemorySystem::cpu_resident_pages(AddrRange range) const {
 FaultOutcome MemorySystem::gpu_fault_in(AddrRange range, int socket) {
   // The XNACK-replay walk materializes the host page if needed (the
   // expensive demand path), then inserts the translation into the GPU page
-  // table.
+  // table. A GPU-side first touch homes the pages on the faulting socket
+  // (the paper's first-touch lesson: the device that materializes owns).
+  if (Allocation* a = space_.find(range.base);
+      a != nullptr && a->home_pending()) {
+    a->resolve_home(socket);
+  }
   FaultOutcome out;
   PageTable& pt = gpu_pt(socket);
   const std::uint64_t pb = space_.page_bytes();
@@ -200,7 +260,7 @@ FaultOutcome MemorySystem::gpu_fault_in(AddrRange range, int socket) {
   pt.insert_pages(first, end);
   update_residency_summary(range, socket, out.faulted);
   if (machine_.is_apu() && out.non_resident > 0) {
-    charge(home_of(range.base), out.non_resident * pb);
+    charge_created(range.base, out.non_resident);
   }
   return out;
 }
@@ -225,7 +285,12 @@ void MemorySystem::update_residency_summary(AddrRange range, int socket,
 PrefaultOutcome MemorySystem::prefault(AddrRange range, int socket) {
   // Host-side prefault walks the host page table to find entries to
   // mirror; untouched pages are bulk-created first (and reported, since
-  // creation dominates their cost).
+  // creation dominates their cost). Pages the prefetch path creates are
+  // placed for the target GPU, so a pending first-touch resolves to it.
+  if (Allocation* a = space_.find(range.base);
+      a != nullptr && a->home_pending()) {
+    a->resolve_home(socket);
+  }
   PrefaultOutcome out;
   PageTable& pt = gpu_pt(socket);
   const std::uint64_t pb = space_.page_bytes();
@@ -239,9 +304,62 @@ PrefaultOutcome MemorySystem::prefault(AddrRange range, int socket) {
   update_residency_summary(range, socket, out.inserted);
   out.present = (end - first) - out.inserted;
   if (machine_.is_apu() && out.materialized > 0) {
-    charge(home_of(range.base), out.materialized * pb);
+    charge_created(range.base, out.materialized);
   }
   return out;
+}
+
+std::uint64_t MemorySystem::remote_pages(AddrRange range, int device) const {
+  const Allocation* a = space_.find(range.base);
+  if (a == nullptr) {
+    return 0;
+  }
+  return a->remote_pages(range, device, page_bytes());
+}
+
+std::uint64_t MemorySystem::migrate_pages(AddrRange range, int to_socket) {
+  Allocation* const a = space_.find(range.base);
+  if (a == nullptr) {
+    throw std::invalid_argument("MemorySystem::migrate_pages: unmapped base " +
+                                range.base.to_string());
+  }
+  if (a->kind() == MemKind::DevicePool) {
+    throw std::invalid_argument(
+        "MemorySystem::migrate_pages: pool allocation '" + a->name() +
+        "' cannot migrate (only SVM memory does)");
+  }
+  (void)hbm_used_.at(static_cast<std::size_t>(to_socket));  // bounds check
+  if (a->home_pending()) {
+    // Nothing material yet: the "migration" just decides the pending home.
+    a->resolve_home(to_socket);
+    return 0;
+  }
+  const bool interleaved = a->placement() == Placement::Interleaved;
+  if (!interleaved && a->home_socket() == to_socket) {
+    return 0;
+  }
+  const AddrRange whole = a->range();
+  const std::uint64_t resident = cpu_pt_.count_present(whole);
+  // Move the HBM attribution under the old placement, then collapse the
+  // allocation onto its new fixed home.
+  if (machine_.is_apu()) {
+    credit_released(*a, resident);
+  }
+  a->set_placement(Placement::FixedHome, 1);
+  a->set_home_socket(to_socket);
+  if (machine_.is_apu() && resident > 0) {
+    charge(to_socket, resident * page_bytes());
+  }
+  // Migration remaps physical pages: every socket's GPU translations of
+  // the allocation are stale and torn down; accesses re-fault or
+  // re-prefault against the new home.
+  for (std::size_t s = 0; s < gpu_pt_.size(); ++s) {
+    gpu_pt_[s].remove_range(whole);
+    tlb_[s].invalidate_range(whole);
+  }
+  a->gpu_absent_reset();
+  migrated_.at(static_cast<std::size_t>(to_socket)) += resident;
+  return resident;
 }
 
 TlbAccessResult MemorySystem::tlb_access(AddrRange range, int socket) {

@@ -28,6 +28,15 @@ void ChromeTraceWriter::add(const std::vector<KernelRecord>& kernels) {
   kernel_events_.insert(kernel_events_.end(), kernels.begin(), kernels.end());
 }
 
+void ChromeTraceWriter::add(const std::vector<CopyRecord>& copies) {
+  copy_events_.insert(copy_events_.end(), copies.begin(), copies.end());
+}
+
+void ChromeTraceWriter::add(const FaultTrace& faults) {
+  fault_events_.insert(fault_events_.end(), faults.records().begin(),
+                       faults.records().end());
+}
+
 void ChromeTraceWriter::add(const DecisionTrace& decisions) {
   decision_events_.insert(decision_events_.end(), decisions.records().begin(),
                           decisions.records().end());
@@ -42,6 +51,20 @@ void ChromeTraceWriter::write(std::ostream& os) const {
     }
     first = false;
   };
+  // Lane labels: one process per hardware class, one thread per device
+  // within it, so multi-device events never share a track. Omitted from an
+  // empty document, which stays the bare JSON shell.
+  if (event_count() > 0) {
+    static constexpr struct {
+      int pid;
+      const char* name;
+    } kLanes[] = {{1, "host"}, {2, "gpu"}, {3, "sdma"}, {4, "faults"}};
+    for (const auto& lane : kLanes) {
+      sep();
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << lane.pid
+         << ",\"args\":{\"name\":\"" << lane.name << "\"}}";
+    }
+  }
   for (const CallRecord& r : call_events_) {
     sep();
     os << "{\"name\":\"" << to_string(r.call)
@@ -53,12 +76,32 @@ void ChromeTraceWriter::write(std::ostream& os) const {
     sep();
     os << "{\"name\":\"";
     write_escaped(os, k.name);
-    os << "\",\"ph\":\"X\",\"pid\":2,\"tid\":0,\"ts\":"
-       << k.start.since_start().us() << ",\"dur\":" << k.duration().us()
+    os << "\",\"ph\":\"X\",\"pid\":2,\"tid\":" << k.device
+       << ",\"ts\":" << k.start.since_start().us()
+       << ",\"dur\":" << k.duration().us()
        << ",\"cat\":\"kernel\",\"args\":{\"host_thread\":" << k.host_thread
        << ",\"page_faults\":" << k.page_faults
        << ",\"fault_stall_us\":" << k.fault_stall.us()
-       << ",\"tlb_stall_us\":" << k.tlb_stall.us() << "}}";
+       << ",\"tlb_stall_us\":" << k.tlb_stall.us()
+       << ",\"remote_bytes\":" << k.remote_bytes << "}}";
+  }
+  for (const CopyRecord& c : copy_events_) {
+    sep();
+    os << "{\"name\":\"sdma-copy\",\"ph\":\"X\",\"pid\":3,\"tid\":"
+       << c.device << ",\"ts\":" << c.start.since_start().us()
+       << ",\"dur\":" << c.duration().us()
+       << ",\"cat\":\"sdma\",\"args\":{\"bytes\":" << c.bytes
+       << ",\"src_socket\":" << c.src_socket
+       << ",\"dst_socket\":" << c.dst_socket << ",\"cross_socket\":"
+       << (c.cross_socket() ? "true" : "false") << "}}";
+  }
+  for (const FaultRecord& f : fault_events_) {
+    sep();
+    os << "{\"name\":\"" << to_string(f.event)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":4,\"tid\":" << f.device
+       << ",\"ts\":" << f.time.since_start().us()
+       << ",\"cat\":\"fault\",\"args\":{\"host_base\":" << f.host_base
+       << ",\"bytes\":" << f.bytes << ",\"attempt\":" << f.attempt << "}}";
   }
   for (const DecisionRecord& d : decision_events_) {
     sep();

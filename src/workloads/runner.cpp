@@ -1,6 +1,9 @@
 #include "zc/workloads/runner.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "zc/stats/summary.hpp"
 
 namespace zc::workloads {
 
@@ -31,10 +34,20 @@ RunResult run_program(const Program& program, const RunOptions& options) {
             {{"OMPX_APU_RACE_CHECK", options.race_check_spec}})
             .race_check;
   }
+  if (options.sockets > 0) {
+    machine_config.env.ompx_apu_sockets = options.sockets;
+  }
+  if (!options.fabric_spec.empty()) {
+    machine_config.env.ompx_apu_fabric =
+        apu::RunEnvironment::from_env(
+            {{"OMPX_APU_FABRIC", options.fabric_spec}})
+            .ompx_apu_fabric;
+  }
   omp::OffloadStack stack{
       std::move(machine_config),
       omp::OffloadStack::program_for(options.config, program.binary)};
   stack.hsa().kernel_trace().set_keep_records(options.keep_kernel_records);
+  stack.hsa().copy_trace().set_keep_records(options.keep_kernel_records);
   if (options.stress_seed) {
     stack.sched().enable_stress(*options.stress_seed);
   }
@@ -51,6 +64,30 @@ RunResult run_program(const Program& program, const RunOptions& options) {
   result.ledger = stack.hsa().ledger();
   if (options.keep_kernel_records) {
     result.kernel_records = stack.hsa().kernel_trace().records();
+    result.copy_records = stack.hsa().copy_trace().records();
+  }
+  result.copies = stack.hsa().copy_trace().summary();
+  {
+    const std::vector<hsa::DeviceCounters>& counters =
+        stack.hsa().device_counters();
+    result.devices.resize(counters.size());
+    std::vector<std::vector<double>> durations(counters.size());
+    for (const trace::KernelRecord& k : result.kernel_records) {
+      if (k.device >= 0 && static_cast<std::size_t>(k.device) < durations.size()) {
+        durations[static_cast<std::size_t>(k.device)].push_back(
+            k.duration().us());
+      }
+    }
+    for (std::size_t d = 0; d < counters.size(); ++d) {
+      DeviceStats& ds = result.devices[d];
+      ds.counters = counters[d];
+      ds.hbm_used = stack.hsa().memory().hbm_used(static_cast<int>(d));
+      if (!durations[d].empty()) {
+        const stats::SortedSamples sorted{std::move(durations[d])};
+        ds.kernel_p50_us = sorted.quantile(0.5);
+        ds.kernel_p95_us = sorted.quantile(0.95);
+      }
+    }
   }
   result.decisions = stack.omp().decision_trace();
   result.faults = stack.hsa().fault_trace();

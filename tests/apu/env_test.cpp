@@ -274,6 +274,77 @@ TEST(RunEnvironment, ToStringRendersRaceCheckOnlyWhenEnabled) {
             std::string::npos);
 }
 
+// --- OMPX_APU_SOCKETS / OMPX_APU_FABRIC -------------------------------------
+
+TEST(RunEnvironment, SocketsDefaultToTopologyCount) {
+  const RunEnvironment env;
+  EXPECT_EQ(env.ompx_apu_sockets, 0);  // 0 = keep the topology's count
+  EXPECT_EQ(env.ompx_apu_fabric, fabric::FabricMode::Off);
+}
+
+TEST(RunEnvironment, FromEnvParsesSocketCount) {
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_SOCKETS", "4"}})
+                .ompx_apu_sockets,
+            4);
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_SOCKETS", "1"}})
+                .ompx_apu_sockets,
+            1);
+}
+
+TEST(RunEnvironment, SocketCountRejectsGarbageNamingTheVariable) {
+  for (const char* bad : {"", "0", "-2", "four", "2.5", "4x"}) {
+    try {
+      (void)RunEnvironment::from_env({{"OMPX_APU_SOCKETS", bad}});
+      FAIL() << "expected EnvError for OMPX_APU_SOCKETS=" << bad;
+    } catch (const EnvError& e) {
+      EXPECT_NE(std::string{e.what()}.find("OMPX_APU_SOCKETS"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(RunEnvironment, FromEnvParsesFabricModes) {
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_FABRIC", "off"}})
+                .ompx_apu_fabric,
+            fabric::FabricMode::Off);
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_FABRIC", "xgmi"}})
+                .ompx_apu_fabric,
+            fabric::FabricMode::Xgmi);
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_FABRIC", "uniform"}})
+                .ompx_apu_fabric,
+            fabric::FabricMode::Uniform);
+  // Spellings are case-insensitive like the other variables.
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_FABRIC", "XGMI"}})
+                .ompx_apu_fabric,
+            fabric::FabricMode::Xgmi);
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_FABRIC", "Uniform"}})
+                .ompx_apu_fabric,
+            fabric::FabricMode::Uniform);
+}
+
+TEST(RunEnvironment, FabricModeRejectsGarbageNamingTheVariable) {
+  // Not a boolean: "1"/"on" must throw, not silently pick a topology.
+  for (const char* bad : {"", "1", "on", "true", "mesh", "bogus"}) {
+    try {
+      (void)RunEnvironment::from_env({{"OMPX_APU_FABRIC", bad}});
+      FAIL() << "expected EnvError for OMPX_APU_FABRIC=" << bad;
+    } catch (const EnvError& e) {
+      EXPECT_NE(std::string{e.what()}.find("OMPX_APU_FABRIC"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(RunEnvironment, ToStringRendersSocketsAndFabricOnlyWhenSet) {
+  RunEnvironment env;
+  EXPECT_EQ(env.to_string().find("OMPX_APU_SOCKETS"), std::string::npos);
+  EXPECT_EQ(env.to_string().find("OMPX_APU_FABRIC"), std::string::npos);
+  env.ompx_apu_sockets = 4;
+  env.ompx_apu_fabric = fabric::FabricMode::Xgmi;
+  EXPECT_NE(env.to_string().find("OMPX_APU_SOCKETS=4"), std::string::npos);
+  EXPECT_NE(env.to_string().find("OMPX_APU_FABRIC=xgmi"), std::string::npos);
+}
+
 TEST(RunEnvironment, ErrorMessageNamesTheOffendingVariable) {
   try {
     (void)RunEnvironment::from_env({{"OMPX_APU_MAPS", "maybe"}});

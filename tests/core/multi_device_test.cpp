@@ -163,6 +163,127 @@ TEST(MultiDevice, OutOfRangeDeviceRejected) {
                MappingError);
 }
 
+TEST(MultiDevice, AutoDeviceFollowsTheData) {
+  auto stack = make_card(RuntimeConfig::ImplicitZeroCopy, 2);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    const std::uint64_t page = stack->machine().page_bytes();
+    const mem::VirtAddr far =
+        rt.host_alloc(4 * page, "far", /*home_socket=*/1);
+    rt.host_first_touch(mem::AddrRange{far, 4 * page});
+    rt.target(TargetRegion{
+        .name = "auto",
+        .maps = {MapEntry::tofrom(far, 4 * page)},
+        .compute = 10_us,
+        .body = {},
+        .device = OffloadRuntime::kDeviceAuto,
+    });
+    // The kernel ran where the data lives: socket 1's page table filled,
+    // socket 0's never did.
+    mem::MemorySystem& mm = stack->memory();
+    EXPECT_EQ(mm.gpu_absent_pages(mem::AddrRange{far, 4 * page}, 1), 0u);
+    EXPECT_EQ(mm.gpu_absent_pages(mem::AddrRange{far, 4 * page}, 0), 4u);
+  });
+  EXPECT_EQ(stack->hsa().device_counters()[1].kernels, 1u);
+  EXPECT_EQ(stack->hsa().device_counters()[0].kernels, 0u);
+}
+
+TEST(MultiDevice, AutoDeviceWeighsBytesAndBreaksTiesLow) {
+  auto stack = make_card(RuntimeConfig::ImplicitZeroCopy, 2);
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    const std::uint64_t page = stack->machine().page_bytes();
+    const mem::VirtAddr big = rt.host_alloc(3 * page, "big", 1);
+    const mem::VirtAddr small = rt.host_alloc(1 * page, "small", 0);
+    rt.host_first_touch(mem::AddrRange{big, 3 * page});
+    rt.host_first_touch(mem::AddrRange{small, 1 * page});
+    rt.target(TargetRegion{
+        .name = "weighted",
+        .maps = {MapEntry::tofrom(big, 3 * page),
+                 MapEntry::tofrom(small, 1 * page)},
+        .compute = 10_us,
+        .body = {},
+        .device = OffloadRuntime::kDeviceAuto,
+    });
+    // Equal bytes on both sockets: the tie breaks to the lower device.
+    const mem::VirtAddr even0 = rt.host_alloc(2 * page, "even0", 0);
+    const mem::VirtAddr even1 = rt.host_alloc(2 * page, "even1", 1);
+    rt.host_first_touch(mem::AddrRange{even0, 2 * page});
+    rt.host_first_touch(mem::AddrRange{even1, 2 * page});
+    rt.target(TargetRegion{
+        .name = "tied",
+        .maps = {MapEntry::tofrom(even0, 2 * page),
+                 MapEntry::tofrom(even1, 2 * page)},
+        .compute = 10_us,
+        .body = {},
+        .device = OffloadRuntime::kDeviceAuto,
+    });
+  });
+  EXPECT_EQ(stack->hsa().device_counters()[1].kernels, 1u);  // "weighted"
+  EXPECT_EQ(stack->hsa().device_counters()[0].kernels, 1u);  // "tied"
+}
+
+TEST(MultiDevice, TargetMemcpyRunsOnTheDestinationSocketsEngine) {
+  auto stack = make_card(RuntimeConfig::ImplicitZeroCopy, 2);
+  // Image-load copies land on device 0's engine at first use; compare
+  // against that baseline so only the memcpy itself is attributed.
+  sim::Duration sdma0_before;
+  hsa::DeviceCounters dev0_before;
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    const std::uint64_t bytes = 8 << 20;
+    const mem::VirtAddr src = rt.host_alloc(bytes, "src", 0);
+    const mem::VirtAddr dst = rt.host_alloc(bytes, "dst", 1);
+    rt.host_first_touch(mem::AddrRange{src, bytes});
+    // Trigger the lazy image load (its copies ride device 0's engine).
+    const MapEntry warm = MapEntry::to(src, bytes);
+    rt.target_data_begin({&warm, 1}, 0);
+    rt.target_data_end({&warm, 1}, 0);
+    sdma0_before = stack->machine().sdma(0).busy_time();
+    dev0_before = stack->hsa().device_counters()[0];
+    rt.target_memcpy(dst, src, bytes);
+  });
+  apu::Machine& m = stack->machine();
+  EXPECT_GT(m.sdma(1).busy_time(), sim::Duration{});
+  EXPECT_EQ(m.sdma(0).busy_time(), sdma0_before);  // engine 0 untouched
+  const std::vector<hsa::DeviceCounters>& dc = stack->hsa().device_counters();
+  EXPECT_EQ(dc[1].copies, 1u);
+  EXPECT_EQ(dc[1].cross_socket_copies, 1u);
+  EXPECT_EQ(dc[0].copies, dev0_before.copies);
+}
+
+TEST(MultiDevice, MigrationMakesRemoteMemoryLocal) {
+  auto stack = make_card(RuntimeConfig::ImplicitZeroCopy, 2);
+  sim::Duration remote;
+  sim::Duration after_migrate;
+  stack->sched().run_single([&] {
+    OffloadRuntime& rt = stack->omp();
+    const std::uint64_t bytes = 4 * stack->machine().page_bytes();
+    const mem::VirtAddr buf = rt.host_alloc(bytes, "buf", /*home_socket=*/0);
+    rt.host_first_touch(mem::AddrRange{buf, bytes});
+    auto run_on1 = [&] {
+      const auto before = stack->hsa().kernel_trace().summary().total_compute;
+      rt.target(TargetRegion{
+          .name = "probe",
+          .maps = {MapEntry::tofrom(buf, bytes)},
+          .compute = 1000_us,
+          .body = {},
+          .device = 1,
+      });
+      return stack->hsa().kernel_trace().summary().total_compute - before;
+    };
+    remote = run_on1();
+    const std::uint64_t moved =
+        rt.migrate_to_device(mem::AddrRange{buf, bytes}, 1);
+    EXPECT_EQ(moved, 4u);
+    after_migrate = run_on1();
+  });
+  // Before: full remote penalty. After: the data is local to device 1.
+  const double penalty = stack->machine().costs().remote_memory_penalty;
+  EXPECT_NEAR(remote / after_migrate, penalty, 0.01);
+  EXPECT_EQ(stack->hsa().device_counters()[1].migrated_pages, 4u);
+}
+
 TEST(MultiDevice, AffinityMattersForThroughput) {
   // Eight threads on a two-socket card: offloading with thread affinity
   // (half the threads to each socket, data homed locally) beats pinning

@@ -1,0 +1,129 @@
+// The modeled Infinity Fabric: hypercube wide/narrow topology, per-link
+// bandwidth/latency pricing, FIFO contention accounting, and the disabled
+// (legacy) mode where every operation is a free no-op.
+
+#include "zc/fabric/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zc::fabric {
+namespace {
+
+using namespace zc::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+
+FabricConfig xgmi() {
+  FabricConfig c;
+  c.mode = FabricMode::Xgmi;
+  return c;
+}
+
+TEST(Fabric, WideLinksAreOneBitApart) {
+  const Fabric f{4, xgmi()};
+  // Hypercube rule on a 4-socket node: 0-1, 0-2, 1-3, 2-3 wide; the
+  // diagonals 0-3 and 1-2 narrow.
+  EXPECT_TRUE(f.wide_link(0, 1));
+  EXPECT_TRUE(f.wide_link(0, 2));
+  EXPECT_TRUE(f.wide_link(1, 3));
+  EXPECT_TRUE(f.wide_link(2, 3));
+  EXPECT_FALSE(f.wide_link(0, 3));
+  EXPECT_FALSE(f.wide_link(1, 2));
+  // Symmetric.
+  EXPECT_TRUE(f.wide_link(1, 0));
+  EXPECT_FALSE(f.wide_link(3, 0));
+}
+
+TEST(Fabric, UniformModeMakesEveryPairWide) {
+  FabricConfig c;
+  c.mode = FabricMode::Uniform;
+  const Fabric f{4, c};
+  EXPECT_TRUE(f.wide_link(0, 3));
+  EXPECT_TRUE(f.wide_link(1, 2));
+}
+
+TEST(Fabric, LinkParametersFollowWidth) {
+  const Fabric f{4, xgmi()};
+  const FabricConfig& c = f.config();
+  EXPECT_DOUBLE_EQ(f.link(0, 1).bandwidth_bytes_per_s,
+                   c.wide_bandwidth_bytes_per_s);
+  EXPECT_DOUBLE_EQ(f.link(0, 3).bandwidth_bytes_per_s,
+                   c.narrow_bandwidth_bytes_per_s);
+  EXPECT_EQ(f.link(0, 1).latency, c.link_latency);
+  // Local "links" have no parameters.
+  EXPECT_DOUBLE_EQ(f.link(2, 2).bandwidth_bytes_per_s, 0.0);
+}
+
+TEST(Fabric, TransferDurationIsLatencyPlusSerialization) {
+  const Fabric f{4, xgmi()};
+  const std::uint64_t bytes = 132ULL << 20;  // ~10.5 ms at 13.2 GB/s
+  const Duration wide = f.transfer_duration(0, 1, bytes);
+  const Duration narrow = f.transfer_duration(0, 3, bytes);
+  const double wide_s =
+      static_cast<double>(bytes) / f.config().wide_bandwidth_bytes_per_s;
+  EXPECT_NEAR(wide.us(), f.config().link_latency.us() + wide_s * 1e6, 1.0);
+  // The diagonal is slower than the wide bundle for the same payload.
+  EXPECT_GT(narrow, wide);
+  // Local transfers are free.
+  EXPECT_TRUE(f.transfer_duration(1, 1, bytes).is_zero());
+}
+
+TEST(Fabric, ReserveQueuesFifoPerDirectedLink) {
+  Fabric f{4, xgmi()};
+  const Duration dur = 100_us;
+  const sim::Interval first =
+      f.reserve_transfer(0, 1, TimePoint::zero(), dur, 1024);
+  const sim::Interval second =
+      f.reserve_transfer(0, 1, TimePoint::zero(), dur, 1024);
+  EXPECT_EQ(first.start, TimePoint::zero());
+  EXPECT_EQ(second.start, first.end);  // queued behind the first transfer
+  // The opposite direction and other links are independent.
+  EXPECT_EQ(f.reserve_transfer(1, 0, TimePoint::zero(), dur, 1024).start,
+            TimePoint::zero());
+  EXPECT_EQ(f.reserve_transfer(2, 3, TimePoint::zero(), dur, 1024).start,
+            TimePoint::zero());
+}
+
+TEST(Fabric, StatsAccumulatePerLink) {
+  Fabric f{4, xgmi()};
+  (void)f.reserve_transfer(0, 1, TimePoint::zero(), 100_us, 4096);
+  (void)f.reserve_transfer(0, 1, TimePoint::zero(), 100_us, 4096);
+  const LinkStats s = f.stats(0, 1);
+  EXPECT_EQ(s.transfers, 2u);
+  EXPECT_EQ(s.bytes, 8192u);
+  EXPECT_EQ(s.busy, 200_us);
+  EXPECT_EQ(s.queued, 100_us);  // the second waited a full slot
+  EXPECT_EQ(f.stats(1, 0).transfers, 0u);
+  EXPECT_EQ(f.total_transfers(), 2u);
+  f.reset();
+  EXPECT_EQ(f.total_transfers(), 0u);
+  EXPECT_EQ(f.stats(0, 1).bytes, 0u);
+}
+
+TEST(Fabric, DisabledFabricIsFree) {
+  Fabric f{4, FabricConfig{}};  // mode = Off
+  EXPECT_FALSE(f.enabled());
+  EXPECT_TRUE(f.transfer_duration(0, 3, 1ULL << 30).is_zero());
+  const sim::Interval iv =
+      f.reserve_transfer(0, 3, TimePoint::zero() + 5_us, 100_us, 1024);
+  EXPECT_EQ(iv.start, TimePoint::zero() + 5_us);
+  EXPECT_EQ(iv.end, iv.start);
+  EXPECT_EQ(f.total_transfers(), 0u);
+}
+
+TEST(Fabric, SingleSocketNodeIsNeverEnabled) {
+  const Fabric f{1, xgmi()};
+  EXPECT_FALSE(f.enabled());
+}
+
+TEST(Fabric, OutOfRangeSocketsRejected) {
+  Fabric f{4, xgmi()};
+  EXPECT_THROW((void)f.link(0, 4), std::out_of_range);
+  EXPECT_THROW((void)f.link(-1, 0), std::out_of_range);
+  EXPECT_THROW(
+      (void)f.reserve_transfer(4, 0, TimePoint::zero(), 1_us, 1),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace zc::fabric

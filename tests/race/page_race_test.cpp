@@ -171,5 +171,85 @@ TEST(PageRace, MissingDependenceEdgeIsARace) {
   EXPECT_EQ(d.trace().count(trace::RaceKind::Page), 1u);
 }
 
+TEST(PageRace, InterApuCopyWithoutCompletionEdgeRaces) {
+  // Multi-APU pipeline, missing edge: device 0 produces src pages, one host
+  // thread copies them to a buffer homed on device 1, and a second host
+  // thread dispatches a consumer kernel on device 1 without acquiring the
+  // copy's completion signal. The consumer's reads are unordered with the
+  // copy's destination writes.
+  Scheduler s;
+  Detector d{Detector::Mode::Report, kPage};
+  d.attach(s);
+  hsa::Signal copied;
+  s.spawn("producer", [&] {
+    sim::ConcurrencyHooks* h = s.hooks();
+    hsa::Signal done;
+    const int k = h->on_task_begin("kernel:produce", 0);
+    h->on_task_pages(k, 0, 4, /*is_write=*/true, "produce(src)");
+    h->on_task_end(k, done.id());
+    done.complete(s, s.now());
+    done.wait(s);  // copy reads src only after the producer finished
+    h->on_host_pages(0, 4, /*is_write=*/false, "dma-copy-read('src')");
+    h->on_host_pages(8, 4, /*is_write=*/true, "dma-copy-write('dst')");
+    copied.complete(s, s.now());
+  });
+  s.spawn("consumer", [&] {
+    sim::ConcurrencyHooks* h = s.hooks();
+    hsa::Signal done;
+    const int k = h->on_task_begin("kernel:consume", 1);
+    h->on_task_pages(k, 8, 4, /*is_write=*/false, "consume(dst)");
+    h->on_task_end(k, done.id());
+    done.complete(s, s.now());
+    done.wait(s);
+  });
+  s.run();
+  EXPECT_GE(d.trace().count(trace::RaceKind::Page), 1u);
+  const trace::RaceReport& r = d.trace().records().front();
+  // One side is the copy's destination write, the other device 1's kernel.
+  const bool copy_involved =
+      r.first.site.find("dma-copy-write") != std::string::npos ||
+      r.second.site.find("dma-copy-write") != std::string::npos;
+  const bool dev1_involved =
+      r.first.actor.find("@dev1") != std::string::npos ||
+      r.second.actor.find("@dev1") != std::string::npos;
+  EXPECT_TRUE(copy_involved);
+  EXPECT_TRUE(dev1_involved);
+}
+
+TEST(PageRace, InterApuCopyCompletionSignalOrdersDevices) {
+  // Same pipeline with the edge: the consumer task acquires the inter-APU
+  // copy's completion signal (an in-queue dependence), so the copy's
+  // destination writes happen-before device 1's reads — across devices.
+  Scheduler s;
+  Detector d{Detector::Mode::Report, kPage};
+  d.attach(s);
+  hsa::Signal copied;
+  s.spawn("producer", [&] {
+    sim::ConcurrencyHooks* h = s.hooks();
+    hsa::Signal done;
+    const int k = h->on_task_begin("kernel:produce", 0);
+    h->on_task_pages(k, 0, 4, /*is_write=*/true, "produce(src)");
+    h->on_task_end(k, done.id());
+    done.complete(s, s.now());
+    done.wait(s);
+    h->on_host_pages(0, 4, /*is_write=*/false, "dma-copy-read('src')");
+    h->on_host_pages(8, 4, /*is_write=*/true, "dma-copy-write('dst')");
+    copied.complete(s, s.now());
+  });
+  s.spawn("consumer", [&] {
+    sim::ConcurrencyHooks* h = s.hooks();
+    copied.wait(s);  // block until the inter-APU copy completed
+    hsa::Signal done;
+    const int k = h->on_task_begin("kernel:consume", 1);
+    h->on_task_acquire(k, copied.id());
+    h->on_task_pages(k, 8, 4, /*is_write=*/false, "consume(dst)");
+    h->on_task_end(k, done.id());
+    done.complete(s, s.now());
+    done.wait(s);
+  });
+  s.run();
+  EXPECT_TRUE(d.trace().empty());
+}
+
 }  // namespace
 }  // namespace zc::race

@@ -61,6 +61,68 @@ TEST(ChromeTrace, KernelEventsIncludeFaultArguments) {
   EXPECT_NE(out.find("\"cat\":\"kernel\""), std::string::npos);
 }
 
+TEST(ChromeTrace, MultiDeviceEventsLandOnSeparateLanes) {
+  // Kernels on devices 0 and 2, a cross-socket copy carried by device 1's
+  // SDMA engine, and a fault on device 3 must each land on their own
+  // (pid, tid) track — never interleaved on one timeline.
+  KernelRecord k0;
+  k0.name = "shard0";
+  k0.device = 0;
+  k0.start = at(10);
+  k0.end = at(20);
+  KernelRecord k2;
+  k2.name = "shard2";
+  k2.device = 2;
+  k2.start = at(10);
+  k2.end = at(22);
+  k2.remote_bytes = 4096;
+
+  CopyRecord c;
+  c.device = 1;
+  c.src_socket = 1;
+  c.dst_socket = 3;
+  c.submit = at(1);
+  c.start = at(5);
+  c.end = at(9);
+  c.bytes = 4096;
+
+  FaultTrace faults;
+  FaultRecord f;
+  f.device = 3;
+  f.time = at(7);
+  faults.record(f);
+
+  ChromeTraceWriter w;
+  w.add(std::vector<KernelRecord>{k0, k2});
+  w.add(std::vector<CopyRecord>{c});
+  w.add(faults);
+  EXPECT_EQ(w.event_count(), 4u);
+
+  std::ostringstream os;
+  w.write(os);
+  const std::string out = os.str();
+  // GPU lane (pid 2): one thread per device.
+  EXPECT_NE(out.find("\"pid\":2,\"tid\":0"), std::string::npos);
+  EXPECT_NE(out.find("\"pid\":2,\"tid\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"remote_bytes\":4096"), std::string::npos);
+  // SDMA lane (pid 3) keyed by the engine's device, with both endpoints
+  // in the arguments.
+  EXPECT_NE(out.find("\"pid\":3,\"tid\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"src_socket\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"dst_socket\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"cross_socket\":true"), std::string::npos);
+  // Fault lane (pid 4).
+  EXPECT_NE(out.find("\"pid\":4,\"tid\":3"), std::string::npos);
+  // Process-name metadata labels every lane.
+  for (const char* lane : {"\"name\":\"host\"", "\"name\":\"gpu\"",
+                           "\"name\":\"sdma\"", "\"name\":\"faults\""}) {
+    EXPECT_NE(out.find(lane), std::string::npos) << lane;
+  }
+  // No kernel ever appears on another device's track.
+  EXPECT_EQ(out.find("\"pid\":2,\"tid\":1"), std::string::npos);
+  EXPECT_EQ(out.find("\"pid\":2,\"tid\":3"), std::string::npos);
+}
+
 TEST(ChromeTrace, DecisionEventsCarryPolicyArguments) {
   DecisionTrace decisions;
   DecisionRecord d;

@@ -78,5 +78,84 @@ TEST(Runner, KernelRecordsOptIn) {
   EXPECT_EQ(off.kernels.launches, 1u);
 }
 
+TEST(Runner, SingleApuRunsReportOneDevice) {
+  const RunResult r = run_program(trivial_program(), {});
+  ASSERT_EQ(r.devices.size(), 1u);
+  EXPECT_EQ(r.devices[0].counters.kernels, 1u);
+}
+
+TEST(Runner, PerDeviceStatsOnAMultiApuNode) {
+  Program p;
+  p.binary.name = "four-way";
+  p.setup_threads = [](omp::OffloadStack& stack) {
+    for (int d = 0; d < 4; ++d) {
+      stack.sched().spawn("omp-host-" + std::to_string(d), [&stack, d] {
+        omp::OffloadRuntime& rt = stack.omp();
+        const std::uint64_t bytes = 4 * stack.machine().page_bytes();
+        const mem::VirtAddr buf = rt.host_alloc(
+            bytes, "buf-" + std::to_string(d), /*home_socket=*/d);
+        rt.host_first_touch(mem::AddrRange{buf, bytes});
+        for (int i = 0; i < 3; ++i) {
+          rt.target(omp::TargetRegion{
+              .name = "work",
+              .maps = {omp::MapEntry::tofrom(buf, bytes)},
+              .compute = sim::Duration::microseconds(100 + 10 * d),
+              .body = {},
+              .device = d,
+          });
+        }
+        // One deliberately misplaced launch: device (d+1)%4 reaches this
+        // shard's memory over the fabric.
+        rt.target(omp::TargetRegion{
+            .name = "remote",
+            .maps = {omp::MapEntry::tofrom(buf, bytes)},
+            .compute = 100_us,
+            .body = {},
+            .device = (d + 1) % 4,
+        });
+        rt.host_free(buf);
+      });
+    }
+  };
+  p.finalize = [](omp::OffloadStack&) { return 1.0; };
+
+  const RunResult r = run_program(p, {.config = RuntimeConfig::ImplicitZeroCopy,
+                                      .keep_kernel_records = true,
+                                      .sockets = 4,
+                                      .fabric_spec = "xgmi"});
+  ASSERT_EQ(r.devices.size(), 4u);
+  for (int d = 0; d < 4; ++d) {
+    const DeviceStats& ds = r.devices[static_cast<std::size_t>(d)];
+    EXPECT_EQ(ds.counters.kernels, 4u) << "device " << d;  // 3 local + 1 remote
+    EXPECT_EQ(ds.counters.remote_kernels, 1u) << "device " << d;
+    EXPECT_GT(ds.counters.page_faults, 0u) << "device " << d;
+    // Every launch on this device took at least its compute floor, and the
+    // tail is no shorter than the median.
+    EXPECT_GE(ds.kernel_p50_us, 100.0) << "device " << d;
+    EXPECT_GE(ds.kernel_p95_us, ds.kernel_p50_us) << "device " << d;
+  }
+  // Buffers were freed, so final HBM occupancy is back to the image/globals
+  // footprint — but the kernel records kept per-device identities.
+  std::uint64_t per_device[4] = {0, 0, 0, 0};
+  for (const trace::KernelRecord& k : r.kernel_records) {
+    ASSERT_GE(k.device, 0);
+    ASSERT_LT(k.device, 4);
+    ++per_device[k.device];
+  }
+  for (std::uint64_t n : per_device) {
+    EXPECT_EQ(n, 4u);
+  }
+}
+
+TEST(Runner, KernelPercentilesNeedRecords) {
+  Program p = trivial_program();
+  const RunResult off = run_program(p, {.sockets = 2});
+  ASSERT_EQ(off.devices.size(), 2u);
+  EXPECT_EQ(off.devices[0].kernel_p50_us, 0.0);  // records not kept
+  const RunResult on = run_program(p, {.keep_kernel_records = true});
+  ASSERT_EQ(on.devices.size(), 1u);
+  EXPECT_GE(on.devices[0].kernel_p50_us, 10.0);  // the 10us noop kernel
+}
+
 }  // namespace
 }  // namespace zc::workloads

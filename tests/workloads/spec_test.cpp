@@ -205,5 +205,70 @@ TEST(SpecAll, ChecksumsIdenticalAcrossConfigsEverywhere) {
   }
 }
 
+TEST(SpecPartitioned, FourWayShardingKeepsChecksumsAndUsesAllDevices) {
+  // devices=4 splits every array into per-device shards with 1/4 the work
+  // each. Every shard runs the full iteration count, so the summed checksum
+  // is exactly `devices` times the single-device value — and each socket
+  // must actually run kernels, all on local memory.
+  struct Case {
+    const char* name;
+    Program whole;
+    Program sharded;
+  };
+  StencilParams st = tiny_stencil();
+  LbmParams lbm = tiny_lbm();
+  EpParams ep = tiny_ep();
+  std::vector<Case> cases;
+  {
+    StencilParams p4 = st;
+    p4.devices = 4;
+    cases.push_back({"stencil", make_stencil(st), make_stencil(p4)});
+  }
+  {
+    LbmParams p4 = lbm;
+    p4.devices = 4;
+    cases.push_back({"lbm", make_lbm(lbm), make_lbm(p4)});
+  }
+  {
+    EpParams p4 = ep;
+    p4.devices = 4;
+    cases.push_back({"ep", make_ep(ep), make_ep(p4)});
+  }
+  for (auto& c : cases) {
+    const double ref =
+        run_program(c.whole, {.config = RuntimeConfig::ImplicitZeroCopy})
+            .checksum;
+    const RunResult part =
+        run_program(c.sharded, {.config = RuntimeConfig::ImplicitZeroCopy,
+                                .sockets = 4,
+                                .fabric_spec = "xgmi"});
+    EXPECT_DOUBLE_EQ(part.checksum, 4.0 * ref) << c.name;
+    ASSERT_EQ(part.devices.size(), 4u) << c.name;
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_GT(part.devices[static_cast<std::size_t>(d)].counters.kernels, 0u)
+          << c.name << " device " << d;
+      // Local placement: shard kernels never reach across the fabric.
+      EXPECT_EQ(part.devices[static_cast<std::size_t>(d)]
+                    .counters.remote_kernels,
+                0u)
+          << c.name << " device " << d;
+    }
+  }
+}
+
+TEST(SpecPartitioned, ShardingPreservesSingleDeviceSchedule) {
+  // devices=1 must replay the unsharded program bit-for-bit.
+  StencilParams one = tiny_stencil();
+  one.devices = 1;
+  const RunResult a =
+      run_program(make_stencil(tiny_stencil()),
+                  {.config = RuntimeConfig::ImplicitZeroCopy});
+  const RunResult b = run_program(
+      make_stencil(one), {.config = RuntimeConfig::ImplicitZeroCopy});
+  EXPECT_EQ(a.wall_time, b.wall_time);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.kernels.launches, b.kernels.launches);
+}
+
 }  // namespace
 }  // namespace zc::workloads
