@@ -38,6 +38,7 @@
 
 #include "zc/sim/scheduler.hpp"
 #include "zc/stats/summary.hpp"
+#include "zc/workloads/oversubscribe.hpp"
 #include "zc/workloads/qmcpack.hpp"
 #include "zc/workloads/runner.hpp"
 #include "zc/workloads/spec.hpp"
@@ -177,6 +178,25 @@ std::pair<std::uint64_t, double> run_qmcpack(int size, int threads, int steps,
   return {r.sim_events, r.wall_time.ms()};
 }
 
+/// A 2x-oversubscribed sweep under watermark reclaim: the pressure hot
+/// path (access-counter sampling, watermark checks, eviction batches, DDR
+/// promotion faults) layered on the dispatch loop.
+std::pair<std::uint64_t, double> run_oversub_pressure() {
+  workloads::OversubscribeParams p;
+  p.working_set_ratio = 2.0;
+  p.sweeps = 1;
+  workloads::RunOptions opt;
+  opt.config = omp::RuntimeConfig::ImplicitZeroCopy;
+  opt.seed = 1;
+  opt.topology = workloads::oversubscribed_topology(p);
+  opt.pressure_spec = "watermarks";
+  opt.automigrate_spec = "4";
+  opt.thp_spec = "dynamic";
+  const workloads::RunResult r =
+      workloads::run_program(workloads::make_oversubscribe(p), opt);
+  return {r.sim_events, r.wall_time.ms()};
+}
+
 std::pair<std::uint64_t, double> run_spec_suite(bool quick) {
   const double scale = quick ? 0.1 : 1.0;
   auto scaled = [scale](int v) {
@@ -291,6 +311,10 @@ int main(int argc, char** argv) {
     cases.push_back(measure("qmcpack_s128_8t_4apu", opt.reps, [&] {
       return run_qmcpack(128, 8, qmc_steps, "", /*sockets=*/4);
     }));
+  }
+  if (wanted("oversub_pressure")) {
+    cases.push_back(measure("oversub_pressure", opt.reps,
+                            [&] { return run_oversub_pressure(); }));
   }
   if (wanted("spec_suite")) {
     cases.push_back(measure("spec_suite", opt.reps,

@@ -22,6 +22,10 @@ struct RegionFeatures {
   /// eager handling would stream them over the fabric on every kernel,
   /// while DmaCopy pays the link once and then reads locally.
   std::uint64_t remote_pages = 0;
+  /// Pages of the range spilled to the DDR tier by watermark reclaim —
+  /// any zero-copy-style first use must promote them back to HBM first
+  /// (per-page driver work), a cost DmaCopy's fresh pool storage avoids.
+  std::uint64_t ddr_pages = 0;
   bool copies_in = false;   ///< map type transfers host->device on entry
   bool copies_out = false;  ///< map type transfers device->host on exit
   /// The device's pool has failed an allocation this run (sticky flag set

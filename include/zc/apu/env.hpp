@@ -63,6 +63,57 @@ enum class RaceCheckMode {
   return "?";
 }
 
+/// The two states of `OMPX_APU_PRESSURE`: off (the historical hard refusal
+/// when a coarse-grain pool allocation exceeds HBM capacity) and watermarks
+/// (the driver reclaims cold zero-copy pages to DDR when HBM crosses a high
+/// watermark, so allocations and faults see graded slowdown instead of OOM).
+enum class PressureMode {
+  Off,
+  Watermarks,
+};
+
+[[nodiscard]] constexpr const char* to_string(PressureMode m) {
+  switch (m) {
+    case PressureMode::Off:
+      return "off";
+    case PressureMode::Watermarks:
+      return "watermarks";
+  }
+  return "?";
+}
+
+/// The three states of the `THP` knob: off (4 KB pages), on (2 MB pages,
+/// the paper's configuration), and dynamic (2 MB pages plus the MI300A
+/// split/collapse state machine: a huge-page span splits to 4 KB pricing
+/// under eviction or partial migration and collapses back when the span
+/// re-homogenizes on the CPU).
+enum class ThpMode {
+  Off,
+  On,
+  Dynamic,
+};
+
+[[nodiscard]] constexpr const char* to_string(ThpMode m) {
+  switch (m) {
+    case ThpMode::Off:
+      return "0";
+    case ThpMode::On:
+      return "1";
+    case ThpMode::Dynamic:
+      return "dynamic";
+  }
+  return "?";
+}
+
+/// Parsed `OMPX_APU_AUTOMIGRATE`: access-counter driven automatic page
+/// migration. A truthy value enables it at the default touch threshold; an
+/// integer >= 2 enables it with that threshold (touches by a non-home
+/// socket before the driver migrates the page).
+struct AutomigrateConfig {
+  bool enabled = false;
+  int threshold = 4;  ///< remote touches before the page migrates
+};
+
 /// Parsed `OMPX_APU_WATCHDOG=<budget>[:abort|recover]`: the virtual-time
 /// budget an in-flight device operation may stay outstanding before the
 /// runtime's watchdog tears down its queue, and what happens afterwards
@@ -108,17 +159,29 @@ struct WatchdogConfig {
 ///  * `OMPX_APU_FABRIC` — how inter-socket traffic is priced: `off` (the
 ///                        legacy flat remote factors), `xgmi` (the MI300A
 ///                        wide/narrow link asymmetry), or `uniform` (every
-///                        pair wide). See `fabric::FabricMode`.
+///                        pair wide). See `fabric::FabricMode`;
+///  * `OMPX_APU_PRESSURE` — HBM pressure handling: `off` (hard pool-OOM
+///                        refusal) or `watermarks` (graded reclaim of cold
+///                        zero-copy pages to DDR). See `PressureMode`;
+///  * `OMPX_APU_AUTOMIGRATE` — access-counter automatic page migration:
+///                        a boolean, or an integer >= 2 giving the remote
+///                        touch threshold. See `AutomigrateConfig`.
 struct RunEnvironment {
   bool hsa_xnack = true;
   ApuMapsMode ompx_apu_maps = ApuMapsMode::Off;
   bool ompx_eager_maps = false;
   bool transparent_huge_pages = true;
+  /// Full three-state THP setting; `transparent_huge_pages` stays the
+  /// authoritative page-size bool and is kept in sync by parsing
+  /// (`dynamic` implies 2 MB pages).
+  ThpMode thp = ThpMode::On;
   std::string ompx_apu_faults;
   WatchdogConfig watchdog;
   RaceCheckMode race_check = RaceCheckMode::Off;
   int ompx_apu_sockets = 0;  ///< 0 = use the topology's socket count
   fabric::FabricMode ompx_apu_fabric = fabric::FabricMode::Off;
+  PressureMode ompx_apu_pressure = PressureMode::Off;
+  AutomigrateConfig ompx_apu_automigrate;
 
   /// Page size implied by the THP setting: 2 MB when on, 4 KB when off.
   [[nodiscard]] std::uint64_t page_bytes() const {
@@ -135,7 +198,10 @@ struct RunEnvironment {
   /// via `parse_watchdog`), OMPX_APU_RACE_CHECK (exactly "off", "report",
   /// or "abort", case-insensitive), OMPX_APU_SOCKETS (a positive integer),
   /// OMPX_APU_FABRIC (exactly "off", "xgmi", or "uniform",
-  /// case-insensitive).
+  /// case-insensitive), OMPX_APU_PRESSURE (exactly "off" or "watermarks",
+  /// case-insensitive), OMPX_APU_AUTOMIGRATE (a boolean, or an integer
+  /// >= 2 giving the remote-touch threshold). THP additionally accepts
+  /// "dynamic" (2 MB pages plus the split/collapse state machine).
   [[nodiscard]] static RunEnvironment from_env(
       const std::map<std::string, std::string>& env);
 

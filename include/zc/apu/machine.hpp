@@ -66,6 +66,8 @@ class Machine {
     return config_.degrade;
   }
   [[nodiscard]] const RunEnvironment& env() const { return config_.env; }
+  /// The machine seed (fault engine, jitter, reclaim victim tie-breaks).
+  [[nodiscard]] std::uint64_t seed() const { return config_.seed; }
   [[nodiscard]] std::uint64_t page_bytes() const {
     return config_.env.page_bytes();
   }

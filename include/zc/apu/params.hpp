@@ -149,6 +149,29 @@ struct CostParams {
   /// priced over the link at its bandwidth.
   sim::Duration page_migrate_per_page = sim::Duration::from_us(25.0);
 
+  // -- memory pressure / UPM dynamics --------------------------------------
+  /// Driver cost per page of evicting a cold zero-copy page from HBM to the
+  /// DDR spill tier (unmap, TLB shootdown, residency bookkeeping); the
+  /// writeback data movement is additionally priced on the SDMA engine at
+  /// the copy bandwidth.
+  sim::Duration evict_per_page = sim::Duration::from_us(18.0);
+  /// GPU-fault cost per DDR-spilled page promoted back to HBM on access
+  /// (added on top of the normal fault service: the data must move back
+  /// before the translation can be installed).
+  sim::Duration promote_per_page = sim::Duration::from_us(30.0);
+  /// Driver cost of splitting one 2 MB span into 4 KB PTEs (THP=dynamic).
+  sim::Duration thp_split_per_span = sim::Duration::from_us(12.0);
+  /// Driver cost of collapsing a re-homogenized span back to 2 MB.
+  sim::Duration thp_collapse_per_span = sim::Duration::from_us(20.0);
+  /// Fault-service multiplier when the faulting page sits in a split span
+  /// (4 KB servicing: more interrupts per byte, deeper walks).
+  double thp_split_fault_factor = 2.5;
+  /// Extra TLB walks charged per split span touched by a kernel (512 4 KB
+  /// translations where one 2 MB entry used to reach).
+  double thp_split_tlb_factor = 4.0;
+  /// Driver cost of one access-counter sample batch consult at dispatch.
+  sim::Duration counter_sample = sim::Duration::from_us(0.8);
+
   // -- queue error handling -------------------------------------------------
   /// Driver-side cost of tearing down an HSA queue whose in-flight
   /// operation the watchdog aborted (drain, CP reset, unmap doorbell).
@@ -209,6 +232,15 @@ struct DegradeParams {
   /// Quiet period after which an open breaker half-opens; a further equal
   /// quiet period with no trips closes it again.
   sim::Duration breaker_cooldown = sim::Duration::milliseconds(20);
+  /// HBM fill fraction at which watermark reclaim starts
+  /// (`OMPX_APU_PRESSURE=watermarks` only).
+  double evict_high_watermark = 0.90;
+  /// Fill fraction reclaim drives the socket back down to.
+  double evict_low_watermark = 0.80;
+  /// Most pages one reclaim pass may spill (bounds the stall any single
+  /// allocation or dispatch absorbs; remaining pressure waits for the
+  /// next pass).
+  std::uint64_t evict_max_batch_pages = 512;
 };
 
 /// MI300A-flavoured defaults.

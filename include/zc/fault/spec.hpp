@@ -19,13 +19,17 @@ class FaultSpecError : public std::runtime_error {
 
 /// Runtime call sites the engine can inject faults into.
 enum class Site {
-  PoolAlloc,     ///< hsa memory_pool_allocate: HBM out-of-memory
-  SvmPrefault,   ///< hsa svm_attributes_set: transient EINTR/EBUSY or hang
-  AsyncCopy,     ///< hsa memory_async_copy: SDMA engine error or stall
-  XnackReplay,   ///< kernel fault servicing: replay storm or livelock
-  KernelLaunch,  ///< hsa queue dispatch: kernel completion signal hangs
+  PoolAlloc,      ///< hsa memory_pool_allocate: HBM out-of-memory
+  SvmPrefault,    ///< hsa svm_attributes_set: transient EINTR/EBUSY or hang
+  AsyncCopy,      ///< hsa memory_async_copy: SDMA engine error or stall
+  XnackReplay,    ///< kernel fault servicing: replay storm or livelock
+  KernelLaunch,   ///< hsa queue dispatch: kernel completion signal hangs
+  Eviction,       ///< watermark reclaim: eviction storm (batch slowdown)
+  AutoMigrate,    ///< access-counter migration: driver migration stall
+  ThpSplit,       ///< THP state machine: spurious huge-page split storm
+  AccessCounter,  ///< access-counter sampling: counter overflow/loss
 };
-inline constexpr std::size_t kSiteCount = 5;
+inline constexpr std::size_t kSiteCount = 9;
 
 [[nodiscard]] constexpr const char* to_string(Site s) {
   switch (s) {
@@ -39,6 +43,14 @@ inline constexpr std::size_t kSiteCount = 5;
       return "xnack-replay";
     case Site::KernelLaunch:
       return "kernel-launch";
+    case Site::Eviction:
+      return "eviction";
+    case Site::AutoMigrate:
+      return "auto-migrate";
+    case Site::ThpSplit:
+      return "thp-split";
+    case Site::AccessCounter:
+      return "access-counter";
   }
   return "?";
 }
@@ -55,6 +67,10 @@ enum class Kind {
   SdmaStall,      ///< async copy's signal never completes
   PrefaultHang,   ///< prefault syscall never returns
   XnackLivelock,  ///< fault servicing replays forever; kernel never signals
+  EvictStorm,     ///< watermark reclaim slowed by a latency factor
+  MigrationStall, ///< access-counter migration slowed by a latency factor
+  ThpSplitStorm,  ///< huge-page spans under the op split spuriously
+  CounterLoss,    ///< access-counter state lost (heat resets to cold)
 };
 
 [[nodiscard]] constexpr const char* to_string(Kind k) {
@@ -79,6 +95,14 @@ enum class Kind {
       return "prefault_hang";
     case Kind::XnackLivelock:
       return "xnack_livelock";
+    case Kind::EvictStorm:
+      return "evict_storm";
+    case Kind::MigrationStall:
+      return "migration_stall";
+    case Kind::ThpSplitStorm:
+      return "thp_split_storm";
+    case Kind::CounterLoss:
+      return "counter_loss";
   }
   return "?";
 }
@@ -122,7 +146,8 @@ struct Schedule {
 ///   clause  := site '@' trigger (':' option)*
 ///   site    := 'oom' | 'eintr' | 'ebusy' | 'sdma' | 'xnack'
 ///            | 'kernel_hang' | 'sdma_stall' | 'prefault_hang'
-///            | 'xnack_livelock'
+///            | 'xnack_livelock' | 'evict_storm' | 'migration_stall'
+///            | 'thp_split_storm' | 'counter_loss'
 ///   trigger := 'call=' N | 'call=' N '..' M   (1-based inclusive window)
 ///            | 't=' A 'us' ('..' B 'us')?     (virtual-time window)
 ///            | 'p=' F                         (per-call probability)
@@ -133,9 +158,13 @@ struct Schedule {
 /// error signal, xnack -> replay-storm latency spike. The hang family
 /// (kernel_hang, sdma_stall, prefault_hang, xnack_livelock) makes the
 /// operation's completion signal never complete — survivable only when a
-/// watchdog (`OMPX_APU_WATCHDOG`) bounds the wait. A `t=A us` window
-/// without an end extends to the end of the run. Throws `FaultSpecError`
-/// on anything it cannot parse.
+/// watchdog (`OMPX_APU_WATCHDOG`) bounds the wait. The pressure family:
+/// evict_storm -> watermark reclaim batch slowed by the latency factor,
+/// migration_stall -> access-counter migration slowed by the factor,
+/// thp_split_storm -> huge-page spans split spuriously under the op,
+/// counter_loss -> the driver drops its access-counter state (pages read
+/// as cold again). A `t=A us` window without an end extends to the end of
+/// the run. Throws `FaultSpecError` on anything it cannot parse.
 [[nodiscard]] Schedule parse_spec(const std::string& spec);
 
 /// Render a schedule back to spec syntax (logs, error messages).

@@ -66,6 +66,11 @@ enum class Status {
 struct PoolAllocResult {
   Status status = Status::Ok;
   mem::VirtAddr addr;
+  /// Pages the driver spilled to the DDR tier to make this allocation fit
+  /// (`OMPX_APU_PRESSURE=watermarks` only). Non-zero signals the caller
+  /// that the node is under memory pressure without the allocation having
+  /// failed.
+  std::uint64_t reclaimed = 0;
   [[nodiscard]] bool ok() const { return status == Status::Ok; }
 };
 
@@ -90,6 +95,8 @@ struct DeviceCounters {
   std::uint64_t copy_bytes = 0;
   std::uint64_t cross_socket_copies = 0;
   std::uint64_t migrated_pages = 0;  ///< pages migrated onto this device
+  std::uint64_t evicted_pages = 0;   ///< pages spilled to DDR by reclaim here
+  std::uint64_t promoted_pages = 0;  ///< DDR pages promoted back by this device
 };
 
 /// The simulated ROCr/HSA runtime: the API surface the OpenMP offload
@@ -278,6 +285,21 @@ class Runtime {
   Signal hung_signal(std::string name, trace::FaultEvent event,
                      fault::Site site, int device, std::uint64_t host_base,
                      std::uint64_t bytes);
+
+  /// One watermark-reclaim pass and its price. Spills cold pages homed on
+  /// `device` until `hbm_used <= target_bytes` (at most `max_pages`),
+  /// consults the eviction fault site (an injected `evict_storm` inflates
+  /// the driver work), and returns the modeled cost: per-page driver
+  /// unmapping plus the SDMA writeback of the spilled bytes. The *caller*
+  /// spends the cost — on its own clock (pool allocation) or folded into a
+  /// kernel's fault stall (dispatch) — because where the stall lands is
+  /// what distinguishes the two reclaim paths.
+  struct ReclaimCharge {
+    std::uint64_t evicted = 0;
+    sim::Duration cost;
+  };
+  ReclaimCharge reclaim_to(int device, std::uint64_t target_bytes,
+                           std::uint64_t max_pages);
 
   apu::Machine& machine_;
   mem::MemorySystem& mem_;

@@ -81,17 +81,48 @@ class Allocation {
     home_resolved_ = true;
   }
 
-  /// Home socket of the page containing `a`: the per-page stripe for
-  /// `Interleaved`, the allocation home otherwise.
+  /// Home socket of the page containing `a`: a partial-migration override
+  /// if one exists, else the per-page stripe for `Interleaved`, else the
+  /// allocation home.
   [[nodiscard]] int page_home(VirtAddr a, std::uint64_t page_bytes) const {
+    const std::uint64_t rel =
+        a.value / page_bytes - base_.value / page_bytes;
+    if (!home_overrides_.empty()) {
+      if (auto it = home_overrides_.find(rel); it != home_overrides_.end()) {
+        return it->second;
+      }
+    }
     if (placement_ != Placement::Interleaved) {
       return home_socket_;
     }
-    const std::uint64_t rel =
-        a.value / page_bytes - base_.value / page_bytes;
     return static_cast<int>(
         rel % static_cast<std::uint64_t>(placement_sockets_));
   }
+
+  /// Home socket the placement policy alone would assign to relative page
+  /// `rel` — what `page_home` answers when no override is installed.
+  [[nodiscard]] int policy_home(std::uint64_t rel) const {
+    if (placement_ != Placement::Interleaved) {
+      return home_socket_;
+    }
+    return static_cast<int>(
+        rel % static_cast<std::uint64_t>(placement_sockets_));
+  }
+
+  /// Partial-migration home overrides: relative page index -> socket.
+  /// Installed by `MemorySystem::migrate_pages` on a subrange move and
+  /// cleared when a whole-allocation migration collapses the placement.
+  [[nodiscard]] const std::map<std::uint64_t, int>& home_overrides() const {
+    return home_overrides_;
+  }
+  void set_home_override(std::uint64_t rel, int socket) {
+    if (policy_home(rel) == socket) {
+      home_overrides_.erase(rel);  // override became redundant
+    } else {
+      home_overrides_[rel] = socket;
+    }
+  }
+  void clear_home_overrides() { home_overrides_.clear(); }
 
   /// Pages of `range` (clamped to this allocation) whose home is NOT
   /// `socket`. A pending first-touch counts as local everywhere — whoever
@@ -131,6 +162,39 @@ class Allocation {
   /// Back to "unknown" after a migration tore down GPU translations.
   void gpu_absent_reset() { gpu_absent_.clear(); }
 
+  /// Residency attribution, maintained by MemorySystem: how many of this
+  /// allocation's materialized pages are charged to socket `s`'s HBM, and
+  /// how many were spilled to the DDR tier by watermark eviction. Release
+  /// credits exactly these counts back, so capacity accounting cannot
+  /// drift from residency no matter how pages migrated in between.
+  [[nodiscard]] std::uint64_t hbm_resident(int s) const {
+    return s >= 0 && static_cast<std::size_t>(s) < hbm_resident_.size()
+               ? hbm_resident_[static_cast<std::size_t>(s)]
+               : 0;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& hbm_resident_all() const {
+    return hbm_resident_;
+  }
+  void hbm_resident_add(int s, std::uint64_t n, std::size_t sockets) {
+    if (hbm_resident_.size() < sockets) {
+      hbm_resident_.resize(sockets, 0);
+    }
+    if (s >= 0 && static_cast<std::size_t>(s) < hbm_resident_.size()) {
+      hbm_resident_[static_cast<std::size_t>(s)] += n;
+    }
+  }
+  void hbm_resident_sub(int s, std::uint64_t n) {
+    if (s >= 0 && static_cast<std::size_t>(s) < hbm_resident_.size()) {
+      std::uint64_t& r = hbm_resident_[static_cast<std::size_t>(s)];
+      r -= n <= r ? n : r;
+    }
+  }
+  [[nodiscard]] std::uint64_t ddr_resident() const { return ddr_resident_; }
+  void ddr_resident_add(std::uint64_t n) { ddr_resident_ += n; }
+  void ddr_resident_sub(std::uint64_t n) {
+    ddr_resident_ -= n <= ddr_resident_ ? n : ddr_resident_;
+  }
+
   /// Real backing storage (zero-initialized; materializes on first use).
   [[nodiscard]] std::span<std::byte> data() {
     ensure_backing();
@@ -152,6 +216,9 @@ class Allocation {
   int placement_sockets_ = 1;  ///< stripe width for Interleaved
   bool home_resolved_ = true;  ///< false while FirstTouch is pending
   std::vector<std::uint64_t> gpu_absent_;  ///< per-socket absent pages
+  std::map<std::uint64_t, int> home_overrides_;  ///< partial-migration homes
+  std::vector<std::uint64_t> hbm_resident_;  ///< per-socket charged pages
+  std::uint64_t ddr_resident_ = 0;           ///< pages spilled to DDR
   std::unique_ptr<std::byte[]> backing_;
 };
 
@@ -185,6 +252,21 @@ class AddressSpace {
   template <typename T>
   [[nodiscard]] T* translate_as(VirtAddr a) {
     return reinterpret_cast<T*>(translate(a));
+  }
+
+  /// Visit every live allocation in address order (victim scans, debug
+  /// invariant sweeps). The callback must not allocate or free.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [base, alloc] : allocs_) {
+      fn(*alloc);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [base, alloc] : allocs_) {
+      fn(*alloc);
+    }
   }
 
   [[nodiscard]] std::uint64_t page_bytes() const { return page_bytes_; }

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <vector>
 
 #include "zc/apu/machine.hpp"
@@ -16,6 +18,8 @@ struct PrefaultOutcome {
   std::uint64_t materialized = 0;  ///< of those, pages that were not yet
                                    ///< CPU-resident (bulk-created first)
   std::uint64_t present = 0;       ///< pages merely verified present
+  std::uint64_t promoted = 0;      ///< DDR-spilled pages promoted back to HBM
+  std::uint64_t collapsed = 0;     ///< split THP spans collapsed back to 2 MB
 
   [[nodiscard]] std::uint64_t inserted_resident() const {
     return inserted - materialized;
@@ -27,9 +31,24 @@ struct FaultOutcome {
   std::uint64_t faulted = 0;       ///< pages inserted into the GPU page table
   std::uint64_t non_resident = 0;  ///< of those, pages that also had to be
                                    ///< materialized (not yet CPU-resident)
+  std::uint64_t promoted = 0;      ///< DDR-spilled pages promoted back to HBM
+  std::uint64_t split_faulted = 0; ///< faulted pages inside split THP spans
   [[nodiscard]] std::uint64_t resident() const {
     return faulted - non_resident;
   }
+};
+
+/// Counts returned by one watermark reclaim pass.
+struct ReclaimOutcome {
+  std::uint64_t evicted = 0;  ///< pages spilled from HBM to the DDR tier
+  std::uint64_t split = 0;    ///< THP spans the eviction split (dynamic mode)
+};
+
+/// One access-counter migration decision: move `page` to `to_socket`.
+struct MigrationCandidate {
+  std::uint64_t page = 0;  ///< absolute page index
+  int to_socket = 0;
+  bool valid = false;
 };
 
 /// The node's memory state: address space, CPU/GPU page tables, GPU TLB.
@@ -117,14 +136,20 @@ class MemorySystem {
   /// Adaptive Maps policy and the kernel cost model.
   [[nodiscard]] std::uint64_t remote_pages(AddrRange range, int device) const;
 
-  /// Migrate the allocation containing `range` to `to_socket`: CPU-resident
-  /// pages move their HBM attribution, the placement collapses to
-  /// `FixedHome` on `to_socket`, and every socket's GPU translations of the
-  /// allocation are torn down (they re-fault or re-prefault afterwards — a
-  /// migration remaps physical pages). Returns the number of resident pages
-  /// that physically moved; zero when the allocation was already homed
-  /// there. Throws for unknown addresses or pool allocations (only SVM
-  /// memory migrates). Pure state: the HSA layer prices the operation.
+  /// Migrate pages of `range` to `to_socket`. A range covering the whole
+  /// allocation moves every CPU-resident page, collapses the placement to
+  /// `FixedHome` on `to_socket`, clears partial-migration overrides, and
+  /// tears down every socket's GPU translations of the allocation (they
+  /// re-fault or re-prefault afterwards — a migration remaps physical
+  /// pages). A subrange moves only the covered pages: per-page home
+  /// overrides record the new homes, pages already homed on `to_socket`
+  /// are skipped idempotently, DDR-spilled pages promote into the new
+  /// home, and only the covered range's translations are torn down. Under
+  /// `THP=dynamic` a partial move splits the moved spans. Returns the
+  /// number of resident pages that physically moved; zero when everything
+  /// was already homed there. Throws for unknown addresses or pool
+  /// allocations (only SVM memory migrates). Pure state: the HSA layer
+  /// prices the operation.
   std::uint64_t migrate_pages(AddrRange range, int to_socket);
 
   /// Cumulative pages migrated *onto* `socket` by `migrate_pages`.
@@ -164,6 +189,47 @@ class MemorySystem {
   }
   [[nodiscard]] std::uint64_t hbm_capacity() const { return hbm_capacity_; }
 
+  // -- memory pressure: DDR spill tier, access counters, THP dynamics ------
+
+  /// Bytes currently spilled to the DDR tier (node-wide).
+  [[nodiscard]] std::uint64_t ddr_used() const { return ddr_used_; }
+  /// Spilled pages inside `range` (feeds Adaptive promotion pricing).
+  [[nodiscard]] std::uint64_t ddr_pages(AddrRange range) const;
+  /// Split THP spans inside `range` (feeds TLB and fault pricing).
+  [[nodiscard]] std::uint64_t split_spans(AddrRange range) const;
+
+  /// Watermark reclaim: spill the coldest eligible pages homed on `socket`
+  /// (SVM, CPU-resident, not already spilled; pool pages are pinned) until
+  /// `hbm_used(socket) <= target_bytes`, at most `max_pages` this pass.
+  /// Victims order by (access-counter heat, recency, seeded tie-break);
+  /// evicted pages lose their GPU translations everywhere but keep their
+  /// CPU entries — the data is untouched, only slower to reach. Under
+  /// `THP=dynamic` each evicted span splits. Pure state: the HSA layer
+  /// prices driver work and SDMA writeback.
+  ReclaimOutcome reclaim(int socket, std::uint64_t target_bytes,
+                         std::uint64_t max_pages);
+
+  /// Pop one page whose remote-touch counter crossed `threshold`, or an
+  /// invalid candidate. The caller migrates it (`migrate_pages` on the
+  /// page's range) and prices the move.
+  [[nodiscard]] MigrationCandidate take_migration_candidate(int threshold);
+
+  /// Fault injection: the driver lost its access-counter state — every
+  /// page reads as cold again.
+  void counter_loss() { heat_.clear(); }
+
+  /// Fault injection: spuriously split every CPU-resident huge span in
+  /// `range` (THP=dynamic only). Returns spans newly split.
+  std::uint64_t thp_split_range(AddrRange range);
+
+  /// Debug invariant: when enabled, every migrate/reclaim/free re-checks
+  /// that per-allocation residency attribution sums to the per-socket
+  /// capacity counters (`check_accounting`).
+  void set_debug_invariants(bool on) { debug_invariants_ = on; }
+  /// Throws std::logic_error when per-socket HBM occupancy or the DDR
+  /// tier disagrees with the sum of per-allocation residency counters.
+  void check_accounting() const;
+
  private:
   void release(VirtAddr base, MemKind expected);
   /// Debit the owning allocation's per-socket absent-page counter after
@@ -174,12 +240,39 @@ class MemorySystem {
   [[nodiscard]] int home_of(VirtAddr a) const;
   void charge(int socket, std::uint64_t bytes);
   void credit(int socket, std::uint64_t bytes);
+  /// Charge `pages` to `socket` and record them in the allocation's
+  /// residency vector — the one write path capacity accounting has, so
+  /// release/migrate/evict can credit exactly what was charged.
+  void charge_alloc(Allocation& a, int socket, std::uint64_t pages);
+  /// Credit one page, preferring `socket` but falling back to wherever the
+  /// allocation's charges actually landed (interleaved attribution is an
+  /// even split, not per-page), so the global sum never drifts.
+  void credit_page(Allocation& a, int socket);
+  /// Credit the allocation's entire HBM residency vector (whole-allocation
+  /// migrate and release).
+  void credit_all(Allocation& a);
   /// Attribute `pages` newly created in the allocation containing `addr`:
   /// an even split across sockets for interleaved placements, the home
   /// socket otherwise.
   void charge_created(VirtAddr addr, std::uint64_t pages);
-  /// Reverse attribution when an allocation's resident pages leave it.
-  void credit_released(const Allocation& a, std::uint64_t pages);
+  /// DDR-tier counter writes under the mm-lock monitor.
+  void ddr_charge(Allocation& a, std::uint64_t pages);
+  void ddr_credit(Allocation& a, std::uint64_t pages);
+  /// Promote the DDR-spilled pages of [first, end) back to HBM (GPU fault
+  /// or prefault touched them); returns the promoted count.
+  std::uint64_t promote_range(Allocation& a, std::uint64_t first,
+                              std::uint64_t end);
+  /// Access-counter sampling (no-op unless automigrate or pressure is on).
+  void note_touch(AddrRange range, int socket);
+  /// True when the THP split/collapse state machine is active.
+  [[nodiscard]] bool thp_dynamic() const {
+    return machine_.env().thp == apu::ThpMode::Dynamic;
+  }
+  void maybe_check_accounting() const {
+    if (debug_invariants_) {
+      check_accounting();
+    }
+  }
 
   apu::Machine& machine_;
   AddressSpace space_;
@@ -189,6 +282,19 @@ class MemorySystem {
   std::vector<std::uint64_t> hbm_used_;
   std::vector<std::uint64_t> migrated_;  ///< pages migrated onto each socket
   std::uint64_t hbm_capacity_ = 0;
+  std::uint64_t ddr_used_ = 0;       ///< bytes spilled to the DDR tier
+  std::set<std::uint64_t> ddr_pages_;     ///< spilled absolute page indices
+  std::set<std::uint64_t> split_spans_;   ///< 4 KB-fragmented huge spans
+  /// Per-page access-counter shadow: remote-touch streak and recency.
+  struct Heat {
+    int socket = 0;            ///< the remote socket doing the touching
+    std::uint32_t count = 0;   ///< consecutive remote touches
+    std::uint64_t epoch = 0;   ///< recency for victim selection
+  };
+  std::map<std::uint64_t, Heat> heat_;
+  std::uint64_t heat_epoch_ = 0;
+  bool sample_counters_ = false;  ///< automigrate or pressure enabled
+  bool debug_invariants_ = false;
 };
 
 }  // namespace zc::mem

@@ -39,6 +39,17 @@ enum class FaultEvent {
   BreakerHalfOpened,     ///< breaker probing again after the cooldown
   BreakerClosed,         ///< breaker closed after a quiet period
   BreakerPinnedMap,      ///< open breaker pinned a map to eager zero-copy
+  // -- memory pressure / UPM dynamics --------------------------------------
+  EvictStormInjected,    ///< fault engine inflated a reclaim batch
+  MigrationStallInjected,///< fault engine stalled an auto-migration
+  ThpSplitStormInjected, ///< fault engine split huge spans under an op
+  CounterLossInjected,   ///< fault engine dropped the access-counter state
+  PagesEvicted,          ///< watermark reclaim spilled HBM pages to DDR
+  PagesPromoted,         ///< GPU fault promoted DDR-spilled pages to HBM
+  AutoMigrated,          ///< access counters migrated a page's home
+  ThpSplit,              ///< a 2 MB span split to 4 KB pricing
+  ThpCollapsed,          ///< a split span re-homogenized and collapsed
+  PoolReclaimed,         ///< pool allocation succeeded only after reclaim
 };
 
 [[nodiscard]] constexpr const char* to_string(FaultEvent e) {
@@ -91,6 +102,26 @@ enum class FaultEvent {
       return "breaker-closed";
     case FaultEvent::BreakerPinnedMap:
       return "breaker-pinned-map";
+    case FaultEvent::EvictStormInjected:
+      return "evict-storm-injected";
+    case FaultEvent::MigrationStallInjected:
+      return "migration-stall-injected";
+    case FaultEvent::ThpSplitStormInjected:
+      return "thp-split-storm-injected";
+    case FaultEvent::CounterLossInjected:
+      return "counter-loss-injected";
+    case FaultEvent::PagesEvicted:
+      return "pages-evicted";
+    case FaultEvent::PagesPromoted:
+      return "pages-promoted";
+    case FaultEvent::AutoMigrated:
+      return "auto-migrated";
+    case FaultEvent::ThpSplit:
+      return "thp-split";
+    case FaultEvent::ThpCollapsed:
+      return "thp-collapsed";
+    case FaultEvent::PoolReclaimed:
+      return "pool-reclaimed";
   }
   return "?";
 }

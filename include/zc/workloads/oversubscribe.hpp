@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "zc/apu/machine.hpp"
+#include "zc/sim/time.hpp"
+#include "zc/workloads/runner.hpp"
+
+namespace zc::workloads {
+
+/// Synthetic HBM-oversubscription workload for the pressure experiments
+/// (EXPERIMENTS.md §oversubscription). A zero-copy "ballast" working set of
+/// `working_set_ratio * hbm_bytes` is host-touched up front and then swept
+/// chunk by chunk from the GPU, with each chunk's device mapping scoped to
+/// its phase:
+///
+///   - Zero-copy configurations keep the whole ballast CPU-resident, so
+///     the swept chunks push HBM occupancy past the reclaim watermarks and
+///     every dispatch churns the evict/fault/promote machinery.
+///   - Legacy Copy allocates one chunk-sized pool copy per phase. With
+///     `OMPX_APU_PRESSURE=off` the pool never fits next to the ballast and
+///     the runtime rides its OOM fallback ladder; with `watermarks` the
+///     driver spills cold ballast to DDR and the allocation lands.
+///
+/// Only a small `data_bytes` buffer carries program data (mapped tofrom
+/// every phase); its cells and a running accumulator form the checksum, so
+/// the five-configuration bit-identity check spans the copy/fallback/
+/// reclaim paths while the multi-GB ballast never materializes host RAM.
+struct OversubscribeParams {
+  /// Per-socket HBM capacity the ratio refers to. Must leave room for the
+  /// runtime image (~260 MB of pinned pool) plus one chunk.
+  std::uint64_t hbm_bytes = 384ULL << 20;
+  double working_set_ratio = 2.0;       ///< ballast bytes / hbm_bytes
+  std::uint64_t chunk_bytes = 32ULL << 20;  ///< per ballast chunk
+  std::uint64_t data_bytes = 4ULL << 20;    ///< checksum-carrying buffer
+  int sweeps = 2;  ///< full passes over the ballast chunks
+  sim::Duration per_kernel_compute = sim::Duration::from_us(2000);
+};
+
+[[nodiscard]] Program make_oversubscribe(const OversubscribeParams& params = {});
+
+/// MI300A topology with the socket capacity capped to `params.hbm_bytes`
+/// (pass as RunOptions::topology so the ratio is honored).
+[[nodiscard]] apu::Topology oversubscribed_topology(
+    const OversubscribeParams& params = {});
+
+/// Number of ballast chunks the params imply (ceil of ratio * hbm / chunk).
+[[nodiscard]] int oversubscribe_chunks(const OversubscribeParams& params = {});
+
+}  // namespace zc::workloads

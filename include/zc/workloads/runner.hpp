@@ -68,6 +68,21 @@ struct RunOptions {
   /// Happens-before race detection (OMPX_APU_RACE_CHECK grammar: "off",
   /// "report", or "abort"); empty runs with the detector off.
   std::string race_check_spec;
+
+  /// Memory-pressure handling (OMPX_APU_PRESSURE grammar: "off" or
+  /// "watermarks"); empty keeps pressure handling off — a full pool then
+  /// fails allocations hard, as before.
+  std::string pressure_spec;
+
+  /// Access-counter page migration (OMPX_APU_AUTOMIGRATE grammar: boolean
+  /// or a remote-touch threshold >= 2); empty keeps it off.
+  std::string automigrate_spec;
+
+  /// Transparent-huge-page mode (THP grammar: boolean or "dynamic");
+  /// empty keeps the config's default. "dynamic" enables the 2 MB <-> 4 KB
+  /// split/collapse state machine on top of huge pages. Overrides
+  /// `transparent_huge_pages` when both are set.
+  std::string thp_spec;
 };
 
 /// Per-device telemetry for one run (one entry per socket).
@@ -76,6 +91,9 @@ struct DeviceStats {
   hsa::DeviceCounters counters;
   /// Physical HBM occupancy at the end of the run.
   std::uint64_t hbm_used = 0;
+  /// Bytes spilled to the DDR tier at the end of the run (node-wide;
+  /// reported on every entry for convenience).
+  std::uint64_t ddr_used = 0;
   /// Kernel-duration percentiles in microseconds, from the per-launch
   /// records (0 unless RunOptions::keep_kernel_records and the device ran
   /// at least one kernel).

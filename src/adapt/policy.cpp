@@ -62,6 +62,17 @@ PredictedCosts PolicyEngine::predict(const RegionFeatures& f) const {
     out.eager_us += remote_us;
   }
 
+  // DDR-spilled pages must promote back to HBM before the GPU can use them
+  // at speed; both zero-copy handlings pay that per-page driver work on
+  // first use (fault-in or prefault), while DmaCopy allocates fresh pool
+  // storage and copies over the spill.
+  if (f.ddr_pages > 0) {
+    const double promote_us =
+        static_cast<double>(f.ddr_pages) * costs_.promote_per_page.us();
+    out.zero_copy_us += promote_us;
+    out.eager_us += promote_us;
+  }
+
   // DMA copy: a device pool allocation (bulk page population) plus the
   // transfers the map type implies.
   const double copy_us =

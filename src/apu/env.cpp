@@ -63,6 +63,52 @@ fabric::FabricMode fabric_mode(const std::string& key, const std::string& raw) {
   throw EnvError(key + "=" + raw + " must be 'off', 'xgmi', or 'uniform'");
 }
 
+PressureMode pressure_mode(const std::string& key, const std::string& raw) {
+  const std::string v = lowered(raw);
+  if (v == "off") {
+    return PressureMode::Off;
+  }
+  if (v == "watermarks") {
+    return PressureMode::Watermarks;
+  }
+  throw EnvError(key + "=" + raw + " must be 'off' or 'watermarks'");
+}
+
+ThpMode thp_mode(const std::string& key, const std::string& raw) {
+  if (lowered(raw) == "dynamic") {
+    return ThpMode::Dynamic;
+  }
+  return truthy(key, raw) ? ThpMode::On : ThpMode::Off;
+}
+
+AutomigrateConfig automigrate_config(const std::string& key,
+                                     const std::string& raw) {
+  AutomigrateConfig out;
+  // An integer >= 2 is a threshold; 0/1 fall through to the boolean forms
+  // so "1" keeps its usual meaning of "on at the default threshold".
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  if (ec == std::errc{} && ptr == raw.data() + raw.size() && !raw.empty() &&
+      value >= 2) {
+    out.enabled = true;
+    out.threshold = value;
+    return out;
+  }
+  if (ec == std::errc{} && ptr == raw.data() + raw.size() && !raw.empty() &&
+      value < 0) {
+    throw EnvError(key + "=" + raw +
+                   " must be a boolean or a threshold integer >= 2");
+  }
+  try {
+    out.enabled = truthy(key, raw);
+  } catch (const EnvError&) {
+    throw EnvError(key + "=" + raw +
+                   " must be a boolean or a threshold integer >= 2");
+  }
+  return out;
+}
+
 int socket_count(const std::string& key, const std::string& raw) {
   int value = 0;
   const auto [ptr, ec] =
@@ -141,7 +187,8 @@ RunEnvironment RunEnvironment::from_env(
     out.ompx_eager_maps = truthy(it->first, it->second);
   }
   if (auto it = env.find("THP"); it != env.end()) {
-    out.transparent_huge_pages = truthy(it->first, it->second);
+    out.thp = thp_mode(it->first, it->second);
+    out.transparent_huge_pages = out.thp != ThpMode::Off;
   }
   if (auto it = env.find("OMPX_APU_FAULTS"); it != env.end()) {
     try {
@@ -163,6 +210,12 @@ RunEnvironment RunEnvironment::from_env(
   if (auto it = env.find("OMPX_APU_FABRIC"); it != env.end()) {
     out.ompx_apu_fabric = fabric_mode(it->first, it->second);
   }
+  if (auto it = env.find("OMPX_APU_PRESSURE"); it != env.end()) {
+    out.ompx_apu_pressure = pressure_mode(it->first, it->second);
+  }
+  if (auto it = env.find("OMPX_APU_AUTOMIGRATE"); it != env.end()) {
+    out.ompx_apu_automigrate = automigrate_config(it->first, it->second);
+  }
   return out;
 }
 
@@ -176,7 +229,7 @@ std::string RunEnvironment::to_string() const {
   s += " OMPX_EAGER_ZERO_COPY_MAPS=";
   s += flag(ompx_eager_maps);
   s += " THP=";
-  s += flag(transparent_huge_pages);
+  s += apu::to_string(thp);
   if (!ompx_apu_faults.empty()) {
     s += " OMPX_APU_FAULTS=";
     s += ompx_apu_faults;
@@ -197,6 +250,14 @@ std::string RunEnvironment::to_string() const {
   if (ompx_apu_fabric != fabric::FabricMode::Off) {
     s += " OMPX_APU_FABRIC=";
     s += fabric::to_string(ompx_apu_fabric);
+  }
+  if (ompx_apu_pressure != PressureMode::Off) {
+    s += " OMPX_APU_PRESSURE=";
+    s += apu::to_string(ompx_apu_pressure);
+  }
+  if (ompx_apu_automigrate.enabled) {
+    s += " OMPX_APU_AUTOMIGRATE=";
+    s += std::to_string(ompx_apu_automigrate.threshold);
   }
   return s;
 }

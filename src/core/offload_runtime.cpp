@@ -668,6 +668,13 @@ void OffloadRuntime::begin_one(const MapEntry& entry, int device,
         pressure_.get(m.sched())[static_cast<std::size_t>(device)] = 1;
         need_fallback = true;
       } else {
+        if (r.reclaimed > 0) {
+          // The pool fit only after the driver spilled SVM pages to DDR:
+          // the node is under real pressure. Remember it (sticky, feeds
+          // the Adaptive Maps cost model) — but the allocation succeeded,
+          // so no fallback and no breaker trip.
+          pressure_.get(m.sched())[static_cast<std::size_t>(device)] = 1;
+        }
         e = &table.insert(entry.host_range(), r.addr);
         e->refcount = 1;
         do_copy = copies_to_device(entry.type);
@@ -725,6 +732,7 @@ void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
       features.gpu_absent_pages =
           hsa_.memory().gpu_absent_pages(range, device);
       features.remote_pages = hsa_.memory().remote_pages(range, device);
+      features.ddr_pages = hsa_.memory().ddr_pages(range);
       features.copies_in = copies_to_device(entry.type);
       features.copies_out = copies_to_host(entry.type);
       features.memory_pressure =
@@ -764,6 +772,10 @@ void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
             pressure_.get(m.sched())[static_cast<std::size_t>(device)] = 1;
             need_fallback = true;
             break;
+          }
+          if (r.reclaimed > 0) {
+            // Fit only after spilling to DDR: sticky pressure, no fallback.
+            pressure_.get(m.sched())[static_cast<std::size_t>(device)] = 1;
           }
           e = &table.insert(range, r.addr);
           e->refcount = 1;

@@ -40,10 +40,23 @@ SiteKind site_kind(const std::string& token, const std::string& clause) {
   if (token == "xnack_livelock") {
     return {Site::XnackReplay, Kind::XnackLivelock};
   }
+  if (token == "evict_storm") {
+    return {Site::Eviction, Kind::EvictStorm};
+  }
+  if (token == "migration_stall") {
+    return {Site::AutoMigrate, Kind::MigrationStall};
+  }
+  if (token == "thp_split_storm") {
+    return {Site::ThpSplit, Kind::ThpSplitStorm};
+  }
+  if (token == "counter_loss") {
+    return {Site::AccessCounter, Kind::CounterLoss};
+  }
   throw FaultSpecError("fault spec: unknown site '" + token + "' in clause '" +
                        clause +
                        "' (expected oom|eintr|ebusy|sdma|xnack|kernel_hang|"
-                       "sdma_stall|prefault_hang|xnack_livelock)");
+                       "sdma_stall|prefault_hang|xnack_livelock|evict_storm|"
+                       "migration_stall|thp_split_storm|counter_loss)");
 }
 
 std::uint64_t parse_u64(std::string_view text, const std::string& clause) {
@@ -190,10 +203,25 @@ std::string site_token(const Clause& c) {
       return "prefault_hang";
     case Kind::XnackLivelock:
       return "xnack_livelock";
+    case Kind::EvictStorm:
+      return "evict_storm";
+    case Kind::MigrationStall:
+      return "migration_stall";
+    case Kind::ThpSplitStorm:
+      return "thp_split_storm";
+    case Kind::CounterLoss:
+      return "counter_loss";
     case Kind::None:
       break;
   }
   return "?";
+}
+
+/// True for the kinds whose clause carries a meaningful latency factor
+/// (rendered back as ":xF" when it differs from the default).
+bool has_factor(Kind k) {
+  return k == Kind::ReplayStorm || k == Kind::EvictStorm ||
+         k == Kind::MigrationStall;
 }
 
 }  // namespace
@@ -245,7 +273,7 @@ std::string to_string(const Schedule& schedule) {
         s += "p=" + format_double(c.trigger.probability);
         break;
     }
-    if (c.kind == Kind::ReplayStorm && c.factor != 8.0) {
+    if (has_factor(c.kind) && c.factor != 8.0) {
       s += ":x" + format_double(c.factor);
     }
   }

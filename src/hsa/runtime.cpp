@@ -108,6 +108,61 @@ void Runtime::signal_wait_scacquire(Signal s) {
   record_call(trace::HsaCall::SignalWaitScacquire, start, blocked + overhead);
 }
 
+Runtime::ReclaimCharge Runtime::reclaim_to(int device,
+                                           std::uint64_t target_bytes,
+                                           std::uint64_t max_pages) {
+  ReclaimCharge out;
+  const mem::ReclaimOutcome ro = mem_.reclaim(device, target_bytes, max_pages);
+  if (ro.evicted == 0) {
+    return out;
+  }
+  const apu::CostParams& c = machine_.costs();
+  // An injected evict_storm models writeback amplification (dirty spans,
+  // compaction churn): the per-page driver work inflates by the factor.
+  double factor = 1.0;
+  const fault::Injection inj =
+      machine_.faults().consult(fault::Site::Eviction, sched().now());
+  if (inj.kind == fault::Kind::EvictStorm) {
+    factor = inj.factor;
+    record_fault(
+        trace::FaultRecord{.event = trace::FaultEvent::EvictStormInjected,
+                           .device = device,
+                           .time = sched().now(),
+                           .host_base = 0,
+                           .bytes = ro.evicted,
+                           .attempt = 0,
+                           .factor = inj.factor});
+  }
+  const std::uint64_t bytes = ro.evicted * mem_.page_bytes();
+  // Per-page unmap/TLB-shootdown work on the driver, the SDMA writeback of
+  // the spilled bytes, and (THP=dynamic) the span splits the spill forced.
+  out.cost =
+      machine_.jittered(c.evict_per_page *
+                        (static_cast<double>(ro.evicted) * factor)) +
+      machine_.jittered(machine_.copy_duration(bytes)) +
+      c.thp_split_per_span * static_cast<double>(ro.split);
+  out.evicted = ro.evicted;
+  record_fault(trace::FaultRecord{.event = trace::FaultEvent::PagesEvicted,
+                                  .device = device,
+                                  .time = sched().now(),
+                                  .host_base = 0,
+                                  .bytes = bytes});
+  {
+    sim::LockGuard lock{trace_mutex_, sched()};
+    devstats_.get(sched()).at(static_cast<std::size_t>(device)).evicted_pages +=
+        ro.evicted;
+  }
+  if (machine_.log().enabled()) {
+    machine_.log_add(sched().now(), "mem",
+                     "reclaim dev" + std::to_string(device) + " spilled " +
+                         std::to_string(ro.evicted) + " page(s) to DDR" +
+                         (ro.split > 0
+                              ? " (" + std::to_string(ro.split) + " THP split)"
+                              : ""));
+  }
+  return out;
+}
+
 PoolAllocResult Runtime::try_memory_pool_allocate(std::uint64_t bytes,
                                                   std::string name,
                                                   bool count_in_ledger,
@@ -116,19 +171,39 @@ PoolAllocResult Runtime::try_memory_pool_allocate(std::uint64_t bytes,
 
   // Failure check first: an injected OOM (the fault engine emulating a
   // fragmented or contended driver) or the socket's HBM genuinely full.
+  // Under OMPX_APU_PRESSURE=watermarks a genuinely-full socket degrades
+  // gradually instead: the driver spills cold SVM pages to the DDR tier
+  // until the request fits (pool pages are pinned, so only SVM residency
+  // can yield), and only a reclaim that comes up dry fails the call.
   const fault::Injection inj =
       machine_.faults().consult(fault::Site::PoolAlloc, sched().now());
   trace::FaultEvent failure = trace::FaultEvent::OomInjected;
   bool failed = inj.kind == fault::Kind::Oom;
+  std::uint64_t reclaimed = 0;
+  Duration reclaim_cost;
   if (!failed && !mem_.pool_fits(bytes, device)) {
-    failed = true;
-    failure = trace::FaultEvent::HbmExhausted;
+    if (machine_.is_apu() &&
+        machine_.env().ompx_apu_pressure == apu::PressureMode::Watermarks) {
+      const std::uint64_t pb = mem_.page_bytes();
+      const std::uint64_t footprint = (bytes + pb - 1) / pb * pb;
+      const std::uint64_t cap = mem_.hbm_capacity();
+      const std::uint64_t target = cap > footprint ? cap - footprint : 0;
+      const ReclaimCharge rc =
+          reclaim_to(device, target, ~std::uint64_t{0});
+      reclaimed = rc.evicted;
+      reclaim_cost = rc.cost;
+    }
+    if (!mem_.pool_fits(bytes, device)) {
+      failed = true;
+      failure = trace::FaultEvent::HbmExhausted;
+    }
   }
   if (failed) {
     // The failed driver round trip costs the base latency (the driver
     // discovers the shortage before any page population) and is a real
-    // call in the stats.
-    const Duration dur = machine_.jittered(c.pool_alloc_base);
+    // call in the stats — plus whatever reclaim work was attempted before
+    // the shortage proved unfixable.
+    const Duration dur = machine_.jittered(c.pool_alloc_base) + reclaim_cost;
     const TimePoint start = sched().now();
     const sim::Interval iv = machine_.driver(device).reserve(start, dur);
     sched().advance_to(iv.end);
@@ -160,8 +235,10 @@ PoolAllocResult Runtime::try_memory_pool_allocate(std::uint64_t bytes,
   const bool slab = bytes < mem_.page_bytes() / 2;
   const std::uint64_t pages =
       slab ? 0 : a->range().page_count(mem_.page_bytes());
-  const Duration dur = machine_.jittered(
-      c.pool_alloc_base + c.bulk_page_populate * static_cast<double>(pages));
+  const Duration dur =
+      machine_.jittered(c.pool_alloc_base +
+                        c.bulk_page_populate * static_cast<double>(pages)) +
+      reclaim_cost;
   const TimePoint start = sched().now();
   const sim::Interval iv = machine_.driver(device).reserve(start, dur);
   sched().advance_to(iv.end);
@@ -170,11 +247,22 @@ PoolAllocResult Runtime::try_memory_pool_allocate(std::uint64_t bytes,
     sim::LockGuard lock{trace_mutex_, sched()};
     ledger_.get(sched()).add_alloc(dur);
   }
+  if (reclaimed > 0) {
+    record_fault(trace::FaultRecord{.event = trace::FaultEvent::PoolReclaimed,
+                                    .device = device,
+                                    .time = sched().now(),
+                                    .host_base = 0,
+                                    .bytes = bytes});
+  }
   if (machine_.log().enabled()) {
     machine_.log_add(sched().now(), "hsa",
-                     "pool_allocate " + std::to_string(bytes) + "B");
+                     "pool_allocate " + std::to_string(bytes) + "B" +
+                         (reclaimed > 0 ? " after reclaiming " +
+                                              std::to_string(reclaimed) +
+                                              " page(s)"
+                                        : ""));
   }
-  return PoolAllocResult{Status::Ok, a->base()};
+  return PoolAllocResult{Status::Ok, a->base(), reclaimed};
 }
 
 mem::VirtAddr Runtime::memory_pool_allocate(std::uint64_t bytes,
@@ -408,18 +496,43 @@ PrefaultResult Runtime::try_svm_attributes_set_prefault(mem::AddrRange range,
   }
 
   const mem::PrefaultOutcome out = mem_.prefault(range, device);
+  // DDR-spilled pages the prefault reached promote back to HBM (paid like
+  // a migration, per page); spans that re-homogenized collapse back to
+  // 2 MB mappings (khugepaged work, charged here because the prefault is
+  // what made the span collapsible).
   const Duration dur = machine_.jittered_syscall(
       c.prefault_syscall_base +
       c.prefault_insert_per_page * static_cast<double>(out.inserted) +
       c.prefault_populate_per_page * static_cast<double>(out.materialized) +
-      c.prefault_check_per_page * static_cast<double>(out.present));
+      c.prefault_check_per_page * static_cast<double>(out.present) +
+      c.promote_per_page * static_cast<double>(out.promoted) +
+      c.thp_collapse_per_span * static_cast<double>(out.collapsed));
   // The syscall serializes on the owning socket's driver/page-table lock.
   const TimePoint start = sched().now();
   const sim::Interval iv = machine_.driver(device).reserve(start, dur);
   sched().advance_to(iv.end);
   record_call(trace::HsaCall::SvmAttributesSet, start, dur);
+  if (out.promoted > 0) {
+    record_fault(trace::FaultRecord{.event = trace::FaultEvent::PagesPromoted,
+                                    .device = device,
+                                    .time = sched().now(),
+                                    .host_base = range.base.value,
+                                    .bytes = out.promoted * mem_.page_bytes()});
+  }
+  if (out.collapsed > 0) {
+    record_fault(trace::FaultRecord{.event = trace::FaultEvent::ThpCollapsed,
+                                    .device = device,
+                                    .time = sched().now(),
+                                    .host_base = range.base.value,
+                                    .bytes = out.collapsed});
+  }
   sim::LockGuard lock{trace_mutex_, sched()};
   ledger_.get(sched()).add_prefault(dur);
+  if (out.promoted > 0) {
+    devstats_.get(sched())
+        .at(static_cast<std::size_t>(device))
+        .promoted_pages += out.promoted;
+  }
   return PrefaultResult{Status::Ok, out};
 }
 
@@ -515,6 +628,73 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
                        fault::Site::KernelLaunch, launch.device, 0, 0);
   }
 
+  // -- memory-pressure machinery, serviced on the dispatch path ------------
+  // The driver samples its access counters and acts on them when kernels
+  // run — that is when the GPU's interrupt handler is already live. All the
+  // work below is driver work: its cost folds into the kernel's fault-stall
+  // term (reserved on the driver lock further down).
+  Duration pressure_time;
+  const bool sampling =
+      machine_.env().ompx_apu_automigrate.enabled ||
+      machine_.env().ompx_apu_pressure == apu::PressureMode::Watermarks;
+  if (sampling && machine_.is_apu()) {
+    pressure_time = pressure_time + c.counter_sample;
+    // An injected counter_loss drops the driver's access-counter state:
+    // every page reads cold again, stalling pending migration decisions.
+    const fault::Injection cinj =
+        machine_.faults().consult(fault::Site::AccessCounter, sched().now());
+    if (cinj.kind == fault::Kind::CounterLoss) {
+      mem_.counter_loss();
+      record_fault(
+          trace::FaultRecord{.event = trace::FaultEvent::CounterLossInjected,
+                             .device = launch.device,
+                             .time = sched().now(),
+                             .host_base = 0,
+                             .bytes = 0});
+    }
+  }
+  if (machine_.env().ompx_apu_automigrate.enabled && machine_.is_apu()) {
+    // One access-counter migration per dispatch: the hottest page whose
+    // remote-touch streak crossed the threshold moves to the touching
+    // socket. An injected migration_stall inflates the driver work (page
+    // locked, TLB shootdown storms, retried unmaps).
+    const mem::MigrationCandidate cand = mem_.take_migration_candidate(
+        machine_.env().ompx_apu_automigrate.threshold);
+    if (cand.valid) {
+      const std::uint64_t pb = mem_.page_bytes();
+      const mem::AddrRange pr{mem::VirtAddr{cand.page * pb}, pb};
+      const std::uint64_t moved = mem_.migrate_pages(pr, cand.to_socket);
+      if (moved > 0) {
+        Duration mdur = machine_.jittered(c.page_migrate_per_page * 2.0 *
+                                          static_cast<double>(moved));
+        const fault::Injection minj = machine_.faults().consult(
+            fault::Site::AutoMigrate, sched().now());
+        if (minj.kind == fault::Kind::MigrationStall) {
+          mdur = mdur * minj.factor;
+          record_fault(trace::FaultRecord{
+              .event = trace::FaultEvent::MigrationStallInjected,
+              .device = launch.device,
+              .time = sched().now(),
+              .host_base = cand.page * pb,
+              .bytes = moved * pb,
+              .attempt = 0,
+              .factor = minj.factor});
+        }
+        pressure_time = pressure_time + mdur;
+        record_fault(
+            trace::FaultRecord{.event = trace::FaultEvent::AutoMigrated,
+                               .device = cand.to_socket,
+                               .time = sched().now(),
+                               .host_base = cand.page * pb,
+                               .bytes = moved * pb});
+        sim::LockGuard lock{trace_mutex_, sched()};
+        devstats_.get(sched())
+            .at(static_cast<std::size_t>(cand.to_socket))
+            .migrated_pages += moved;
+      }
+    }
+  }
+
   // Page-fault accounting for every buffer the kernel touches. Faults on
   // CPU-resident pages only mirror the translation; faults on untouched
   // pages additionally materialize them (GPU-side first touch). The same
@@ -523,6 +703,8 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
   // byte volume for link occupancy below.
   std::uint64_t faults = 0;
   std::uint64_t non_resident = 0;
+  std::uint64_t promoted = 0;
+  std::uint64_t split_faulted = 0;
   std::uint64_t total_bytes = 0;
   std::uint64_t remote_bytes = 0;
   double worst_link_bw = 0.0;  // slowest link crossed, bytes/s
@@ -575,6 +757,8 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
     const mem::FaultOutcome fo = mem_.gpu_fault_in(b.range(), launch.device);
     faults += fo.faulted;
     non_resident += fo.non_resident;
+    promoted += fo.promoted;
+    split_faulted += fo.split_faulted;
   }
   Duration fault_time;
   if (faults > 0) {
@@ -608,20 +792,97 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
     }
   }
 
-  // TLB behaviour of the streamed ranges.
+  // An injected thp_split_storm fragments the kernel's huge spans under it
+  // (memory compaction racing the fault handler): subsequent TLB reach and
+  // fault servicing on those spans degrade to 4 KB pricing.
+  std::uint64_t storm_split = 0;
+  const fault::Injection tinj =
+      machine_.faults().consult(fault::Site::ThpSplit, sched().now());
+  if (tinj.kind == fault::Kind::ThpSplitStorm) {
+    for (const BufferAccess& b : launch.buffers) {
+      storm_split += mem_.thp_split_range(b.range());
+    }
+    record_fault(
+        trace::FaultRecord{.event = trace::FaultEvent::ThpSplitStormInjected,
+                           .device = launch.device,
+                           .time = sched().now(),
+                           .host_base = 0,
+                           .bytes = storm_split});
+    if (storm_split > 0) {
+      record_fault(trace::FaultRecord{.event = trace::FaultEvent::ThpSplit,
+                                      .device = launch.device,
+                                      .time = sched().now(),
+                                      .host_base = 0,
+                                      .bytes = storm_split});
+      pressure_time =
+          pressure_time +
+          c.thp_split_per_span * static_cast<double>(storm_split);
+    }
+  }
+
+  // Pressure pricing of the fault walk: DDR promotions pay migration-like
+  // per-page work, and faults landing in split THP spans replay at 4 KB
+  // granularity (the 2 MB mapping is gone), inflating their service cost.
+  if (promoted > 0) {
+    pressure_time =
+        pressure_time +
+        machine_.jittered(c.promote_per_page * static_cast<double>(promoted));
+    record_fault(trace::FaultRecord{.event = trace::FaultEvent::PagesPromoted,
+                                    .device = launch.device,
+                                    .time = sched().now(),
+                                    .host_base = 0,
+                                    .bytes = promoted * page});
+  }
+  if (split_faulted > 0) {
+    pressure_time =
+        pressure_time +
+        machine_.fault_service_duration(true) *
+            (static_cast<double>(split_faulted) *
+             (c.thp_split_fault_factor - 1.0));
+  }
+
+  // Watermark check: fault-in charged new HBM pages; when occupancy tops
+  // the high watermark the driver reclaims down to the low one (one
+  // bounded batch per dispatch — reclaim must not stall kernels longer
+  // than the batch allows).
+  if (machine_.is_apu() &&
+      machine_.env().ompx_apu_pressure == apu::PressureMode::Watermarks) {
+    const apu::DegradeParams& dg = machine_.degrade_params();
+    const std::uint64_t cap = mem_.hbm_capacity();
+    const auto high = static_cast<std::uint64_t>(
+        dg.evict_high_watermark * static_cast<double>(cap));
+    if (mem_.hbm_used(launch.device) > high) {
+      const auto low = static_cast<std::uint64_t>(
+          dg.evict_low_watermark * static_cast<double>(cap));
+      const ReclaimCharge rc =
+          reclaim_to(launch.device, low, dg.evict_max_batch_pages);
+      pressure_time = pressure_time + rc.cost;
+    }
+  }
+
+  // TLB behaviour of the streamed ranges. Split huge spans cost extra
+  // walks: a span that fragmented to 4 KB needs many entries where one
+  // 2 MB entry used to cover it, shrinking effective TLB reach.
   std::uint64_t tlb_misses = 0;
+  std::uint64_t split_spans = 0;
   for (const BufferAccess& b : launch.buffers) {
     tlb_misses += mem_.tlb_access(b.range(), launch.device).misses;
+    split_spans += mem_.split_spans(b.range());
   }
-  const Duration tlb_time = c.tlb_walk * static_cast<double>(tlb_misses);
+  const Duration tlb_time =
+      c.tlb_walk * static_cast<double>(tlb_misses) +
+      c.tlb_walk * (static_cast<double>(split_spans) *
+                    (c.thp_split_tlb_factor - 1.0));
 
   // Fault servicing holds the driver lock; queueing delay behind other
   // driver work (e.g. another thread's prefault syscalls) extends the
-  // kernel's stall.
+  // kernel's stall. Pressure work (counter sampling, auto-migration,
+  // promotions, reclaim) is driver work too and shares the reservation.
   Duration fault_term;
-  if (!fault_time.is_zero()) {
+  const Duration driver_time = fault_time + pressure_time;
+  if (!driver_time.is_zero()) {
     const sim::Interval di =
-        machine_.driver(launch.device).reserve(dispatched, fault_time);
+        machine_.driver(launch.device).reserve(dispatched, driver_time);
     fault_term = di.end - dispatched;
   }
 
@@ -733,6 +994,7 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
     ++dc.kernels;
     dc.page_faults += faults;
     dc.tlb_misses += tlb_misses;
+    dc.promoted_pages += promoted;
     if (remote_bytes > 0) {
       ++dc.remote_kernels;
     }

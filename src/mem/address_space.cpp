@@ -39,22 +39,40 @@ std::uint64_t Allocation::remote_pages(AddrRange range, int socket,
   const std::uint64_t first = lo / page_bytes;
   const std::uint64_t end = (hi + page_bytes - 1) / page_bytes;
   const std::uint64_t total = end - first;
-  if (placement_ != Placement::Interleaved) {
-    return home_socket_ == socket ? 0 : total;
-  }
-  const std::uint64_t k = static_cast<std::uint64_t>(placement_sockets_);
-  if (socket < 0 || static_cast<std::uint64_t>(socket) >= k) {
-    return total;
-  }
-  // Count pages of [first, end) whose stripe residue equals `socket`,
-  // where residues are relative to the allocation's first page.
   const std::uint64_t origin = base_.value / page_bytes;
-  const std::uint64_t r = static_cast<std::uint64_t>(socket);
-  auto locals_below = [&](std::uint64_t page) {
-    const std::uint64_t rel = page - origin;  // page >= origin by clamping
-    return rel > r ? (rel - r + k - 1) / k : 0;
-  };
-  return total - (locals_below(end) - locals_below(first));
+  // Closed form first; partial-migration overrides (rare) adjust it below.
+  std::uint64_t remote = 0;
+  if (placement_ != Placement::Interleaved) {
+    remote = home_socket_ == socket ? 0 : total;
+  } else {
+    const std::uint64_t k = static_cast<std::uint64_t>(placement_sockets_);
+    if (socket < 0 || static_cast<std::uint64_t>(socket) >= k) {
+      remote = total;
+    } else {
+      // Count pages of [first, end) whose stripe residue equals `socket`,
+      // where residues are relative to the allocation's first page.
+      const std::uint64_t r = static_cast<std::uint64_t>(socket);
+      auto locals_below = [&](std::uint64_t page) {
+        const std::uint64_t rel = page - origin;  // page >= origin by clamping
+        return rel > r ? (rel - r + k - 1) / k : 0;
+      };
+      remote = total - (locals_below(end) - locals_below(first));
+    }
+  }
+  if (!home_overrides_.empty()) {
+    auto it = home_overrides_.lower_bound(first - origin);
+    const std::uint64_t rel_end = end - origin;
+    for (; it != home_overrides_.end() && it->first < rel_end; ++it) {
+      const bool policy_local = policy_home(it->first) == socket;
+      const bool actual_local = it->second == socket;
+      if (policy_local && !actual_local) {
+        ++remote;
+      } else if (!policy_local && actual_local) {
+        --remote;
+      }
+    }
+  }
+  return remote;
 }
 
 std::byte* Allocation::translate(VirtAddr a) {

@@ -37,6 +37,24 @@ RunResult run_program(const Program& program, const RunOptions& options) {
   if (options.sockets > 0) {
     machine_config.env.ompx_apu_sockets = options.sockets;
   }
+  if (!options.pressure_spec.empty()) {
+    machine_config.env.ompx_apu_pressure =
+        apu::RunEnvironment::from_env(
+            {{"OMPX_APU_PRESSURE", options.pressure_spec}})
+            .ompx_apu_pressure;
+  }
+  if (!options.automigrate_spec.empty()) {
+    machine_config.env.ompx_apu_automigrate =
+        apu::RunEnvironment::from_env(
+            {{"OMPX_APU_AUTOMIGRATE", options.automigrate_spec}})
+            .ompx_apu_automigrate;
+  }
+  if (!options.thp_spec.empty()) {
+    const apu::RunEnvironment parsed =
+        apu::RunEnvironment::from_env({{"THP", options.thp_spec}});
+    machine_config.env.thp = parsed.thp;
+    machine_config.env.transparent_huge_pages = parsed.transparent_huge_pages;
+  }
   if (!options.fabric_spec.empty()) {
     machine_config.env.ompx_apu_fabric =
         apu::RunEnvironment::from_env(
@@ -82,6 +100,7 @@ RunResult run_program(const Program& program, const RunOptions& options) {
       DeviceStats& ds = result.devices[d];
       ds.counters = counters[d];
       ds.hbm_used = stack.hsa().memory().hbm_used(static_cast<int>(d));
+      ds.ddr_used = stack.hsa().memory().ddr_used();
       if (!durations[d].empty()) {
         const stats::SortedSamples sorted{std::move(durations[d])};
         ds.kernel_p50_us = sorted.quantile(0.5);

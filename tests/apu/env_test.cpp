@@ -345,6 +345,87 @@ TEST(RunEnvironment, ToStringRendersSocketsAndFabricOnlyWhenSet) {
   EXPECT_NE(env.to_string().find("OMPX_APU_FABRIC=xgmi"), std::string::npos);
 }
 
+TEST(RunEnvironment, PressureModeParsesOffAndWatermarks) {
+  EXPECT_EQ(RunEnvironment{}.ompx_apu_pressure, PressureMode::Off);
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_PRESSURE", "off"}})
+                .ompx_apu_pressure,
+            PressureMode::Off);
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_PRESSURE", "watermarks"}})
+                .ompx_apu_pressure,
+            PressureMode::Watermarks);
+  // Case-insensitive like every other knob.
+  EXPECT_EQ(RunEnvironment::from_env({{"OMPX_APU_PRESSURE", "Watermarks"}})
+                .ompx_apu_pressure,
+            PressureMode::Watermarks);
+}
+
+TEST(RunEnvironment, PressureModeRejectsGarbageNamingTheVariable) {
+  // Not a boolean: "1"/"on" must throw, not silently enable reclaim.
+  for (const char* bad : {"", "1", "on", "true", "high", "lru"}) {
+    try {
+      (void)RunEnvironment::from_env({{"OMPX_APU_PRESSURE", bad}});
+      FAIL() << "expected EnvError for OMPX_APU_PRESSURE=" << bad;
+    } catch (const EnvError& e) {
+      EXPECT_NE(std::string{e.what()}.find("OMPX_APU_PRESSURE"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(RunEnvironment, AutomigrateParsesBooleanAndThresholdForms) {
+  EXPECT_FALSE(RunEnvironment{}.ompx_apu_automigrate.enabled);
+  const RunEnvironment on =
+      RunEnvironment::from_env({{"OMPX_APU_AUTOMIGRATE", "1"}});
+  EXPECT_TRUE(on.ompx_apu_automigrate.enabled);
+  EXPECT_EQ(on.ompx_apu_automigrate.threshold, 4);  // default threshold
+  const RunEnvironment tuned =
+      RunEnvironment::from_env({{"OMPX_APU_AUTOMIGRATE", "8"}});
+  EXPECT_TRUE(tuned.ompx_apu_automigrate.enabled);
+  EXPECT_EQ(tuned.ompx_apu_automigrate.threshold, 8);
+  for (const char* off : {"0", "off", "false"}) {
+    EXPECT_FALSE(RunEnvironment::from_env({{"OMPX_APU_AUTOMIGRATE", off}})
+                     .ompx_apu_automigrate.enabled)
+        << off;
+  }
+}
+
+TEST(RunEnvironment, AutomigrateRejectsNegativesAndGarbage) {
+  for (const char* bad : {"", "-3", "maybe", "4.5", "threshold"}) {
+    try {
+      (void)RunEnvironment::from_env({{"OMPX_APU_AUTOMIGRATE", bad}});
+      FAIL() << "expected EnvError for OMPX_APU_AUTOMIGRATE=" << bad;
+    } catch (const EnvError& e) {
+      EXPECT_NE(std::string{e.what()}.find("OMPX_APU_AUTOMIGRATE"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(RunEnvironment, ThpDynamicModeParsesAndKeepsHugePages) {
+  const RunEnvironment env = RunEnvironment::from_env({{"THP", "dynamic"}});
+  EXPECT_EQ(env.thp, ThpMode::Dynamic);
+  // Dynamic still starts on 2 MB mappings; the split machinery only
+  // changes what happens under eviction and partial migration.
+  EXPECT_TRUE(env.transparent_huge_pages);
+  EXPECT_EQ(RunEnvironment::from_env({{"THP", "1"}}).thp, ThpMode::On);
+  const RunEnvironment off = RunEnvironment::from_env({{"THP", "off"}});
+  EXPECT_EQ(off.thp, ThpMode::Off);
+  EXPECT_FALSE(off.transparent_huge_pages);
+}
+
+TEST(RunEnvironment, ToStringRendersPressureKnobsOnlyWhenSet) {
+  RunEnvironment env;
+  EXPECT_EQ(env.to_string().find("OMPX_APU_PRESSURE"), std::string::npos);
+  EXPECT_EQ(env.to_string().find("OMPX_APU_AUTOMIGRATE"), std::string::npos);
+  env.ompx_apu_pressure = PressureMode::Watermarks;
+  env.ompx_apu_automigrate = {true, 6};
+  env.thp = ThpMode::Dynamic;
+  EXPECT_NE(env.to_string().find("OMPX_APU_PRESSURE=watermarks"),
+            std::string::npos);
+  EXPECT_NE(env.to_string().find("OMPX_APU_AUTOMIGRATE=6"), std::string::npos);
+  EXPECT_NE(env.to_string().find("THP=dynamic"), std::string::npos);
+}
+
 TEST(RunEnvironment, ErrorMessageNamesTheOffendingVariable) {
   try {
     (void)RunEnvironment::from_env({{"OMPX_APU_MAPS", "maybe"}});

@@ -113,6 +113,54 @@ TEST(FaultSpec, HangFamilyTokensMapToSitesAndKinds) {
   }
 }
 
+TEST(FaultSpec, PressureFamilyTokensMapToSitesAndKinds) {
+  const struct {
+    const char* token;
+    Site site;
+    Kind kind;
+  } cases[] = {
+      {"evict_storm", Site::Eviction, Kind::EvictStorm},
+      {"migration_stall", Site::AutoMigrate, Kind::MigrationStall},
+      {"thp_split_storm", Site::ThpSplit, Kind::ThpSplitStorm},
+      {"counter_loss", Site::AccessCounter, Kind::CounterLoss},
+  };
+  for (const auto& c : cases) {
+    const Schedule s = parse_spec(std::string{c.token} + "@call=2");
+    ASSERT_EQ(s.clauses.size(), 1u) << c.token;
+    EXPECT_EQ(s.clauses[0].site, c.site) << c.token;
+    EXPECT_EQ(s.clauses[0].kind, c.kind) << c.token;
+    EXPECT_FALSE(is_hang(s.clauses[0].kind)) << c.token;
+    // The renderer round-trips every new token.
+    const Schedule again = parse_spec(to_string(s));
+    EXPECT_EQ(again.clauses[0].site, c.site) << c.token;
+    EXPECT_EQ(again.clauses[0].kind, c.kind) << c.token;
+  }
+}
+
+TEST(FaultSpec, PressureTokensAcceptStormFactors) {
+  const Schedule s = parse_spec("evict_storm@call=1:x8;migration_stall@p=0.5:x3");
+  ASSERT_EQ(s.clauses.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.clauses[0].factor, 8.0);
+  EXPECT_DOUBLE_EQ(s.clauses[1].factor, 3.0);
+  // ":xF" survives the to_string round trip.
+  const Schedule again = parse_spec(to_string(s));
+  EXPECT_DOUBLE_EQ(again.clauses[0].factor, 8.0);
+  EXPECT_DOUBLE_EQ(again.clauses[1].factor, 3.0);
+}
+
+TEST(FaultSpec, UnknownSiteErrorListsThePressureTokens) {
+  try {
+    (void)parse_spec("bogus@call=1");
+    FAIL() << "expected FaultSpecError";
+  } catch (const FaultSpecError& e) {
+    const std::string what{e.what()};
+    EXPECT_NE(what.find("evict_storm"), std::string::npos);
+    EXPECT_NE(what.find("migration_stall"), std::string::npos);
+    EXPECT_NE(what.find("thp_split_storm"), std::string::npos);
+    EXPECT_NE(what.find("counter_loss"), std::string::npos);
+  }
+}
+
 TEST(FaultSpec, NonHangKindsAreNotHangs) {
   for (Kind k : {Kind::None, Kind::Oom, Kind::Eintr, Kind::Ebusy,
                  Kind::CopyError, Kind::ReplayStorm}) {
