@@ -25,9 +25,11 @@ Args Args::parse(int argc, char** argv) {
       args.seed = static_cast<std::uint64_t>(std::atoll(a.c_str() + 7));
     } else if (a.rfind("--csv=", 0) == 0) {
       args.csv = a.substr(6);
+    } else if (a.rfind("--json=", 0) == 0) {
+      args.json = a.substr(7);
     } else if (a == "--help" || a == "-h") {
       std::cout << "options: --quick | --full | --fidelity-min | --reps=N | "
-                   "--steps=N | --seed=N | --csv=PREFIX\n";
+                   "--steps=N | --seed=N | --csv=PREFIX | --json=PATH\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option '" << a << "' (try --help)\n";
@@ -61,6 +63,55 @@ void Args::maybe_write_csv(const std::string& name,
   }
   table.print_csv(out);
   std::cout << "[csv] wrote " << path << '\n';
+}
+
+namespace {
+
+/// Minimal JSON string escape: the violation texts are ASCII prose, only
+/// quotes and backslashes need care.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Args::maybe_write_json(
+    const std::string& name, const std::vector<std::string>& violations,
+    const std::vector<std::pair<std::string, double>>& metrics) const {
+  if (json.empty()) {
+    return;
+  }
+  std::ofstream out{json};
+  if (!out) {
+    std::cerr << "cannot write " << json << '\n';
+    return;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"bench_accept/v1\",\n";
+  out << "  \"bench\": \"" << json_escape(name) << "\",\n";
+  out << "  \"ok\": " << (violations.empty() ? "true" : "false") << ",\n";
+  out << "  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(violations[i])
+        << "\"";
+  }
+  out << (violations.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(metrics[i].first)
+        << "\": " << metrics[i].second;
+  }
+  out << (metrics.empty() ? "" : "\n  ") << "}\n";
+  out << "}\n";
+  std::cout << "[json] wrote " << json << '\n';
 }
 
 sim::JitterParams measurement_jitter() {

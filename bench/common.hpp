@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "zc/core/config.hpp"
 #include "zc/stats/repetition.hpp"
@@ -22,6 +24,8 @@ namespace zc::bench {
 ///   --steps=N      override QMCPack MC step count
 ///   --seed=N       base RNG seed
 ///   --csv=PREFIX   additionally write results as PREFIX<name>.csv
+///   --json=PATH    write the acceptance-bar outcome as structured JSON
+///                  (CI greps `"ok": true` instead of human prose)
 struct Args {
   bool quick = false;
   bool full = false;
@@ -30,12 +34,21 @@ struct Args {
   int steps = -1;
   std::uint64_t seed = 1;
   std::string csv;
+  std::string json;
 
   static Args parse(int argc, char** argv);
 
   /// Write `table` to "<csv><name>.csv" when --csv was given.
   void maybe_write_csv(const std::string& name,
                        const stats::TextTable& table) const;
+
+  /// Write the acceptance-bar outcome to `json` when --json was given:
+  /// {"schema": "bench_accept/v1", "bench": <name>, "ok": <bool>,
+  ///  "violations": [...], "metrics": {...}}. Passing benches write
+  ///  "ok": true and an empty violations array.
+  void maybe_write_json(
+      const std::string& name, const std::vector<std::string>& violations,
+      const std::vector<std::pair<std::string, double>>& metrics) const;
 
   [[nodiscard]] int reps_or(int normal, int quick_value) const {
     if (reps > 0) {

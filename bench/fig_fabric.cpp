@@ -423,6 +423,21 @@ int main(int argc, char** argv) {
                  "checked on remote and partitioned placements\n";
   }
 
+  {
+    std::vector<std::string> texts;
+    texts.reserve(violations.size());
+    for (const Violation& v : violations) {
+      texts.push_back(v.text);
+    }
+    std::vector<std::pair<std::string, double>> metrics;
+    for (const Layout layout : kLayouts) {
+      metrics.emplace_back(
+          std::string("wall_ms_implicit_") + to_string(layout),
+          wall_us[layout][RuntimeConfig::ImplicitZeroCopy] / 1000.0);
+    }
+    args.maybe_write_json("fig_fabric", texts, metrics);
+  }
+
   if (violations.empty()) {
     std::cout << "\nAll acceptance bars hold: local > remote zero-copy "
                  "bandwidth, staging beats remote streaming, partitioning "

@@ -236,6 +236,18 @@ int main(int argc, char** argv) {
                  "identity holds at 2x oversubscription\n";
   }
 
+  std::vector<std::pair<std::string, double>> metrics;
+  for (const double ratio : kRatios) {
+    const std::string tag = stats::TextTable::num(ratio, 2) + "x";
+    metrics.emplace_back("wall_ms_implicit_" + tag,
+                         wall_us[ratio][RuntimeConfig::ImplicitZeroCopy] /
+                             1000.0);
+    if (ratio > 1.0) {
+      metrics.emplace_back("pressure_tax_" + tag, pressure_tax[ratio]);
+    }
+  }
+  args.maybe_write_json("fig_pressure", violations, metrics);
+
   if (violations.empty()) {
     std::cout << "\nAll acceptance bars hold: watermark reclaim turns "
                  "pool-OOM into graded slowdown, the spill tier cycles, "

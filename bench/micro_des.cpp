@@ -10,6 +10,8 @@
 //                      the same cell partitioned over a 4-socket xGMI
 //                      fabric (per-link timelines + NUMA placement path).
 //   spec_suite         all five SPECaccel proxies, one pass each.
+//   service_mix        the multi-tenant service at ~2x overload, full
+//                      policy (admission + DRR + breakers + watermarks).
 //   qmcpack_race_off / qmcpack_race_report
 //                      race-check overhead pair on a mid-size QMCPack run.
 //
@@ -36,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "zc/service/service.hpp"
 #include "zc/sim/scheduler.hpp"
 #include "zc/stats/summary.hpp"
 #include "zc/workloads/oversubscribe.hpp"
@@ -197,6 +200,30 @@ std::pair<std::uint64_t, double> run_oversub_pressure() {
   return {r.sim_events, r.wall_time.ms()};
 }
 
+/// The multi-tenant service at ~2x overload under the full policy: the
+/// admission / DRR / breaker / watermark hot path (many fibers contending
+/// on the service lock) layered over a 2-socket capped node.
+std::pair<std::uint64_t, double> run_service_mix(bool quick) {
+  service::ServiceParams p;
+  p.config.tenants = 4;
+  p.config.policy = apu::ServicePolicy::Full;
+  p.workers = 4;
+  p.arrival.tenants = 4;
+  p.arrival.sockets = 2;
+  p.arrival.jobs = quick ? 60 : 180;
+  p.arrival.base_interarrival = sim::Duration::microseconds(1000);
+  p.arrival.kernel_compute = sim::Duration::microseconds(50);
+  p.queue_limit = 6;
+  p.base.config = omp::RuntimeConfig::LegacyCopy;
+  apu::Topology capped;
+  capped.sockets = 2;
+  capped.hbm_bytes = 512ULL << 20;
+  p.base.topology = capped;
+  p.base.seed = 1;
+  const service::ServiceResult r = service::run_service(p);
+  return {r.run.sim_events, r.run.wall_time.ms()};
+}
+
 std::pair<std::uint64_t, double> run_spec_suite(bool quick) {
   const double scale = quick ? 0.1 : 1.0;
   auto scaled = [scale](int v) {
@@ -319,6 +346,10 @@ int main(int argc, char** argv) {
   if (wanted("spec_suite")) {
     cases.push_back(measure("spec_suite", opt.reps,
                             [&] { return run_spec_suite(opt.quick); }));
+  }
+  if (wanted("service_mix")) {
+    cases.push_back(measure("service_mix", opt.reps,
+                            [&] { return run_service_mix(opt.quick); }));
   }
   double race_overhead_x = 0.0;
   if (wanted("qmcpack_race_off") && wanted("qmcpack_race_report")) {

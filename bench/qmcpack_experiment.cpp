@@ -2,8 +2,8 @@
 
 namespace zc::bench {
 
-const stats::RepeatedRuns& QmcSweep::measure(int size, int threads,
-                                             omp::RuntimeConfig config) {
+const QmcSweep::Cell& QmcSweep::cell(int size, int threads,
+                                     omp::RuntimeConfig config) {
   const Key key{size, threads, config};
   auto it = cache_.find(key);
   if (it != cache_.end()) {
@@ -21,27 +21,35 @@ const stats::RepeatedRuns& QmcSweep::measure(int size, int threads,
   options.seed = seed_ + 7919ULL * static_cast<std::uint64_t>(size) +
                  104729ULL * static_cast<std::uint64_t>(threads) +
                  1299709ULL * static_cast<std::uint64_t>(config);
+  stats::RepeatedRuns runs =
+      workloads::repeat_program(program, options, reps_);
+  stats::Summary summary = runs.summary();  // the one selection pass
   auto [pos, inserted] =
-      cache_.emplace(key, workloads::repeat_program(program, options, reps_));
+      cache_.emplace(key, Cell{std::move(runs), summary});
   (void)inserted;
   return pos->second;
 }
 
+const stats::RepeatedRuns& QmcSweep::measure(int size, int threads,
+                                             omp::RuntimeConfig config) {
+  return cell(size, threads, config).runs;
+}
+
 double QmcSweep::ratio(int size, int threads, omp::RuntimeConfig config) {
-  const auto& copy = measure(size, threads, omp::RuntimeConfig::LegacyCopy);
-  const auto& other = measure(size, threads, config);
-  return stats::ratio_of_medians(copy, other);
+  const double copy =
+      cell(size, threads, omp::RuntimeConfig::LegacyCopy).summary.median;
+  return copy / cell(size, threads, config).summary.median;
 }
 
 double QmcSweep::cov(int size, int threads, omp::RuntimeConfig config) {
-  return measure(size, threads, config).cov();
+  return cell(size, threads, config).summary.cov();
 }
 
 double QmcSweep::max_cov(omp::RuntimeConfig config) const {
   double worst = 0.0;
-  for (const auto& [key, runs] : cache_) {
+  for (const auto& [key, c] : cache_) {
     if (std::get<2>(key) == config) {
-      worst = std::max(worst, runs.summary().cov());
+      worst = std::max(worst, c.summary.cov());
     }
   }
   return worst;

@@ -38,6 +38,15 @@ struct RegionFeatures {
   /// storms are a hang site), leaving eager prefault — the device's safest
   /// handling — as the only finite choice.
   bool breaker_open = false;
+  /// Multi-tenant service occupancy of the device's admission budget, in
+  /// [0, 1]: 0 outside the service (or with admission control off), 1 when
+  /// the admitted working sets fill the budget. High occupancy makes fresh
+  /// pool allocations the costliest choice — they fence off HBM other
+  /// tenants' zero-copy pages are competing for — so the predictor
+  /// surcharges DmaCopy proportionally (`AdaptParams::
+  /// tenant_pressure_surcharge`) before the hard pressure/breaker
+  /// overrides apply.
+  double tenant_pressure = 0.0;
 };
 
 /// Predicted first-use cost of each handling, in virtual microseconds.

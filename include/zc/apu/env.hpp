@@ -133,6 +133,56 @@ struct WatchdogConfig {
 /// Throws `EnvError` on anything else.
 [[nodiscard]] WatchdogConfig parse_watchdog(const std::string& raw);
 
+/// The policy ladder of the multi-tenant offload service (`zc::service`),
+/// from nothing (a global FIFO that is allowed to collapse under overload)
+/// to the full robustness stack. Each rung strictly adds to the previous:
+///
+///  * `Off`   — no admission control, no fairness: one global FIFO;
+///  * `Admit` — per-socket HBM admission control with a bounded per-tenant
+///              admission queue (overflow sheds with a typed error);
+///  * `Fair`  — plus deficit-round-robin fair queueing across tenants with
+///              a starvation watchdog;
+///  * `Full`  — plus priority load shedding with retry-after hints,
+///              per-tenant circuit breakers, and memory-pressure-aware
+///              de-admission of the lowest-priority tenant.
+enum class ServicePolicy {
+  Off,
+  Admit,
+  Fair,
+  Full,
+};
+
+[[nodiscard]] constexpr const char* to_string(ServicePolicy p) {
+  switch (p) {
+    case ServicePolicy::Off:
+      return "off";
+    case ServicePolicy::Admit:
+      return "admit";
+    case ServicePolicy::Fair:
+      return "fair";
+    case ServicePolicy::Full:
+      return "full";
+  }
+  return "?";
+}
+
+/// Parsed `OMPX_APU_SERVICE=<tenants>:<policy>`: how many tenants the
+/// service multiplexes and which rung of the policy ladder governs them.
+/// Zero tenants (the default) means the service layer is not in use.
+struct ServiceConfig {
+  int tenants = 0;  ///< 0 = service disabled
+  ServicePolicy policy = ServicePolicy::Off;
+
+  [[nodiscard]] bool enabled() const { return tenants > 0; }
+};
+
+/// Parse an `OMPX_APU_SERVICE` value: `<tenants>:<policy>` with tenants a
+/// positive integer and policy one of `off`, `admit`, `fair`, `full`
+/// (case-insensitive). Throws `EnvError` on anything else — including a
+/// missing policy part, so an experiment can never silently run the wrong
+/// rung of the ladder.
+[[nodiscard]] ServiceConfig parse_service(const std::string& raw);
+
 /// The run environment knobs that steer configuration selection, mirroring
 /// the environment variables the paper describes:
 ///
@@ -165,7 +215,10 @@ struct WatchdogConfig {
 ///                        zero-copy pages to DDR). See `PressureMode`;
 ///  * `OMPX_APU_AUTOMIGRATE` — access-counter automatic page migration:
 ///                        a boolean, or an integer >= 2 giving the remote
-///                        touch threshold. See `AutomigrateConfig`.
+///                        touch threshold. See `AutomigrateConfig`;
+///  * `OMPX_APU_SERVICE` — multi-tenant offload service configuration
+///                        `<tenants>:<policy>` (see `ServiceConfig`); unset
+///                        means the service layer is not in use.
 struct RunEnvironment {
   bool hsa_xnack = true;
   ApuMapsMode ompx_apu_maps = ApuMapsMode::Off;
@@ -182,6 +235,7 @@ struct RunEnvironment {
   fabric::FabricMode ompx_apu_fabric = fabric::FabricMode::Off;
   PressureMode ompx_apu_pressure = PressureMode::Off;
   AutomigrateConfig ompx_apu_automigrate;
+  ServiceConfig ompx_apu_service;
 
   /// Page size implied by the THP setting: 2 MB when on, 4 KB when off.
   [[nodiscard]] std::uint64_t page_bytes() const {
@@ -200,8 +254,9 @@ struct RunEnvironment {
   /// OMPX_APU_FABRIC (exactly "off", "xgmi", or "uniform",
   /// case-insensitive), OMPX_APU_PRESSURE (exactly "off" or "watermarks",
   /// case-insensitive), OMPX_APU_AUTOMIGRATE (a boolean, or an integer
-  /// >= 2 giving the remote-touch threshold). THP additionally accepts
-  /// "dynamic" (2 MB pages plus the split/collapse state machine).
+  /// >= 2 giving the remote-touch threshold), OMPX_APU_SERVICE (parsed via
+  /// `parse_service`). THP additionally accepts "dynamic" (2 MB pages plus
+  /// the split/collapse state machine).
   [[nodiscard]] static RunEnvironment from_env(
       const std::map<std::string, std::string>& env);
 

@@ -205,6 +205,12 @@ struct AdaptParams {
   sim::Duration eval_cost = sim::Duration::from_us(0.05);
   /// CPU-side cost of one decision-cache hit on the `begin_one` hot path.
   sim::Duration cache_hit_cost = sim::Duration::from_us(0.02);
+  /// Multiplier applied to the DmaCopy cost prediction per unit of service
+  /// tenant pressure (`RegionFeatures::tenant_pressure` in [0, 1]): at a
+  /// full admission budget DmaCopy reads 1 + surcharge times its base
+  /// prediction, steering shared devices away from fresh pool allocations
+  /// that crowd co-resident tenants' zero-copy pages.
+  double tenant_pressure_surcharge = 4.0;
 };
 
 /// Degraded-mode policy knobs: how hard the runtime tries before giving a

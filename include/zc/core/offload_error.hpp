@@ -23,6 +23,7 @@ enum class ErrorCode {
   CopyFailed,        ///< async DMA copy failed after the bounded retry
   OperationHung,     ///< watchdog aborted a hung op; no replay budget left
   DataRace,          ///< race detector in abort mode flagged an access pair
+  JobShed,           ///< service shed the job under overload (retry later)
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode c) {
@@ -47,6 +48,8 @@ enum class ErrorCode {
       return "operation-hung";
     case ErrorCode::DataRace:
       return "data-race";
+    case ErrorCode::JobShed:
+      return "job-shed";
   }
   return "?";
 }

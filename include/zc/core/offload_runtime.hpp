@@ -166,6 +166,13 @@ class OffloadRuntime {
   [[nodiscard]] hsa::Runtime& hsa() { return hsa_; }
   [[nodiscard]] bool image_loaded() const { return image_loaded_; }
 
+  /// Multi-tenant service occupancy of `device`'s admission budget, in
+  /// [0, 1]. The service layer updates it as jobs are admitted and retired;
+  /// Adaptive Maps consumes it as `RegionFeatures::tenant_pressure` so a
+  /// crowded device steers away from fresh pool allocations. Takes
+  /// `table_mutex_` (the value is read inside present-table transactions).
+  void set_service_pressure(int device, double occupancy);
+
   /// Adaptive Maps introspection, unguarded for the same quiescent-reader
   /// reason as `present_table`.
   [[nodiscard]] const trace::DecisionTrace& decision_trace() const {
@@ -335,6 +342,11 @@ class OffloadRuntime {
   /// the Adaptive Maps cost model as a feature. Shares `table_mutex_`: the
   /// flag is read and written inside present-table transactions.
   sim::GuardedBy<std::vector<char>> pressure_;
+  /// Per-device service-tenant occupancy ([0, 1], see
+  /// `set_service_pressure`), fed to Adaptive Maps as
+  /// `RegionFeatures::tenant_pressure`. Shares `table_mutex_` with the
+  /// other policy features.
+  sim::GuardedBy<std::vector<double>> service_pressure_;
   /// Per-device circuit breakers over watchdog trips and degraded-mode
   /// events; shares `table_mutex_` because open/closed state is consumed
   /// inside present-table transactions (and by the Adaptive Maps policy).

@@ -28,8 +28,10 @@ enum class Site {
   AutoMigrate,    ///< access-counter migration: driver migration stall
   ThpSplit,       ///< THP state machine: spurious huge-page split storm
   AccessCounter,  ///< access-counter sampling: counter overflow/loss
+  TenantBurst,    ///< service arrival process: one tenant's burst of jobs
+  AdmissionFlap,  ///< service admission check: transient capacity misread
 };
-inline constexpr std::size_t kSiteCount = 9;
+inline constexpr std::size_t kSiteCount = 11;
 
 [[nodiscard]] constexpr const char* to_string(Site s) {
   switch (s) {
@@ -51,6 +53,10 @@ inline constexpr std::size_t kSiteCount = 9;
       return "thp-split";
     case Site::AccessCounter:
       return "access-counter";
+    case Site::TenantBurst:
+      return "tenant-burst";
+    case Site::AdmissionFlap:
+      return "admission-flap";
   }
   return "?";
 }
@@ -71,6 +77,9 @@ enum class Kind {
   MigrationStall, ///< access-counter migration slowed by a latency factor
   ThpSplitStorm,  ///< huge-page spans under the op split spuriously
   CounterLoss,    ///< access-counter state lost (heat resets to cold)
+  TenantBurst,    ///< the next `factor` arrivals of one tenant collapse
+                  ///< into a zero-interarrival burst
+  AdmissionFlap,  ///< the admission capacity check transiently reads "full"
 };
 
 [[nodiscard]] constexpr const char* to_string(Kind k) {
@@ -103,6 +112,10 @@ enum class Kind {
       return "thp_split_storm";
     case Kind::CounterLoss:
       return "counter_loss";
+    case Kind::TenantBurst:
+      return "tenant_burst";
+    case Kind::AdmissionFlap:
+      return "admission_flap";
   }
   return "?";
 }
@@ -147,7 +160,8 @@ struct Schedule {
 ///   site    := 'oom' | 'eintr' | 'ebusy' | 'sdma' | 'xnack'
 ///            | 'kernel_hang' | 'sdma_stall' | 'prefault_hang'
 ///            | 'xnack_livelock' | 'evict_storm' | 'migration_stall'
-///            | 'thp_split_storm' | 'counter_loss'
+///            | 'thp_split_storm' | 'counter_loss' | 'tenant_burst'
+///            | 'admission_flap'
 ///   trigger := 'call=' N | 'call=' N '..' M   (1-based inclusive window)
 ///            | 't=' A 'us' ('..' B 'us')?     (virtual-time window)
 ///            | 'p=' F                         (per-call probability)
@@ -163,8 +177,13 @@ struct Schedule {
 /// migration_stall -> access-counter migration slowed by the factor,
 /// thp_split_storm -> huge-page spans split spuriously under the op,
 /// counter_loss -> the driver drops its access-counter state (pages read
-/// as cold again). A `t=A us` window without an end extends to the end of
-/// the run. Throws `FaultSpecError` on anything it cannot parse.
+/// as cold again). The service family (`zc::service` arrival/admission
+/// paths): tenant_burst -> the next `factor` arrivals of the tenant the
+/// firing call belongs to collapse into a zero-interarrival burst,
+/// admission_flap -> the admission capacity check transiently reports the
+/// socket full so an admissible job is queued (or shed) as if memory were
+/// exhausted. A `t=A us` window without an end extends to the end of the
+/// run. Throws `FaultSpecError` on anything it cannot parse.
 [[nodiscard]] Schedule parse_spec(const std::string& spec);
 
 /// Render a schedule back to spec syntax (logs, error messages).

@@ -4,6 +4,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "zc/apu/machine.hpp"
@@ -97,6 +98,19 @@ struct DeviceCounters {
   std::uint64_t migrated_pages = 0;  ///< pages migrated onto this device
   std::uint64_t evicted_pages = 0;   ///< pages spilled to DDR by reclaim here
   std::uint64_t promoted_pages = 0;  ///< DDR pages promoted back by this device
+};
+
+/// Per-tenant accumulators for the multi-tenant service (`zc::service`):
+/// which tenant's jobs consumed the GPU queues and SDMA engines. Bumped at
+/// the same dispatch/copy sites as `DeviceCounters`, attributed via the
+/// calling fiber's tenant registration (`set_thread_tenant`). Runs without
+/// a service registration attribute to no tenant (the vector stays empty
+/// unless `configure_tenants` was called).
+struct TenantCounters {
+  std::uint64_t kernels = 0;
+  std::uint64_t copies = 0;
+  std::uint64_t copy_bytes = 0;
+  std::uint64_t page_faults = 0;
 };
 
 /// The simulated ROCr/HSA runtime: the API surface the OpenMP offload
@@ -243,6 +257,18 @@ class Runtime {
   [[nodiscard]] const std::vector<DeviceCounters>& device_counters() const {
     return devstats_.unguarded();
   }
+  /// Size the per-tenant accumulators (idempotent; call before the service
+  /// worker fibers start issuing work). Zero disables tenant accounting.
+  void configure_tenants(int tenants);
+  /// Register the calling fiber's jobs as belonging to `tenant` (-1 clears
+  /// the registration). Takes `trace_mutex_`; the service worker calls this
+  /// once per job it picks up.
+  void set_thread_tenant(int tenant);
+  /// Per-tenant accumulators, indexed by tenant (post-run snapshots; empty
+  /// unless `configure_tenants` was called).
+  [[nodiscard]] const std::vector<TenantCounters>& tenant_counters() const {
+    return tenantstats_.unguarded();
+  }
   /// Per-call timeline trace (opt-in; aggregate stats are always on).
   [[nodiscard]] trace::CallTrace& call_trace() { return ctrace_.unguarded(); }
   [[nodiscard]] trace::OverheadLedger& ledger() { return ledger_.unguarded(); }
@@ -274,6 +300,10 @@ class Runtime {
   /// race detector sees the exact same release/acquire edges.
   void record_call(trace::HsaCall call, sim::TimePoint start,
                    sim::Duration latency);
+
+  /// Tenant the calling fiber registered via `set_thread_tenant`, or -1.
+  /// Call with `trace_mutex_` held.
+  [[nodiscard]] int current_tenant_locked();
 
   /// Drain `pending_calls_` into the guarded stats (under `trace_mutex_`
   /// when called from inside a virtual thread; directly during post-run
@@ -315,6 +345,11 @@ class Runtime {
   sim::GuardedBy<trace::OverheadLedger> ledger_;
   sim::GuardedBy<trace::FaultTrace> ftrace_;
   sim::GuardedBy<std::vector<DeviceCounters>> devstats_;
+  /// Per-tenant accumulators and the fiber-id -> tenant registration map
+  /// behind them (see `set_thread_tenant`); both share `trace_mutex_` with
+  /// the rest of the instrumentation.
+  sim::GuardedBy<std::vector<TenantCounters>> tenantstats_;
+  sim::GuardedBy<std::unordered_map<int, int>> thread_tenants_;
 
   /// Batched trace sink (see `record_call`). The simulator runs all fibers
   /// on one OS thread, so appends need no host-side synchronization; the

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace zc::stats {
+
+/// Streaming quantile estimator with fixed memory, built for the service
+/// stats pipeline: one sketch per tenant metric answers p50/p99/p999 without
+/// buffering every job latency the way `SortedSamples` must.
+///
+/// The design is a fixed-bin HDR histogram: each non-negative sample lands in
+/// a log-spaced bucket derived from its binary exponent (`frexp`) plus a
+/// linear subdivision of the mantissa into `kSubBuckets` sub-buckets. Bucket
+/// boundaries are exact powers-of-two arithmetic — no `log()` calls — so the
+/// same sample stream produces the same bins on every platform, and quantile
+/// answers are bit-identical across reruns (a requirement the service
+/// determinism suite asserts).
+///
+/// Accuracy: any quantile's returned representative differs from the true
+/// order statistic of the recorded stream by at most `kRelativeError`
+/// relative error (bucket midpoint of a bucket whose width is 1/kSubBuckets
+/// of its lower edge). `min()`/`max()`/`sum()`/`count()` are exact.
+class QuantileSketch {
+ public:
+  /// Mantissa subdivisions per binary exponent. 128 sub-buckets bound the
+  /// relative error of any quantile by 1/256 (~0.4%).
+  static constexpr int kSubBuckets = 128;
+  static constexpr double kRelativeError = 0.5 / kSubBuckets;
+
+  QuantileSketch();
+
+  /// Record one sample. Values must be finite and non-negative (the service
+  /// records latencies in microseconds); throws std::invalid_argument
+  /// otherwise.
+  void record(double value);
+
+  /// p-quantile (0 <= p <= 1). Returns the midpoint of the bucket holding
+  /// the order statistic at rank floor(p * (count - 1)), clamped to the
+  /// exact [min, max] envelope. Throws std::invalid_argument on an empty
+  /// sketch or p outside [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double min() const;  ///< exact; throws when empty
+  [[nodiscard]] double max() const;  ///< exact; throws when empty
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;  ///< exact; throws when empty
+
+  /// Fold another sketch's bins into this one (exact: the merged sketch is
+  /// identical to one that recorded both streams).
+  void merge(const QuantileSketch& other);
+
+ private:
+  // Exponent clamp: values in [2^-33, 2^64) are bucketed at full precision;
+  // anything smaller collapses into the bottom bin, anything larger into the
+  // top bin (still counted exactly, just with saturated representatives).
+  static constexpr int kMinExp = -32;
+  static constexpr int kMaxExp = 63;
+  static constexpr int kExpCount = kMaxExp - kMinExp + 1;
+
+  [[nodiscard]] static int bucket_of(double value);
+  [[nodiscard]] static double representative(int bucket);
+
+  std::vector<std::uint64_t> bins_;  ///< kExpCount * kSubBuckets, positive values
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace zc::stats

@@ -8,6 +8,7 @@
 #include "zc/trace/decision_trace.hpp"
 #include "zc/trace/fault_trace.hpp"
 #include "zc/trace/kernel_trace.hpp"
+#include "zc/trace/service_trace.hpp"
 
 namespace zc::trace {
 
@@ -22,10 +23,13 @@ namespace zc::trace {
 /// device); fault events (FaultRecord) as instants on per-device tracks
 /// (`pid` 4, `tid` = device); Adaptive Maps decisions (DecisionRecord)
 /// as instant events on the host-thread track that took them, with the
-/// policy features and predicted costs as arguments. Process-name
-/// metadata events label the four lanes so a multi-device run never
-/// interleaves kernels, copies, or faults from different sockets on one
-/// track.
+/// policy features and predicted costs as arguments; service jobs
+/// (ServiceJobRecord) as spans on per-tenant service tracks (`pid` 5,
+/// `tid` = tenant) covering queue wait + execution, with the outcome and
+/// footprint as arguments (shed jobs render as instants — they never
+/// dispatched). Process-name metadata events label the lanes so a
+/// multi-device run never interleaves kernels, copies, or faults from
+/// different sockets on one track.
 class ChromeTraceWriter {
  public:
   /// Add every record of a host-side call trace.
@@ -43,13 +47,16 @@ class ChromeTraceWriter {
   /// Add Adaptive Maps policy decisions (instant events, host tracks).
   void add(const DecisionTrace& decisions);
 
+  /// Add service job lifecycles (per-tenant service tracks).
+  void add(const std::vector<ServiceJobRecord>& jobs);
+
   /// Write the complete JSON document.
   void write(std::ostream& os) const;
 
   [[nodiscard]] std::size_t event_count() const {
     return call_events_.size() + kernel_events_.size() +
            copy_events_.size() + fault_events_.size() +
-           decision_events_.size();
+           decision_events_.size() + service_events_.size();
   }
 
  private:
@@ -58,6 +65,7 @@ class ChromeTraceWriter {
   std::vector<CopyRecord> copy_events_;
   std::vector<FaultRecord> fault_events_;
   std::vector<DecisionRecord> decision_events_;
+  std::vector<ServiceJobRecord> service_events_;
 };
 
 }  // namespace zc::trace

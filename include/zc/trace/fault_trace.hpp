@@ -50,6 +50,15 @@ enum class FaultEvent {
   ThpSplit,              ///< a 2 MB span split to 4 KB pricing
   ThpCollapsed,          ///< a split span re-homogenized and collapsed
   PoolReclaimed,         ///< pool allocation succeeded only after reclaim
+  // -- multi-tenant service (`zc::service`) --------------------------------
+  TenantBurstInjected,   ///< fault engine collapsed a tenant's interarrivals
+  AdmissionFlapInjected, ///< fault engine made admission read "full"
+  JobShed,               ///< service shed a job (typed OffloadError + hint)
+  JobDeAdmitted,         ///< memory pressure paused a low-priority tenant
+  JobResumed,            ///< a de-admitted tenant resumed dispatching
+  TenantBreakerOpened,   ///< a tenant's circuit breaker opened
+  TenantBreakerClosed,   ///< a tenant's circuit breaker closed again
+  StarvationBoost,       ///< the DRR starvation watchdog force-served a tenant
 };
 
 [[nodiscard]] constexpr const char* to_string(FaultEvent e) {
@@ -122,6 +131,22 @@ enum class FaultEvent {
       return "thp-collapsed";
     case FaultEvent::PoolReclaimed:
       return "pool-reclaimed";
+    case FaultEvent::TenantBurstInjected:
+      return "tenant-burst-injected";
+    case FaultEvent::AdmissionFlapInjected:
+      return "admission-flap-injected";
+    case FaultEvent::JobShed:
+      return "job-shed";
+    case FaultEvent::JobDeAdmitted:
+      return "job-de-admitted";
+    case FaultEvent::JobResumed:
+      return "job-resumed";
+    case FaultEvent::TenantBreakerOpened:
+      return "tenant-breaker-opened";
+    case FaultEvent::TenantBreakerClosed:
+      return "tenant-breaker-closed";
+    case FaultEvent::StarvationBoost:
+      return "starvation-boost";
   }
   return "?";
 }
@@ -135,6 +160,7 @@ struct FaultRecord {
   std::uint64_t bytes = 0;
   int attempt = 0;       ///< retry ordinal (retries/successes)
   double factor = 1.0;   ///< replay-storm latency multiplier
+  int tenant = -1;       ///< owning service tenant (-1 outside the service)
 };
 
 /// Record of every injected fault and degraded-mode reaction in a run.

@@ -101,6 +101,30 @@ struct DeviceStats {
   double kernel_p95_us = 0.0;
 };
 
+/// Per-tenant SLO telemetry of a `zc::service` run, filled by the service
+/// layer's deterministic stats pipeline (quantiles from a
+/// `stats::QuantileSketch` over job sojourn latencies, counts exact).
+/// Plain doubles/integers so `RunResult` stays value-copyable.
+struct TenantServiceStats {
+  int tenant = 0;
+  std::uint64_t weight = 1;      ///< DRR weight (higher = more service)
+  std::uint64_t offered = 0;     ///< jobs the arrival process generated
+  std::uint64_t admitted = 0;    ///< jobs that passed admission control
+  std::uint64_t completed = 0;   ///< jobs retired with a verified checksum
+  std::uint64_t shed = 0;        ///< jobs shed with a typed OffloadError
+  std::uint64_t failed = 0;      ///< jobs that raised during execution
+  std::uint64_t deadmissions = 0;       ///< times pressure paused the tenant
+  std::uint64_t starvation_boosts = 0;  ///< DRR watchdog force-serves
+  std::uint64_t breaker_opens = 0;      ///< tenant breaker open transitions
+  double p50_us = 0.0;   ///< sojourn-latency quantiles (arrival -> retire)
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double goodput_jps = 0.0;  ///< completed jobs per second of makespan
+  double checksum = 0.0;     ///< completed-job checksums, id-ordered sum
+  /// GPU-queue / SDMA-engine consumption attributed by the HSA layer.
+  hsa::TenantCounters counters;
+};
+
 /// Everything one run produces.
 struct RunResult {
   omp::RuntimeConfig config;
@@ -126,6 +150,9 @@ struct RunResult {
   /// Race reports (empty unless RunOptions::race_check_spec enabled the
   /// detector — and, on a correctly synchronized program, empty even then).
   trace::RaceTrace races;
+  /// Per-tenant service stats (empty unless the program was built by
+  /// `service::run_service`, which fills them in at finalize).
+  std::vector<TenantServiceStats> service_tenants;
 };
 
 /// Build the stack, run the program to completion, snapshot the telemetry.

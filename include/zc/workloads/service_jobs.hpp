@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "zc/core/offload_stack.hpp"
+#include "zc/sim/time.hpp"
+
+namespace zc::workloads {
+
+/// What one service job does on the device. The three flavors cover the
+/// paper's offload shapes from the service layer's point of view:
+///
+///  * `Compute` — persistent arrays mapped once, a burst of kernels over
+///    them (QMCPack-like steady state; map traffic only at the edges).
+///  * `Stream`  — a fresh bulk buffer mapped and swept per kernel
+///    (SPEChpc-like; stresses the mapping path every kernel).
+///  * `Staged`  — an explicit `omp_target_alloc` staging buffer fed by
+///    `omp_target_memcpy` (the HIP-device-library pattern the paper warns
+///    about). The *only* flavor whose data path crosses the SDMA engines
+///    under Implicit Zero-Copy — which makes it the tenant-isolation
+///    probe: an `sdma_stall` fault schedule hangs Staged jobs while
+///    Compute/Stream tenants never touch the faulted site.
+enum class JobFlavor {
+  Compute,
+  Stream,
+  Staged,
+};
+
+[[nodiscard]] constexpr const char* to_string(JobFlavor f) {
+  switch (f) {
+    case JobFlavor::Compute:
+      return "compute";
+    case JobFlavor::Stream:
+      return "stream";
+    case JobFlavor::Staged:
+      return "staged";
+  }
+  return "?";
+}
+
+/// One job, fully determined at arrival time. Everything downstream —
+/// footprint, device work, and the expected checksum — is a pure function
+/// of this struct, so admission control can account for a job before it
+/// runs and the service can verify results without a golden run.
+struct ServiceJobSpec {
+  int tenant = 0;
+  std::uint64_t id = 0;  ///< arrival ordinal within the tenant
+  JobFlavor flavor = JobFlavor::Compute;
+  std::uint64_t pages = 2;  ///< per-array working set, in pages
+  int kernels = 2;          ///< device kernels this job launches
+  int device = 0;           ///< home socket (tenant % sockets)
+  sim::Duration kernel_compute = sim::Duration::microseconds(30);
+};
+
+/// Device-memory footprint the admission controller charges for this job,
+/// at `page_bytes` page granularity. Deliberately the *worst-case* bound
+/// over the configurations (Copy-managed maps plus the Staged pool
+/// buffer), so admission never under-accounts.
+[[nodiscard]] std::uint64_t job_footprint_bytes(const ServiceJobSpec& spec,
+                                                std::uint64_t page_bytes);
+
+/// Expected checksum of a completed job — a pure function (no simulator),
+/// replaying exactly the functional arithmetic `run_service_job` performs
+/// in index order. Tests and the service's retire path compare against it
+/// bit-for-bit.
+[[nodiscard]] double service_job_checksum(const ServiceJobSpec& spec,
+                                          std::uint64_t page_bytes);
+
+/// Execute the job on the calling virtual thread. Allocates, maps, runs
+/// the kernels, unmaps, frees, and returns the functional checksum (which
+/// must equal `service_job_checksum`). Throws `omp::OffloadError` if the
+/// run degrades past recovery (hang abort, copy failure, pool
+/// exhaustion); device state is released on the error path too.
+[[nodiscard]] double run_service_job(omp::OffloadStack& stack,
+                                     const ServiceJobSpec& spec);
+
+}  // namespace zc::workloads

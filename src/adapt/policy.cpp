@@ -81,6 +81,14 @@ PredictedCosts PolicyEngine::predict(const RegionFeatures& f) const {
   out.copy_us = costs_.pool_alloc_base.us() +
                 static_cast<double>(f.pages) * costs_.bulk_page_populate.us() +
                 (f.copies_in ? copy_us : 0.0) + (f.copies_out ? copy_us : 0.0);
+  // Tenant-aware pressure pricing: the fuller the service's admission
+  // budget, the more a fresh pool allocation crowds co-resident tenants'
+  // zero-copy pages, so DmaCopy pays a proportional surcharge. A soft
+  // gradient, unlike the hard infinity overrides below.
+  if (f.tenant_pressure > 0.0) {
+    out.copy_us *=
+        1.0 + params_.tenant_pressure_surcharge * f.tenant_pressure;
+  }
   // Under memory pressure the pool allocation would likely fail and the
   // runtime would degrade to zero-copy anyway — after paying the failed
   // driver round trip. Price DmaCopy out entirely.

@@ -25,6 +25,10 @@ OffloadRuntime::OffloadRuntime(hsa::Runtime& hsa, ProgramBinary program)
       pressure_{table_mutex_, "MemPressure",
                 std::vector<char>(
                     static_cast<std::size_t>(hsa.machine().sockets()), 0)},
+      service_pressure_{table_mutex_, "ServicePressure",
+                        std::vector<double>(
+                            static_cast<std::size_t>(hsa.machine().sockets()),
+                            0.0)},
       breakers_{table_mutex_, "CircuitBreaker",
                 std::vector<CircuitBreaker>(
                     static_cast<std::size_t>(hsa.machine().sockets()),
@@ -516,6 +520,13 @@ void OffloadRuntime::record_breaker_transitions(
   }
 }
 
+void OffloadRuntime::set_service_pressure(int device, double occupancy) {
+  sim::Scheduler& sched = hsa_.machine().sched();
+  sim::LockGuard lock{table_mutex_, sched};
+  service_pressure_.get(sched)[static_cast<std::size_t>(device)] =
+      std::clamp(occupancy, 0.0, 1.0);
+}
+
 void OffloadRuntime::note_breaker_trip(int device) {
   sim::Scheduler& sched = hsa_.machine().sched();
   sim::LockGuard lock{table_mutex_, sched};
@@ -738,6 +749,8 @@ void OffloadRuntime::begin_one_adaptive(const MapEntry& entry, int device,
       features.memory_pressure =
           pressure_.get(m.sched())[static_cast<std::size_t>(device)] != 0;
       features.breaker_open = breaker_pinned_locked(device);
+      features.tenant_pressure =
+          service_pressure_.get(m.sched())[static_cast<std::size_t>(device)];
       const adapt::Outcome out =
           adapt_.get(m.sched()).decide(device, features);
       trace::DecisionTrace& dtrace = decisions_.get(m.sched());

@@ -52,11 +52,18 @@ SiteKind site_kind(const std::string& token, const std::string& clause) {
   if (token == "counter_loss") {
     return {Site::AccessCounter, Kind::CounterLoss};
   }
+  if (token == "tenant_burst") {
+    return {Site::TenantBurst, Kind::TenantBurst};
+  }
+  if (token == "admission_flap") {
+    return {Site::AdmissionFlap, Kind::AdmissionFlap};
+  }
   throw FaultSpecError("fault spec: unknown site '" + token + "' in clause '" +
                        clause +
                        "' (expected oom|eintr|ebusy|sdma|xnack|kernel_hang|"
                        "sdma_stall|prefault_hang|xnack_livelock|evict_storm|"
-                       "migration_stall|thp_split_storm|counter_loss)");
+                       "migration_stall|thp_split_storm|counter_loss|"
+                       "tenant_burst|admission_flap)");
 }
 
 std::uint64_t parse_u64(std::string_view text, const std::string& clause) {
@@ -211,6 +218,10 @@ std::string site_token(const Clause& c) {
       return "thp_split_storm";
     case Kind::CounterLoss:
       return "counter_loss";
+    case Kind::TenantBurst:
+      return "tenant_burst";
+    case Kind::AdmissionFlap:
+      return "admission_flap";
     case Kind::None:
       break;
   }
@@ -221,7 +232,7 @@ std::string site_token(const Clause& c) {
 /// (rendered back as ":xF" when it differs from the default).
 bool has_factor(Kind k) {
   return k == Kind::ReplayStorm || k == Kind::EvictStorm ||
-         k == Kind::MigrationStall;
+         k == Kind::MigrationStall || k == Kind::TenantBurst;
 }
 
 }  // namespace

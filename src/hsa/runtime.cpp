@@ -22,7 +22,35 @@ Runtime::Runtime(apu::Machine& machine, mem::MemorySystem& mem)
       ledger_{trace_mutex_, "OverheadLedger"},
       ftrace_{trace_mutex_, "FaultTrace"},
       devstats_{trace_mutex_, "DeviceCounters",
-                static_cast<std::size_t>(mem.sockets())} {}
+                static_cast<std::size_t>(mem.sockets())},
+      tenantstats_{trace_mutex_, "TenantCounters"},
+      thread_tenants_{trace_mutex_, "ThreadTenants"} {}
+
+void Runtime::configure_tenants(int tenants) {
+  // Pre-run opt-in configuration (like call-trace enablement): sized before
+  // the service worker fibers start, so the unguarded write is safe.
+  tenantstats_.unguarded().resize(
+      tenants > 0 ? static_cast<std::size_t>(tenants) : 0);
+}
+
+void Runtime::set_thread_tenant(int tenant) {
+  sim::LockGuard lock{trace_mutex_, sched()};
+  auto& map = thread_tenants_.get(sched());
+  if (tenant < 0) {
+    map.erase(sched().current().id());
+  } else {
+    map[sched().current().id()] = tenant;
+  }
+}
+
+int Runtime::current_tenant_locked() {
+  const auto& map = thread_tenants_.get(sched());
+  if (map.empty()) {
+    return -1;
+  }
+  const auto it = map.find(sched().current().id());
+  return it == map.end() ? -1 : it->second;
+}
 
 Signal Runtime::hung_signal(std::string name, trace::FaultEvent event,
                             fault::Site site, int device,
@@ -424,6 +452,14 @@ Signal Runtime::memory_async_copy(mem::VirtAddr dst, mem::VirtAddr src,
     dc.copy_bytes += bytes;
     if (src_sock != dst_sock) {
       ++dc.cross_socket_copies;
+    }
+    if (const int tenant = current_tenant_locked(); tenant >= 0) {
+      auto& ts = tenantstats_.get(sched());
+      if (static_cast<std::size_t>(tenant) < ts.size()) {
+        TenantCounters& tc = ts[static_cast<std::size_t>(tenant)];
+        ++tc.copies;
+        tc.copy_bytes += bytes;
+      }
     }
   }
   if (with_handler && !sdma_stall) {
@@ -997,6 +1033,14 @@ Signal Runtime::dispatch_kernel(const KernelLaunch& launch, int host_thread,
     dc.promoted_pages += promoted;
     if (remote_bytes > 0) {
       ++dc.remote_kernels;
+    }
+    if (const int tenant = current_tenant_locked(); tenant >= 0) {
+      auto& ts = tenantstats_.get(sched());
+      if (static_cast<std::size_t>(tenant) < ts.size()) {
+        TenantCounters& tc = ts[static_cast<std::size_t>(tenant)];
+        ++tc.kernels;
+        tc.page_faults += faults;
+      }
     }
   }
 

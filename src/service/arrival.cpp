@@ -1,0 +1,81 @@
+#include "zc/service/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace zc::service {
+
+ArrivalProcess::ArrivalProcess(const ArrivalParams& params)
+    : params_{params},
+      rng_{params.seed},
+      next_id_(static_cast<std::size_t>(std::max(params.tenants, 1)), 0) {
+  if (params_.tenants <= 0) {
+    throw std::invalid_argument("ArrivalProcess: tenants must be positive");
+  }
+  if (params_.sockets <= 0) {
+    throw std::invalid_argument("ArrivalProcess: sockets must be positive");
+  }
+  if (params_.min_pages == 0 || params_.max_pages < params_.min_pages) {
+    throw std::invalid_argument(
+        "ArrivalProcess: need 0 < min_pages <= max_pages");
+  }
+  if (params_.min_kernels <= 0 || params_.max_kernels < params_.min_kernels) {
+    throw std::invalid_argument(
+        "ArrivalProcess: need 0 < min_kernels <= max_kernels");
+  }
+  if (params_.pareto_alpha <= 0.0) {
+    throw std::invalid_argument("ArrivalProcess: pareto_alpha must be > 0");
+  }
+}
+
+Arrival ArrivalProcess::next() {
+  if (done()) {
+    throw std::logic_error("ArrivalProcess::next called after done()");
+  }
+  // Fixed draw order per arrival (gap, tenant, pages, kernels, flavor) so
+  // the sequence is a pure function of the seed.
+  Arrival a;
+  const double u_gap = rng_.uniform();
+  if (burst_left_ > 0) {
+    --burst_left_;  // the gap draw is still consumed, keeping the
+                    // downstream sequence aligned with the unfaulted run
+    a.gap = sim::Duration::zero();
+  } else {
+    a.gap = sim::Duration::from_us(-std::log(1.0 - u_gap) *
+                                   params_.base_interarrival.us());
+  }
+  const auto tenant = static_cast<int>(
+      rng_.uniform_index(static_cast<std::uint64_t>(params_.tenants)));
+  // Bounded Pareto via inverse transform, truncated at max_pages.
+  const double u_size = rng_.uniform();
+  const double raw =
+      static_cast<double>(params_.min_pages) *
+      std::pow(1.0 - u_size, -1.0 / params_.pareto_alpha);
+  const auto pages = std::min<std::uint64_t>(
+      params_.max_pages,
+      std::max<std::uint64_t>(params_.min_pages,
+                              static_cast<std::uint64_t>(raw)));
+  const int kernels =
+      params_.min_kernels +
+      static_cast<int>(rng_.uniform_index(static_cast<std::uint64_t>(
+          params_.max_kernels - params_.min_kernels + 1)));
+  const std::uint64_t flavor_draw = rng_.uniform_index(3);
+
+  workloads::ServiceJobSpec& spec = a.spec;
+  spec.tenant = tenant;
+  spec.id = next_id_[static_cast<std::size_t>(tenant)]++;
+  spec.flavor =
+      params_.tenant_flavors.empty()
+          ? static_cast<workloads::JobFlavor>(flavor_draw)
+          : params_.tenant_flavors[static_cast<std::size_t>(tenant) %
+                                   params_.tenant_flavors.size()];
+  spec.pages = pages;
+  spec.kernels = kernels;
+  spec.device = tenant % params_.sockets;
+  spec.kernel_compute = params_.kernel_compute;
+  ++issued_;
+  return a;
+}
+
+}  // namespace zc::service

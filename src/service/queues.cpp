@@ -1,0 +1,155 @@
+#include "zc/service/queues.hpp"
+
+#include <stdexcept>
+
+namespace zc::service {
+
+DrrScheduler::DrrScheduler(DrrParams params)
+    : params_{std::move(params)},
+      queues_(params_.weights.size()),
+      deficits_(params_.weights.size(), 0) {
+  if (params_.weights.empty()) {
+    throw std::invalid_argument("DrrScheduler: weights must be non-empty");
+  }
+  for (const std::uint64_t w : params_.weights) {
+    if (w == 0) {
+      throw std::invalid_argument("DrrScheduler: weights must be positive");
+    }
+  }
+  if (params_.quantum_pages == 0) {
+    throw std::invalid_argument("DrrScheduler: quantum_pages must be > 0");
+  }
+  if (params_.queue_limit == 0) {
+    throw std::invalid_argument("DrrScheduler: queue_limit must be > 0");
+  }
+}
+
+bool DrrScheduler::push(const QueuedJob& job) {
+  auto& q = queues_.at(static_cast<std::size_t>(job.spec.tenant));
+  if (q.size() >= params_.queue_limit) {
+    return false;
+  }
+  q.push_back(job);
+  return true;
+}
+
+void DrrScheduler::push_front(const QueuedJob& job) {
+  // Re-queueing a popped head cannot overflow: the pop freed its slot and
+  // nothing else can have filled it between pop and push_front (both run
+  // under the service lock).
+  queues_.at(static_cast<std::size_t>(job.spec.tenant)).push_front(job);
+}
+
+std::size_t DrrScheduler::total_queued() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) {
+    n += q.size();
+  }
+  return n;
+}
+
+std::optional<Pick> DrrScheduler::pop(sim::TimePoint now,
+                                      const std::vector<char>& blocked) {
+  const std::size_t n = queues_.size();
+  if (blocked.size() != n) {
+    throw std::invalid_argument("DrrScheduler::pop: blocked mask size");
+  }
+  auto eligible = [&](std::size_t t) {
+    return blocked[t] == 0 && !queues_[t].empty();
+  };
+
+  // Starvation watchdog first: any eligible head older than the budget is
+  // served immediately — oldest wins — so a heavy neighbour can delay a
+  // light tenant by at most the budget, never indefinitely.
+  if (!params_.fifo) {
+    std::size_t starved = n;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!eligible(t)) {
+        continue;
+      }
+      if (now - queues_[t].front().arrival < params_.starvation_budget) {
+        continue;
+      }
+      if (starved == n ||
+          queues_[t].front().arrival < queues_[starved].front().arrival) {
+        starved = t;
+      }
+    }
+    if (starved != n) {
+      Pick pick{queues_[starved].front(), /*starvation_boost=*/true};
+      queues_[starved].pop_front();
+      return pick;
+    }
+  }
+
+  // FIFO collapse baseline: globally oldest head, no deficits.
+  if (params_.fifo) {
+    std::size_t oldest = n;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!eligible(t)) {
+        continue;
+      }
+      if (oldest == n ||
+          queues_[t].front().arrival < queues_[oldest].front().arrival) {
+        oldest = t;
+      }
+    }
+    if (oldest == n) {
+      return std::nullopt;
+    }
+    Pick pick{queues_[oldest].front(), false};
+    queues_[oldest].pop_front();
+    return pick;
+  }
+
+  // Deficit round robin, one job per pop. The rotation state spans pops:
+  // arriving at the cursor tenant replenishes it by `weight * quantum`
+  // exactly once (`cursor_charged_`); it then spends its deficit across as
+  // many pops as it lasts before the cursor rotates on. This is packet DRR
+  // with "send one packet" sliced per call — a tenant mid-quantum keeps
+  // the floor, an idle tenant banks nothing, and a big job waits the same
+  // weighted number of rounds it would in the textbook formulation.
+  bool any = false;
+  for (std::size_t t = 0; t < n; ++t) {
+    any = any || eligible(t);
+  }
+  if (!any) {
+    return std::nullopt;
+  }
+  // Progress bound: each visit to a tenant adds a full quantum, so any
+  // head becomes affordable within ceil(max_cost / (weight * quantum))
+  // visits; 1024 rounds is far beyond any real page footprint.
+  const std::size_t max_visits = n * 1024;
+  for (std::size_t visit = 0; visit < max_visits; ++visit) {
+    const std::size_t t = cursor_;
+    if (!eligible(t)) {
+      deficits_[t] = 0;  // an idle tenant banks nothing (standard DRR)
+      cursor_ = (t + 1) % n;
+      cursor_charged_ = false;
+      continue;
+    }
+    if (!cursor_charged_) {
+      deficits_[t] += params_.weights[t] * params_.quantum_pages;
+      cursor_charged_ = true;
+    }
+    const std::uint64_t cost = cost_of(queues_[t].front());
+    if (deficits_[t] < cost) {
+      cursor_ = (t + 1) % n;  // quantum spent; next tenant's turn
+      cursor_charged_ = false;
+      continue;
+    }
+    deficits_[t] -= cost;
+    Pick pick{queues_[t].front(), false};
+    queues_[t].pop_front();
+    if (queues_[t].empty()) {
+      deficits_[t] = 0;
+      cursor_ = (t + 1) % n;
+      cursor_charged_ = false;
+    }
+    return pick;
+  }
+  throw std::logic_error(
+      "DrrScheduler::pop: no affordable head after replenishment");
+}
+
+}  // namespace zc::service

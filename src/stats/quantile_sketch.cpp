@@ -1,0 +1,131 @@
+#include "zc/stats/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace zc::stats {
+
+QuantileSketch::QuantileSketch()
+    : bins_(static_cast<std::size_t>(kExpCount) * kSubBuckets, 0) {}
+
+int QuantileSketch::bucket_of(double value) {
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // mantissa in [0.5, 1)
+  if (exp < kMinExp + 1) {
+    return 0;
+  }
+  if (exp > kMaxExp + 1) {
+    return kExpCount * kSubBuckets - 1;
+  }
+  // frexp's exponent is one above the bucket exponent: value = m * 2^exp
+  // with m in [0.5, 1), i.e. value in [2^(exp-1), 2^exp).
+  const int sub = std::clamp(
+      static_cast<int>((mantissa - 0.5) * (2.0 * kSubBuckets)), 0,
+      kSubBuckets - 1);
+  return (exp - 1 - kMinExp) * kSubBuckets + sub;
+}
+
+double QuantileSketch::representative(int bucket) {
+  const int exp = kMinExp + bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const double lo =
+      std::ldexp(0.5 + sub / (2.0 * kSubBuckets), exp + 1);
+  const double hi =
+      std::ldexp(0.5 + (sub + 1) / (2.0 * kSubBuckets), exp + 1);
+  return 0.5 * (lo + hi);
+}
+
+void QuantileSketch::record(double value) {
+  if (!std::isfinite(value) || value < 0.0) {
+    throw std::invalid_argument(
+        "QuantileSketch::record requires finite non-negative samples");
+  }
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+  if (value == 0.0) {
+    ++zero_count_;
+    return;
+  }
+  ++bins_[static_cast<std::size_t>(bucket_of(value))];
+}
+
+double QuantileSketch::quantile(double p) const {
+  if (count_ == 0) {
+    throw std::invalid_argument("QuantileSketch::quantile on empty sketch");
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("QuantileSketch::quantile p outside [0, 1]");
+  }
+  if (p <= 0.0) {
+    return min_;
+  }
+  if (p >= 1.0) {
+    return max_;
+  }
+  // 1-based rank of the order statistic `SortedSamples` would anchor its
+  // interpolation at.
+  const auto target = static_cast<std::uint64_t>(
+                          p * static_cast<double>(count_ - 1)) +
+                      1;
+  std::uint64_t cumulative = zero_count_;
+  if (cumulative >= target) {
+    return 0.0;
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cumulative += bins_[i];
+    if (cumulative >= target) {
+      return std::clamp(representative(static_cast<int>(i)), min_, max_);
+    }
+  }
+  return max_;  // unreachable: cumulative counts always reach count_
+}
+
+double QuantileSketch::min() const {
+  if (count_ == 0) {
+    throw std::invalid_argument("QuantileSketch::min on empty sketch");
+  }
+  return min_;
+}
+
+double QuantileSketch::max() const {
+  if (count_ == 0) {
+    throw std::invalid_argument("QuantileSketch::max on empty sketch");
+  }
+  return max_;
+}
+
+double QuantileSketch::mean() const {
+  if (count_ == 0) {
+    throw std::invalid_argument("QuantileSketch::mean on empty sketch");
+  }
+  return sum_ / static_cast<double>(count_);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+  zero_count_ += other.zero_count_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+}
+
+}  // namespace zc::stats

@@ -42,6 +42,10 @@ void ChromeTraceWriter::add(const DecisionTrace& decisions) {
                           decisions.records().end());
 }
 
+void ChromeTraceWriter::add(const std::vector<ServiceJobRecord>& jobs) {
+  service_events_.insert(service_events_.end(), jobs.begin(), jobs.end());
+}
+
 void ChromeTraceWriter::write(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -58,7 +62,8 @@ void ChromeTraceWriter::write(std::ostream& os) const {
     static constexpr struct {
       int pid;
       const char* name;
-    } kLanes[] = {{1, "host"}, {2, "gpu"}, {3, "sdma"}, {4, "faults"}};
+    } kLanes[] = {
+        {1, "host"}, {2, "gpu"}, {3, "sdma"}, {4, "faults"}, {5, "service"}};
     for (const auto& lane : kLanes) {
       sep();
       os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << lane.pid
@@ -117,6 +122,24 @@ void ChromeTraceWriter::write(std::ostream& os) const {
        << ",\"predicted_zero_copy_us\":" << d.predicted_zero_copy_us
        << ",\"predicted_eager_us\":" << d.predicted_eager_us
        << ",\"revised\":" << (d.revised ? "true" : "false") << "}}";
+  }
+  for (const ServiceJobRecord& j : service_events_) {
+    sep();
+    if (j.outcome == ServiceJobOutcome::Shed) {
+      os << "{\"name\":\"job-shed\",\"ph\":\"i\",\"s\":\"t\",\"pid\":5,"
+            "\"tid\":"
+         << j.tenant << ",\"ts\":" << j.arrival.since_start().us()
+         << ",\"cat\":\"service\",\"args\":{\"job\":" << j.job
+         << ",\"pages\":" << j.pages << "}}";
+      continue;
+    }
+    os << "{\"name\":\"job\",\"ph\":\"X\",\"pid\":5,\"tid\":" << j.tenant
+       << ",\"ts\":" << j.arrival.since_start().us()
+       << ",\"dur\":" << j.sojourn().us()
+       << ",\"cat\":\"service\",\"args\":{\"job\":" << j.job
+       << ",\"device\":" << j.device << ",\"pages\":" << j.pages
+       << ",\"queue_wait_us\":" << j.queue_wait().us() << ",\"outcome\":\""
+       << to_string(j.outcome) << "\"}}";
   }
   os << "],\"displayTimeUnit\":\"ms\","
         "\"otherData\":{\"generator\":\"apuzc simulator\"}}";

@@ -192,5 +192,26 @@ TEST(FaultSpec, RejectsMalformedSpecs) {
   }
 }
 
+TEST(FaultSpec, ServiceFamilyTokensMapToSitesAndKinds) {
+  const struct {
+    const char* token;
+    Site site;
+    Kind kind;
+  } cases[] = {
+      {"tenant_burst", Site::TenantBurst, Kind::TenantBurst},
+      {"admission_flap", Site::AdmissionFlap, Kind::AdmissionFlap},
+  };
+  for (const auto& c : cases) {
+    const Schedule s = parse_spec(std::string{c.token} + "@p=0.5:x8");
+    ASSERT_EQ(s.clauses.size(), 1u) << c.token;
+    EXPECT_EQ(s.clauses[0].site, c.site) << c.token;
+    EXPECT_EQ(s.clauses[0].kind, c.kind) << c.token;
+    EXPECT_FALSE(is_hang(s.clauses[0].kind)) << c.token;
+    const Schedule again = parse_spec(to_string(s));
+    EXPECT_EQ(again.clauses[0].site, c.site) << c.token;
+    EXPECT_EQ(again.clauses[0].kind, c.kind) << c.token;
+  }
+}
+
 }  // namespace
 }  // namespace zc::fault

@@ -1,0 +1,183 @@
+// Unit tests of the open-loop arrival process: seeded determinism, bounded
+// Pareto sizes, per-tenant id sequencing, flavor pinning, burst injection
+// that keeps the downstream draw sequence aligned, and parameter
+// validation.
+#include "zc/service/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace zc::service {
+namespace {
+
+using workloads::JobFlavor;
+
+ArrivalParams small_params() {
+  ArrivalParams p;
+  p.tenants = 3;
+  p.sockets = 2;
+  p.jobs = 64;
+  p.seed = 9;
+  return p;
+}
+
+TEST(ArrivalProcessTest, CtorValidates) {
+  auto bad = [](auto mutate) {
+    ArrivalParams p = small_params();
+    mutate(p);
+    EXPECT_THROW(ArrivalProcess{p}, std::invalid_argument);
+  };
+  bad([](ArrivalParams& p) { p.tenants = 0; });
+  bad([](ArrivalParams& p) { p.sockets = 0; });
+  bad([](ArrivalParams& p) { p.min_pages = 0; });
+  bad([](ArrivalParams& p) { p.max_pages = p.min_pages - 1; });
+  bad([](ArrivalParams& p) { p.min_kernels = 0; });
+  bad([](ArrivalParams& p) { p.max_kernels = p.min_kernels - 1; });
+  bad([](ArrivalParams& p) { p.pareto_alpha = 0.0; });
+}
+
+TEST(ArrivalProcessTest, GeneratesExactlyJobsArrivals) {
+  ArrivalProcess a{small_params()};
+  std::uint64_t n = 0;
+  while (!a.done()) {
+    (void)a.next();
+    ++n;
+  }
+  EXPECT_EQ(n, small_params().jobs);
+  EXPECT_EQ(a.issued(), n);
+  EXPECT_THROW((void)a.next(), std::logic_error);
+}
+
+TEST(ArrivalProcessTest, SameSeedSameSequence) {
+  ArrivalProcess a{small_params()};
+  ArrivalProcess b{small_params()};
+  while (!a.done()) {
+    const Arrival x = a.next();
+    const Arrival y = b.next();
+    EXPECT_EQ(x.gap.ns(), y.gap.ns());
+    EXPECT_EQ(x.spec.tenant, y.spec.tenant);
+    EXPECT_EQ(x.spec.id, y.spec.id);
+    EXPECT_EQ(x.spec.pages, y.spec.pages);
+    EXPECT_EQ(x.spec.kernels, y.spec.kernels);
+    EXPECT_EQ(x.spec.flavor, y.spec.flavor);
+    EXPECT_EQ(x.spec.device, y.spec.device);
+  }
+}
+
+TEST(ArrivalProcessTest, DifferentSeedsDiverge) {
+  ArrivalParams p2 = small_params();
+  p2.seed = 10;
+  ArrivalProcess a{small_params()};
+  ArrivalProcess b{p2};
+  bool diverged = false;
+  while (!a.done()) {
+    const Arrival x = a.next();
+    const Arrival y = b.next();
+    diverged = diverged || x.gap.ns() != y.gap.ns() ||
+               x.spec.tenant != y.spec.tenant || x.spec.pages != y.spec.pages;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ArrivalProcessTest, DrawsStayWithinBounds) {
+  ArrivalParams p = small_params();
+  p.jobs = 500;
+  p.min_pages = 2;
+  p.max_pages = 32;
+  p.min_kernels = 2;
+  p.max_kernels = 6;
+  ArrivalProcess a{p};
+  std::set<int> tenants_seen;
+  while (!a.done()) {
+    const Arrival x = a.next();
+    EXPECT_GE(x.spec.pages, p.min_pages);
+    EXPECT_LE(x.spec.pages, p.max_pages);
+    EXPECT_GE(x.spec.kernels, p.min_kernels);
+    EXPECT_LE(x.spec.kernels, p.max_kernels);
+    EXPECT_GE(x.spec.tenant, 0);
+    EXPECT_LT(x.spec.tenant, p.tenants);
+    EXPECT_EQ(x.spec.device, x.spec.tenant % p.sockets);
+    EXPECT_GE(x.gap.ns(), 0);
+    tenants_seen.insert(x.spec.tenant);
+  }
+  EXPECT_EQ(tenants_seen.size(), static_cast<std::size_t>(p.tenants));
+}
+
+TEST(ArrivalProcessTest, PerTenantIdsAreSequential) {
+  ArrivalParams p = small_params();
+  p.jobs = 300;
+  ArrivalProcess a{p};
+  std::vector<std::uint64_t> next(static_cast<std::size_t>(p.tenants), 0);
+  while (!a.done()) {
+    const Arrival x = a.next();
+    EXPECT_EQ(x.spec.id, next[static_cast<std::size_t>(x.spec.tenant)]++);
+  }
+}
+
+TEST(ArrivalProcessTest, TenantFlavorsPinFlavorPerTenant) {
+  ArrivalParams p = small_params();
+  p.tenants = 2;
+  p.tenant_flavors = {JobFlavor::Staged, JobFlavor::Compute};
+  ArrivalProcess a{p};
+  while (!a.done()) {
+    const Arrival x = a.next();
+    EXPECT_EQ(x.spec.flavor, x.spec.tenant == 0 ? JobFlavor::Staged
+                                                : JobFlavor::Compute);
+  }
+}
+
+// Heavy-tailed sizes: with alpha=1.5 over [2, 32] most jobs are small but
+// the cap is reached (the truncated tail exists).
+TEST(ArrivalProcessTest, ParetoSizesAreHeavyTailed) {
+  ArrivalParams p = small_params();
+  p.jobs = 2000;
+  ArrivalProcess a{p};
+  std::uint64_t small = 0;
+  std::uint64_t capped = 0;
+  while (!a.done()) {
+    const Arrival x = a.next();
+    small += x.spec.pages <= 4 ? 1 : 0;
+    capped += x.spec.pages == p.max_pages ? 1 : 0;
+  }
+  EXPECT_GT(small, p.jobs / 2);  // bulk of the mass at the small end
+  EXPECT_GT(capped, 0u);        // tail truncation engaged at least once
+}
+
+// A burst zeroes the gaps of the next N arrivals without disturbing any
+// other draw: the post-burst sub-sequence matches the unfaulted run.
+TEST(ArrivalProcessTest, BurstZeroesGapsButPreservesDraws) {
+  ArrivalProcess plain{small_params()};
+  ArrivalProcess burst{small_params()};
+  std::vector<Arrival> a;
+  std::vector<Arrival> b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back(plain.next());
+  }
+  for (int i = 0; i < 10; ++i) {
+    if (i == 3) {
+      burst.inject_burst(4);  // arrivals 3..6 become back-to-back
+    }
+    b.push_back(burst.next());
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a[static_cast<std::size_t>(i)].spec.tenant,
+              b[static_cast<std::size_t>(i)].spec.tenant);
+    EXPECT_EQ(a[static_cast<std::size_t>(i)].spec.pages,
+              b[static_cast<std::size_t>(i)].spec.pages);
+    EXPECT_EQ(a[static_cast<std::size_t>(i)].spec.kernels,
+              b[static_cast<std::size_t>(i)].spec.kernels);
+    if (i >= 3 && i < 7) {
+      EXPECT_TRUE(b[static_cast<std::size_t>(i)].gap.is_zero());
+    } else {
+      EXPECT_EQ(a[static_cast<std::size_t>(i)].gap.ns(),
+                b[static_cast<std::size_t>(i)].gap.ns());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zc::service

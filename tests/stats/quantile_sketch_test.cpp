@@ -1,0 +1,174 @@
+// The streaming quantile sketch backs the per-tenant service stats: it
+// must track SortedSamples within its documented relative-error bound,
+// stay exact on count/min/max/sum, merge losslessly, and reject the
+// samples the service can never produce (negative / non-finite latencies).
+#include "zc/stats/quantile_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "zc/sim/rng.hpp"
+#include "zc/stats/summary.hpp"
+
+namespace zc::stats {
+namespace {
+
+TEST(QuantileSketchTest, EmptySketchThrows) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW((void)s.quantile(0.5), std::invalid_argument);
+  EXPECT_THROW((void)s.min(), std::invalid_argument);
+  EXPECT_THROW((void)s.max(), std::invalid_argument);
+  EXPECT_THROW((void)s.mean(), std::invalid_argument);
+}
+
+TEST(QuantileSketchTest, RejectsNegativeAndNonFinite) {
+  QuantileSketch s;
+  EXPECT_THROW(s.record(-1.0), std::invalid_argument);
+  EXPECT_THROW(s.record(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(s.record(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_EQ(s.count(), 0u);
+  s.record(0.0);  // zero is a legal latency
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketchTest, QuantileBoundsRejected) {
+  QuantileSketch s;
+  s.record(1.0);
+  EXPECT_THROW((void)s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(QuantileSketchTest, SingleSampleIsExactEverywhere) {
+  QuantileSketch s;
+  s.record(42.5);
+  for (double p : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(s.quantile(p), 42.5);
+  }
+  EXPECT_EQ(s.min(), 42.5);
+  EXPECT_EQ(s.max(), 42.5);
+  EXPECT_EQ(s.mean(), 42.5);
+}
+
+// At integral ranks of a 0..100 ladder every order statistic is a round
+// value; the sketch's representative must land within the documented
+// relative error of the exact SortedSamples answer.
+TEST(QuantileSketchTest, MatchesSortedSamplesOnIntegerLadder) {
+  QuantileSketch s;
+  std::vector<double> raw;
+  for (int i = 0; i <= 100; ++i) {
+    s.record(static_cast<double>(i));
+    raw.push_back(static_cast<double>(i));
+  }
+  SortedSamples exact{raw};
+  for (double p : {0.0, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0}) {
+    const double want = exact.quantile(p);
+    const double got = s.quantile(p);
+    EXPECT_NEAR(got, want,
+                QuantileSketch::kRelativeError * std::max(want, 1.0))
+        << "p=" << p;
+  }
+}
+
+// Heavy-tailed stream across many binary exponents: the sketch's relative
+// error must hold at every probed quantile against the exact selection.
+TEST(QuantileSketchTest, RelativeErrorBoundOnLogUniformStream) {
+  sim::Rng rng{7};
+  QuantileSketch s;
+  std::vector<double> raw;
+  for (int i = 0; i < 20000; ++i) {
+    // log-uniform over ~[1e-3, 1e6): exercises ~30 exponent buckets
+    const double v = std::pow(10.0, rng.uniform(-3.0, 6.0));
+    s.record(v);
+    raw.push_back(v);
+  }
+  SortedSamples exact{raw};
+  for (double p : {0.01, 0.25, 0.50, 0.90, 0.99, 0.999}) {
+    const double want = exact.quantile(p);
+    const double got = s.quantile(p);
+    EXPECT_LE(std::abs(got - want), 2.0 * QuantileSketch::kRelativeError * want)
+        << "p=" << p << " want=" << want << " got=" << got;
+  }
+  EXPECT_EQ(s.count(), raw.size());
+  EXPECT_EQ(s.min(), exact.min());
+  EXPECT_EQ(s.max(), exact.max());
+}
+
+TEST(QuantileSketchTest, SumAndMeanAreExact) {
+  QuantileSketch s;
+  double sum = 0.0;
+  for (int i = 1; i <= 1000; ++i) {
+    s.record(0.5 * i);
+    sum += 0.5 * i;
+  }
+  EXPECT_DOUBLE_EQ(s.sum(), sum);
+  EXPECT_DOUBLE_EQ(s.mean(), sum / 1000.0);
+}
+
+// Merging two sketches must equal one sketch that saw both streams —
+// bit-identical bins, so every quantile answer matches exactly.
+TEST(QuantileSketchTest, MergeEqualsCombinedStream) {
+  sim::Rng rng{11};
+  QuantileSketch a;
+  QuantileSketch b;
+  QuantileSketch both;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(0.0, 1e4);
+    (i % 2 == 0 ? a : b).record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  // The running sum is the one non-associative piece: merge adds the two
+  // partial sums, the combined stream interleaves — same value up to
+  // last-ulp rounding, not bit-identical.
+  EXPECT_NEAR(a.sum(), both.sum(), 1e-9 * both.sum());
+  for (double p : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.quantile(p), both.quantile(p)) << "p=" << p;
+  }
+}
+
+TEST(QuantileSketchTest, MergeEmptyIsIdentity) {
+  QuantileSketch a;
+  a.record(3.0);
+  a.record(9.0);
+  QuantileSketch empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 3.0);
+  EXPECT_EQ(a.max(), 9.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.max(), 9.0);
+}
+
+// Determinism: the same stream recorded twice gives bit-identical answers
+// (the service's same-seed rerun contract leans on this).
+TEST(QuantileSketchTest, DeterministicAcrossReruns) {
+  auto build = [] {
+    sim::Rng rng{23};
+    QuantileSketch s;
+    for (int i = 0; i < 3000; ++i) {
+      s.record(rng.uniform(0.0, 5e5));
+    }
+    return s;
+  };
+  const QuantileSketch s1 = build();
+  const QuantileSketch s2 = build();
+  for (double p : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(s1.quantile(p), s2.quantile(p));
+  }
+}
+
+}  // namespace
+}  // namespace zc::stats

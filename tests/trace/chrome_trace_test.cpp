@@ -212,5 +212,41 @@ TEST(ChromeTrace, EndToEndFromARealRun) {
   EXPECT_NE(out.find("\"name\":\"traced\""), std::string::npos);
 }
 
+TEST(ChromeTrace, ServiceJobsRenderOnTenantTracks) {
+  ServiceJobRecord done;
+  done.tenant = 2;
+  done.job = 7;
+  done.device = 1;
+  done.pages = 16;
+  done.arrival = at(100);
+  done.start = at(120);
+  done.end = at(180);
+  done.outcome = ServiceJobOutcome::Completed;
+  ServiceJobRecord shed;
+  shed.tenant = 3;
+  shed.job = 9;
+  shed.pages = 4;
+  shed.arrival = at(200);
+  shed.start = at(200);
+  shed.end = at(200);
+  shed.outcome = ServiceJobOutcome::Shed;
+  ChromeTraceWriter w;
+  w.add(std::vector<ServiceJobRecord>{done, shed});
+  std::ostringstream os;
+  w.write(os);
+  const std::string out = os.str();
+  // Completed job: a span on the service pid, tid = tenant, with the
+  // queue-wait and outcome in args.
+  EXPECT_NE(out.find("\"name\":\"job\",\"ph\":\"X\",\"pid\":5,\"tid\":2"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"queue_wait_us\":20"), std::string::npos);
+  EXPECT_NE(out.find("\"outcome\":\"completed\""), std::string::npos);
+  EXPECT_NE(out.find("\"dur\":80"), std::string::npos);
+  // Shed job: an instant, never a span.
+  EXPECT_NE(out.find("\"name\":\"job-shed\",\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(out.find("\"tid\":3"), std::string::npos);
+  EXPECT_EQ(w.event_count(), 2u);
+}
+
 }  // namespace
 }  // namespace zc::trace

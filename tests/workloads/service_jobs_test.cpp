@@ -1,0 +1,99 @@
+// The service job flavors are the unit of work the multi-tenant service
+// dispatches: each must reproduce its closed-form checksum bit-for-bit
+// under every runtime configuration (the retire-path verification the
+// service's zero-divergence acceptance bar rests on).
+#include "zc/workloads/service_jobs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "zc/workloads/runner.hpp"
+
+namespace zc::workloads {
+namespace {
+
+using omp::RuntimeConfig;
+
+constexpr RuntimeConfig kAllConfigs[] = {
+    RuntimeConfig::LegacyCopy,       RuntimeConfig::UnifiedSharedMemory,
+    RuntimeConfig::ImplicitZeroCopy, RuntimeConfig::EagerMaps,
+    RuntimeConfig::AdaptiveMaps,
+};
+
+constexpr JobFlavor kFlavors[] = {JobFlavor::Compute, JobFlavor::Stream,
+                                  JobFlavor::Staged};
+
+ServiceJobSpec spec_for(JobFlavor flavor) {
+  ServiceJobSpec s;
+  s.tenant = 1;
+  s.id = 3;
+  s.flavor = flavor;
+  s.pages = 4;
+  s.kernels = 3;
+  return s;
+}
+
+double run_one(RuntimeConfig config, const ServiceJobSpec& spec) {
+  Program program;
+  program.binary.name = std::string{"svc-job-"} + to_string(spec.flavor);
+  auto out = std::make_shared<double>(0.0);
+  program.setup_threads = [spec, out](omp::OffloadStack& stack) {
+    stack.sched().spawn("job", [&stack, spec, out] {
+      *out = run_service_job(stack, spec);
+    });
+  };
+  program.finalize = [out](omp::OffloadStack&) { return *out; };
+  RunOptions opts;
+  opts.config = config;
+  return run_program(program, opts).checksum;
+}
+
+TEST(ServiceJobsTest, EveryFlavorMatchesClosedFormUnderEveryConfig) {
+  constexpr std::uint64_t kPage = 2ULL << 20;  // THP default
+  for (const JobFlavor flavor : kFlavors) {
+    const ServiceJobSpec spec = spec_for(flavor);
+    const double expected = service_job_checksum(spec, kPage);
+    EXPECT_NE(expected, 0.0) << to_string(flavor);
+    for (const RuntimeConfig config : kAllConfigs) {
+      EXPECT_EQ(run_one(config, spec), expected)
+          << to_string(flavor) << " under config " << static_cast<int>(config);
+    }
+  }
+}
+
+TEST(ServiceJobsTest, ChecksumDependsOnTenantIdAndFlavor) {
+  constexpr std::uint64_t kPage = 2ULL << 20;
+  const ServiceJobSpec base = spec_for(JobFlavor::Compute);
+  ServiceJobSpec other = base;
+  other.tenant = 2;
+  EXPECT_NE(service_job_checksum(base, kPage),
+            service_job_checksum(other, kPage));
+  other = base;
+  other.id = 4;
+  EXPECT_NE(service_job_checksum(base, kPage),
+            service_job_checksum(other, kPage));
+  other = base;
+  other.flavor = JobFlavor::Stream;
+  EXPECT_NE(service_job_checksum(base, kPage),
+            service_job_checksum(other, kPage));
+}
+
+TEST(ServiceJobsTest, FootprintIsWorstCaseBound) {
+  constexpr std::uint64_t kPage = 2ULL << 20;
+  ServiceJobSpec s = spec_for(JobFlavor::Compute);
+  s.pages = 4;
+  // Both sides of the single HBM are charged: host arrays + device pool
+  // copies (or the Staged staging buffer). Compute and Staged carry a
+  // one-page output/result array on top.
+  EXPECT_EQ(job_footprint_bytes(s, kPage), 2 * 5 * kPage);
+  s.flavor = JobFlavor::Staged;
+  EXPECT_EQ(job_footprint_bytes(s, kPage), 2 * 5 * kPage);
+  s.flavor = JobFlavor::Stream;
+  EXPECT_EQ(job_footprint_bytes(s, kPage), 2 * 4 * kPage);
+}
+
+}  // namespace
+}  // namespace zc::workloads
