@@ -1,16 +1,28 @@
-// Ablation: host-side cost of OMPX_APU_RACE_CHECK=report vs off.
+// Ablation: host-side cost of OMPX_APU_RACE_CHECK=report vs off, plus the
+// statically pruned mode (report:pruned).
 //
 // The detector rides the scheduler's concurrency hooks: with the mode off
 // the hook pointer is null and every instrumented site is a single branch;
 // in report mode each sync edge joins vector clocks and each access runs a
-// FastTrack epoch check. Neither adds *simulated* time — the gate below
-// asserts that wall_time and checksums are bit-identical between modes —
-// so the interesting number is real host time per run, reported here for
-// QMCPack (multi-threaded, table-heavy) and 457.spC (map/unmap churn,
-// page-heavy).
+// FastTrack epoch check. `report:pruned` prepends a record-only run whose
+// op stream feeds the zc::check static may-race pass; pages the analysis
+// PROVES free of unordered concurrent access skip their shadow-state
+// stamps in the measured run. Neither mode adds *simulated* time — the
+// gate below asserts that wall_time and checksums are bit-identical across
+// modes — so the interesting numbers are real host milliseconds per run:
+// the total pruned cost (record phase + measured phase) and the
+// measured-phase-only ratio, which is the steady-state cost once a
+// long-running program has amortized its one analysis pass.
+//
+// Headline acceptance bar: the qmcpack measured-phase ratio under
+// report:pruned stays <= 2.0x the uninstrumented run, with zero dynamic
+// race reports lost (these workloads are race-free, so "lost" means any
+// mode reporting where another does not).
 
 #include <chrono>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common.hpp"
 #include "zc/workloads/qmcpack.hpp"
@@ -18,13 +30,15 @@
 
 namespace {
 
+constexpr double kPrunedMeasuredRatioBar = 2.0;
+
 struct Timed {
   zc::workloads::RunResult result;
   double host_ms = 0.0;
 };
 
 Timed run_timed(const zc::workloads::Program& program,
-                zc::workloads::RunOptions options) {
+                const zc::workloads::RunOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   Timed t{zc::workloads::run_program(program, options), 0.0};
   t.host_ms = std::chrono::duration<double, std::milli>(
@@ -40,18 +54,22 @@ int main(int argc, char** argv) {
   using omp::RuntimeConfig;
 
   const bench::Args args = bench::Args::parse(argc, argv);
-  bench::print_banner("Ablation — race-detector overhead (off vs report)",
-                      "zc::race instrumentation cost; correctness-gated",
-                      args);
+  bench::print_banner(
+      "Ablation — race-detector overhead (off vs report vs report:pruned)",
+      "zc::race instrumentation cost; correctness-gated", args);
 
   struct Workload {
     std::string name;
     workloads::Program program;
   };
+  // The headline bar is defined at the paper's largest qmcpack point,
+  // S128 x 8 threads: page stamps (the prunable cost) dominate there,
+  // while at toy sizes the unprunable sync-edge floor drowns them out.
+  // Fidelity knobs scale the step count, never the size/thread shape.
   workloads::QmcpackParams qp;
-  qp.size = 2;
-  qp.threads = args.fidelity_min ? 2 : 4;
-  qp.steps = args.steps_or(60, 20, 300);
+  qp.size = 128;
+  qp.threads = 8;
+  qp.steps = args.fidelity_min ? 20 : args.steps_or(60, 30, 120);
   workloads::SpcParams sp;
   sp.cycles = args.fidelity_min ? 3 : args.level(10, 4, 40);
   const Workload kWorkloads[] = {
@@ -64,47 +82,110 @@ int main(int argc, char** argv) {
       RuntimeConfig::AdaptiveMaps,
   };
 
-  stats::TextTable table{{"workload", "config", "off (host ms)",
-                          "report (host ms)", "overhead", "reports"}};
-  bool ok = true;
+  stats::TextTable table{{"workload", "config", "off (ms)", "report (ms)",
+                          "report ovh", "pruned (ms)", "pruned ovh",
+                          "measured ovh", "pruned %", "reports"}};
+  std::vector<std::string> violations;
+  std::vector<std::pair<std::string, double>> metrics;
+  double qmcpack_worst_measured = 0.0;
+  // Host milliseconds on a shared machine carry additive noise spikes that
+  // dwarf the effect under test at these run lengths; min-of-N is the
+  // standard estimator for the true cost. Correctness gates still check
+  // every repetition.
+  const int reps = args.fidelity_min ? 3 : args.reps_or(3, 2);
   for (const Workload& w : kWorkloads) {
     for (const RuntimeConfig config : kConfigs) {
       workloads::RunOptions opts{.config = config, .seed = args.seed};
-      const Timed off = run_timed(w.program, opts);
-      opts.race_check_spec = "report";
-      const Timed report = run_timed(w.program, opts);
-      // Gate: the detector must be a pure observer. Any checksum or
-      // simulated-makespan drift (or any report on these fault-free,
-      // correctly synchronized runs) voids the measurement.
-      if (report.result.checksum != off.result.checksum ||
-          report.result.wall_time != off.result.wall_time ||
-          !report.result.races.empty()) {
-        ok = false;
-        std::cout << "GATE FAILURE " << w.name << "/" << omp::to_string(config)
-                  << ": checksum " << off.result.checksum << " -> "
-                  << report.result.checksum << ", reports="
-                  << report.result.races.size() << "\n";
-        if (!report.result.races.empty()) {
-          std::cout << "  first: "
-                    << report.result.races.records().front().message << "\n";
+      const std::string id = w.name + "/" + omp::to_string(config);
+      Timed off, report, pruned;
+      double measured_ms = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        opts.race_check_spec = "";
+        Timed o = run_timed(w.program, opts);
+        opts.race_check_spec = "report";
+        Timed rep = run_timed(w.program, opts);
+        opts.race_check_spec = "report:pruned";
+        Timed pr = run_timed(w.program, opts);
+        // Gate: the detector must be a pure observer in every mode. Any
+        // checksum or simulated-makespan drift (or any report on these
+        // fault-free, correctly synchronized runs) voids the measurement.
+        for (const Timed* t : {&rep, &pr}) {
+          if (t->result.checksum != o.result.checksum ||
+              t->result.wall_time != o.result.wall_time) {
+            violations.push_back(id + ": checksum/makespan drift");
+          }
+          if (!t->result.races.empty()) {
+            violations.push_back(id + ": spurious race report: " +
+                                 t->result.races.records().front().message);
+          }
+        }
+        // "Zero reports lost" on race-free inputs: modes must agree.
+        if (pr.result.races.size() != rep.result.races.size()) {
+          violations.push_back(id + ": pruning changed the report count");
+        }
+        const double m = pr.host_ms - pr.result.check_phase_ms;
+        if (r == 0 || o.host_ms < off.host_ms) {
+          off = std::move(o);
+        }
+        if (r == 0 || rep.host_ms < report.host_ms) {
+          report = std::move(rep);
+        }
+        if (r == 0 || pr.host_ms < pruned.host_ms) {
+          pruned = std::move(pr);
+        }
+        if (r == 0 || m < measured_ms) {
+          measured_ms = m;
+        }
+      }
+      const double measured_ratio = measured_ms / off.host_ms;
+      const std::uint64_t stamps = pruned.result.race_pruned_stamps +
+                                   pruned.result.race_checked_stamps;
+      const double pruned_share =
+          stamps == 0 ? 0.0
+                      : 100.0 * static_cast<double>(
+                                    pruned.result.race_pruned_stamps) /
+                            static_cast<double>(stamps);
+      if (w.name == "qmcpack") {
+        qmcpack_worst_measured = std::max(qmcpack_worst_measured,
+                                          measured_ratio);
+        if (measured_ratio > kPrunedMeasuredRatioBar) {
+          violations.push_back(id + ": pruned measured-phase ratio " +
+                               stats::TextTable::num(measured_ratio) +
+                               "x exceeds the 2.0x bar");
         }
       }
       table.add_row({w.name, omp::to_string(config),
                      stats::TextTable::num(off.host_ms),
                      stats::TextTable::num(report.host_ms),
                      stats::TextTable::num(report.host_ms / off.host_ms) + "x",
+                     stats::TextTable::num(pruned.host_ms),
+                     stats::TextTable::num(pruned.host_ms / off.host_ms) + "x",
+                     stats::TextTable::num(measured_ratio) + "x",
+                     stats::TextTable::num(pruned_share) + "%",
                      std::to_string(report.result.races.size())});
     }
   }
   table.print(std::cout);
   args.maybe_write_csv("abl_race_check", table);
+  metrics.emplace_back("qmcpack_pruned_measured_ratio_worst",
+                       qmcpack_worst_measured);
+  metrics.emplace_back("pruned_measured_ratio_bar", kPrunedMeasuredRatioBar);
+  args.maybe_write_json("abl_race_check", violations, metrics);
 
+  const bool ok = violations.empty();
+  if (!ok) {
+    for (const std::string& v : violations) {
+      std::cout << "GATE FAILURE " << v << "\n";
+    }
+  }
   std::cout << "\nCorrectness gate (bit-identical checksums + makespans, "
-               "zero reports): "
+               "zero reports, qmcpack pruned measured phase <= 2.0x): "
             << (ok ? "passed" : "FAILED") << "\n"
             << "Expected shape: report mode costs a modest constant factor "
                "of host time\n(vector-clock joins on every sync edge, epoch "
-               "checks per instrumented access)\nand exactly zero simulated "
-               "time in every configuration.\n";
+               "checks per instrumented access);\nreport:pruned pays one "
+               "record-only pass up front, then skips the stamps the\nstatic "
+               "partition proved safe — its measured phase sits between off "
+               "and report.\n";
   return ok ? 0 : 1;
 }

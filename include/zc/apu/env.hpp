@@ -63,6 +63,30 @@ enum class RaceCheckMode {
   return "?";
 }
 
+/// The three states of `OMPX_APU_CHECK`: the static offload-IR verifier
+/// (`zc::check`) off (no recording, zero overhead), report (record the
+/// operation stream, analyze it after the run, attach the findings to the
+/// run result), and abort (additionally raise a structured `OffloadError`
+/// after the run when any finding survives). The analysis is timing-free
+/// and post-hoc: abort mode cannot stop the simulated program mid-run.
+enum class CheckMode {
+  Off,
+  Report,
+  Abort,
+};
+
+[[nodiscard]] constexpr const char* to_string(CheckMode m) {
+  switch (m) {
+    case CheckMode::Off:
+      return "off";
+    case CheckMode::Report:
+      return "report";
+    case CheckMode::Abort:
+      return "abort";
+  }
+  return "?";
+}
+
 /// The two states of `OMPX_APU_PRESSURE`: off (the historical hard refusal
 /// when a coarse-grain pool allocation exceeds HBM capacity) and watermarks
 /// (the driver reclaims cold zero-copy pages to DDR when HBM crosses a high
@@ -203,7 +227,12 @@ struct ServiceConfig {
 ///                        device operations (see `WatchdogConfig`); unset
 ///                        means no watchdog;
 ///  * `OMPX_APU_RACE_CHECK` — the happens-before race detector
-///                        (`zc::race`): off, report, or abort;
+///                        (`zc::race`): off, report, or abort; a `:pruned`
+///                        suffix (e.g. `report:pruned`) makes the harness
+///                        statically prove ranges race-free first and
+///                        instrument only the rest;
+///  * `OMPX_APU_CHECK`  — the static offload-IR mapping verifier
+///                        (`zc::check`): off, report, or abort;
 ///  * `OMPX_APU_SOCKETS` — number of APU sockets the node exposes; 0 (unset)
 ///                        keeps the machine topology's own socket count;
 ///  * `OMPX_APU_FABRIC` — how inter-socket traffic is priced: `off` (the
@@ -231,6 +260,12 @@ struct RunEnvironment {
   std::string ompx_apu_faults;
   WatchdogConfig watchdog;
   RaceCheckMode race_check = RaceCheckMode::Off;
+  /// `:pruned` suffix on `OMPX_APU_RACE_CHECK` (e.g. "report:pruned"): the
+  /// harness first records the program's offload IR, statically partitions
+  /// buffer ranges into proven-safe and must-check sets (`zc::check`), and
+  /// instruments only the unproven ranges on the measured run.
+  bool race_check_pruned = false;
+  CheckMode ompx_apu_check = CheckMode::Off;
   int ompx_apu_sockets = 0;  ///< 0 = use the topology's socket count
   fabric::FabricMode ompx_apu_fabric = fabric::FabricMode::Off;
   PressureMode ompx_apu_pressure = PressureMode::Off;
@@ -249,8 +284,10 @@ struct RunEnvironment {
   /// throws `EnvError`. Keys: HSA_XNACK, OMPX_APU_MAPS,
   /// OMPX_EAGER_ZERO_COPY_MAPS, THP, OMPX_APU_FAULTS (whose value is
   /// validated against the fault-spec grammar), OMPX_APU_WATCHDOG (parsed
-  /// via `parse_watchdog`), OMPX_APU_RACE_CHECK (exactly "off", "report",
-  /// or "abort", case-insensitive), OMPX_APU_SOCKETS (a positive integer),
+  /// via `parse_watchdog`), OMPX_APU_RACE_CHECK ("off", "report", or
+  /// "abort", case-insensitive, with an optional ":pruned" suffix on the
+  /// non-off modes), OMPX_APU_CHECK (exactly "off", "report", or "abort",
+  /// case-insensitive), OMPX_APU_SOCKETS (a positive integer),
   /// OMPX_APU_FABRIC (exactly "off", "xgmi", or "uniform",
   /// case-insensitive), OMPX_APU_PRESSURE (exactly "off" or "watermarks",
   /// case-insensitive), OMPX_APU_AUTOMIGRATE (a boolean, or an integer

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "zc/check/ir.hpp"
+#include "zc/check/report.hpp"
+#include "zc/core/config.hpp"
+
+namespace zc::check {
+
+/// Timing-free dataflow analysis of a recorded offload IR.
+///
+/// Two tiers keep verdicts bit-identical across stress seeds even though
+/// the IR carries no cross-thread order:
+///
+/// * **Tier A (cross-thread, order-free set algebra)** — for buffers
+///   referenced from more than one thread, only facts independent of
+///   interleaving are derived: the union of ever-mapped ranges per device
+///   (use-before-map / device-mismatch when a kernel use is never covered),
+///   and total map-begin vs map-end counts (double-release when ends
+///   exceed begins).
+/// * **Tier B (single-owner, precise walk)** — for buffers whose every
+///   referencing op comes from one thread, that thread's stream is walked
+///   through an abstract PresentTable (presence, refcount, device-dirty,
+///   host-dirty-since-transfer), yielding precise op-index diagnostics:
+///   stale-host-read-after-kernel-write without `update from`,
+///   config-divergent host writes under live `to` mappings, overlapping
+///   map clauses, double delete.
+///
+/// `config` only tunes messages/severity of config-divergence findings
+/// (the structural verdicts are config-independent by construction).
+[[nodiscard]] Analysis analyze(const OffloadIR& ir, omp::RuntimeConfig config);
+
+/// The may-race partition alone (also contained in `analyze`'s result).
+///
+/// A buffer is *proven safe* when either
+///  * **S1**: every op that touches it is issued by one thread and none of
+///    those ops is `nowait` (single-threaded, synchronous use), or
+///  * **S2**: all kernel/DMA access to it is read-only (only `to`/`alloc`
+///    map clauses and `Read` kernel uses) and at most one thread writes it
+///    on the host, with all of that thread's host writes preceding that
+///    thread's own first map/kernel op on the buffer (initialise-then-
+///    publish; the cross-thread publication edge is assumed from the
+///    program's construct structure — see DESIGN.md §16 for the caveat).
+/// Any `nowait` involvement, host free, device-pool aliasing, or failure
+/// of both rules leaves the buffer in the must-check set.
+[[nodiscard]] RacePartition partition_races(const OffloadIR& ir);
+
+}  // namespace zc::check

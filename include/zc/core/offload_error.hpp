@@ -24,6 +24,7 @@ enum class ErrorCode {
   OperationHung,     ///< watchdog aborted a hung op; no replay budget left
   DataRace,          ///< race detector in abort mode flagged an access pair
   JobShed,           ///< service shed the job under overload (retry later)
+  CheckViolation,    ///< zc::check static verifier (abort mode) flagged ops
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode c) {
@@ -50,6 +51,8 @@ enum class ErrorCode {
       return "data-race";
     case ErrorCode::JobShed:
       return "job-shed";
+    case ErrorCode::CheckViolation:
+      return "check-violation";
   }
   return "?";
 }

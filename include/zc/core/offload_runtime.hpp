@@ -18,6 +18,10 @@
 #include "zc/sim/scheduler.hpp"
 #include "zc/trace/decision_trace.hpp"
 
+namespace zc::check {
+class Recorder;
+}
+
 namespace zc::omp {
 
 /// Handle for an `omp target ... nowait` region: the kernel is in flight;
@@ -39,6 +43,8 @@ class TargetTask {
   hsa::KernelLaunch launch_;
   int host_thread_ = 0;
   int device_ = 0;
+  /// Pairs the nowait dispatch with its wait in the recorded offload IR.
+  std::uint64_t check_token_ = 0;
   bool kernel_named_ = false;
   bool completed_ = false;
 };
@@ -101,6 +107,20 @@ class OffloadRuntime {
   void host_free(mem::VirtAddr base);
   /// CPU first touch of the range (page materialization cost).
   void host_first_touch(mem::AddrRange range);
+  /// Modeled host-side *read* of the range: stamps the pages for the race
+  /// detector and records a HostRead op in the offload IR, but creates no
+  /// pages and costs no time (reads of resident memory are free in this
+  /// model). This is how workload code tells the checkers "the CPU
+  /// consumes these bytes here" — e.g. reading back kernel results.
+  void host_read(mem::AddrRange range);
+
+  /// Attach (nullptr to detach) the `zc::check` record-only observer. The
+  /// recorder is purely passive — it advances no time and changes no
+  /// runtime behaviour — so a recorded run stays bit-identical to an
+  /// unrecorded one. Declare-target globals of an already-loaded image are
+  /// registered immediately; otherwise `load_image` registers them.
+  void set_recorder(check::Recorder* recorder);
+  [[nodiscard]] check::Recorder* recorder() const { return recorder_; }
 
   /// Host storage address of a declare-target global.
   [[nodiscard]] mem::VirtAddr global_host_addr(const std::string& name);
@@ -365,6 +385,7 @@ class OffloadRuntime {
   std::unordered_map<std::string, mem::VirtAddr> global_host_;
   std::vector<mem::AddrRange> global_ranges_;
   std::vector<mem::VirtAddr> image_allocs_;
+  check::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace zc::omp

@@ -55,9 +55,9 @@ struct AddrRange {
   VirtAddr base;
   std::uint64_t bytes = 0;
 
-  [[nodiscard]] VirtAddr end() const { return base + bytes; }
-  [[nodiscard]] bool empty() const { return bytes == 0; }
-  [[nodiscard]] bool contains(VirtAddr a) const {
+  [[nodiscard]] constexpr VirtAddr end() const { return base + bytes; }
+  [[nodiscard]] constexpr bool empty() const { return bytes == 0; }
+  [[nodiscard]] constexpr bool contains(VirtAddr a) const {
     return a >= base && a < end();
   }
 
@@ -77,5 +77,73 @@ struct AddrRange {
     return end_page(page_bytes) - first_page(page_bytes);
   }
 };
+
+/// How two address ranges relate — the single range-arithmetic vocabulary
+/// shared by the runtime PresentTable (insert/lookup legality) and the
+/// `zc::check` static overlap pass, so both agree byte-for-byte on what
+/// counts as an aliasing map. Empty ranges are disjoint from everything
+/// (a zero-byte map covers no bytes), and two ranges that merely share an
+/// endpoint (`a.end() == b.base`) are `Disjoint`, not overlapping —
+/// adjacency is legal in OpenMP map lists.
+enum class RangeRelation {
+  Disjoint,  ///< no byte in common (includes empty and adjacent ranges)
+  Equal,     ///< same base and same byte count
+  Contains,  ///< first range strictly covers the second
+  Within,    ///< first range strictly inside the second
+  Partial,   ///< some bytes shared, neither covers the other (aliasing)
+};
+
+[[nodiscard]] constexpr const char* to_string(RangeRelation r) {
+  switch (r) {
+    case RangeRelation::Disjoint:
+      return "disjoint";
+    case RangeRelation::Equal:
+      return "equal";
+    case RangeRelation::Contains:
+      return "contains";
+    case RangeRelation::Within:
+      return "within";
+    case RangeRelation::Partial:
+      return "partial-overlap";
+  }
+  return "?";
+}
+
+/// True when the ranges share at least one byte. Empty ranges never
+/// overlap anything, regardless of where their base points.
+[[nodiscard]] constexpr bool ranges_overlap(AddrRange a, AddrRange b) {
+  if (a.empty() || b.empty()) {
+    return false;
+  }
+  return a.base < b.end() && b.base < a.end();
+}
+
+/// True when `outer` covers every byte of `inner`. An empty `inner` is
+/// covered by anything (there is nothing to cover), matching the
+/// PresentTable convention that a zero-byte lookup never straddles.
+[[nodiscard]] constexpr bool range_covers(AddrRange outer, AddrRange inner) {
+  if (inner.empty()) {
+    return true;
+  }
+  return inner.base >= outer.base && inner.end() <= outer.end();
+}
+
+/// Full classification of `a` against `b` (see `RangeRelation`).
+[[nodiscard]] constexpr RangeRelation range_relation(AddrRange a,
+                                                     AddrRange b) {
+  if (!ranges_overlap(a, b)) {
+    return RangeRelation::Disjoint;
+  }
+  if (a.base == b.base && a.bytes == b.bytes) {
+    return RangeRelation::Equal;
+  }
+  if (range_covers(a, b)) {
+    return RangeRelation::Contains;
+  }
+  if (range_covers(b, a)) {
+    return RangeRelation::Within;
+  }
+  return RangeRelation::Partial;
+}
 
 }  // namespace zc::mem

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "zc/race/prune.hpp"
 #include "zc/race/vector_clock.hpp"
 #include "zc/sim/hooks.hpp"
 #include "zc/trace/race_trace.hpp"
@@ -81,6 +82,17 @@ class Detector final : public sim::ConcurrencyHooks {
   [[nodiscard]] trace::RaceTrace& trace() { return trace_; }
   [[nodiscard]] const trace::RaceTrace& trace() const { return trace_; }
 
+  /// Install the statically proven-safe page set (`report:pruned`): page
+  /// stamps covered by the filter skip shadow-state bookkeeping. Clocks,
+  /// sync edges, and field-level accesses are untouched — happens-before
+  /// transitivity is preserved for every page that stays instrumented.
+  /// Non-owning; pass nullptr to clear. Counters report the split.
+  void set_prune_filter(const PruneFilter* filter) { prune_ = filter; }
+  [[nodiscard]] std::uint64_t pruned_stamps() const { return pruned_stamps_; }
+  [[nodiscard]] std::uint64_t checked_stamps() const {
+    return checked_stamps_;
+  }
+
   /// --- sim::ConcurrencyHooks ----------------------------------------------
   void on_spawn(int parent_id, int child_id) override;
   void on_finish(int thread_id) override;
@@ -131,14 +143,21 @@ class Detector final : public sim::ConcurrencyHooks {
   [[nodiscard]] std::shared_ptr<const VectorClock> snapshot(int slot);
 
   /// Check one access against `shadow` and update it; reports on conflict.
-  void check(Shadow& shadow, trace::RaceKind kind, const std::string& what,
-             int slot, bool is_write, std::string_view site);
+  /// `name` is called only when a report is actually emitted — the common
+  /// no-race stamp must not pay for materializing the display name (for
+  /// page stamps that is a fresh std::string per page per access).
+  template <typename NameFn>
+  void check(Shadow& shadow, trace::RaceKind kind, NameFn&& name, int slot,
+             bool is_write, std::string_view site);
   void report(trace::RaceKind kind, const std::string& what,
               const Access& prev, const Access& cur);
   [[nodiscard]] std::string page_name(std::uint64_t page) const;
 
   Mode mode_;
   std::uint64_t page_bytes_;
+  const PruneFilter* prune_ = nullptr;
+  std::uint64_t pruned_stamps_ = 0;
+  std::uint64_t checked_stamps_ = 0;
   sim::Scheduler* sched_ = nullptr;
   std::function<void(const trace::RaceReport&)> abort_handler_;
   trace::RaceTrace trace_;

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "zc/mem/address.hpp"
+
+namespace zc::race {
+
+/// Page-granularity skip-set for `OMPX_APU_RACE_CHECK=...:pruned`: the
+/// pages of host-address ranges the `zc::check` static may-race pass proved
+/// free of unordered concurrent access. The detector consults it on every
+/// page stamp and skips shadow-state bookkeeping for covered pages — clocks,
+/// sync edges, and every uncovered page keep full instrumentation, so no
+/// report outside the proven-safe set can be lost.
+///
+/// A page is covered iff it holds bytes of at least one proven-safe range
+/// and bytes of NO must-check range. Page stamps originate exclusively
+/// from accesses to recorded allocations (the detector spans each access's
+/// byte range outward to page granularity), so every stamp on a covered
+/// page comes from a proven-safe buffer — skipping it cannot lose a true
+/// report, even when the safe buffer only partially occupies the page.
+/// A page shared with any must-check range stays fully instrumented.
+///
+/// Page numbers are intra-run coordinates. The two phases of a pruned run
+/// share them by construction: the bump allocator hands out identical
+/// addresses for identical (seed, config) runs, which the pruned-mode
+/// benchmark gate re-verifies via checksum and wall-time identity.
+class PruneFilter {
+ public:
+  PruneFilter() = default;
+
+  /// Build from the static partition: outward page spans of `safe` minus
+  /// outward page spans of `must_check` (either in any order, may touch).
+  [[nodiscard]] static PruneFilter from_partition(
+      const std::vector<mem::AddrRange>& safe,
+      const std::vector<mem::AddrRange>& must_check,
+      std::uint64_t page_bytes) {
+    PruneFilter f;
+    for (const mem::AddrRange& r : safe) {
+      if (r.bytes != 0) {
+        f.add(r.base.value / page_bytes,
+              (r.base.value + r.bytes - 1) / page_bytes + 1);
+      }
+    }
+    f.normalize();
+    for (const mem::AddrRange& r : must_check) {
+      if (r.bytes != 0) {
+        f.subtract(r.base.value / page_bytes,
+                   (r.base.value + r.bytes - 1) / page_bytes + 1);
+      }
+    }
+    return f;
+  }
+
+  [[nodiscard]] bool empty() const { return spans_.empty(); }
+  [[nodiscard]] std::uint64_t page_count() const {
+    std::uint64_t n = 0;
+    for (const Span& s : spans_) {
+      n += s.end - s.first;
+    }
+    return n;
+  }
+
+  /// Whether every page of [first, end) is proven safe. The detector calls
+  /// this once per access before falling back to the per-page walk: a
+  /// proven-safe buffer's whole page span lies inside one span here, so a
+  /// multi-thousand-page access prunes in a single (memoized) lookup.
+  [[nodiscard]] bool covers_range(std::uint64_t first,
+                                  std::uint64_t end) const {
+    if (first >= end) {
+      return true;
+    }
+    if (last_ < spans_.size()) {
+      const Span& s = spans_[last_];
+      if (first >= s.first && end <= s.end) {
+        return true;
+      }
+    }
+    auto it = std::upper_bound(spans_.begin(), spans_.end(), first,
+                               [](std::uint64_t p, const Span& s) {
+                                 return p < s.first;
+                               });
+    if (it == spans_.begin()) {
+      return false;
+    }
+    --it;
+    if (first >= it->first && end <= it->end) {
+      last_ = static_cast<std::size_t>(it - spans_.begin());
+      return true;
+    }
+    return false;
+  }
+
+  /// Whether `page` is proven safe (skip its shadow-state stamp). Queries
+  /// arrive as consecutive pages of one buffer, so the last-hit span
+  /// answers nearly every call without the binary search.
+  [[nodiscard]] bool covers(std::uint64_t page) const {
+    if (last_ < spans_.size()) {
+      const Span& s = spans_[last_];
+      if (page >= s.first && page < s.end) {
+        return true;
+      }
+    }
+    auto it = std::upper_bound(spans_.begin(), spans_.end(), page,
+                               [](std::uint64_t p, const Span& s) {
+                                 return p < s.first;
+                               });
+    if (it == spans_.begin()) {
+      return false;
+    }
+    --it;
+    if (page < it->end) {
+      last_ = static_cast<std::size_t>(it - spans_.begin());
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Span {
+    std::uint64_t first = 0;
+    std::uint64_t end = 0;  ///< one past the last covered page
+  };
+
+  void add(std::uint64_t first, std::uint64_t end) {
+    spans_.push_back(Span{first, end});
+  }
+
+  /// Remove [first, end) from the (sorted, disjoint) span set.
+  void subtract(std::uint64_t first, std::uint64_t end) {
+    std::vector<Span> out;
+    out.reserve(spans_.size() + 1);
+    for (const Span& s : spans_) {
+      if (s.end <= first || s.first >= end) {
+        out.push_back(s);
+        continue;
+      }
+      if (s.first < first) {
+        out.push_back(Span{s.first, first});
+      }
+      if (s.end > end) {
+        out.push_back(Span{end, s.end});
+      }
+    }
+    spans_ = std::move(out);
+    last_ = SIZE_MAX;
+  }
+
+  void normalize() {
+    std::sort(spans_.begin(), spans_.end(),
+              [](const Span& a, const Span& b) { return a.first < b.first; });
+    std::vector<Span> merged;
+    for (const Span& s : spans_) {
+      if (!merged.empty() && s.first <= merged.back().end) {
+        merged.back().end = std::max(merged.back().end, s.end);
+      } else {
+        merged.push_back(s);
+      }
+    }
+    spans_ = std::move(merged);
+  }
+
+  std::vector<Span> spans_;  ///< sorted, disjoint
+  mutable std::size_t last_ = SIZE_MAX;  ///< index of the last span hit
+};
+
+}  // namespace zc::race

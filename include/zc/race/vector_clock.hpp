@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace zc::race {
 
@@ -18,27 +20,81 @@ struct Epoch {
 
 /// A sparse vector clock over actor slots (virtual threads and logical
 /// device tasks). Components never decrease; absent components are zero.
+///
+/// Stored as a sorted flat vector: clocks stay small (slot GC bounds them),
+/// and the detector joins/copies them on every sync edge — contiguous
+/// storage makes the common join (whose component sets already match) a
+/// pure in-place max with zero allocation, where a node-based map pays a
+/// tree walk plus an allocation per component.
 class VectorClock {
  public:
   [[nodiscard]] std::uint64_t of(int slot) const {
-    const auto it = clock_.find(slot);
-    return it == clock_.end() ? 0 : it->second;
+    const auto it = find(slot);
+    return it != clock_.end() && it->first == slot ? it->second : 0;
   }
 
   void set(int slot, std::uint64_t value) {
-    std::uint64_t& c = clock_[slot];
-    if (value > c) {
-      c = value;
+    const auto it = find(slot);
+    if (it != clock_.end() && it->first == slot) {
+      if (value > it->second) {
+        it->second = value;
+      }
+      return;
     }
+    clock_.insert(it, {slot, value});
   }
 
-  void tick(int slot) { ++clock_[slot]; }
+  void tick(int slot) {
+    const auto it = find(slot);
+    if (it != clock_.end() && it->first == slot) {
+      ++it->second;
+      return;
+    }
+    clock_.insert(it, {slot, 1});
+  }
 
   /// Componentwise maximum (the join of two happens-before frontiers).
   void join(const VectorClock& other) {
-    for (const auto& [slot, value] : other.clock_) {
-      set(slot, value);
+    if (other.clock_.empty()) {
+      return;
     }
+    // Fast path: every slot of `other` already exists here — max in place.
+    std::size_t i = 0;
+    bool subset = true;
+    for (const auto& [slot, value] : other.clock_) {
+      while (i < clock_.size() && clock_[i].first < slot) {
+        ++i;
+      }
+      if (i == clock_.size() || clock_[i].first != slot) {
+        subset = false;
+        break;
+      }
+      if (value > clock_[i].second) {
+        clock_[i].second = value;
+      }
+    }
+    if (subset) {
+      return;
+    }
+    std::vector<std::pair<int, std::uint64_t>> merged;
+    merged.reserve(clock_.size() + other.clock_.size());
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < clock_.size() || b < other.clock_.size()) {
+      if (b == other.clock_.size() ||
+          (a < clock_.size() && clock_[a].first < other.clock_[b].first)) {
+        merged.push_back(clock_[a++]);
+      } else if (a == clock_.size() ||
+                 other.clock_[b].first < clock_[a].first) {
+        merged.push_back(other.clock_[b++]);
+      } else {
+        merged.push_back({clock_[a].first,
+                          std::max(clock_[a].second, other.clock_[b].second)});
+        ++a;
+        ++b;
+      }
+    }
+    clock_ = std::move(merged);
   }
 
   /// Whether every component of *this is <= the matching one in `other`
@@ -75,7 +131,8 @@ class VectorClock {
     return out;
   }
 
-  [[nodiscard]] const std::map<int, std::uint64_t>& components() const {
+  [[nodiscard]] const std::vector<std::pair<int, std::uint64_t>>& components()
+      const {
     return clock_;
   }
 
@@ -90,7 +147,25 @@ class VectorClock {
   }
 
  private:
-  std::map<int, std::uint64_t> clock_;
+  using Iter = std::vector<std::pair<int, std::uint64_t>>::iterator;
+  using ConstIter = std::vector<std::pair<int, std::uint64_t>>::const_iterator;
+
+  [[nodiscard]] Iter find(int slot) {
+    return std::lower_bound(
+        clock_.begin(), clock_.end(), slot,
+        [](const std::pair<int, std::uint64_t>& e, int s) {
+          return e.first < s;
+        });
+  }
+  [[nodiscard]] ConstIter find(int slot) const {
+    return std::lower_bound(
+        clock_.begin(), clock_.end(), slot,
+        [](const std::pair<int, std::uint64_t>& e, int s) {
+          return e.first < s;
+        });
+  }
+
+  std::vector<std::pair<int, std::uint64_t>> clock_;  ///< sorted by slot
 };
 
 }  // namespace zc::race

@@ -610,18 +610,19 @@ class GuardedBy {
   GuardedBy(const GuardedBy&) = delete;
   GuardedBy& operator=(const GuardedBy&) = delete;
 
+  // get() deliberately does NOT emit a ConcurrencyHooks::on_access event.
+  // assert_held proves every access happens under the one mutex bound at
+  // construction, and the mutex's release/acquire hooks order all critical
+  // sections — so a happens-before race check on these accesses can never
+  // fire and would only tax the detector's hot path. Racy access patterns
+  // must use the raw race::on_read/on_write annotations instead; mixing
+  // those with GuardedBy on the same address defeats this exemption.
   [[nodiscard]] T& get(Scheduler& sched) {
     assert_held(*m_, sched, what_);
-    if (ConcurrencyHooks* h = sched.hooks()) {
-      h->on_access(&value_, sizeof(T), what_, /*is_write=*/true);
-    }
     return value_;
   }
   [[nodiscard]] const T& get(Scheduler& sched) const {
     assert_held(*m_, sched, what_);
-    if (ConcurrencyHooks* h = sched.hooks()) {
-      h->on_access(&value_, sizeof(T), what_, /*is_write=*/false);
-    }
     return value_;
   }
 

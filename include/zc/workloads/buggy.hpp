@@ -1,0 +1,60 @@
+#pragma once
+
+#include "zc/workloads/runner.hpp"
+
+namespace zc::workloads {
+
+/// Seeded buggy-workload corpus for the `zc::check` static verifier.
+///
+/// Each program plants exactly one mapping bug of a kind the paper's
+/// portability discussion calls out: code that *happens to work* on an
+/// MI300A because zero-copy makes host and device views coincide, but is
+/// wrong OpenMP — it breaks (an error, or silently stale data) the moment
+/// the same binary runs under Legacy Copy on a discrete GPU. The corpus
+/// serves double duty:
+///
+///  * statically, `OMPX_APU_CHECK=report` must flag each planted bug with
+///    an op-index + buffer-range diagnostic (`buggy_corpus_test`);
+///  * dynamically, each bug is confirmed for real — a typed error under
+///    Legacy Copy, or a checksum divergence between Legacy Copy and the
+///    zero-copy configurations (`differential` semantics, same checksums
+///    the config-matrix tests compare).
+///
+/// All corpus programs are single-threaded and deterministic; their
+/// checksums are bit-identical under any stress seed.
+
+/// Kernel reads a buffer that no enclosing data environment ever mapped.
+/// Works under zero-copy (identity translation); Legacy Copy faults at
+/// argument translation. Static finding: `use-before-map`.
+[[nodiscard]] Program make_buggy_missing_map();
+
+/// Kernel updates device-resident data, but the host reads the result
+/// without a `target update from` (and the mapping exits with `delete`,
+/// so no copy-back ever happens). Works under zero-copy; under Legacy
+/// Copy the host reads the stale pre-kernel values. Static finding:
+/// `stale-host-read`.
+[[nodiscard]] Program make_buggy_stale_data();
+
+/// Structured reference counting gone wrong: two `enter data` maps, an
+/// `exit data delete` (which drops the mapping regardless of the count),
+/// then an `exit data tofrom` of the now-absent range. Zero-copy configs
+/// shrug; Legacy Copy raises a mapping violation. Static finding:
+/// `double-release`.
+[[nodiscard]] Program make_buggy_double_delete();
+
+/// Zero-copy-only coherence: the host rewrites a `to`-mapped buffer while
+/// the mapping is live, then a kernel reads it without an `always`/update
+/// refresh. Under zero-copy the kernel sees the new values; under Legacy
+/// Copy it reads the stale device snapshot. Static finding:
+/// `config-divergence`.
+[[nodiscard]] Program make_buggy_coherence();
+
+/// A real data race: host touch of a zero-copy-mapped buffer while a
+/// `nowait` kernel over the same buffer is still in flight. Not a mapping
+/// bug — the static verifier's race partition must put the buffer in the
+/// *must-check* set so `OMPX_APU_RACE_CHECK=report:pruned` still
+/// instruments it and the dynamic detector still reports the race
+/// (`race_prune_test`: pruning loses no reports).
+[[nodiscard]] Program make_buggy_nowait_race();
+
+}  // namespace zc::workloads

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "zc/check/report.hpp"
 #include "zc/core/offload_stack.hpp"
 #include "zc/sim/jitter.hpp"
 #include "zc/stats/repetition.hpp"
@@ -66,8 +67,19 @@ struct RunOptions {
   std::string watchdog_spec;
 
   /// Happens-before race detection (OMPX_APU_RACE_CHECK grammar: "off",
-  /// "report", or "abort"); empty runs with the detector off.
+  /// "report", or "abort", optionally with a ":pruned" suffix); empty runs
+  /// with the detector off. With ":pruned" the harness first records the
+  /// program's offload IR on a detector-off phase, statically partitions
+  /// buffer ranges into proven-safe and must-check sets (`zc::check`), and
+  /// then runs the measured phase with the detector instrumenting only the
+  /// unproven ranges.
   std::string race_check_spec;
+
+  /// Static offload-IR mapping verification (OMPX_APU_CHECK grammar:
+  /// "off", "report", or "abort"); empty runs without the recorder. In
+  /// "report" the findings land in `RunResult::check`; in "abort" any
+  /// finding raises `OffloadError(CheckViolation)` after the run.
+  std::string check_spec;
 
   /// Memory-pressure handling (OMPX_APU_PRESSURE grammar: "off" or
   /// "watermarks"); empty keeps pressure handling off — a full pool then
@@ -153,6 +165,19 @@ struct RunResult {
   /// Per-tenant service stats (empty unless the program was built by
   /// `service::run_service`, which fills them in at finalize).
   std::vector<TenantServiceStats> service_tenants;
+  /// Static mapping-verifier findings (empty unless RunOptions::check_spec
+  /// or a ":pruned" race spec enabled the recorder). Deterministic: the
+  /// same program yields a bit-identical trace under any stress seed.
+  check::CheckTrace check;
+  /// Static may-race partition from the same analysis.
+  check::RacePartition race_partition;
+  /// Host wall-clock milliseconds spent on the checker phases (the
+  /// record-only run of a ":pruned" flow plus the static analysis); 0 when
+  /// the recorder is off. Real time, not simulated time.
+  double check_phase_ms = 0.0;
+  /// Page-stamp split of a pruned detector run (both 0 otherwise).
+  std::uint64_t race_pruned_stamps = 0;
+  std::uint64_t race_checked_stamps = 0;
 };
 
 /// Build the stack, run the program to completion, snapshot the telemetry.

@@ -35,16 +35,50 @@ ApuMapsMode apu_maps_mode(const std::string& key, const std::string& raw) {
   return truthy(key, raw) ? ApuMapsMode::On : ApuMapsMode::Off;
 }
 
-RaceCheckMode race_check_mode(const std::string& key, const std::string& raw) {
+/// Mode plus the optional `:pruned` suffix of `OMPX_APU_RACE_CHECK`.
+struct RaceCheckSetting {
+  RaceCheckMode mode = RaceCheckMode::Off;
+  bool pruned = false;
+};
+
+RaceCheckSetting race_check_mode(const std::string& key,
+                                 const std::string& raw) {
+  std::string v = lowered(raw);
+  RaceCheckSetting out;
+  if (const std::size_t colon = v.find(':'); colon != std::string::npos) {
+    if (v.substr(colon + 1) != "pruned") {
+      throw EnvError(key + "=" + raw +
+                     " suffix must be ':pruned' (static proven-safe pruning)");
+    }
+    out.pruned = true;
+    v = v.substr(0, colon);
+  }
+  if (v == "off") {
+    if (out.pruned) {
+      throw EnvError(key + "=" + raw + " cannot combine 'off' with ':pruned'");
+    }
+    out.mode = RaceCheckMode::Off;
+  } else if (v == "report") {
+    out.mode = RaceCheckMode::Report;
+  } else if (v == "abort") {
+    out.mode = RaceCheckMode::Abort;
+  } else {
+    throw EnvError(key + "=" + raw + " must be 'off', 'report', or 'abort'" +
+                   " (optionally with a ':pruned' suffix)");
+  }
+  return out;
+}
+
+CheckMode check_mode(const std::string& key, const std::string& raw) {
   const std::string v = lowered(raw);
   if (v == "off") {
-    return RaceCheckMode::Off;
+    return CheckMode::Off;
   }
   if (v == "report") {
-    return RaceCheckMode::Report;
+    return CheckMode::Report;
   }
   if (v == "abort") {
-    return RaceCheckMode::Abort;
+    return CheckMode::Abort;
   }
   throw EnvError(key + "=" + raw + " must be 'off', 'report', or 'abort'");
 }
@@ -237,7 +271,12 @@ RunEnvironment RunEnvironment::from_env(
     out.watchdog = parse_watchdog(it->second);
   }
   if (auto it = env.find("OMPX_APU_RACE_CHECK"); it != env.end()) {
-    out.race_check = race_check_mode(it->first, it->second);
+    const RaceCheckSetting rc = race_check_mode(it->first, it->second);
+    out.race_check = rc.mode;
+    out.race_check_pruned = rc.pruned;
+  }
+  if (auto it = env.find("OMPX_APU_CHECK"); it != env.end()) {
+    out.ompx_apu_check = check_mode(it->first, it->second);
   }
   if (auto it = env.find("OMPX_APU_SOCKETS"); it != env.end()) {
     out.ompx_apu_sockets = socket_count(it->first, it->second);
@@ -280,6 +319,13 @@ std::string RunEnvironment::to_string() const {
   if (race_check != RaceCheckMode::Off) {
     s += " OMPX_APU_RACE_CHECK=";
     s += apu::to_string(race_check);
+    if (race_check_pruned) {
+      s += ":pruned";
+    }
+  }
+  if (ompx_apu_check != CheckMode::Off) {
+    s += " OMPX_APU_CHECK=";
+    s += apu::to_string(ompx_apu_check);
   }
   if (ompx_apu_sockets > 0) {
     s += " OMPX_APU_SOCKETS=";

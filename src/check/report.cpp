@@ -1,0 +1,40 @@
+#include "zc/check/report.hpp"
+
+namespace zc::check {
+
+std::string CheckFinding::to_string() const {
+  std::string out{check::to_string(kind)};
+  out += " " + thread + "#" + std::to_string(op_index);
+  out += " dev" + std::to_string(device);
+  out += " " + buffer;
+  out += ": " + message;
+  return out;
+}
+
+std::string CheckTrace::to_string() const {
+  std::string out = "check: " + std::to_string(findings.size()) +
+                    " finding(s) over " + std::to_string(ops_analyzed) +
+                    " op(s), " + std::to_string(buffers_analyzed) +
+                    " buffer(s)\n";
+  for (const CheckFinding& f : findings) {
+    out += "  " + f.to_string() + "\n";
+  }
+  return out;
+}
+
+std::string RacePartition::to_string() const {
+  std::string out = "race-partition: " + std::to_string(safe_buffers.size()) +
+                    " proven-safe / " +
+                    std::to_string(must_check_buffers.size()) +
+                    " must-check buffer(s), " + std::to_string(safe_pages) +
+                    "/" + std::to_string(total_pages) + " page(s) pruned\n";
+  for (const std::string& b : safe_buffers) {
+    out += "  safe: " + b + "\n";
+  }
+  for (const std::string& b : must_check_buffers) {
+    out += "  must-check: " + b + "\n";
+  }
+  return out;
+}
+
+}  // namespace zc::check

@@ -9,17 +9,18 @@ PresentEntry& PresentTable::insert(mem::AddrRange host,
   if (host.empty()) {
     throw std::invalid_argument("PresentTable::insert: empty range");
   }
-  // Reject partial overlap with neighbours.
+  // Reject any overlap with neighbours (the shared range-relation helper
+  // keeps this byte-for-byte consistent with the zc::check overlap pass:
+  // adjacency is legal, sharing bytes is not).
   auto next = entries_.lower_bound(host.base.value);
-  if (next != entries_.end() &&
-      next->second.host.base < host.end()) {
+  if (next != entries_.end() && mem::ranges_overlap(next->second.host, host)) {
     throw std::invalid_argument(
         "PresentTable::insert: range overlaps existing mapping at " +
         next->second.host.base.to_string());
   }
   if (next != entries_.begin()) {
     auto prev = std::prev(next);
-    if (prev->second.host.end() > host.base) {
+    if (mem::ranges_overlap(prev->second.host, host)) {
       throw std::invalid_argument(
           "PresentTable::insert: range overlaps existing mapping at " +
           prev->second.host.base.to_string());
@@ -59,7 +60,7 @@ PresentEntry* PresentTable::lookup_range(mem::AddrRange range) {
   if (e == nullptr) {
     return nullptr;
   }
-  if (range.end() > e->host.end()) {
+  if (!mem::range_covers(e->host, range)) {
     throw std::invalid_argument(
         "PresentTable::lookup_range: range extends past mapped range of '" +
         e->host.base.to_string() + "'");

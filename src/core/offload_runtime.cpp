@@ -4,11 +4,44 @@
 #include <stdexcept>
 #include <utility>
 
+#include "zc/check/ir.hpp"
 #include "zc/race/api.hpp"
 
 namespace zc::omp {
 
 using sim::Duration;
+
+namespace {
+
+/// Shape-only projection of a construct's map list for the offload IR.
+check::IrOp make_map_op(check::OpKind kind, std::span<const MapEntry> maps,
+                        int device) {
+  check::IrOp op;
+  op.kind = kind;
+  op.device = device;
+  op.maps.reserve(maps.size());
+  for (const MapEntry& e : maps) {
+    op.maps.push_back(check::IrMap{e.host_range(), e.type, e.always});
+  }
+  return op;
+}
+
+/// Projection of a target region (maps + enclosing-environment uses).
+check::IrOp make_region_op(const TargetRegion& region, int device,
+                           bool nowait, std::uint64_t token) {
+  check::IrOp op = make_map_op(check::OpKind::Kernel, region.maps, device);
+  op.nowait = nowait;
+  op.token = token;
+  op.name = region.name;
+  op.uses.reserve(region.uses.size());
+  for (const BufferUse& u : region.uses) {
+    op.uses.push_back(
+        check::IrUse{mem::AddrRange{u.addr, u.bytes}, u.access});
+  }
+  return op;
+}
+
+}  // namespace
 
 OffloadRuntime::OffloadRuntime(hsa::Runtime& hsa, ProgramBinary program)
     : hsa_{hsa},
@@ -131,6 +164,9 @@ void OffloadRuntime::load_image() {
     (void)hsa_.memory().host_touch(host.range());  // static data is resident
     global_host_.emplace(g.name, host.base());
     global_ranges_.push_back(host.range());
+    if (recorder_ != nullptr) {
+      recorder_->add_global(host.range(), "global:" + g.name);
+    }
     if (globals_use_device_copy(config_)) {
       // Each GPU code object carries its own copy of the global (§IV-C).
       for (int d = 0; d < device_count(); ++d) {
@@ -159,12 +195,33 @@ mem::VirtAddr OffloadRuntime::global_host_addr(const std::string& name) {
   return it->second;
 }
 
+void OffloadRuntime::set_recorder(check::Recorder* recorder) {
+  recorder_ = recorder;
+  if (recorder_ == nullptr || !image_loaded_) {
+    return;  // a later load_image registers the globals
+  }
+  for (const auto& [name, base] : global_host_) {
+    for (const mem::AddrRange& r : global_ranges_) {
+      if (r.contains(base)) {
+        recorder_->add_global(r, "global:" + name);
+        break;
+      }
+    }
+  }
+}
+
 mem::VirtAddr OffloadRuntime::host_alloc(std::uint64_t bytes,
                                          std::string name, int home_socket) {
   check_device(home_socket);
   apu::Machine& m = hsa_.machine();
   m.sched().advance(m.jittered(m.costs().os_alloc_base));
-  return hsa_.memory().os_alloc(bytes, std::move(name), home_socket).base();
+  mem::Allocation& a =
+      hsa_.memory().os_alloc(bytes, std::move(name), home_socket);
+  if (recorder_ != nullptr) {
+    recorder_->add_buffer(m.sched(), a.range(), a.name(),
+                          check::BufKind::Host);
+  }
+  return a.base();
 }
 
 mem::VirtAddr OffloadRuntime::host_alloc_placed(std::uint64_t bytes,
@@ -174,9 +231,14 @@ mem::VirtAddr OffloadRuntime::host_alloc_placed(std::uint64_t bytes,
   check_device(home_socket);
   apu::Machine& m = hsa_.machine();
   m.sched().advance(m.jittered(m.costs().os_alloc_base));
-  return hsa_.memory()
-      .os_alloc_placed(bytes, std::move(name), placement, home_socket)
-      .base();
+  mem::Allocation& a =
+      hsa_.memory().os_alloc_placed(bytes, std::move(name), placement,
+                                    home_socket);
+  if (recorder_ != nullptr) {
+    recorder_->add_buffer(m.sched(), a.range(), a.name(),
+                          check::BufKind::Host);
+  }
+  return a.base();
 }
 
 void OffloadRuntime::host_free(mem::VirtAddr base) {
@@ -188,6 +250,12 @@ void OffloadRuntime::host_free(mem::VirtAddr base) {
   // rejected free — including one `os_free` below would reject — leaves
   // the Adaptive Maps cache exactly as it was.
   const mem::Allocation* const a = hsa_.memory().space().find(base);
+  if (recorder_ != nullptr && a != nullptr) {
+    check::IrOp op;
+    op.kind = check::OpKind::HostFree;
+    op.range = a->range();
+    recorder_->record(hsa_.machine().sched(), std::move(op));
+  }
   {
     sim::LockGuard lock{table_mutex_, hsa_.machine().sched()};
     auto& tables = tables_.get(hsa_.machine().sched());
@@ -213,6 +281,12 @@ void OffloadRuntime::host_free(mem::VirtAddr base) {
 
 void OffloadRuntime::host_first_touch(mem::AddrRange range) {
   apu::Machine& m = hsa_.machine();
+  if (recorder_ != nullptr) {
+    check::IrOp op;
+    op.kind = check::OpKind::HostTouch;
+    op.range = range;
+    recorder_->record(m.sched(), std::move(op));
+  }
   const std::uint64_t new_pages = hsa_.memory().host_touch(range);
   if (new_pages == 0) {
     return;
@@ -221,6 +295,28 @@ void OffloadRuntime::host_first_touch(mem::AddrRange range) {
       static_cast<double>(m.page_bytes()) / static_cast<double>(2ULL << 20);
   m.sched().advance(m.jittered(m.costs().host_touch_per_page_2mb * page_scale *
                                static_cast<double>(new_pages)));
+}
+
+void OffloadRuntime::host_read(mem::AddrRange range) {
+  apu::Machine& m = hsa_.machine();
+  // A host read is the read-side twin of host_first_touch's page stamp:
+  // under zero-copy these are the pages kernels write, so an unordered
+  // in-flight kernel write is a race the detector must see.
+  if (sim::ConcurrencyHooks* h = m.sched().hooks()) {
+    const mem::Allocation* const a = hsa_.memory().space().find(range.base);
+    const std::string site =
+        "host_read('" + (a != nullptr ? a->name() : std::string{"?"}) + "')";
+    const std::uint64_t pb = m.page_bytes();
+    h->on_host_pages(range.first_page(pb),
+                     range.end_page(pb) - range.first_page(pb),
+                     /*is_write=*/false, site);
+  }
+  if (recorder_ != nullptr) {
+    check::IrOp op;
+    op.kind = check::OpKind::HostRead;
+    op.range = range;
+    recorder_->record(m.sched(), std::move(op));
+  }
 }
 
 bool OffloadRuntime::is_global_addr(mem::VirtAddr a) const {
@@ -923,7 +1019,7 @@ void OffloadRuntime::check_distinct(std::span<const MapEntry> maps) {
     for (std::size_t j = i + 1; j < maps.size(); ++j) {
       const mem::AddrRange a = maps[i].host_range();
       const mem::AddrRange b = maps[j].host_range();
-      if (a.base < b.end() && b.base < a.end()) {
+      if (mem::ranges_overlap(a, b)) {
         throw MappingError("overlapping map entries at " +
                            maps[i].host_ptr.to_string() + " and " +
                            maps[j].host_ptr.to_string() +
@@ -935,6 +1031,10 @@ void OffloadRuntime::check_distinct(std::span<const MapEntry> maps) {
 
 void OffloadRuntime::target_data_begin(std::span<const MapEntry> maps,
                                        int device) {
+  if (recorder_ != nullptr) {
+    recorder_->record(hsa_.machine().sched(),
+                      make_map_op(check::OpKind::DataBegin, maps, device));
+  }
   ensure_initialized();
   check_device(device);
   check_distinct(maps);
@@ -947,6 +1047,10 @@ void OffloadRuntime::target_data_begin(std::span<const MapEntry> maps,
 
 void OffloadRuntime::target_data_end(std::span<const MapEntry> maps,
                                      int device) {
+  if (recorder_ != nullptr) {
+    recorder_->record(hsa_.machine().sched(),
+                      make_map_op(check::OpKind::DataEnd, maps, device));
+  }
   ensure_initialized();
   check_device(device);
   check_distinct(maps);
@@ -962,6 +1066,13 @@ void OffloadRuntime::target_data_end(std::span<const MapEntry> maps,
 
 void OffloadRuntime::target_enter_data(std::span<const MapEntry> maps,
                                        int device) {
+  if (recorder_ != nullptr) {
+    recorder_->record(hsa_.machine().sched(),
+                      make_map_op(check::OpKind::EnterData, maps, device));
+  }
+  // The construct is recorded as one EnterData op; suppress the nested
+  // DataBegin record the implementation below would otherwise add.
+  check::SuppressScope suppress{recorder_, hsa_.machine().sched()};
   for (const MapEntry& entry : maps) {
     if (exit_only(entry.type)) {
       throw MappingError(std::string{"map type '"} + to_string(entry.type) +
@@ -973,10 +1084,20 @@ void OffloadRuntime::target_enter_data(std::span<const MapEntry> maps,
 
 void OffloadRuntime::target_exit_data(std::span<const MapEntry> maps,
                                       int device) {
+  if (recorder_ != nullptr) {
+    recorder_->record(hsa_.machine().sched(),
+                      make_map_op(check::OpKind::ExitData, maps, device));
+  }
+  check::SuppressScope suppress{recorder_, hsa_.machine().sched()};
   target_data_end(maps, device);
 }
 
 void OffloadRuntime::target_update_to(const MapEntry& entry, int device) {
+  if (recorder_ != nullptr) {
+    recorder_->record(
+        hsa_.machine().sched(),
+        make_map_op(check::OpKind::UpdateTo, {&entry, 1}, device));
+  }
   ensure_initialized();
   check_device(device);
   apu::Machine& m = hsa_.machine();
@@ -1016,6 +1137,11 @@ void OffloadRuntime::target_update_to(const MapEntry& entry, int device) {
 }
 
 void OffloadRuntime::target_update_from(const MapEntry& entry, int device) {
+  if (recorder_ != nullptr) {
+    recorder_->record(
+        hsa_.machine().sched(),
+        make_map_op(check::OpKind::UpdateFrom, {&entry, 1}, device));
+  }
   ensure_initialized();
   check_device(device);
   apu::Machine& m = hsa_.machine();
@@ -1171,6 +1297,14 @@ void OffloadRuntime::target(const TargetRegion& region) {
   const int device =
       region.device == kDeviceAuto ? resolve_device(region) : region.device;
   check_device(device);
+  if (recorder_ != nullptr) {
+    recorder_->record(hsa_.machine().sched(),
+                      make_region_op(region, device, /*nowait=*/false, 0));
+  }
+  // One Kernel op stands for the whole construct; the data-begin/data-end
+  // halves below must not add their own records (per-thread suppression:
+  // the construct yields, and other threads keep recording meanwhile).
+  check::SuppressScope suppress{recorder_, hsa_.machine().sched()};
   target_data_begin(region.maps, device);
 
   // Unguarded table reference: argument translation only resolves entries
@@ -1200,6 +1334,13 @@ TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
   const int device =
       region.device == kDeviceAuto ? resolve_device(region) : region.device;
   check_device(device);
+  std::uint64_t token = 0;
+  if (recorder_ != nullptr) {
+    token = recorder_->issue_token(hsa_.machine().sched());
+    recorder_->record(hsa_.machine().sched(),
+                      make_region_op(region, device, /*nowait=*/true, token));
+  }
+  check::SuppressScope suppress{recorder_, hsa_.machine().sched()};
   sim::TimePoint not_before;
   std::vector<hsa::Signal> dep_signals;
   dep_signals.reserve(depends.size());
@@ -1241,6 +1382,7 @@ TargetTask OffloadRuntime::target_nowait(const TargetRegion& region,
   task.launch_ = std::move(launch);
   task.maps_.assign(region.maps.begin(), region.maps.end());
   task.device_ = device;
+  task.check_token_ = token;
   task.kernel_named_ = true;
   return task;
 }
@@ -1253,6 +1395,17 @@ void OffloadRuntime::target_wait(TargetTask& task) {
   if (!task.valid()) {
     throw MappingError("target_wait: empty task", ErrorCode::TaskMisuse);
   }
+  if (recorder_ != nullptr) {
+    // The wait op carries a copy of the dispatch's map list so the
+    // analyzer can replay the data-end half at the correct point of the
+    // *waiting* thread's program order.
+    check::IrOp op =
+        make_map_op(check::OpKind::KernelWait, task.maps_, task.device_);
+    op.name = task.launch_.name;
+    op.token = task.check_token_;
+    recorder_->record(hsa_.machine().sched(), std::move(op));
+  }
+  check::SuppressScope suppress{recorder_, hsa_.machine().sched()};
   await_kernel(task.signal_, task.launch_, task.host_thread_);
   target_data_end(task.maps_, task.device_);
   task.completed_ = true;
@@ -1262,18 +1415,44 @@ mem::VirtAddr OffloadRuntime::device_alloc(std::uint64_t bytes,
                                            std::string name, int device) {
   ensure_initialized();
   check_device(device);
-  return hsa_.memory_pool_allocate(bytes, std::move(name),
-                                   /*count_in_ledger=*/true, device);
+  std::string label = recorder_ != nullptr ? name : std::string{};
+  const mem::VirtAddr addr = hsa_.memory_pool_allocate(
+      bytes, std::move(name), /*count_in_ledger=*/true, device);
+  if (recorder_ != nullptr) {
+    sim::Scheduler& sched = hsa_.machine().sched();
+    recorder_->add_buffer(sched, mem::AddrRange{addr, bytes}, label,
+                          check::BufKind::DevicePool);
+    check::IrOp op;
+    op.kind = check::OpKind::DeviceAlloc;
+    op.device = device;
+    op.range = mem::AddrRange{addr, bytes};
+    recorder_->record(sched, std::move(op));
+  }
+  return addr;
 }
 
 void OffloadRuntime::device_free(mem::VirtAddr ptr) {
   ensure_initialized();
+  if (recorder_ != nullptr) {
+    const mem::Allocation* const a = hsa_.memory().space().find(ptr);
+    check::IrOp op;
+    op.kind = check::OpKind::DeviceFree;
+    op.range = a != nullptr ? a->range() : mem::AddrRange{ptr, 0};
+    recorder_->record(hsa_.machine().sched(), std::move(op));
+  }
   hsa_.memory_pool_free(ptr);
 }
 
 void OffloadRuntime::target_memcpy(mem::VirtAddr dst, mem::VirtAddr src,
                                    std::uint64_t bytes) {
   ensure_initialized();
+  if (recorder_ != nullptr) {
+    check::IrOp op;
+    op.kind = check::OpKind::Memcpy;
+    op.range = mem::AddrRange{dst, bytes};
+    op.src = mem::AddrRange{src, bytes};
+    recorder_->record(hsa_.machine().sched(), std::move(op));
+  }
   // The copy runs on the SDMA engine of the socket homing the destination —
   // writes stay local to the engine, reads cross the fabric.
   int device = 0;
@@ -1295,6 +1474,13 @@ std::uint64_t OffloadRuntime::migrate_to_device(mem::AddrRange range,
                                                 int device) {
   ensure_initialized();
   check_device(device);
+  if (recorder_ != nullptr) {
+    check::IrOp op;
+    op.kind = check::OpKind::Migrate;
+    op.device = device;
+    op.range = range;
+    recorder_->record(hsa_.machine().sched(), std::move(op));
+  }
   {
     // Placement is a pricing input: cached Adaptive Maps decisions for the
     // range are stale the moment the home moves.

@@ -120,7 +120,8 @@ void Detector::on_access(const void* addr, std::size_t /*bytes*/,
     return;
   }
   Shadow& sh = vars_[addr];
-  check(sh, trace::RaceKind::Field, std::string{what}, slot, is_write, what);
+  check(sh, trace::RaceKind::Field, [&] { return std::string{what}; }, slot,
+        is_write, what);
 }
 
 int Detector::on_task_begin(std::string_view what, int device) {
@@ -181,9 +182,18 @@ void Detector::on_task_pages(int task, std::uint64_t first_page,
   if (task < 0 || task >= static_cast<int>(actors_.size())) {
     return;
   }
+  if (prune_ != nullptr && prune_->covers_range(first_page, first_page + pages)) {
+    pruned_stamps_ += pages;  // whole access statically proven safe
+    return;
+  }
   for (std::uint64_t p = first_page; p < first_page + pages; ++p) {
-    check(pages_[p], trace::RaceKind::Page, page_name(p), task, is_write,
-          what);
+    if (prune_ != nullptr && prune_->covers(p)) {
+      ++pruned_stamps_;  // statically proven safe: skip the shadow stamp
+      continue;
+    }
+    ++checked_stamps_;
+    check(pages_[p], trace::RaceKind::Page, [&] { return page_name(p); },
+          task, is_write, what);
   }
 }
 
@@ -193,9 +203,18 @@ void Detector::on_host_pages(std::uint64_t first_page, std::uint64_t pages,
   if (slot < 0) {
     return;
   }
+  if (prune_ != nullptr && prune_->covers_range(first_page, first_page + pages)) {
+    pruned_stamps_ += pages;
+    return;
+  }
   for (std::uint64_t p = first_page; p < first_page + pages; ++p) {
-    check(pages_[p], trace::RaceKind::Page, page_name(p), slot, is_write,
-          what);
+    if (prune_ != nullptr && prune_->covers(p)) {
+      ++pruned_stamps_;
+      continue;
+    }
+    ++checked_stamps_;
+    check(pages_[p], trace::RaceKind::Page, [&] { return page_name(p); },
+          slot, is_write, what);
   }
 }
 
@@ -312,7 +331,8 @@ void Detector::compact() {
   std::erase_if(retired_, [&](int s) { return !live.contains(s); });
 }
 
-void Detector::check(Shadow& sh, trace::RaceKind kind, const std::string& what,
+template <typename NameFn>
+void Detector::check(Shadow& sh, trace::RaceKind kind, NameFn&& name,
                      int slot, bool is_write, std::string_view site) {
   if (sh.poisoned) {
     return;
@@ -330,14 +350,14 @@ void Detector::check(Shadow& sh, trace::RaceKind kind, const std::string& what,
   };
   if (sh.write.epoch.valid() && sh.write.epoch.slot != slot &&
       !clock.covers(sh.write.epoch)) {
-    report(kind, what, sh.write, make_access(is_write));
+    report(kind, name(), sh.write, make_access(is_write));
     sh.poisoned = true;
     return;
   }
   if (is_write) {
     for (const Access& r : sh.reads) {
       if (r.epoch.slot != slot && !clock.covers(r.epoch)) {
-        report(kind, what, r, make_access(true));
+        report(kind, name(), r, make_access(true));
         sh.poisoned = true;
         return;
       }

@@ -1,16 +1,20 @@
 #include "zc/workloads/runner.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "zc/check/analyzer.hpp"
+#include "zc/check/ir.hpp"
+#include "zc/race/prune.hpp"
 #include "zc/stats/summary.hpp"
 
 namespace zc::workloads {
 
-RunResult run_program(const Program& program, const RunOptions& options) {
-  if (!program.setup_threads) {
-    throw std::invalid_argument("run_program: program has no setup_threads");
-  }
+namespace {
+
+[[nodiscard]] apu::Machine::Config build_machine_config(
+    const RunOptions& options, bool race_detector_off) {
   apu::Machine::Config machine_config = omp::OffloadStack::machine_config_for(
       options.config, options.jitter, options.seed);
   if (options.costs) {
@@ -28,7 +32,7 @@ RunResult run_program(const Program& program, const RunOptions& options) {
   if (!options.watchdog_spec.empty()) {
     machine_config.env.watchdog = apu::parse_watchdog(options.watchdog_spec);
   }
-  if (!options.race_check_spec.empty()) {
+  if (!options.race_check_spec.empty() && !race_detector_off) {
     machine_config.env.race_check =
         apu::RunEnvironment::from_env(
             {{"OMPX_APU_RACE_CHECK", options.race_check_spec}})
@@ -61,6 +65,17 @@ RunResult run_program(const Program& program, const RunOptions& options) {
             {{"OMPX_APU_FABRIC", options.fabric_spec}})
             .ompx_apu_fabric;
   }
+  return machine_config;
+}
+
+/// One complete simulated run of the program. `recorder` (optional)
+/// observes the offload IR; `prune` (optional) installs the proven-safe
+/// page filter on the race detector before any thread runs.
+[[nodiscard]] RunResult run_stack(const Program& program,
+                                  const RunOptions& options,
+                                  apu::Machine::Config machine_config,
+                                  check::Recorder* recorder,
+                                  const race::PruneFilter* prune) {
   omp::OffloadStack stack{
       std::move(machine_config),
       omp::OffloadStack::program_for(options.config, program.binary)};
@@ -68,6 +83,12 @@ RunResult run_program(const Program& program, const RunOptions& options) {
   stack.hsa().copy_trace().set_keep_records(options.keep_kernel_records);
   if (options.stress_seed) {
     stack.sched().enable_stress(*options.stress_seed);
+  }
+  if (recorder != nullptr) {
+    stack.omp().set_recorder(recorder);
+  }
+  if (prune != nullptr && stack.race_detector() != nullptr) {
+    stack.race_detector()->set_prune_filter(prune);
   }
 
   program.setup_threads(stack);
@@ -112,9 +133,94 @@ RunResult run_program(const Program& program, const RunOptions& options) {
   result.faults = stack.hsa().fault_trace();
   if (const race::Detector* d = stack.race_detector()) {
     result.races = d->trace();
+    result.race_pruned_stamps = d->pruned_stamps();
+    result.race_checked_stamps = d->checked_stamps();
   }
   if (program.finalize) {
     result.checksum = program.finalize(stack);
+  }
+  return result;
+}
+
+using WallClock = std::chrono::steady_clock;
+
+[[nodiscard]] double ms_since(WallClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+RunResult run_program(const Program& program, const RunOptions& options) {
+  if (!program.setup_threads) {
+    throw std::invalid_argument("run_program: program has no setup_threads");
+  }
+  apu::CheckMode check_mode = apu::CheckMode::Off;
+  if (!options.check_spec.empty()) {
+    check_mode = apu::RunEnvironment::from_env(
+                     {{"OMPX_APU_CHECK", options.check_spec}})
+                     .ompx_apu_check;
+  }
+  bool race_pruned = false;
+  if (!options.race_check_spec.empty()) {
+    const apu::RunEnvironment parsed = apu::RunEnvironment::from_env(
+        {{"OMPX_APU_RACE_CHECK", options.race_check_spec}});
+    race_pruned =
+        parsed.race_check_pruned && parsed.race_check != apu::RaceCheckMode::Off;
+  }
+
+  if (check_mode == apu::CheckMode::Off && !race_pruned) {
+    return run_stack(program, options,
+                     build_machine_config(options, /*race_detector_off=*/false),
+                     nullptr, nullptr);
+  }
+
+  // --- recorded flow ------------------------------------------------------
+  // `:pruned` needs two phases: a record-only run with the detector off
+  // (phase 1, charged to check_phase_ms together with the analysis), then
+  // the measured run instrumenting only the unproven ranges. The two
+  // phases share (seed, config), so the bump allocator reproduces the same
+  // addresses and the page filter carries over. Plain OMPX_APU_CHECK
+  // records on the single measured run — the recorder is passive, so
+  // recording does not perturb it.
+  RunResult result;
+  check::Recorder recorder{
+      build_machine_config(options, /*race_detector_off=*/true)
+          .env.page_bytes()};
+  double phase_ms = 0.0;
+  check::Analysis analysis;
+  if (race_pruned) {
+    const WallClock::time_point start = WallClock::now();
+    (void)run_stack(program, options,
+                    build_machine_config(options, /*race_detector_off=*/true),
+                    &recorder, nullptr);
+    analysis = check::analyze(recorder.build(), options.config);
+    phase_ms = ms_since(start);
+    const race::PruneFilter filter = race::PruneFilter::from_partition(
+        analysis.partition.proven_safe, analysis.partition.must_check,
+        recorder.page_bytes());
+    result = run_stack(program, options,
+                       build_machine_config(options, /*race_detector_off=*/false),
+                       nullptr, &filter);
+  } else {
+    result = run_stack(program, options,
+                       build_machine_config(options, /*race_detector_off=*/false),
+                       &recorder, nullptr);
+    const WallClock::time_point analyze_start = WallClock::now();
+    analysis = check::analyze(recorder.build(), options.config);
+    phase_ms = ms_since(analyze_start);
+  }
+  result.check = analysis.trace;
+  result.race_partition = analysis.partition;
+  result.check_phase_ms = phase_ms;
+
+  if (check_mode == apu::CheckMode::Abort && !result.check.clean()) {
+    const check::CheckFinding& first = result.check.findings.front();
+    throw omp::OffloadError(
+        omp::ErrorCode::CheckViolation,
+        "OMPX_APU_CHECK=abort: " + std::to_string(result.check.findings.size()) +
+            " finding(s), first: " + first.to_string(),
+        first.device);
   }
   return result;
 }

@@ -1,0 +1,346 @@
+// Unit tests of the timing-free dataflow passes over hand-built offload
+// IR: every finding kind has a positive and a negative case, and both the
+// findings and the race partition are deterministic functions of the IR
+// (canonically ordered, address-free).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "zc/check/analyzer.hpp"
+
+namespace zc::check {
+namespace {
+
+constexpr std::uint64_t kPage = 4096;
+
+/// Hand-built IR in the same canonical shape `Recorder::build` produces:
+/// threads sorted by name, buffers sorted by base, ordinals assigned in
+/// per-thread program order.
+struct IrBuilder {
+  OffloadIR ir;
+
+  IrBuilder() { ir.page_bytes = kPage; }
+
+  mem::AddrRange buffer(const std::string& name, std::uint64_t base,
+                        std::uint64_t bytes,
+                        const std::string& thread = "t0",
+                        BufKind kind = BufKind::Host) {
+    IrBuffer b;
+    b.name = name;
+    b.label = name;
+    b.range = mem::AddrRange{mem::VirtAddr{base}, bytes};
+    b.kind = kind;
+    b.thread = thread;
+    ir.buffers.push_back(std::move(b));
+    return mem::AddrRange{mem::VirtAddr{base}, bytes};
+  }
+
+  void op(const std::string& thread, IrOp o) {
+    auto it = std::find_if(ir.threads.begin(), ir.threads.end(),
+                           [&](const ThreadStream& t) {
+                             return t.thread == thread;
+                           });
+    if (it == ir.threads.end()) {
+      ir.threads.push_back(ThreadStream{thread, {}});
+      it = ir.threads.end() - 1;
+    }
+    o.ordinal = it->ops.size();
+    it->ops.push_back(std::move(o));
+  }
+
+  [[nodiscard]] Analysis run(
+      omp::RuntimeConfig config = omp::RuntimeConfig::ImplicitZeroCopy) {
+    std::sort(ir.buffers.begin(), ir.buffers.end(),
+              [](const IrBuffer& a, const IrBuffer& b) {
+                return a.range.base.value < b.range.base.value;
+              });
+    std::sort(ir.threads.begin(), ir.threads.end(),
+              [](const ThreadStream& a, const ThreadStream& b) {
+                return a.thread < b.thread;
+              });
+    return analyze(ir, config);
+  }
+};
+
+IrOp map_op(OpKind kind, mem::AddrRange r, omp::MapType type, int device = 0,
+            bool always = false) {
+  IrOp o;
+  o.kind = kind;
+  o.device = device;
+  o.maps.push_back(IrMap{r, type, always});
+  return o;
+}
+
+IrOp kernel_op(const std::string& name, std::vector<IrMap> maps,
+               std::vector<IrUse> uses, int device = 0, bool nowait = false) {
+  IrOp o;
+  o.kind = OpKind::Kernel;
+  o.name = name;
+  o.device = device;
+  o.nowait = nowait;
+  o.maps = std::move(maps);
+  o.uses = std::move(uses);
+  return o;
+}
+
+IrOp host_op(OpKind kind, mem::AddrRange r) {
+  IrOp o;
+  o.kind = kind;
+  o.range = r;
+  return o;
+}
+
+std::vector<CheckKind> kinds(const Analysis& a) {
+  std::vector<CheckKind> out;
+  out.reserve(a.trace.findings.size());
+  for (const CheckFinding& f : a.trace.findings) {
+    out.push_back(f.kind);
+  }
+  return out;
+}
+
+TEST(Analyzer, WellFormedSingleThreadProgramIsClean) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096);
+  b.op("t0", host_op(OpKind::HostTouch, x));
+  b.op("t0", map_op(OpKind::EnterData, x, omp::MapType::To));
+  b.op("t0", kernel_op("k", {}, {IrUse{x, hsa::Access::Read}}));
+  b.op("t0", map_op(OpKind::ExitData, x, omp::MapType::Release));
+  b.op("t0", host_op(OpKind::HostRead, x));
+  b.op("t0", host_op(OpKind::HostFree, x));
+  const Analysis a = b.run();
+  EXPECT_TRUE(a.trace.clean()) << a.trace.to_string();
+  EXPECT_EQ(a.trace.ops_analyzed, 6u);
+  EXPECT_EQ(a.trace.buffers_analyzed, 1u);
+}
+
+TEST(Analyzer, ZeroByteMapIsInvalid) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096);
+  b.op("t0", map_op(OpKind::EnterData,
+                    mem::AddrRange{x.base, 0}, omp::MapType::To));
+  EXPECT_EQ(kinds(b.run()), std::vector{CheckKind::InvalidMap});
+}
+
+TEST(Analyzer, ExitOnlyClauseOnEntryConstructIsInvalid) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096);
+  b.op("t0", map_op(OpKind::EnterData, x, omp::MapType::Delete));
+  EXPECT_EQ(kinds(b.run()), std::vector{CheckKind::InvalidMap});
+}
+
+TEST(Analyzer, UnknownAddressIsInvalid) {
+  IrBuilder b;
+  (void)b.buffer("x", 0x10000, 4096);
+  b.op("t0", map_op(OpKind::EnterData,
+                    mem::AddrRange{mem::VirtAddr{0x999000}, 64},
+                    omp::MapType::To));
+  const Analysis a = b.run();
+  ASSERT_FALSE(a.trace.findings.empty());
+  EXPECT_EQ(a.trace.findings.front().kind, CheckKind::InvalidMap);
+  EXPECT_EQ(a.trace.findings.front().buffer, "<unknown:64B>");
+}
+
+TEST(Analyzer, PartialOverlapWithLiveMappingIsFlagged) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 8192);
+  const mem::AddrRange lo{x.base, 4096};
+  const mem::AddrRange shifted{x.base + 2048, 4096};
+  b.op("t0", map_op(OpKind::EnterData, lo, omp::MapType::To));
+  b.op("t0", map_op(OpKind::EnterData, shifted, omp::MapType::To));
+  const Analysis a = b.run();
+  ASSERT_EQ(a.trace.findings.size(), 1u) << a.trace.to_string();
+  EXPECT_EQ(a.trace.findings.front().kind, CheckKind::OverlapMap);
+  EXPECT_EQ(a.trace.findings.front().buffer, "x+2048:4096B");
+}
+
+TEST(Analyzer, SubsetRemapOfLiveMappingIsClean) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 8192);
+  const mem::AddrRange inner{x.base + 1024, 2048};
+  b.op("t0", map_op(OpKind::EnterData, x, omp::MapType::To));
+  b.op("t0", map_op(OpKind::EnterData, inner, omp::MapType::To));
+  b.op("t0", map_op(OpKind::ExitData, inner, omp::MapType::Release));
+  b.op("t0", map_op(OpKind::ExitData, x, omp::MapType::Release));
+  EXPECT_TRUE(b.run().trace.clean());
+}
+
+TEST(Analyzer, KernelUseOnWrongDeviceIsDeviceMismatch) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096);
+  b.op("t0", map_op(OpKind::EnterData, x, omp::MapType::To, /*device=*/0));
+  IrOp k = kernel_op("k", {}, {IrUse{x, hsa::Access::Read}}, /*device=*/1);
+  b.op("t0", k);
+  const Analysis a = b.run();
+  EXPECT_EQ(kinds(a), std::vector{CheckKind::DeviceMismatch});
+  EXPECT_EQ(a.trace.findings.front().device, 1);
+}
+
+TEST(Analyzer, StaleHostReadAfterKernelWriteWithoutCopyBack) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096);
+  b.op("t0", map_op(OpKind::EnterData, x, omp::MapType::To));
+  b.op("t0", kernel_op("k", {}, {IrUse{x, hsa::Access::Write}}));
+  b.op("t0", map_op(OpKind::ExitData, x, omp::MapType::Delete));
+  b.op("t0", host_op(OpKind::HostRead, x));
+  EXPECT_EQ(kinds(b.run()), std::vector{CheckKind::StaleHostRead});
+}
+
+TEST(Analyzer, UpdateFromClearsStaleness) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096);
+  b.op("t0", map_op(OpKind::EnterData, x, omp::MapType::To));
+  b.op("t0", kernel_op("k", {}, {IrUse{x, hsa::Access::Write}}));
+  b.op("t0", map_op(OpKind::UpdateFrom, x, omp::MapType::From));
+  b.op("t0", map_op(OpKind::ExitData, x, omp::MapType::Delete));
+  b.op("t0", host_op(OpKind::HostRead, x));
+  EXPECT_TRUE(b.run().trace.clean());
+}
+
+TEST(Analyzer, CopyBackOnTofromExitClearsStaleness) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096);
+  b.op("t0",
+       kernel_op("k", {IrMap{x, omp::MapType::ToFrom, false}}, {}));
+  b.op("t0", host_op(OpKind::HostRead, x));
+  EXPECT_TRUE(b.run().trace.clean());
+}
+
+TEST(Analyzer, TierADoubleReleaseAcrossThreads) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096, "a");
+  b.op("a", map_op(OpKind::EnterData, x, omp::MapType::To));
+  b.op("a", map_op(OpKind::ExitData, x, omp::MapType::Release));
+  b.op("b", map_op(OpKind::ExitData, x, omp::MapType::Release));
+  const Analysis a = b.run();
+  ASSERT_EQ(a.trace.findings.size(), 1u) << a.trace.to_string();
+  const CheckFinding& f = a.trace.findings.front();
+  EXPECT_EQ(f.kind, CheckKind::DoubleRelease);
+  // Anchored deterministically at the first exit in (thread, ordinal)
+  // order — cross-thread op order is not recorded.
+  EXPECT_EQ(f.thread, "a");
+}
+
+TEST(Analyzer, TierAUseBeforeMapAcrossThreads) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096, "a");
+  b.op("a", host_op(OpKind::HostTouch, x));
+  b.op("a", kernel_op("k1", {}, {IrUse{x, hsa::Access::Read}}));
+  b.op("b", kernel_op("k2", {}, {IrUse{x, hsa::Access::Read}}));
+  const Analysis a = b.run();
+  ASSERT_EQ(a.trace.findings.size(), 2u) << a.trace.to_string();
+  EXPECT_EQ(a.trace.findings[0].kind, CheckKind::UseBeforeMap);
+  EXPECT_EQ(a.trace.findings[1].kind, CheckKind::UseBeforeMap);
+  EXPECT_EQ(a.trace.findings[0].thread, "a");  // canonical order
+  EXPECT_EQ(a.trace.findings[1].thread, "b");
+}
+
+TEST(Analyzer, DevicePoolAndGlobalsAreAlwaysPresent) {
+  IrBuilder b;
+  const auto pool =
+      b.buffer("pool", 0x10000, 4096, "t0", BufKind::DevicePool);
+  const auto g = b.buffer("global:g", 0x20000, 64, "", BufKind::Global);
+  b.op("t0", kernel_op("k", {},
+                       {IrUse{pool, hsa::Access::ReadWrite},
+                        IrUse{g, hsa::Access::Read}}));
+  EXPECT_TRUE(b.run().trace.clean());
+}
+
+TEST(Analyzer, FindingsAreSortedAndDeduplicated) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096);
+  const auto y = b.buffer("y", 0x20000, 4096);
+  // Two distinct bugs, inserted in "wrong" order relative to the canonical
+  // (kind, thread, op_index, buffer, message) sort.
+  b.op("t0", host_op(OpKind::HostTouch, y));
+  b.op("t0", kernel_op("k", {}, {IrUse{y, hsa::Access::Read}}));
+  b.op("t0", map_op(OpKind::ExitData, x, omp::MapType::ToFrom));
+  const Analysis first = b.run();
+  const Analysis second = b.run();
+  ASSERT_EQ(first.trace.findings.size(), 2u) << first.trace.to_string();
+  EXPECT_TRUE(std::is_sorted(first.trace.findings.begin(),
+                             first.trace.findings.end()));
+  EXPECT_EQ(first.trace.findings, second.trace.findings);
+}
+
+// --- race partition -------------------------------------------------------
+
+TEST(Analyzer, PartitionProvesSingleThreadSynchronousBuffersSafe) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096);
+  b.op("t0", host_op(OpKind::HostTouch, x));
+  b.op("t0",
+       kernel_op("k", {IrMap{x, omp::MapType::ToFrom, false}}, {}));
+  const Analysis a = b.run();
+  EXPECT_EQ(a.partition.safe_buffers, std::vector<std::string>{"x"});
+  EXPECT_TRUE(a.partition.must_check_buffers.empty());
+  EXPECT_EQ(a.partition.safe_pages, 1u);
+  EXPECT_EQ(a.partition.total_pages, 1u);
+}
+
+TEST(Analyzer, PartitionKeepsNowaitBuffersInMustCheck) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096);
+  b.op("t0", host_op(OpKind::HostTouch, x));
+  b.op("t0", kernel_op("k", {IrMap{x, omp::MapType::ToFrom, false}}, {},
+                       /*device=*/0, /*nowait=*/true));
+  const Analysis a = b.run();
+  EXPECT_TRUE(a.partition.safe_buffers.empty());
+  EXPECT_EQ(a.partition.must_check_buffers, std::vector<std::string>{"x"});
+}
+
+TEST(Analyzer, PartitionProvesInitThenPublishReadOnlySharingSafe) {
+  // Thread a writes, then publishes via its first map; b and c only read
+  // through kernels. No device-side write ever touches the buffer.
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096, "a");
+  b.op("a", host_op(OpKind::HostTouch, x));
+  b.op("a", map_op(OpKind::DataBegin, x, omp::MapType::To));
+  b.op("b", map_op(OpKind::DataBegin, x, omp::MapType::To));
+  b.op("b", kernel_op("k", {}, {IrUse{x, hsa::Access::Read}}));
+  b.op("c", kernel_op("k", {}, {IrUse{x, hsa::Access::Read}}));
+  b.op("a", map_op(OpKind::DataEnd, x, omp::MapType::Release));
+  b.op("b", map_op(OpKind::DataEnd, x, omp::MapType::Release));
+  const Analysis a = b.run();
+  EXPECT_EQ(a.partition.safe_buffers, std::vector<std::string>{"x"});
+}
+
+TEST(Analyzer, PartitionRejectsHostWriteAfterPublish) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096, "a");
+  b.op("a", map_op(OpKind::DataBegin, x, omp::MapType::To));
+  b.op("a", host_op(OpKind::HostTouch, x));  // write AFTER first publish
+  b.op("b", kernel_op("k", {}, {IrUse{x, hsa::Access::Read}}));
+  const Analysis a = b.run();
+  EXPECT_EQ(a.partition.must_check_buffers, std::vector<std::string>{"x"});
+}
+
+TEST(Analyzer, PartitionRejectsDeviceWritesOnSharedBuffers) {
+  IrBuilder b;
+  const auto x = b.buffer("x", 0x10000, 4096, "a");
+  b.op("a", host_op(OpKind::HostTouch, x));
+  b.op("a", kernel_op("k", {}, {IrUse{x, hsa::Access::Read}}));
+  b.op("b", kernel_op("k", {}, {IrUse{x, hsa::Access::Write}}));
+  const Analysis a = b.run();
+  EXPECT_EQ(a.partition.must_check_buffers, std::vector<std::string>{"x"});
+}
+
+TEST(Analyzer, PartitionCountsInnerPagesOnly) {
+  // A buffer that straddles page boundaries: only the fully-covered pages
+  // count as prunable (the filter rounds inward, so partial pages stay
+  // instrumented and shared-page conflicts stay visible).
+  IrBuilder b;
+  const auto x =
+      b.buffer("x", 0x10000 + kPage / 2, 2 * kPage);  // covers 1 full page
+  b.op("t0", host_op(OpKind::HostTouch, x));
+  const Analysis a = b.run();
+  EXPECT_EQ(a.partition.safe_buffers, std::vector<std::string>{"x"});
+  EXPECT_EQ(a.partition.safe_pages, 1u);
+  EXPECT_EQ(a.partition.total_pages, 3u);  // outward span
+}
+
+}  // namespace
+}  // namespace zc::check

@@ -1,0 +1,153 @@
+// The seeded buggy-workload corpus, validated both ways:
+//
+//  * statically — `OMPX_APU_CHECK=report` flags each planted bug with the
+//    advertised finding kind, an op index, and a symbolic buffer label
+//    (never a raw address, which varies across seeds);
+//  * dynamically — each bug is confirmed for real: a typed error under
+//    Legacy Copy, or a checksum divergence between Legacy Copy and the
+//    zero-copy configurations.
+//
+// The static verdicts must also be identical no matter which configuration
+// the recording ran under — the checker analyzes the portable program
+// shape, not the configuration that happened to execute it.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "zc/check/report.hpp"
+#include "zc/core/offload_error.hpp"
+#include "zc/workloads/buggy.hpp"
+#include "zc/workloads/runner.hpp"
+
+namespace zc::workloads {
+namespace {
+
+RunResult run_checked(const Program& program, omp::RuntimeConfig config) {
+  RunOptions options;
+  options.config = config;
+  options.check_spec = "report";
+  return run_program(program, options);
+}
+
+/// The corpus contract: exactly one finding, of `kind`, naming `buffer`.
+void expect_single_finding(const RunResult& result, check::CheckKind kind,
+                           const std::string& buffer) {
+  ASSERT_EQ(result.check.findings.size(), 1u) << result.check.to_string();
+  const check::CheckFinding& f = result.check.findings.front();
+  EXPECT_EQ(f.kind, kind) << f.to_string();
+  EXPECT_EQ(f.buffer, buffer) << f.to_string();
+  EXPECT_EQ(f.thread, "buggy-main");
+  EXPECT_FALSE(f.message.empty());
+  // Diagnostics carry the op index into the thread's recorded stream and
+  // never leak raw simulated addresses.
+  EXPECT_EQ(f.to_string().find("0x"), std::string::npos) << f.to_string();
+}
+
+TEST(BuggyCorpus, MissingMapFlaggedStatically) {
+  const RunResult r = run_checked(make_buggy_missing_map(),
+                                  omp::RuntimeConfig::ImplicitZeroCopy);
+  expect_single_finding(r, check::CheckKind::UseBeforeMap, "orphan");
+}
+
+TEST(BuggyCorpus, MissingMapFaultsUnderLegacyCopy) {
+  RunOptions options;
+  options.config = omp::RuntimeConfig::LegacyCopy;
+  EXPECT_THROW((void)run_program(make_buggy_missing_map(), options),
+               std::invalid_argument);
+}
+
+TEST(BuggyCorpus, StaleDataFlaggedStatically) {
+  const RunResult r = run_checked(make_buggy_stale_data(),
+                                  omp::RuntimeConfig::ImplicitZeroCopy);
+  expect_single_finding(r, check::CheckKind::StaleHostRead, "x");
+}
+
+TEST(BuggyCorpus, StaleDataDivergesUnderLegacyCopy) {
+  RunOptions zc_options;
+  zc_options.config = omp::RuntimeConfig::ImplicitZeroCopy;
+  RunOptions copy_options;
+  copy_options.config = omp::RuntimeConfig::LegacyCopy;
+  const Program program = make_buggy_stale_data();
+  const double zc = run_program(program, zc_options).checksum;
+  const double copy = run_program(program, copy_options).checksum;
+  // Zero-copy sees the kernel's doubling; Legacy Copy reads the stale
+  // host values — exactly half.
+  EXPECT_EQ(copy * 2.0, zc);
+}
+
+TEST(BuggyCorpus, DoubleDeleteFlaggedStatically) {
+  const RunResult r = run_checked(make_buggy_double_delete(),
+                                  omp::RuntimeConfig::ImplicitZeroCopy);
+  expect_single_finding(r, check::CheckKind::DoubleRelease, "x");
+}
+
+TEST(BuggyCorpus, DoubleDeleteRaisesMappingViolationUnderLegacyCopy) {
+  RunOptions options;
+  options.config = omp::RuntimeConfig::LegacyCopy;
+  try {
+    (void)run_program(make_buggy_double_delete(), options);
+    FAIL() << "expected OffloadError(MappingViolation)";
+  } catch (const omp::OffloadError& e) {
+    EXPECT_EQ(e.code(), omp::ErrorCode::MappingViolation);
+  }
+}
+
+TEST(BuggyCorpus, CoherenceFlaggedStatically) {
+  const RunResult r = run_checked(make_buggy_coherence(),
+                                  omp::RuntimeConfig::ImplicitZeroCopy);
+  expect_single_finding(r, check::CheckKind::ConfigDivergence, "x");
+}
+
+TEST(BuggyCorpus, CoherenceDivergesUnderLegacyCopy) {
+  RunOptions zc_options;
+  zc_options.config = omp::RuntimeConfig::UnifiedSharedMemory;
+  RunOptions copy_options;
+  copy_options.config = omp::RuntimeConfig::LegacyCopy;
+  const Program program = make_buggy_coherence();
+  const double zc = run_program(program, zc_options).checksum;
+  const double copy = run_program(program, copy_options).checksum;
+  EXPECT_NE(zc, copy);
+}
+
+TEST(BuggyCorpus, StaticVerdictsIndependentOfRecordingConfig) {
+  // The analyzer reasons about the program's portable shape: recording
+  // under any configuration yields the same findings.
+  const Program program = make_buggy_stale_data();
+  const RunResult usm =
+      run_checked(program, omp::RuntimeConfig::UnifiedSharedMemory);
+  const RunResult eager = run_checked(program, omp::RuntimeConfig::EagerMaps);
+  ASSERT_EQ(usm.check.findings.size(), 1u);
+  ASSERT_EQ(eager.check.findings.size(), 1u);
+  EXPECT_EQ(usm.check.findings.front().kind, eager.check.findings.front().kind);
+  EXPECT_EQ(usm.check.findings.front().op_index,
+            eager.check.findings.front().op_index);
+  EXPECT_EQ(usm.check.findings.front().buffer,
+            eager.check.findings.front().buffer);
+}
+
+TEST(BuggyCorpus, AbortModePromotesFindingsToTypedErrors) {
+  RunOptions options;
+  options.config = omp::RuntimeConfig::ImplicitZeroCopy;
+  options.check_spec = "abort";
+  try {
+    (void)run_program(make_buggy_missing_map(), options);
+    FAIL() << "expected OffloadError(CheckViolation)";
+  } catch (const omp::OffloadError& e) {
+    EXPECT_EQ(e.code(), omp::ErrorCode::CheckViolation);
+    EXPECT_NE(std::string{e.what()}.find("use-before-map"),
+              std::string::npos);
+  }
+}
+
+TEST(BuggyCorpus, NowaitRaceBufferLandsInMustCheckSet) {
+  const RunResult r = run_checked(make_buggy_nowait_race(),
+                                  omp::RuntimeConfig::ImplicitZeroCopy);
+  ASSERT_EQ(r.race_partition.must_check_buffers.size(), 1u)
+      << r.race_partition.to_string();
+  EXPECT_EQ(r.race_partition.must_check_buffers.front(), "x");
+}
+
+}  // namespace
+}  // namespace zc::workloads

@@ -1,0 +1,112 @@
+// `OMPX_APU_RACE_CHECK=report:pruned` — the contract that matters: pruning
+// must never lose a dynamic race report. The static partition only removes
+// instrumentation from ranges it PROVED free of unordered concurrent
+// access, so a planted racy program reports identically with and without
+// pruning, while a clean program's detector run skips most of its page
+// stamps.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "zc/core/offload_error.hpp"
+#include "zc/race/prune.hpp"
+#include "zc/workloads/buggy.hpp"
+#include "zc/workloads/qmcpack.hpp"
+#include "zc/workloads/runner.hpp"
+
+namespace zc::workloads {
+namespace {
+
+RunResult run_raced(const Program& program, const std::string& spec) {
+  RunOptions options;
+  options.config = omp::RuntimeConfig::ImplicitZeroCopy;
+  options.race_check_spec = spec;
+  return run_program(program, options);
+}
+
+TEST(RacePrune, FilterSpansSafeRangesOutwardToWholePages) {
+  const std::uint64_t page = 4096;
+  // [page/2, 3.5 pages) with nothing in the must-check set: every page the
+  // safe range touches is covered — stamps only arise from accesses to
+  // recorded buffers, so nothing else can land on pages 0..3.
+  const race::PruneFilter f = race::PruneFilter::from_partition(
+      {mem::AddrRange{mem::VirtAddr{page / 2}, 3 * page}}, {}, page);
+  EXPECT_TRUE(f.covers(0));
+  EXPECT_TRUE(f.covers(1));
+  EXPECT_TRUE(f.covers(2));
+  EXPECT_TRUE(f.covers(3));
+  EXPECT_FALSE(f.covers(4));
+  EXPECT_EQ(f.page_count(), 4u);
+}
+
+TEST(RacePrune, FilterKeepsPagesSharedWithMustCheckRanges) {
+  const std::uint64_t page = 4096;
+  // Safe [0, 2 pages) and a sub-page safe buffer on page 10; a must-check
+  // range straddles pages 1 and 2, so page 1 — though it also holds safe
+  // bytes — stays instrumented.
+  const race::PruneFilter f = race::PruneFilter::from_partition(
+      {mem::AddrRange{mem::VirtAddr{0}, 2 * page},
+       mem::AddrRange{mem::VirtAddr{10 * page + 64}, page / 2}},
+      {mem::AddrRange{mem::VirtAddr{page + page / 2}, page}}, page);
+  EXPECT_TRUE(f.covers(0));
+  EXPECT_FALSE(f.covers(1));  // shared with the must-check range
+  EXPECT_FALSE(f.covers(2));
+  EXPECT_TRUE(f.covers(10));  // sub-page safe buffer alone on its page
+  EXPECT_EQ(f.page_count(), 2u);
+}
+
+TEST(RacePrune, PlantedNowaitRaceSurvivesPruning) {
+  const Program program = make_buggy_nowait_race();
+  const RunResult plain = run_raced(program, "report");
+  const RunResult pruned = run_raced(program, "report:pruned");
+  ASSERT_EQ(plain.races.size(), 1u)
+      << (plain.races.empty() ? "" : plain.races.records().front().message);
+  // Zero reports lost: the racy buffer is in the must-check set, so the
+  // pruned run still instruments it and reports the identical race.
+  ASSERT_EQ(pruned.races.size(), 1u) << pruned.race_partition.to_string();
+  EXPECT_EQ(pruned.races.records().front().what,
+            plain.races.records().front().what);
+  EXPECT_EQ(pruned.race_partition.must_check_buffers,
+            std::vector<std::string>{"x"});
+  EXPECT_EQ(pruned.checksum, plain.checksum);
+}
+
+TEST(RacePrune, CleanWorkloadPrunesStampsAndStaysClean) {
+  QmcpackParams p;
+  p.size = 2;
+  p.threads = 2;
+  p.steps = 10;
+  const Program program = make_qmcpack(p);
+  const RunResult plain = run_raced(program, "report");
+  const RunResult pruned = run_raced(program, "report:pruned");
+  EXPECT_TRUE(plain.races.empty());
+  EXPECT_TRUE(pruned.races.empty());
+  // Functional results are untouched by pruning (the filter only skips
+  // shadow-state bookkeeping, never synchronization edges).
+  EXPECT_EQ(pruned.checksum, plain.checksum);
+  EXPECT_EQ(pruned.wall_time, plain.wall_time);
+  // The point of the exercise: a large share of page stamps is skipped.
+  EXPECT_GT(pruned.race_pruned_stamps, 0u);
+  EXPECT_GT(pruned.race_partition.safe_pages, 0u);
+  EXPECT_LT(pruned.race_checked_stamps,
+            plain.race_checked_stamps + plain.race_pruned_stamps);
+  // And the record-only phase actually ran (its cost is accounted).
+  EXPECT_GT(pruned.check_phase_ms, 0.0);
+}
+
+TEST(RacePrune, PrunedAbortStillAbortsOnARealRace) {
+  RunOptions options;
+  options.config = omp::RuntimeConfig::ImplicitZeroCopy;
+  options.race_check_spec = "abort:pruned";
+  try {
+    (void)run_program(make_buggy_nowait_race(), options);
+    FAIL() << "expected OffloadError(DataRace)";
+  } catch (const omp::OffloadError& e) {
+    EXPECT_EQ(e.code(), omp::ErrorCode::DataRace);
+  }
+}
+
+}  // namespace
+}  // namespace zc::workloads

@@ -1,0 +1,120 @@
+// Edge cases of the shared range-arithmetic vocabulary
+// (`mem::ranges_overlap` / `range_covers` / `range_relation`) — ONE
+// definition consumed by both the runtime `PresentTable` and the
+// `zc::check` static overlap pass, so the two can never disagree about
+// what counts as an aliasing map. The edge cases that historically bite:
+// zero-byte ranges, exact adjacency, and partial overlaps that differ per
+// device.
+
+#include <gtest/gtest.h>
+
+#include "zc/core/mapping.hpp"
+#include "zc/mem/address.hpp"
+
+namespace zc::mem {
+namespace {
+
+constexpr AddrRange r(std::uint64_t base, std::uint64_t bytes) {
+  return AddrRange{VirtAddr{base}, bytes};
+}
+
+TEST(RangeOps, EmptyRangesOverlapNothing) {
+  EXPECT_FALSE(ranges_overlap(r(100, 0), r(100, 0)));
+  EXPECT_FALSE(ranges_overlap(r(100, 0), r(0, 1000)));
+  EXPECT_FALSE(ranges_overlap(r(0, 1000), r(100, 0)));
+  // ...even when the empty base sits strictly inside the other range.
+  EXPECT_EQ(range_relation(r(100, 0), r(0, 1000)), RangeRelation::Disjoint);
+}
+
+TEST(RangeOps, EmptyInnerIsCoveredByAnything) {
+  EXPECT_TRUE(range_covers(r(0, 100), r(50, 0)));
+  EXPECT_TRUE(range_covers(r(0, 0), r(123, 0)));
+  EXPECT_FALSE(range_covers(r(50, 0), r(0, 100)));
+}
+
+TEST(RangeOps, AdjacentRangesAreDisjoint) {
+  // Sharing an endpoint is NOT overlap: adjacent map clauses are legal.
+  EXPECT_FALSE(ranges_overlap(r(0, 100), r(100, 100)));
+  EXPECT_FALSE(ranges_overlap(r(100, 100), r(0, 100)));
+  EXPECT_EQ(range_relation(r(0, 100), r(100, 100)),
+            RangeRelation::Disjoint);
+  // One byte of overlap is enough to flip the verdict.
+  EXPECT_TRUE(ranges_overlap(r(0, 101), r(100, 100)));
+  EXPECT_EQ(range_relation(r(0, 101), r(100, 100)),
+            RangeRelation::Partial);
+}
+
+TEST(RangeOps, RelationClassification) {
+  EXPECT_EQ(range_relation(r(0, 100), r(0, 100)), RangeRelation::Equal);
+  EXPECT_EQ(range_relation(r(0, 100), r(10, 20)), RangeRelation::Contains);
+  EXPECT_EQ(range_relation(r(10, 20), r(0, 100)), RangeRelation::Within);
+  EXPECT_EQ(range_relation(r(0, 100), r(50, 100)), RangeRelation::Partial);
+  EXPECT_EQ(range_relation(r(50, 100), r(0, 100)), RangeRelation::Partial);
+  EXPECT_EQ(range_relation(r(0, 100), r(200, 100)),
+            RangeRelation::Disjoint);
+  // Same base, different length: the longer one contains the shorter.
+  EXPECT_EQ(range_relation(r(0, 100), r(0, 50)), RangeRelation::Contains);
+  EXPECT_EQ(range_relation(r(0, 50), r(0, 100)), RangeRelation::Within);
+}
+
+TEST(RangeOps, PresentTableAcceptsAdjacentRejectsPartial) {
+  omp::PresentTable table;
+  table.insert(r(0x1000, 0x1000), VirtAddr{0x100000});
+  // Adjacent insert: legal (disjoint byte sets).
+  table.insert(r(0x2000, 0x1000), VirtAddr{0x200000});
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.lookup(VirtAddr{0x1fff})->device_base.value, 0x100000u);
+  EXPECT_EQ(table.lookup(VirtAddr{0x2000})->device_base.value, 0x200000u);
+  // Partial overlap with a live entry: rejected, table unchanged.
+  EXPECT_THROW(table.insert(r(0x1800, 0x1000), VirtAddr{0x300000}),
+               std::invalid_argument);
+  // Zero-byte map: rejected outright rather than silently dropped.
+  EXPECT_THROW(table.insert(r(0x5000, 0), VirtAddr{0x400000}),
+               std::invalid_argument);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(RangeOps, PresentTableLookupRangeStraddleIsAnError) {
+  omp::PresentTable table;
+  table.insert(r(0x1000, 0x1000), VirtAddr{0x100000});
+  table.insert(r(0x2000, 0x1000), VirtAddr{0x200000});
+  // Fully inside one entry: fine.
+  EXPECT_NE(table.lookup_range(r(0x1800, 0x800)), nullptr);
+  // Straddling two adjacent entries: one map clause may not span two
+  // distinct mappings even when their host ranges touch.
+  EXPECT_THROW((void)table.lookup_range(r(0x1800, 0x1000)),
+               std::invalid_argument);
+  // Absent is a nullptr, not an error.
+  EXPECT_EQ(table.lookup_range(r(0x9000, 0x100)), nullptr);
+}
+
+TEST(RangeOps, PerDeviceTablesJudgeOverlapIndependently) {
+  // The same host range can be mapped on two devices; partial overlap is
+  // judged per device table, mirroring the per-device abstract state of
+  // the static analyzer.
+  omp::PresentTable dev0;
+  omp::PresentTable dev1;
+  dev0.insert(r(0x1000, 0x1000), VirtAddr{0x100000});
+  dev1.insert(r(0x1800, 0x1000), VirtAddr{0x500000});
+  // dev1's entry would partial-overlap dev0's — but they are different
+  // address spaces, so both inserts are legal...
+  EXPECT_EQ(dev0.size(), 1u);
+  EXPECT_EQ(dev1.size(), 1u);
+  // ...while within one device the same insert is rejected.
+  EXPECT_THROW(dev0.insert(r(0x1800, 0x1000), VirtAddr{0x500000}),
+               std::invalid_argument);
+}
+
+TEST(RangeOps, PageRounding) {
+  constexpr std::uint64_t page = 4096;
+  EXPECT_EQ(r(0, page).first_page(page), 0u);
+  EXPECT_EQ(r(0, page).end_page(page), 1u);
+  EXPECT_EQ(r(0, page).page_count(page), 1u);
+  // A one-byte straddle claims both pages.
+  EXPECT_EQ(r(page - 1, 2).page_count(page), 2u);
+  // Zero-byte ranges span zero pages.
+  EXPECT_EQ(r(123, 0).page_count(page), 0u);
+}
+
+}  // namespace
+}  // namespace zc::mem
